@@ -1,0 +1,111 @@
+// Command kinject runs the fault/error injection campaigns of the
+// study and prints every table and figure of the evaluation.
+//
+// Usage:
+//
+//	kinject [-campaigns ABC] [-scale N] [-seed N]
+//	        [-max-targets N] [-max-funcs N] [-out results.json.gz] [-q]
+//
+// A full run (no -max-targets) performs every injection of all three
+// campaigns — several thousand experiments — and takes minutes; use
+// -max-targets for a quick subsampled study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/inject"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kinject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kinject", flag.ContinueOnError)
+	campaigns := fs.String("campaigns", "ABC", "campaigns to run (subset of ABC)")
+	scale := fs.Int("scale", 1, "workload scale")
+	seed := fs.Int64("seed", 2003, "random seed for bit selection")
+	maxTargets := fs.Int("max-targets", 0, "cap injections per function (0 = all)")
+	maxFuncs := fs.Int("max-funcs", 0, "cap functions per campaign (0 = all)")
+	out := fs.String("out", "", "save results to this file (gzipped JSON)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	noAsserts := fs.Bool("no-assertions", false, "strip kernel BUG() assertions (ablation build)")
+	workers := fs.Int("workers", 1, "parallel injection machines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.MaxTargetsPerFunc = *maxTargets
+	cfg.MaxFuncsPerCampaign = *maxFuncs
+	cfg.DisableAssertions = *noAsserts
+	cfg.Workers = *workers
+	cfg.Campaigns = nil
+	for _, ch := range strings.ToUpper(*campaigns) {
+		switch ch {
+		case 'A':
+			cfg.Campaigns = append(cfg.Campaigns, inject.CampaignA)
+		case 'B':
+			cfg.Campaigns = append(cfg.Campaigns, inject.CampaignB)
+		case 'C':
+			cfg.Campaigns = append(cfg.Campaigns, inject.CampaignC)
+		default:
+			return fmt.Errorf("unknown campaign %q", string(ch))
+		}
+	}
+	if !*quiet {
+		last := time.Now()
+		cfg.Progress = func(c inject.Campaign, fn string, done, total int) {
+			if done == total || time.Since(last) > 2*time.Second {
+				last = time.Now()
+				fmt.Fprintf(os.Stderr, "\rcampaign %v: %d/%d (%s)        ",
+					c, done, total, fn)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	s, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("golden run: %d cycles; watchdog budget: %d cycles\n",
+		s.Runner.GoldenCycles, s.Runner.Budget)
+	for _, c := range cfg.Campaigns {
+		fmt.Printf("campaign %v: %d target functions\n", c, len(s.FuncsFor[c]))
+	}
+	fmt.Println()
+
+	if err := s.RunAll(); err != nil {
+		return err
+	}
+	fmt.Printf("completed in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println(s.ReportTable2())
+	fmt.Println(s.ReportTable1())
+	fmt.Println(s.ReportFigure1())
+	fmt.Println(analysis.RenderAll(s.Set))
+
+	if *out != "" {
+		if err := s.Set.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("\nresults saved to %s\n", *out)
+	}
+	return nil
+}

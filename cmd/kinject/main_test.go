@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-campaigns", "X"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown campaign") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestTinyStudyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	out := t.TempDir() + "/r.json.gz"
+	err := run([]string{
+		"-q", "-campaigns", "C", "-max-funcs", "3", "-max-targets", "2",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatalf("tiny study: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+// Command kprofile profiles the simulated kernel under the UnixBench
+// workloads (the paper's Kernprof step) and prints the profile, the
+// Table 1 function distribution, and the Figure 1 subsystem sizes.
+//
+// Usage:
+//
+//	kprofile [-scale N] [-cover 0.95] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/kernprof"
+	"repro/internal/unixbench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kprofile", flag.ContinueOnError)
+	scale := fs.Int("scale", 1, "workload scale")
+	cover := fs.Float64("cover", 0.95, "coverage fraction for the core set")
+	top := fs.Int("top", 40, "functions to list (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	prog, err := kernel.Assemble()
+	if err != nil {
+		return err
+	}
+	fmt.Println(core.RenderSubsystemSizes(prog))
+
+	prof, err := kernprof.Collect(unixbench.Suite(unixbench.Scale(*scale)), 1<<40, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernel profile: %d functions, %d samples\n\n", len(prof.Funcs), prof.Total)
+	fmt.Println(prof.Render(*top))
+
+	rows, coreFns := prof.Table1(*cover)
+	fmt.Printf("Table 1: function distribution among kernel subsystems (core = %.0f%% coverage)\n", 100**cover)
+	fmt.Printf("%-10s %20s %14s\n", "Subsystem", "Profiled functions", "In core set")
+	tp, tc := 0, 0
+	for _, r := range rows {
+		fmt.Printf("%-10s %20d %14d\n", r.Section, r.Profiled, r.InCore)
+		tp += r.Profiled
+		tc += r.InCore
+	}
+	fmt.Printf("%-10s %20d %14d\n", "Total", tp, tc)
+	fmt.Printf("\ncore set (%d functions):\n", len(coreFns))
+	for _, f := range coreFns {
+		fmt.Printf("  %-28s %-8s %6.2f%%\n", f.Name, f.Section, f.Pct)
+	}
+	return nil
+}

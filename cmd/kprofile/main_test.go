@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles the kernel")
+	}
+	if err := run([]string{"-top", "5"}); err != nil {
+		t.Fatalf("kprofile run: %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

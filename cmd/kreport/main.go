@@ -1,0 +1,34 @@
+// Command kreport re-analyzes a saved injection result set (produced
+// by kinject -out) and prints the evaluation tables and figures.
+//
+// Usage:
+//
+//	kreport results.json.gz
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: kreport <results.json.gz>")
+	}
+	rs, err := analysis.Load(args[0])
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, analysis.RenderAll(rs))
+	return err
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/inject"
+)
+
+func TestRunReport(t *testing.T) {
+	rs := &analysis.ResultSet{
+		Seed:  1,
+		Scale: 1,
+		Results: map[string][]inject.Result{
+			"A": {{
+				Campaign:  inject.CampaignA,
+				Target:    inject.Target{Func: asm.Func{Name: "sys_read", Section: "fs", Addr: 0x1000, Size: 32}},
+				Outcome:   inject.OutcomeNotManifested,
+				Activated: true,
+			}},
+		},
+	}
+	path := t.TempDir() + "/r.json.gz"
+	if err := rs.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 4 — campaign A") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no-arg run accepted")
+	}
+	if err := run([]string{"/does/not/exist"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

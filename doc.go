@@ -1,0 +1,12 @@
+// Package repro reproduces "Characterization of Linux Kernel Behavior
+// under Errors" (Gu, Kalbarczyk, Iyer, Yang — DSN 2003) as a Go
+// library: a simulated IA-32 machine running a miniature Linux-like
+// kernel, the UnixBench workload suite, a kernel profiler, the
+// single-bit error injector with its three campaigns, and the analysis
+// layer that regenerates every table and figure of the paper's
+// evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison. The benchmarks in bench_test.go
+// regenerate each experiment; cmd/kinject runs the full study.
+package repro

@@ -1,0 +1,121 @@
+// Assertions: the paper's §8 proposal made concrete. The study traced
+// campaign C's dominant invalid-opcode crashes to kernel BUG()
+// assertions, and proposed *adding* assertions at strategic locations
+// to detect errors before they propagate. This example runs the same
+// reversed-branch injections against the normal kernel and against a
+// build with every assertion stripped, and shows what the assertions
+// were buying.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dump"
+	"repro/internal/inject"
+	"repro/internal/unixbench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "assertions:", err)
+		os.Exit(1)
+	}
+}
+
+type tally struct {
+	assertCrash int // invalid-opcode crashes (assertions firing)
+	otherCrash  int
+	hangs       int
+	fsv         int
+	silent      int
+}
+
+func sweep(runner *inject.Runner, fns []string) (tally, error) {
+	var t tally
+	rng := rand.New(rand.NewSource(77))
+	for _, name := range fns {
+		fn, ok := runner.M.Prog.FuncByName(name)
+		if !ok {
+			return t, fmt.Errorf("no function %s", name)
+		}
+		targets, err := inject.EnumerateTargets(runner.M.Prog, fn, inject.CampaignC, rng)
+		if err != nil {
+			return t, err
+		}
+		for _, tg := range targets {
+			res := runner.RunTarget(inject.CampaignC, tg)
+			switch res.Outcome {
+			case inject.OutcomeCrash:
+				if res.Crash.Cause == dump.CauseInvalidOpcode {
+					t.assertCrash++
+				} else {
+					t.otherCrash++
+				}
+			case inject.OutcomeHang:
+				t.hangs++
+			case inject.OutcomeFailSilence:
+				t.fsv++
+			case inject.OutcomeNotManifested:
+				t.silent++
+			}
+		}
+	}
+	return t, nil
+}
+
+func run() error {
+	fns := []string{
+		"getblk", "iput", "brelse", "ext2_find_entry", "pipe_read",
+		"do_generic_file_read", "zap_page_range", "wake_up_process",
+		"generic_commit_write", "iget",
+	}
+	fmt.Println("campaign C (valid-but-incorrect branch) over assertion-bearing functions")
+	fmt.Println()
+
+	ws := unixbench.Suite(1)
+	normal, err := inject.NewRunner(ws)
+	if err != nil {
+		return err
+	}
+	withAsserts, err := sweep(normal, fns)
+	if err != nil {
+		return err
+	}
+
+	ablated, err := inject.NewRunnerWithOptions(ws, inject.RunnerOptions{DisableAssertions: true})
+	if err != nil {
+		return err
+	}
+	n, err := inject.DisableAssertions(ablated.M)
+	if err != nil {
+		return err
+	}
+	_ = n // already stripped by the option; a second pass finds none
+	without, err := sweep(ablated, fns)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-34s %14s %14s\n", "outcome", "with BUG()", "without BUG()")
+	rows := []struct {
+		name string
+		a, b int
+	}{
+		{"assertion crash (invalid opcode)", withAsserts.assertCrash, without.assertCrash},
+		{"other crash", withAsserts.otherCrash, without.otherCrash},
+		{"hang", withAsserts.hangs, without.hangs},
+		{"fail silence violation", withAsserts.fsv, without.fsv},
+		{"not manifested", withAsserts.silent, without.silent},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-34s %14d %14d\n", r.name, r.a, r.b)
+	}
+	fmt.Println()
+	fmt.Println("Stripping the assertions does not make the errors disappear — it")
+	fmt.Println("converts immediately-detected failures into silent wrong behavior.")
+	fmt.Println("That conversion is exactly why the paper proposes strategic assertion")
+	fmt.Println("placement to detect errors and prevent propagation (§8, conclusions).")
+	return nil
+}

@@ -1,0 +1,111 @@
+// Severity: reproduce the paper's §7.1 crash-severity analysis by
+// driving campaign C (valid-but-incorrect branch) over the file-system
+// write paths until the on-disk file system is damaged — then show the
+// fsck verdict and the boot check, exactly how the study separated
+// "normal reboot", "manual fsck" and "reformat everything".
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/disk"
+	"repro/internal/ext2"
+	"repro/internal/inject"
+	"repro/internal/unixbench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "severity:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	runner, err := inject.NewRunner(unixbench.Suite(1))
+	if err != nil {
+		return err
+	}
+	prog := runner.M.Prog
+	rng := rand.New(rand.NewSource(5))
+
+	// The paper's Table 5: most severe crashes clustered in fs and mm
+	// write paths, almost all under campaign C.
+	writePaths := []string{
+		"generic_commit_write", "ext2_alloc_block", "ext2_new_inode",
+		"ext2_add_entry", "ext2_truncate", "ext2_get_block",
+		"generic_file_write", "link_path_walk", "open_namei", "sys_unlink",
+	}
+
+	counts := map[inject.Severity]int{}
+	shown := 0
+	for _, name := range writePaths {
+		fn, ok := prog.FuncByName(name)
+		if !ok {
+			continue
+		}
+		targets, err := inject.EnumerateTargets(prog, fn, inject.CampaignC, rng)
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			res := runner.RunTarget(inject.CampaignC, t)
+			if !res.Activated {
+				continue
+			}
+			counts[res.Severity]++
+			if res.Severity < inject.SeveritySevere || shown >= 3 {
+				continue
+			}
+			shown++
+			fmt.Printf("=== %v damage: reversed branch in %s+%#x (outcome %v) ===\n",
+				res.Severity, name, t.InstAddr-fn.Addr, res.Outcome)
+
+			// Show what fsck sees on the post-run disk, as the study's
+			// recovery procedure would.
+			img, err := runner.M.DiskImage()
+			if err != nil {
+				return err
+			}
+			dev, err := disk.FromImage(img)
+			if err != nil {
+				return err
+			}
+			rep := ext2.Check(dev)
+			fmt.Printf("fsck: %v\n", rep.Status)
+			for i, p := range rep.Problems {
+				if i >= 5 {
+					fmt.Printf("  ... and %d more problems\n", len(rep.Problems)-5)
+					break
+				}
+				fmt.Printf("  %s\n", p)
+			}
+			if rep.Status == ext2.StatusFixable {
+				if err := ext2.Repair(dev); err == nil {
+					fmt.Println("fsck repaired the file system (severe: manual intervention, >5 min)")
+				}
+			}
+			if fs2, err := ext2.Open(dev); err == nil {
+				if berr := fs2.VerifyBoot(runner.M.BootManifest); berr != nil {
+					fmt.Printf("boot check: %v\n", berr)
+					fmt.Println("-> most severe: reformat + reinstall (~1 hour of downtime)")
+				} else {
+					fmt.Println("boot check: system comes back up")
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("severity distribution over the fs write paths (campaign C):")
+	fmt.Printf("  no on-disk damage:       %d\n", counts[inject.SeverityNone])
+	fmt.Printf("  normal (auto reboot):    %d\n", counts[inject.SeverityNormal])
+	fmt.Printf("  severe (manual fsck):    %d\n", counts[inject.SeveritySevere])
+	fmt.Printf("  most severe (reformat):  %d\n", counts[inject.SeverityMost])
+	fmt.Println()
+	fmt.Println("The paper: 9 of 9,600 dumped crashes required reformatting; to meet")
+	fmt.Println("five-nines availability one can only afford one such failure in 12 years.")
+	return nil
+}

@@ -1,0 +1,523 @@
+// Package analysis aggregates injection results into the measures the
+// paper reports: outcome distributions per subsystem (Figure 4), crash
+// causes (Figure 6), crash latency (Figure 7), error propagation
+// (Figure 8), crash severity (Table 5), and case studies (Tables 6, 7).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dump"
+	"repro/internal/inject"
+)
+
+// Subsystems is the canonical subsystem order used in the paper's
+// tables.
+var Subsystems = []string{"arch", "fs", "kernel", "mm"}
+
+// OutcomeRow is one row of the paper's Figure 4 tables.
+type OutcomeRow struct {
+	Subsystem     string
+	Funcs         int // distinct functions injected
+	Injected      int
+	Activated     int
+	NotManifested int
+	FailSilence   int
+	Crashes       int
+	Hangs         int
+}
+
+// CrashHang is the combined crash/hang count (the paper's right-hand
+// column).
+func (r OutcomeRow) CrashHang() int { return r.Crashes + r.Hangs }
+
+// pct is a safe percentage.
+func pct(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(of)
+}
+
+// OutcomeTable aggregates results per subsystem (Figure 4). A final
+// "Total" row sums everything.
+func OutcomeTable(results []inject.Result) []OutcomeRow {
+	rows := make(map[string]*OutcomeRow)
+	funcs := make(map[string]map[string]bool)
+	for _, sub := range Subsystems {
+		rows[sub] = &OutcomeRow{Subsystem: sub}
+		funcs[sub] = make(map[string]bool)
+	}
+	for i := range results {
+		res := &results[i]
+		sub := res.InjectedSub()
+		row, ok := rows[sub]
+		if !ok {
+			row = &OutcomeRow{Subsystem: sub}
+			rows[sub] = row
+			funcs[sub] = make(map[string]bool)
+		}
+		funcs[sub][res.Target.Func.Name] = true
+		row.Injected++
+		if !res.Activated {
+			continue
+		}
+		row.Activated++
+		switch res.Outcome {
+		case inject.OutcomeNotManifested:
+			row.NotManifested++
+		case inject.OutcomeFailSilence:
+			row.FailSilence++
+		case inject.OutcomeCrash:
+			row.Crashes++
+		case inject.OutcomeHang:
+			row.Hangs++
+		}
+	}
+	var out []OutcomeRow
+	total := OutcomeRow{Subsystem: "Total"}
+	for _, sub := range Subsystems {
+		row := rows[sub]
+		row.Funcs = len(funcs[sub])
+		if row.Injected == 0 {
+			continue
+		}
+		out = append(out, *row)
+		total.Funcs += row.Funcs
+		total.Injected += row.Injected
+		total.Activated += row.Activated
+		total.NotManifested += row.NotManifested
+		total.FailSilence += row.FailSilence
+		total.Crashes += row.Crashes
+		total.Hangs += row.Hangs
+	}
+	out = append(out, total)
+	return out
+}
+
+// RenderOutcomeTable formats an outcome table like the paper's
+// Figure 4 (percentages of activated errors in parentheses).
+func RenderOutcomeTable(title string, rows []OutcomeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %9s %16s %18s %16s %16s\n",
+		"Subsystem", "Injected", "Activated", "Not Manifested", "Fail Silence", "Crash/Hang")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9d %9d(%5.1f%%) %11d(%5.1f%%) %9d(%5.1f%%) %9d(%5.1f%%)\n",
+			fmt.Sprintf("%s[%d]", r.Subsystem, r.Funcs),
+			r.Injected,
+			r.Activated, pct(r.Activated, r.Injected),
+			r.NotManifested, pct(r.NotManifested, r.Activated),
+			r.FailSilence, pct(r.FailSilence, r.Activated),
+			r.CrashHang(), pct(r.CrashHang(), r.Activated))
+	}
+	return b.String()
+}
+
+// CauseCount pairs a crash cause with its count.
+type CauseCount struct {
+	Cause dump.Cause
+	Count int
+}
+
+// CrashCauses tallies crash causes over all crashed results (Figure 6),
+// sorted by count descending.
+func CrashCauses(results []inject.Result) []CauseCount {
+	m := make(map[dump.Cause]int)
+	for i := range results {
+		if results[i].Outcome == inject.OutcomeCrash && results[i].Crash != nil {
+			m[results[i].Crash.Cause]++
+		}
+	}
+	out := make([]CauseCount, 0, len(m))
+	for c, n := range m {
+		out = append(out, CauseCount{c, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// MajorCauseShare returns the fraction (0..1) of crashes due to the
+// paper's four major causes.
+func MajorCauseShare(causes []CauseCount) float64 {
+	major := make(map[dump.Cause]bool)
+	for _, c := range dump.MajorCauses {
+		major[c] = true
+	}
+	tot, maj := 0, 0
+	for _, cc := range causes {
+		tot += cc.Count
+		if major[cc.Cause] {
+			maj += cc.Count
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(maj) / float64(tot)
+}
+
+// RenderCauses formats a crash-cause distribution.
+func RenderCauses(title string, causes []CauseCount) string {
+	var b strings.Builder
+	total := 0
+	for _, c := range causes {
+		total += c.Count
+	}
+	fmt.Fprintf(&b, "%s (%d crashes)\n", title, total)
+	for _, c := range causes {
+		fmt.Fprintf(&b, "  %-28s %6d (%5.1f%%)\n", c.Cause, c.Count, pct(c.Count, total))
+	}
+	fmt.Fprintf(&b, "  four major causes: %.1f%%\n", 100*MajorCauseShare(causes))
+	return b.String()
+}
+
+// LatencyBucketBounds are the upper bounds (exclusive) of the crash
+// latency buckets in CPU cycles; the last bucket is unbounded
+// (Figure 7 uses the same decades).
+var LatencyBucketBounds = []uint64{10, 100, 1_000, 10_000, 100_000}
+
+// LatencyBucketLabels name the buckets.
+var LatencyBucketLabels = []string{"<10", "10-100", "100-1k", "1k-10k", "10k-100k", ">100k"}
+
+// LatencyDist is a histogram of crash latencies.
+type LatencyDist struct {
+	Buckets [6]int
+	Total   int
+}
+
+// Add records one latency.
+func (d *LatencyDist) Add(cycles uint64) {
+	for i, b := range LatencyBucketBounds {
+		if cycles < b {
+			d.Buckets[i]++
+			d.Total++
+			return
+		}
+	}
+	d.Buckets[5]++
+	d.Total++
+}
+
+// Share returns bucket i as a fraction of the total.
+func (d *LatencyDist) Share(i int) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	return float64(d.Buckets[i]) / float64(d.Total)
+}
+
+// Latency histograms crash latencies per injected subsystem plus an
+// "all" aggregate (Figure 7).
+func Latency(results []inject.Result) map[string]*LatencyDist {
+	out := map[string]*LatencyDist{"all": {}}
+	for i := range results {
+		res := &results[i]
+		if res.Outcome != inject.OutcomeCrash {
+			continue
+		}
+		sub := res.InjectedSub()
+		if out[sub] == nil {
+			out[sub] = &LatencyDist{}
+		}
+		out[sub].Add(res.Latency)
+		out["all"].Add(res.Latency)
+	}
+	return out
+}
+
+// RenderLatency formats per-subsystem latency histograms.
+func RenderLatency(title string, dists map[string]*LatencyDist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (crash latency in CPU cycles)\n", title)
+	fmt.Fprintf(&b, "%-10s", "subsys")
+	for _, l := range LatencyBucketLabels {
+		fmt.Fprintf(&b, "%10s", l)
+	}
+	fmt.Fprintf(&b, "%8s\n", "total")
+	keys := append([]string{}, Subsystems...)
+	keys = append(keys, "all")
+	for _, k := range keys {
+		d := dists[k]
+		if d == nil || d.Total == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s", k)
+		for i := range LatencyBucketLabels {
+			fmt.Fprintf(&b, "%9.1f%%", 100*d.Share(i))
+		}
+		fmt.Fprintf(&b, "%8d\n", d.Total)
+	}
+	return b.String()
+}
+
+// PropRow describes crashes caused by errors injected into one
+// subsystem: where they crashed and with which causes (Figure 8).
+type PropRow struct {
+	From        string
+	Total       int            // crashes from injections into From
+	To          map[string]int // crash subsystem -> count ("" = outside kernel text)
+	EdgeCauses  map[string]map[dump.Cause]int
+	SelfCrashes int
+}
+
+// PropagationRate is the fraction of crashes that left the faulted
+// subsystem.
+func (p *PropRow) PropagationRate() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Total-p.SelfCrashes) / float64(p.Total)
+}
+
+// Propagation builds the per-subsystem propagation graphs.
+func Propagation(results []inject.Result) map[string]*PropRow {
+	out := make(map[string]*PropRow)
+	for i := range results {
+		res := &results[i]
+		if res.Outcome != inject.OutcomeCrash {
+			continue
+		}
+		from := res.InjectedSub()
+		row := out[from]
+		if row == nil {
+			row = &PropRow{
+				From:       from,
+				To:         make(map[string]int),
+				EdgeCauses: make(map[string]map[dump.Cause]int),
+			}
+			out[from] = row
+		}
+		to := res.CrashSub
+		if to == "" {
+			to = "outside"
+		}
+		row.Total++
+		row.To[to]++
+		if row.EdgeCauses[to] == nil {
+			row.EdgeCauses[to] = make(map[dump.Cause]int)
+		}
+		if res.Crash != nil {
+			row.EdgeCauses[to][res.Crash.Cause]++
+		}
+		if to == from {
+			row.SelfCrashes++
+		}
+	}
+	return out
+}
+
+// RenderPropagation formats the propagation graph for one faulted
+// subsystem (one panel of Figure 8).
+func RenderPropagation(row *PropRow) string {
+	if row == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "errors injected into %s: %d crashes, %.1f%% propagated\n",
+		row.From, row.Total, 100*row.PropagationRate())
+	tos := make([]string, 0, len(row.To))
+	for to := range row.To {
+		tos = append(tos, to)
+	}
+	sort.Slice(tos, func(i, j int) bool { return row.To[tos[i]] > row.To[tos[j]] })
+	for _, to := range tos {
+		fmt.Fprintf(&b, "  -> %-8s %5d (%5.1f%%)", to, row.To[to], pct(row.To[to], row.Total))
+		causes := row.EdgeCauses[to]
+		ccs := make([]CauseCount, 0, len(causes))
+		for c, n := range causes {
+			ccs = append(ccs, CauseCount{c, n})
+		}
+		sort.Slice(ccs, func(i, j int) bool { return ccs[i].Count > ccs[j].Count })
+		for k, cc := range ccs {
+			if k >= 3 {
+				break
+			}
+			fmt.Fprintf(&b, "  [%s %.0f%%]", cc.Cause, pct(cc.Count, row.To[to]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SeverityCounts tallies severities over activated results.
+func SeverityCounts(results []inject.Result) map[inject.Severity]int {
+	m := make(map[inject.Severity]int)
+	for i := range results {
+		if results[i].Activated {
+			m[results[i].Severity]++
+		}
+	}
+	return m
+}
+
+// MostSevere returns the results whose damage required a reformat
+// (Table 5), most-severe first by campaign then function.
+func MostSevere(results []inject.Result) []inject.Result {
+	var out []inject.Result
+	for i := range results {
+		if results[i].Activated && results[i].Severity == inject.SeverityMost {
+			out = append(out, results[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Campaign != out[j].Campaign {
+			return out[i].Campaign > out[j].Campaign // C first, like Table 5
+		}
+		return out[i].Target.Func.Name < out[j].Target.Func.Name
+	})
+	return out
+}
+
+// RenderSevere formats the most-severe crash list (Table 5).
+func RenderSevere(results []inject.Result) string {
+	sev := MostSevere(results)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Most severe outcomes (file system reformat required): %d\n", len(sev))
+	for i, r := range sev {
+		fmt.Fprintf(&b, "%3d. campaign %v  %s: %s+%#x  outcome=%v\n",
+			i+1, r.Campaign, r.InjectedSub(), r.Target.Func.Name,
+			r.Target.InstAddr-r.Target.Func.Addr, r.Outcome)
+	}
+	return b.String()
+}
+
+// FSVEvidence splits fail-silence violations by the oracle that caught
+// them: the user-visible output trace (what the paper's workload checks
+// could see), the on-disk image (latent corruption a weaker oracle
+// misses), or both.
+type FSVEvidence struct {
+	TraceOnly int
+	DiskOnly  int
+	Both      int
+}
+
+// Total is the number of fail-silence violations.
+func (f FSVEvidence) Total() int { return f.TraceOnly + f.DiskOnly + f.Both }
+
+// FSVBreakdown computes the oracle-sensitivity split over results.
+func FSVBreakdown(results []inject.Result) FSVEvidence {
+	var out FSVEvidence
+	for i := range results {
+		r := &results[i]
+		if r.Outcome != inject.OutcomeFailSilence {
+			continue
+		}
+		switch {
+		case r.TraceMismatch && r.DiskMismatch:
+			out.Both++
+		case r.TraceMismatch:
+			out.TraceOnly++
+		case r.DiskMismatch:
+			out.DiskOnly++
+		}
+	}
+	return out
+}
+
+// HangLocations tallies, for hangs, the subsystem the CPU was wedged
+// in when the watchdog fired ("" = outside kernel text, e.g. a wild
+// jump or host-driven idle).
+func HangLocations(results []inject.Result) map[string]int {
+	out := make(map[string]int)
+	for i := range results {
+		if results[i].Outcome == inject.OutcomeHang {
+			out[results[i].HangSub]++
+		}
+	}
+	return out
+}
+
+// Downtime per severity level, following the paper's §7.1: a normal
+// crash auto-reboots in under 4 minutes, a severe crash needs manual
+// fsck (>5 minutes), and a most-severe crash means reformat/reinstall
+// (close to an hour).
+var severityDowntime = map[inject.Severity]float64{
+	inject.SeverityNormal: 4,
+	inject.SeveritySevere: 8,
+	inject.SeverityMost:   55,
+}
+
+// AvailabilityNote renders the paper's availability arithmetic: how
+// often each severity class may occur while still meeting five-nines
+// availability (5.26 minutes of downtime per year).
+func AvailabilityNote(sev map[inject.Severity]int) string {
+	var b strings.Builder
+	b.WriteString("availability arithmetic (five nines = 5.26 min downtime/year):\n")
+	const budgetPerYear = 5.26
+	for _, s := range []inject.Severity{inject.SeverityNormal, inject.SeveritySevere, inject.SeverityMost} {
+		d := severityDowntime[s]
+		years := d / budgetPerYear
+		fmt.Fprintf(&b, "  %-12s ~%2.0f min downtime -> at most one per %.1f years (observed %d)\n",
+			s, d, years, sev[s])
+	}
+	return b.String()
+}
+
+// FuncCrashShare reports, per subsystem, the function whose injections
+// caused the largest share of that subsystem's crashes — the paper's
+// §6.1 finding that do_page_fault, schedule and zap_page_range cause
+// 70%/50%/30% of the crashes in arch/kernel/mm.
+type FuncCrashShare struct {
+	Subsystem string
+	Function  string
+	Crashes   int
+	SubTotal  int
+}
+
+// Share is the function's fraction of its subsystem's crashes.
+func (f FuncCrashShare) Share() float64 {
+	if f.SubTotal == 0 {
+		return 0
+	}
+	return float64(f.Crashes) / float64(f.SubTotal)
+}
+
+// TopCrashFunctions computes the per-subsystem crash leaders.
+func TopCrashFunctions(results []inject.Result) []FuncCrashShare {
+	perSub := make(map[string]map[string]int)
+	totals := make(map[string]int)
+	for i := range results {
+		r := &results[i]
+		if r.Outcome != inject.OutcomeCrash {
+			continue
+		}
+		sub := r.InjectedSub()
+		if perSub[sub] == nil {
+			perSub[sub] = make(map[string]int)
+		}
+		perSub[sub][r.Target.Func.Name]++
+		totals[sub]++
+	}
+	var out []FuncCrashShare
+	for _, sub := range Subsystems {
+		best, n := "", 0
+		for fn, c := range perSub[sub] {
+			if c > n || (c == n && fn < best) {
+				best, n = fn, c
+			}
+		}
+		if n > 0 {
+			out = append(out, FuncCrashShare{Subsystem: sub, Function: best, Crashes: n, SubTotal: totals[sub]})
+		}
+	}
+	return out
+}
+
+// RenderTopCrashFunctions formats the crash leaders.
+func RenderTopCrashFunctions(results []inject.Result) string {
+	var b strings.Builder
+	b.WriteString("per-subsystem crash leaders (paper §6.1):\n")
+	for _, f := range TopCrashFunctions(results) {
+		fmt.Fprintf(&b, "  %-8s %-24s %4d of %4d crashes (%.0f%%)\n",
+			f.Subsystem, f.Function, f.Crashes, f.SubTotal, 100*f.Share())
+	}
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/dump"
+	"repro/internal/inject"
+)
+
+func mkResult(sub, fn string, c inject.Campaign, o inject.Outcome, cause dump.Cause, lat uint64, crashSub string) inject.Result {
+	r := inject.Result{
+		Campaign:  c,
+		Target:    inject.Target{Func: asm.Func{Name: fn, Section: sub, Addr: 0x1000, Size: 64}},
+		Outcome:   o,
+		Activated: o != inject.OutcomeNotActivated,
+		Latency:   lat,
+		CrashSub:  crashSub,
+	}
+	if o == inject.OutcomeCrash {
+		r.Crash = &dump.Record{Cause: cause}
+	}
+	return r
+}
+
+func sampleResults() []inject.Result {
+	return []inject.Result{
+		mkResult("fs", "sys_read", inject.CampaignA, inject.OutcomeNotActivated, 0, 0, ""),
+		mkResult("fs", "sys_read", inject.CampaignA, inject.OutcomeNotManifested, 0, 0, ""),
+		mkResult("fs", "sys_read", inject.CampaignA, inject.OutcomeCrash, dump.CauseNullPointer, 5, "fs"),
+		mkResult("fs", "open_namei", inject.CampaignA, inject.OutcomeCrash, dump.CausePagingRequest, 50_000, "kernel"),
+		mkResult("fs", "open_namei", inject.CampaignA, inject.OutcomeFailSilence, 0, 0, ""),
+		mkResult("kernel", "schedule", inject.CampaignA, inject.OutcomeHang, 0, 0, ""),
+		mkResult("kernel", "schedule", inject.CampaignA, inject.OutcomeCrash, dump.CauseInvalidOpcode, 2, "kernel"),
+		mkResult("mm", "rmqueue", inject.CampaignA, inject.OutcomeCrash, dump.CauseGPF, 500, "mm"),
+		mkResult("arch", "system_call", inject.CampaignA, inject.OutcomeNotManifested, 0, 0, ""),
+	}
+}
+
+func TestOutcomeTable(t *testing.T) {
+	rows := OutcomeTable(sampleResults())
+	if rows[len(rows)-1].Subsystem != "Total" {
+		t.Fatal("no total row")
+	}
+	total := rows[len(rows)-1]
+	if total.Injected != 9 || total.Activated != 8 {
+		t.Fatalf("total = %+v", total)
+	}
+	if total.Crashes != 4 || total.Hangs != 1 || total.NotManifested != 2 || total.FailSilence != 1 {
+		t.Fatalf("total = %+v", total)
+	}
+	var fsRow *OutcomeRow
+	for i := range rows {
+		if rows[i].Subsystem == "fs" {
+			fsRow = &rows[i]
+		}
+	}
+	if fsRow == nil || fsRow.Funcs != 2 || fsRow.Injected != 5 {
+		t.Fatalf("fs row = %+v", fsRow)
+	}
+	out := RenderOutcomeTable("test", rows)
+	if !strings.Contains(out, "fs[2]") || !strings.Contains(out, "Total[") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestCrashCausesAndMajorShare(t *testing.T) {
+	causes := CrashCauses(sampleResults())
+	if len(causes) != 4 {
+		t.Fatalf("causes = %+v", causes)
+	}
+	if MajorCauseShare(causes) != 1.0 {
+		t.Fatalf("share = %f", MajorCauseShare(causes))
+	}
+	// Add a non-major cause.
+	rs := append(sampleResults(),
+		mkResult("mm", "rmqueue", inject.CampaignA, inject.OutcomeCrash, dump.CauseDivideError, 1, "mm"))
+	if got := MajorCauseShare(CrashCauses(rs)); got != 0.8 {
+		t.Fatalf("share with divide = %f", got)
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	var d LatencyDist
+	for _, c := range []uint64{0, 9, 10, 99, 100, 999, 1000, 9999, 10_000, 99_999, 100_000, 1 << 40} {
+		d.Add(c)
+	}
+	want := [6]int{2, 2, 2, 2, 2, 2}
+	if d.Buckets != want {
+		t.Fatalf("buckets = %v", d.Buckets)
+	}
+	dists := Latency(sampleResults())
+	if dists["all"].Total != 4 {
+		t.Fatalf("all total = %d", dists["all"].Total)
+	}
+	if dists["fs"].Buckets[0] != 1 || dists["fs"].Buckets[4] != 1 {
+		t.Fatalf("fs buckets = %v", dists["fs"].Buckets)
+	}
+}
+
+func TestPropagation(t *testing.T) {
+	prop := Propagation(sampleResults())
+	fs := prop["fs"]
+	if fs == nil || fs.Total != 2 || fs.SelfCrashes != 1 {
+		t.Fatalf("fs prop = %+v", fs)
+	}
+	if fs.PropagationRate() != 0.5 {
+		t.Fatalf("fs rate = %f", fs.PropagationRate())
+	}
+	if fs.To["kernel"] != 1 {
+		t.Fatalf("fs->kernel = %d", fs.To["kernel"])
+	}
+	out := RenderPropagation(fs)
+	if !strings.Contains(out, "-> kernel") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSeverityAndMostSevere(t *testing.T) {
+	rs := sampleResults()
+	rs[2].Severity = inject.SeverityMost
+	rs[3].Severity = inject.SeveritySevere
+	rs[6].Severity = inject.SeverityNormal
+	counts := SeverityCounts(rs)
+	if counts[inject.SeverityMost] != 1 || counts[inject.SeveritySevere] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	most := MostSevere(rs)
+	if len(most) != 1 || most[0].Target.Func.Name != "sys_read" {
+		t.Fatalf("most = %+v", most)
+	}
+}
+
+func TestCaseRendering(t *testing.T) {
+	r := mkResult("fs", "pipe_read", inject.CampaignB, inject.OutcomeNotManifested, 0, 0, "")
+	r.OrigWindow = []byte{0x74, 0x56, 0x90, 0x90}
+	r.CorruptWindow = []byte{0x7C, 0x56, 0x90, 0x90}
+	out := RenderCase(&r)
+	if !strings.Contains(out, "je ") || !strings.Contains(out, "jl ") {
+		t.Fatalf("case render missing disasm:\n%s", out)
+	}
+	cases := NotManifestedBranchCases([]inject.Result{r}, 5)
+	if len(cases) != 1 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	t6 := RenderTable6([]inject.Result{r}, 3)
+	if !strings.Contains(t6, "example 1") {
+		t.Fatalf("table6:\n%s", t6)
+	}
+}
+
+func TestCampaignKey(t *testing.T) {
+	if CampaignKey(inject.CampaignA) != "A" || CampaignKey(inject.CampaignC) != "C" {
+		t.Fatal("bad keys")
+	}
+}
+
+func TestRenderAllComplete(t *testing.T) {
+	rs := &ResultSet{
+		Seed:  1,
+		Scale: 1,
+		Results: map[string][]inject.Result{
+			"A": sampleResults(),
+			"B": {mkResult("fs", "pipe_read", inject.CampaignB, inject.OutcomeNotManifested, 0, 0, "")},
+			"C": {mkResult("mm", "do_wp_page", inject.CampaignC, inject.OutcomeCrash, dump.CauseInvalidOpcode, 3, "mm")},
+		},
+	}
+	out := RenderAll(rs)
+	for _, want := range []string{
+		"Figure 4 — campaign A", "Figure 4 — campaign B", "Figure 4 — campaign C",
+		"Figure 6", "Figure 7", "Figure 8",
+		"Most severe outcomes", "severity of activated errors",
+		"Not Manifested errors", "Crash cause case studies",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll missing %q", want)
+		}
+	}
+}
+
+func TestFSVBreakdown(t *testing.T) {
+	mk := func(tr, dk bool) inject.Result {
+		r := mkResult("fs", "f", inject.CampaignC, inject.OutcomeFailSilence, 0, 0, "")
+		r.TraceMismatch, r.DiskMismatch = tr, dk
+		return r
+	}
+	rs := []inject.Result{mk(true, false), mk(true, false), mk(false, true), mk(true, true)}
+	ev := FSVBreakdown(rs)
+	if ev.TraceOnly != 2 || ev.DiskOnly != 1 || ev.Both != 1 || ev.Total() != 4 {
+		t.Fatalf("breakdown = %+v", ev)
+	}
+}
+
+func TestHangLocations(t *testing.T) {
+	h := mkResult("kernel", "schedule", inject.CampaignA, inject.OutcomeHang, 0, 0, "")
+	h.HangSub = "kernel"
+	rs := []inject.Result{h, h, mkResult("fs", "f", inject.CampaignA, inject.OutcomeCrash, dump.CauseGPF, 1, "fs")}
+	locs := HangLocations(rs)
+	if locs["kernel"] != 2 || len(locs) != 1 {
+		t.Fatalf("locs = %v", locs)
+	}
+}
+
+func TestAvailabilityNote(t *testing.T) {
+	out := AvailabilityNote(map[inject.Severity]int{
+		inject.SeverityNormal: 10, inject.SeverityMost: 1,
+	})
+	if !strings.Contains(out, "most severe") || !strings.Contains(out, "observed 1") {
+		t.Fatalf("note:\n%s", out)
+	}
+	if !strings.Contains(out, "10.5 years") { // 55 / 5.26
+		t.Fatalf("note:\n%s", out)
+	}
+}
+
+func TestTopCrashFunctions(t *testing.T) {
+	rs := []inject.Result{
+		mkResult("kernel", "schedule", inject.CampaignA, inject.OutcomeCrash, dump.CauseNullPointer, 1, "kernel"),
+		mkResult("kernel", "schedule", inject.CampaignA, inject.OutcomeCrash, dump.CauseNullPointer, 1, "kernel"),
+		mkResult("kernel", "do_fork", inject.CampaignA, inject.OutcomeCrash, dump.CauseGPF, 1, "kernel"),
+		mkResult("mm", "zap_page_range", inject.CampaignA, inject.OutcomeCrash, dump.CauseGPF, 1, "mm"),
+	}
+	top := TopCrashFunctions(rs)
+	if len(top) != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].Subsystem != "kernel" || top[0].Function != "schedule" || top[0].Crashes != 2 || top[0].SubTotal != 3 {
+		t.Fatalf("kernel leader = %+v", top[0])
+	}
+	if s := top[0].Share(); s < 0.66 || s > 0.67 {
+		t.Fatalf("share = %f", s)
+	}
+	out := RenderTopCrashFunctions(rs)
+	if !strings.Contains(out, "schedule") || !strings.Contains(out, "zap_page_range") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dump"
+	"repro/internal/ia32"
+	"repro/internal/inject"
+)
+
+// RenderCase formats one injection result as a before/after case study
+// in the style of the paper's Tables 6 and 7: the original and the
+// corrupted instruction stream at the injection point.
+func RenderCase(res *inject.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %v: %s:%s+%#x byte %d bit %d -> %v\n",
+		res.Campaign, res.InjectedSub(), res.Target.Func.Name,
+		res.Target.InstAddr-res.Target.Func.Addr, res.Target.ByteOff, res.Target.Bit,
+		res.Outcome)
+	if res.Outcome == inject.OutcomeCrash && res.Crash != nil {
+		fmt.Fprintf(&b, "%s\n", res.Crash.Oops())
+		fmt.Fprintf(&b, "crash latency: %d cycles, crashed in %q\n", res.Latency, res.CrashSub)
+	}
+	if len(res.OrigWindow) > 0 {
+		fmt.Fprintf(&b, "before:\n%s", ia32.DisasmBytes(res.OrigWindow, res.Target.InstAddr, 4))
+	}
+	if len(res.CorruptWindow) > 0 {
+		fmt.Fprintf(&b, "after:\n%s", ia32.DisasmBytes(res.CorruptWindow, res.Target.InstAddr, 6))
+	}
+	return b.String()
+}
+
+// corruptedDiffers reports whether the flip actually landed in the
+// captured window (it always should for activated runs).
+func corruptedDiffers(res *inject.Result) bool {
+	if len(res.OrigWindow) != len(res.CorruptWindow) {
+		return false
+	}
+	for i := range res.OrigWindow {
+		if res.OrigWindow[i] != res.CorruptWindow[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// NotManifestedBranchCases picks campaign-B results where the
+// corrupted branch was executed with no visible effect (Table 6
+// material), up to max.
+func NotManifestedBranchCases(results []inject.Result, max int) []*inject.Result {
+	var out []*inject.Result
+	for i := range results {
+		res := &results[i]
+		if res.Campaign != inject.CampaignB || res.Outcome != inject.OutcomeNotManifested {
+			continue
+		}
+		if !corruptedDiffers(res) {
+			continue
+		}
+		out = append(out, res)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// CrashCasesByCause picks one representative crash per cause (Table 7
+// material).
+func CrashCasesByCause(results []inject.Result) map[dump.Cause]*inject.Result {
+	out := make(map[dump.Cause]*inject.Result)
+	for i := range results {
+		res := &results[i]
+		if res.Outcome != inject.OutcomeCrash || res.Crash == nil {
+			continue
+		}
+		if _, seen := out[res.Crash.Cause]; !seen {
+			out[res.Crash.Cause] = res
+		}
+	}
+	return out
+}
+
+// RenderTable6 formats not-manifested branch-error case studies.
+func RenderTable6(results []inject.Result, max int) string {
+	cases := NotManifestedBranchCases(results, max)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Not Manifested errors in the random branch campaign (%d examples)\n", len(cases))
+	for i, c := range cases {
+		fmt.Fprintf(&b, "--- example %d ---\n%s", i+1, RenderCase(c))
+	}
+	return b.String()
+}
+
+// RenderTable7 formats crash case studies, one per major cause.
+func RenderTable7(results []inject.Result) string {
+	cases := CrashCasesByCause(results)
+	var b strings.Builder
+	b.WriteString("Crash cause case studies\n")
+	for _, cause := range dump.MajorCauses {
+		if res, ok := cases[cause]; ok {
+			fmt.Fprintf(&b, "--- %s ---\n%s", cause, RenderCase(res))
+		}
+	}
+	return b.String()
+}

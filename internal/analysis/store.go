@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/inject"
+)
+
+// ResultSet is a persisted collection of injection results, keyed by
+// campaign, with the metadata needed to re-analyze later.
+type ResultSet struct {
+	Seed    int64
+	Scale   int
+	Results map[string][]inject.Result // "A", "B", "C"
+}
+
+// CampaignKey renders a campaign as a stable map key.
+func CampaignKey(c inject.Campaign) string {
+	switch c {
+	case inject.CampaignA:
+		return "A"
+	case inject.CampaignB:
+		return "B"
+	case inject.CampaignC:
+		return "C"
+	}
+	return "?"
+}
+
+// All returns every result across campaigns.
+func (rs *ResultSet) All() []inject.Result {
+	var out []inject.Result
+	for _, key := range []string{"A", "B", "C"} {
+		out = append(out, rs.Results[key]...)
+	}
+	return out
+}
+
+// Save writes the result set as gzipped JSON.
+func (rs *ResultSet) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("analysis: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(rs); err != nil {
+		return fmt.Errorf("analysis: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("analysis: flush: %w", err)
+	}
+	return nil
+}
+
+// Load reads a result set saved by Save.
+func Load(path string) (*ResultSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: gunzip: %w", err)
+	}
+	defer zr.Close()
+	var rs ResultSet
+	if err := json.NewDecoder(zr).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("analysis: decode: %w", err)
+	}
+	return &rs, nil
+}

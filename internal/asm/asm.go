@@ -1,0 +1,393 @@
+// Package asm implements a small two-pass IA-32 assembler. The
+// mini-kernel's subsystems (arch, fs, kernel, mm) are written in its
+// Intel-flavored syntax, assembled into per-subsystem text sections, and
+// executed by the simulated CPU — giving the error injector real machine
+// code to corrupt, with real variable-length encodings.
+//
+// Supported syntax (one statement per line, ';' or '#' comments):
+//
+//	.section name             select output section
+//	.equ NAME, expr           constant (constants and prior equates only)
+//	label:                    global label (function start in text)
+//	.Llocal:                  local label, scoped to the last global label
+//	mov eax, [ebp+8]          instructions, Intel operand order
+//	mov dword [eax+OFF], 5    size-hinted memory operands (dword/byte)
+//	.long expr, ...           32-bit data (label references allowed)
+//	.byte n, ...   .asciz "s" 8-bit data
+//	.skip n        .align n   reservation and alignment
+//
+// Branch instructions are sized iteratively (rel8 where possible), so
+// the emitted code mixes short and near conditional jumps just as
+// compiled kernel code does.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ia32"
+)
+
+// Program is the linked output: one contiguous byte image per section,
+// a unified symbol table, and the function map used by the profiler and
+// injector.
+type Program struct {
+	Sections map[string]*Section
+	Symbols  map[string]uint32
+	Funcs    []Func
+}
+
+// Section is a linked section image.
+type Section struct {
+	Name string
+	Base uint32
+	Code []byte
+}
+
+// Func describes one assembled function (a global label in a text
+// section, extending to the next global label or the section end).
+type Func struct {
+	Name    string
+	Section string
+	Addr    uint32
+	Size    uint32
+}
+
+// FuncByName returns the named function.
+func (p *Program) FuncByName(name string) (Func, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// FuncAt returns the function containing addr.
+func (p *Program) FuncAt(addr uint32) (Func, bool) {
+	for _, f := range p.Funcs {
+		if addr >= f.Addr && addr < f.Addr+f.Size {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// SectionAt returns the name of the section containing addr ("" if
+// none).
+func (p *Program) SectionAt(addr uint32) string {
+	for name, s := range p.Sections {
+		if addr >= s.Base && addr < s.Base+uint32(len(s.Code)) {
+			return name
+		}
+	}
+	return ""
+}
+
+type stmtKind uint8
+
+const (
+	sLabel stmtKind = iota + 1
+	sInst
+	sBranch
+	sData
+	sAlign
+	sSkip
+)
+
+type stmt struct {
+	kind stmtKind
+	pos  string
+
+	// sLabel
+	name string
+
+	// sInst: inst holds placeholder zeros where dispExpr/immExpr apply.
+	inst     ia32.Inst
+	dispExpr expr // symbolic displacement of the (single) memory operand
+	immExpr  expr // symbolic immediate
+
+	// sBranch
+	op     ia32.Op
+	cond   ia32.Cond
+	target string
+	short  bool
+
+	// sData
+	elems    []expr // each emitted as elemSize bytes
+	elemSize int
+	raw      []byte // pre-encoded bytes (strings, .byte runs)
+
+	// sAlign / sSkip
+	n    int
+	fill byte
+
+	size int
+	addr uint32
+}
+
+// Assembler accumulates sources and links them into a Program.
+type Assembler struct {
+	consts   map[string]int64
+	sections map[string][]*stmt
+	order    []string
+	errs     []string
+}
+
+// New creates an assembler. consts seeds the constant table (struct
+// offsets and layout constants shared with the host).
+func New(consts map[string]int64) *Assembler {
+	c := make(map[string]int64, len(consts))
+	for k, v := range consts {
+		c[k] = v
+	}
+	return &Assembler{consts: c, sections: make(map[string][]*stmt)}
+}
+
+// AddSource parses src (named name for diagnostics) into the assembler.
+// Sources select their own sections via .section; section defaults to
+// "text".
+func (a *Assembler) AddSource(name, src string) error {
+	p := &parser{asm: a, file: name, section: "text"}
+	p.parse(src)
+	if len(a.errs) > 0 {
+		return fmt.Errorf("asm: %s (and %d more)", a.errs[0], len(a.errs)-1)
+	}
+	return nil
+}
+
+func (a *Assembler) addStmt(section string, s *stmt) {
+	if _, ok := a.sections[section]; !ok {
+		a.order = append(a.order, section)
+	}
+	a.sections[section] = append(a.sections[section], s)
+}
+
+func (a *Assembler) errorf(pos, format string, args ...interface{}) {
+	a.errs = append(a.errs, pos+": "+fmt.Sprintf(format, args...))
+}
+
+// Link lays out every section at its base address, resolves symbols,
+// sizes branches, and emits machine code. textSections lists the
+// sections whose global labels are functions.
+func (a *Assembler) Link(bases map[string]uint32, textSections []string) (*Program, error) {
+	if len(a.errs) > 0 {
+		return nil, fmt.Errorf("asm: %s", a.errs[0])
+	}
+	for _, name := range a.order {
+		if _, ok := bases[name]; !ok {
+			return nil, fmt.Errorf("asm: no base address for section %q", name)
+		}
+	}
+
+	// Initial sizing of non-branch statements.
+	for _, name := range a.order {
+		for _, s := range a.sections[name] {
+			switch s.kind {
+			case sInst:
+				code, err := ia32.EncodeForced(s.inst, s.dispExpr != nil, s.immExpr != nil)
+				if err != nil {
+					return nil, fmt.Errorf("asm: %s: %v", s.pos, err)
+				}
+				s.size = len(code)
+			case sBranch:
+				s.short = s.op != ia32.OpCall
+				s.size = ia32.BranchLen(s.op, s.short)
+			case sData:
+				s.size = len(s.raw) + len(s.elems)*s.elemSize
+			case sSkip:
+				s.size = s.n
+			}
+		}
+	}
+
+	// Iterate layout until branch sizes stabilize.
+	symbols := make(map[string]uint32)
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			return nil, fmt.Errorf("asm: branch sizing did not converge")
+		}
+		a.layout(bases, symbols)
+		changed := false
+		for _, name := range a.order {
+			for _, s := range a.sections[name] {
+				if s.kind != sBranch || !s.short {
+					continue
+				}
+				t, ok := symbols[s.target]
+				if !ok {
+					return nil, fmt.Errorf("asm: %s: undefined branch target %q", s.pos, s.target)
+				}
+				rel := int64(t) - int64(s.addr) - int64(s.size)
+				if rel < -128 || rel > 127 {
+					s.short = false
+					s.size = ia32.BranchLen(s.op, false)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Emit.
+	prog := &Program{
+		Sections: make(map[string]*Section),
+		Symbols:  symbols,
+	}
+	eval := func(e expr, pos string) (int64, error) {
+		return e.eval(func(sym string) (int64, bool) {
+			if v, ok := a.consts[sym]; ok {
+				return v, true
+			}
+			if v, ok := symbols[sym]; ok {
+				return int64(v), true
+			}
+			return 0, false
+		})
+	}
+	for _, name := range a.order {
+		sec := &Section{Name: name, Base: bases[name]}
+		for _, s := range a.sections[name] {
+			pad := int(s.addr) - (int(sec.Base) + len(sec.Code))
+			for i := 0; i < pad; i++ {
+				sec.Code = append(sec.Code, s.fillByte())
+			}
+			switch s.kind {
+			case sInst:
+				inst := s.inst
+				if s.dispExpr != nil {
+					v, err := eval(s.dispExpr, s.pos)
+					if err != nil {
+						return nil, fmt.Errorf("asm: %s: %v", s.pos, err)
+					}
+					plugDisp(&inst, int32(v))
+				}
+				if s.immExpr != nil {
+					v, err := eval(s.immExpr, s.pos)
+					if err != nil {
+						return nil, fmt.Errorf("asm: %s: %v", s.pos, err)
+					}
+					inst.Imm = int32(v)
+				}
+				code, err := ia32.EncodeForced(inst, s.dispExpr != nil, s.immExpr != nil)
+				if err != nil {
+					return nil, fmt.Errorf("asm: %s: %v", s.pos, err)
+				}
+				if len(code) != s.size {
+					return nil, fmt.Errorf("asm: %s: size drift (%d != %d)", s.pos, len(code), s.size)
+				}
+				sec.Code = append(sec.Code, code...)
+			case sBranch:
+				t, ok := symbols[s.target]
+				if !ok {
+					return nil, fmt.Errorf("asm: %s: undefined symbol %q", s.pos, s.target)
+				}
+				rel := int64(t) - int64(s.addr) - int64(s.size)
+				code, err := ia32.EncodeBranch(s.op, s.cond, int32(rel), s.short)
+				if err != nil {
+					return nil, fmt.Errorf("asm: %s: %v", s.pos, err)
+				}
+				sec.Code = append(sec.Code, code...)
+			case sData:
+				sec.Code = append(sec.Code, s.raw...)
+				for _, e := range s.elems {
+					v, err := eval(e, s.pos)
+					if err != nil {
+						return nil, fmt.Errorf("asm: %s: %v", s.pos, err)
+					}
+					for b := 0; b < s.elemSize; b++ {
+						sec.Code = append(sec.Code, byte(uint64(v)>>(8*b)))
+					}
+				}
+			case sSkip:
+				for i := 0; i < s.n; i++ {
+					sec.Code = append(sec.Code, s.fill)
+				}
+			}
+		}
+		prog.Sections[name] = sec
+	}
+
+	// Build the function map for text sections.
+	isText := make(map[string]bool, len(textSections))
+	for _, t := range textSections {
+		isText[t] = true
+	}
+	for _, name := range a.order {
+		if !isText[name] {
+			continue
+		}
+		sec := prog.Sections[name]
+		var fns []Func
+		for _, s := range a.sections[name] {
+			if s.kind == sLabel && !isLocalLabel(s.name) {
+				fns = append(fns, Func{Name: s.name, Section: name, Addr: s.addr})
+			}
+		}
+		sort.Slice(fns, func(i, j int) bool { return fns[i].Addr < fns[j].Addr })
+		for i := range fns {
+			end := sec.Base + uint32(len(sec.Code))
+			if i+1 < len(fns) {
+				end = fns[i+1].Addr
+			}
+			fns[i].Size = end - fns[i].Addr
+		}
+		prog.Funcs = append(prog.Funcs, fns...)
+	}
+	sort.Slice(prog.Funcs, func(i, j int) bool { return prog.Funcs[i].Addr < prog.Funcs[j].Addr })
+	return prog, nil
+}
+
+// layout assigns addresses to all statements and records label symbols.
+func (a *Assembler) layout(bases map[string]uint32, symbols map[string]uint32) {
+	for _, name := range a.order {
+		pc := bases[name]
+		for _, s := range a.sections[name] {
+			if s.kind == sAlign {
+				n := uint32(s.n)
+				s.addr = pc
+				rounded := (pc + n - 1) / n * n
+				s.size = int(rounded - pc)
+				pc = rounded
+				continue
+			}
+			s.addr = pc
+			if s.kind == sLabel {
+				symbols[s.name] = pc
+				continue
+			}
+			pc += uint32(s.size)
+		}
+	}
+}
+
+func (s *stmt) fillByte() byte {
+	if s.kind == sInst || s.kind == sBranch || s.kind == sLabel {
+		return 0x90 // nop padding in code
+	}
+	return 0x00
+}
+
+// plugDisp stores the resolved displacement into the instruction's
+// memory operand.
+func plugDisp(inst *ia32.Inst, v int32) {
+	for k := range inst.Args {
+		if inst.Args[k].Kind == ia32.KindMem {
+			inst.Args[k].Mem.Disp = v
+			return
+		}
+	}
+}
+
+// isLocalLabel reports whether the (already scope-expanded) label name
+// came from a .L-style local label.
+func isLocalLabel(name string) bool {
+	for i := 0; i+1 < len(name); i++ {
+		if name[i] == '$' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,433 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ia32"
+)
+
+func link(t *testing.T, src string, consts map[string]int64) *Program {
+	t.Helper()
+	a := New(consts)
+	if err := a.AddSource("t.s", src); err != nil {
+		t.Fatalf("AddSource: %v", err)
+	}
+	p, err := a.Link(map[string]uint32{"text": 0x1000, "data": 0x8000}, []string{"text"})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func TestBasicEncoding(t *testing.T) {
+	p := link(t, `
+f:
+	mov eax, [ebp+8]
+	ret
+`, nil)
+	code := p.Sections["text"].Code
+	want := []byte{0x8B, 0x45, 0x08, 0xC3}
+	if len(code) != len(want) {
+		t.Fatalf("code = % x, want % x", code, want)
+	}
+	for i := range want {
+		if code[i] != want[i] {
+			t.Fatalf("code = % x, want % x", code, want)
+		}
+	}
+}
+
+func TestShortAndNearBranches(t *testing.T) {
+	// A branch over a small body is short (2 bytes); over a large body
+	// it must widen to the 6-byte form.
+	small := link(t, `
+f:
+	test eax, eax
+	jz .Lend
+	nop
+.Lend:
+	ret
+`, nil)
+	if !containsByte(small.Sections["text"].Code, 0x74) {
+		t.Fatalf("expected short jz: % x", small.Sections["text"].Code)
+	}
+
+	var b strings.Builder
+	b.WriteString("f:\n\ttest eax, eax\n\tjz .Lend\n")
+	for i := 0; i < 200; i++ {
+		b.WriteString("\tnop\n")
+	}
+	b.WriteString(".Lend:\n\tret\n")
+	big := link(t, b.String(), nil)
+	code := big.Sections["text"].Code
+	if code[2] != 0x0F || code[3] != 0x84 {
+		t.Fatalf("expected near jz at offset 2: % x", code[:8])
+	}
+}
+
+func TestLocalLabelScoping(t *testing.T) {
+	// Two functions may both use .Lloop.
+	p := link(t, `
+a:
+.Lloop:
+	dec eax
+	jnz .Lloop
+	ret
+b:
+.Lloop:
+	inc eax
+	jz .Lloop
+	ret
+`, nil)
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %+v", p.Funcs)
+	}
+	if p.Funcs[0].Name != "a" || p.Funcs[1].Name != "b" {
+		t.Fatalf("func names = %s, %s", p.Funcs[0].Name, p.Funcs[1].Name)
+	}
+	if p.Funcs[0].Size == 0 || p.Funcs[1].Size == 0 {
+		t.Fatalf("zero-size funcs: %+v", p.Funcs)
+	}
+}
+
+func TestConstsAndEqu(t *testing.T) {
+	p := link(t, `
+.equ LOCAL_OFF, HOST_OFF + 4
+f:
+	mov eax, [ebx+HOST_OFF]
+	mov ecx, [ebx+LOCAL_OFF]
+	ret
+`, map[string]int64{"HOST_OFF": 8})
+	code := p.Sections["text"].Code
+	// mov eax,[ebx+8] = 8B 43 08 ; mov ecx,[ebx+12] = 8B 4B 0C
+	want := []byte{0x8B, 0x43, 0x08, 0x8B, 0x4B, 0x0C, 0xC3}
+	for i := range want {
+		if code[i] != want[i] {
+			t.Fatalf("code = % x, want % x", code, want)
+		}
+	}
+}
+
+func TestDataDirectivesAndSymbols(t *testing.T) {
+	p := link(t, `
+.section data
+counter: .long 7
+table:   .long counter, counter+4
+msg:     .asciz "ok"
+buf:     .skip 8, 0xEE
+.section text
+f:
+	mov eax, [counter]
+	ret
+`, nil)
+	data := p.Sections["data"].Code
+	if data[0] != 7 {
+		t.Fatalf("counter initial = %d", data[0])
+	}
+	cAddr := p.Symbols["counter"]
+	if cAddr != 0x8000 {
+		t.Fatalf("counter addr = %#x", cAddr)
+	}
+	// table[0] == &counter
+	got := uint32(data[4]) | uint32(data[5])<<8 | uint32(data[6])<<16 | uint32(data[7])<<24
+	if got != cAddr {
+		t.Fatalf("table[0] = %#x, want %#x", got, cAddr)
+	}
+	got = uint32(data[8]) | uint32(data[9])<<8 | uint32(data[10])<<16 | uint32(data[11])<<24
+	if got != cAddr+4 {
+		t.Fatalf("table[1] = %#x, want %#x", got, cAddr+4)
+	}
+	if data[12] != 'o' || data[13] != 'k' || data[14] != 0 {
+		t.Fatalf("msg = % x", data[12:15])
+	}
+	if data[15] != 0xEE || data[22] != 0xEE {
+		t.Fatalf("skip fill = % x", data[15:23])
+	}
+	// The text references the data symbol absolutely.
+	code := p.Sections["text"].Code
+	in, err := ia32.Decode(code)
+	if err != nil || in.Op != ia32.OpMov || in.Args[1].Kind != ia32.KindMem {
+		t.Fatalf("decode mov: %+v %v", in, err)
+	}
+	if uint32(in.Args[1].Mem.Disp) != cAddr {
+		t.Fatalf("mov disp = %#x, want %#x", in.Args[1].Mem.Disp, cAddr)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	p := link(t, `
+f:
+	ret
+.align 16
+g:
+	ret
+`, nil)
+	g := p.Symbols["g"]
+	if g%16 != 0 {
+		t.Fatalf("g not aligned: %#x", g)
+	}
+	// Padding between f and g must be NOPs.
+	code := p.Sections["text"].Code
+	for i := 1; i < int(g-0x1000); i++ {
+		if code[i] != 0x90 {
+			t.Fatalf("padding byte %d = %#x, want nop", i, code[i])
+		}
+	}
+}
+
+func TestFuncAtAndSectionAt(t *testing.T) {
+	p := link(t, `
+first:
+	nop
+	nop
+	ret
+second:
+	ret
+`, nil)
+	f, ok := p.FuncAt(0x1001)
+	if !ok || f.Name != "first" {
+		t.Fatalf("FuncAt(0x1001) = %+v, %v", f, ok)
+	}
+	f, ok = p.FuncAt(p.Symbols["second"])
+	if !ok || f.Name != "second" {
+		t.Fatalf("FuncAt(second) = %+v, %v", f, ok)
+	}
+	if s := p.SectionAt(0x1001); s != "text" {
+		t.Fatalf("SectionAt = %q", s)
+	}
+	if s := p.SectionAt(0x9999999); s != "" {
+		t.Fatalf("SectionAt far = %q", s)
+	}
+}
+
+func TestErrorReporting(t *testing.T) {
+	a := New(nil)
+	err := a.AddSource("bad.s", "f:\n\tfrobnicate eax\n")
+	if err == nil || !strings.Contains(err.Error(), "bad.s:2") {
+		t.Fatalf("err = %v, want position info", err)
+	}
+
+	a = New(nil)
+	if err := a.AddSource("u.s", "f:\n\tjmp nowhere\n"); err != nil {
+		t.Fatalf("parse should succeed: %v", err)
+	}
+	if _, err := a.Link(map[string]uint32{"text": 0x1000}, nil); err == nil {
+		t.Fatal("undefined symbol should fail at link")
+	}
+}
+
+func TestCallCrossSectionIndirect(t *testing.T) {
+	p := link(t, `
+f:
+	call g
+	call eax
+	call [0x8000+eax*4]
+	ret
+g:
+	ret
+`, nil)
+	code := p.Sections["text"].Code
+	if code[0] != 0xE8 {
+		t.Fatalf("direct call: % x", code[:5])
+	}
+	if code[5] != 0xFF || code[6] != 0xD0 {
+		t.Fatalf("call eax: % x", code[5:7])
+	}
+}
+
+func containsByte(b []byte, c byte) bool {
+	for _, x := range b {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	p := link(t, `
+.equ A, 3
+.equ B, 4
+.equ PROD, A * B + 2
+.equ QUOT, 20 / A
+.equ MIXED, 2 + 3 * 4
+.equ NEG, -A * B
+f:
+	mov eax, PROD
+	mov ecx, QUOT
+	mov edx, MIXED
+	mov ebx, NEG
+	ret
+`, nil)
+	code := p.Sections["text"].Code
+	// B8 imm32 (PROD=14), B9 imm32 (QUOT=6), BA imm32 (MIXED=14), BB imm32 (NEG=-12)
+	read32 := func(off int) int32 {
+		return int32(uint32(code[off]) | uint32(code[off+1])<<8 |
+			uint32(code[off+2])<<16 | uint32(code[off+3])<<24)
+	}
+	if code[0] != 0xB8 || read32(1) != 14 {
+		t.Errorf("PROD = %d", read32(1))
+	}
+	if read32(6) != 6 {
+		t.Errorf("QUOT = %d", read32(6))
+	}
+	if read32(11) != 14 {
+		t.Errorf("MIXED = %d", read32(11))
+	}
+	if read32(16) != -12 {
+		t.Errorf("NEG = %d", read32(16))
+	}
+}
+
+func TestMemOperandConstProduct(t *testing.T) {
+	p := link(t, `
+.equ SZ, 12
+f:
+	mov eax, [ebx+2*SZ+4]
+	ret
+`, nil)
+	in, err := ia32.Decode(p.Sections["text"].Code)
+	if err != nil || in.Args[1].Mem.Disp != 28 {
+		t.Fatalf("disp = %d, err %v", in.Args[1].Mem.Disp, err)
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	cases := []string{
+		"f:\n\tmov eax, 1 / 0\n",             // div by zero
+		"f:\n\tmov eax, label * 2\n",         // symbol in product
+		"f:\n\tmov eax, [ebx+eax+ecx+edx]\n", // too many registers
+		"f:\n\tmov eax, [esp*4]\n",           // ESP as index
+		"f:\n\tshl eax, ebx\n",               // bad shift count
+		"f:\n\tmov [mem], [mem]\n",           // mem-to-mem
+		"f:\n\tbogus eax\n",                  // unknown mnemonic
+		"f:\n\t.align 3\n",                   // non-power-of-two align
+	}
+	for _, src := range cases {
+		a := New(nil)
+		err := a.AddSource("e.s", src)
+		if err == nil {
+			// Errors may surface at link for symbolic cases.
+			_, err = a.Link(map[string]uint32{"text": 0x1000}, nil)
+		}
+		if err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestNegativeAndCharLiterals(t *testing.T) {
+	p := link(t, `
+f:
+	mov eax, 'A'
+	cmp al, '/'
+	mov ecx, -1
+	ret
+`, nil)
+	code := p.Sections["text"].Code
+	if code[0] != 0xB8 || code[1] != 'A' {
+		t.Fatalf("char literal: % x", code[:5])
+	}
+}
+
+func TestSectionInterleaving(t *testing.T) {
+	a := New(nil)
+	if err := a.AddSource("a.s", ".section one\nf:\n\tret\n.section two\ng:\n\tret\n.section one\nh:\n\tret\n"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Link(map[string]uint32{"one": 0x1000, "two": 0x2000}, []string{"one", "two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["f"] != 0x1000 || p.Symbols["h"] != 0x1001 || p.Symbols["g"] != 0x2000 {
+		t.Fatalf("symbols: f=%#x g=%#x h=%#x", p.Symbols["f"], p.Symbols["g"], p.Symbols["h"])
+	}
+	// Cross-section references resolve.
+	a2 := New(nil)
+	if err := a2.AddSource("b.s", ".section one\nf:\n\tcall g\n\tret\n.section two\ng:\n\tret\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Link(map[string]uint32{"one": 0x1000, "two": 0x2000}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepPrefixForms(t *testing.T) {
+	p := link(t, `
+f:
+	rep movsb
+	rep movsd
+	rep stosd
+	repe cmpsb
+	repne scasb
+	movsb
+	ret
+`, nil)
+	code := p.Sections["text"].Code
+	want := []byte{0xF3, 0xA4, 0xF3, 0xA5, 0xF3, 0xAB, 0xF3, 0xA6, 0xF2, 0xAE, 0xA4, 0xC3}
+	for i, b := range want {
+		if code[i] != b {
+			t.Fatalf("code = % x, want % x", code[:len(want)], want)
+		}
+	}
+}
+
+func TestDuplicateLabelLastWins(t *testing.T) {
+	// Duplicate labels are not detected as errors today; the later
+	// definition wins in the symbol table. Document the behavior.
+	p := link(t, `
+f:
+	ret
+g:
+	ret
+`, nil)
+	if p.Symbols["g"] != 0x1001 {
+		t.Fatalf("g = %#x", p.Symbols["g"])
+	}
+}
+
+// TestParserNeverPanics feeds random byte soup to the parser.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src []byte) bool {
+		a := New(nil)
+		_ = a.AddSource("fuzz.s", string(src)) // must not panic
+		_, _ = a.Link(map[string]uint32{"text": 0x1000}, nil)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnAsmLike fuzzes with plausible asm-shaped
+// lines, which reach deeper into operand parsing than raw bytes.
+func TestParserNeverPanicsOnAsmLike(t *testing.T) {
+	frags := []string{
+		"mov", "add", "push", "jz", "call", "eax", "ebx", "[", "]", "+",
+		"-", "*", ",", "dword", "byte", ".L1", "lbl:", "0x10", "'c'",
+		".long", ".skip", ".equ", ".align", "cl", "esp", "8", "rep",
+		"movsb", "shld",
+	}
+	rnd := uint32(12345)
+	next := func(n int) int {
+		rnd = rnd*1664525 + 1013904223
+		return int(rnd % uint32(n))
+	}
+	for trial := 0; trial < 2000; trial++ {
+		var b strings.Builder
+		for i := 0; i < 1+next(8); i++ {
+			for j := 0; j < 1+next(6); j++ {
+				b.WriteString(frags[next(len(frags))])
+				if next(2) == 0 {
+					b.WriteByte(' ')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		a := New(nil)
+		_ = a.AddSource("fuzz.s", b.String())
+		_, _ = a.Link(map[string]uint32{"text": 0x1000}, nil)
+	}
+}

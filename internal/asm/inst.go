@@ -1,0 +1,420 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/ia32"
+)
+
+func argOf(o operand) ia32.Arg {
+	switch o.kind {
+	case oReg, oReg8:
+		return ia32.RegArg(o.reg)
+	case oMem:
+		return ia32.MemArg(o.mem)
+	}
+	return ia32.Arg{}
+}
+
+// labelTarget returns the label name when the operand is a bare symbol
+// reference (branch target), or "" otherwise.
+func labelTarget(o operand) string {
+	if o.kind == oImm && o.immE != nil && len(o.immE) == 1 &&
+		o.immE[0].sym != "" && !o.immE[0].neg {
+		return o.immE[0].sym
+	}
+	return ""
+}
+
+func (p *parser) emit(inst ia32.Inst, dispE, immE expr) {
+	p.asm.addStmt(p.section, &stmt{
+		kind: sInst, pos: p.pos(), inst: inst, dispExpr: dispE, immExpr: immE,
+	})
+}
+
+func (p *parser) statement(line string) {
+	mn, rest := splitWord(line)
+	mn = strings.ToLower(mn)
+
+	// REP prefixes.
+	if mn == "rep" || mn == "repe" || mn == "repz" || mn == "repne" || mn == "repnz" {
+		sub := strings.ToLower(strings.TrimSpace(rest))
+		so, ok := stringOps[sub]
+		if !ok {
+			p.errorf("%s must prefix a string op, got %q", mn, rest)
+			return
+		}
+		rep := ia32.Rep
+		switch {
+		case (mn == "repe" || mn == "repz" || mn == "rep") &&
+			(so.op == ia32.OpCmps || so.op == ia32.OpScas):
+			rep = ia32.Repe
+		case mn == "repne" || mn == "repnz":
+			if so.op == ia32.OpCmps || so.op == ia32.OpScas {
+				rep = ia32.Repne
+			}
+		}
+		p.emit(ia32.Inst{Op: so.op, W8: so.w8, Rep: rep}, nil, nil)
+		return
+	}
+
+	if so, ok := stringOps[mn]; ok {
+		p.emit(ia32.Inst{Op: so.op, W8: so.w8}, nil, nil)
+		return
+	}
+	if op, ok := zeroOperand[mn]; ok {
+		if rest != "" {
+			p.errorf("%s takes no operands", mn)
+			return
+		}
+		p.emit(ia32.Inst{Op: op}, nil, nil)
+		return
+	}
+
+	// Parse operands.
+	var ops []operand
+	for _, f := range splitTop(rest) {
+		o, err := p.parseOperand(f)
+		if err != nil {
+			p.errorf("%s: %v", mn, err)
+			return
+		}
+		ops = append(ops, o)
+	}
+
+	switch {
+	case mn == "jmp" || mn == "call":
+		p.jmpCall(mn, ops)
+	case mn == "ret" || mn == "lret" || mn == "int":
+		p.retInt(mn, ops)
+	case aluOps[mn] != ia32.OpInvalid:
+		p.alu(mn, aluOps[mn], ops)
+	case unaryOps[mn] != ia32.OpInvalid:
+		p.unary(mn, unaryOps[mn], ops)
+	case shiftOps[mn] != ia32.OpInvalid:
+		p.shift(mn, shiftOps[mn], ops)
+	case mn == "shld" || mn == "shrd":
+		p.doubleShift(mn, ops)
+	case mn == "lea":
+		p.lea(ops)
+	case mn == "push" || mn == "pop":
+		p.pushPop(mn, ops)
+	case mn == "imul":
+		p.imul(ops)
+	case mn == "movzx" || mn == "movsx":
+		p.extend(mn, ops)
+	case mn == "in" || mn == "out":
+		p.inOut(mn, ops, rest)
+	case mn == "bound":
+		if len(ops) != 2 || ops[0].kind != oReg || ops[1].kind != oMem {
+			p.errorf("bound needs reg, mem")
+			return
+		}
+		p.emit(ia32.Inst{Op: ia32.OpBound,
+			Args: [2]ia32.Arg{argOf(ops[0]), argOf(ops[1])}}, ops[1].dispE, nil)
+	case strings.HasPrefix(mn, "set"):
+		cond, ok := condNames[mn[3:]]
+		if !ok || len(ops) != 1 {
+			p.errorf("bad setcc %q", mn)
+			return
+		}
+		p.emit(ia32.Inst{Op: ia32.OpSetcc, W8: true, Cond: cond,
+			Args: [2]ia32.Arg{argOf(ops[0])}}, ops[0].dispE, nil)
+	case mn[0] == 'j':
+		cond, ok := condNames[mn[1:]]
+		if !ok {
+			p.errorf("unknown mnemonic %q", mn)
+			return
+		}
+		if len(ops) != 1 {
+			p.errorf("%s needs a target", mn)
+			return
+		}
+		t := labelTarget(ops[0])
+		if t == "" {
+			p.errorf("%s target must be a label", mn)
+			return
+		}
+		p.asm.addStmt(p.section, &stmt{
+			kind: sBranch, pos: p.pos(), op: ia32.OpJcc, cond: cond, target: t,
+		})
+	default:
+		p.errorf("unknown mnemonic %q", mn)
+	}
+}
+
+func (p *parser) jmpCall(mn string, ops []operand) {
+	op := ia32.OpJmp
+	if mn == "call" {
+		op = ia32.OpCall
+	}
+	if len(ops) != 1 {
+		p.errorf("%s needs one operand", mn)
+		return
+	}
+	if t := labelTarget(ops[0]); t != "" {
+		p.asm.addStmt(p.section, &stmt{kind: sBranch, pos: p.pos(), op: op, target: t})
+		return
+	}
+	switch ops[0].kind {
+	case oReg, oMem:
+		p.emit(ia32.Inst{Op: op, Args: [2]ia32.Arg{argOf(ops[0])}}, ops[0].dispE, nil)
+	default:
+		p.errorf("%s: bad operand", mn)
+	}
+}
+
+func (p *parser) retInt(mn string, ops []operand) {
+	var op ia32.Op
+	switch mn {
+	case "ret":
+		op = ia32.OpRet
+	case "lret":
+		op = ia32.OpLret
+	case "int":
+		op = ia32.OpInt
+	}
+	if len(ops) == 0 {
+		if mn == "int" {
+			p.errorf("int needs a vector")
+			return
+		}
+		p.emit(ia32.Inst{Op: op}, nil, nil)
+		return
+	}
+	if len(ops) != 1 || ops[0].kind != oImm || ops[0].immE != nil {
+		p.errorf("%s: bad operand", mn)
+		return
+	}
+	p.emit(ia32.Inst{Op: op, Imm: int32(ops[0].imm), HasImm: true}, nil, nil)
+}
+
+func (p *parser) alu(mn string, op ia32.Op, ops []operand) {
+	if len(ops) != 2 {
+		p.errorf("%s needs two operands", mn)
+		return
+	}
+	dst, src := ops[0], ops[1]
+	if dst.kind == oImm {
+		p.errorf("%s: immediate destination", mn)
+		return
+	}
+	if dst.kind == oMem && src.kind == oMem {
+		p.errorf("%s: two memory operands", mn)
+		return
+	}
+	w8 := dst.kind == oReg8 || src.kind == oReg8 ||
+		(dst.kind == oMem && dst.size == 1) || (src.kind == oMem && src.size == 1)
+	if (dst.kind == oReg && src.kind == oReg8) || (dst.kind == oReg8 && src.kind == oReg) {
+		p.errorf("%s: operand size mismatch", mn)
+		return
+	}
+	inst := ia32.Inst{Op: op, W8: w8}
+	var dispE, immE expr
+	if dst.kind == oMem {
+		dispE = dst.dispE
+	}
+	inst.Args[0] = argOf(dst)
+	if src.kind == oImm {
+		inst.HasImm = true
+		if src.immE != nil {
+			immE = src.immE
+		} else {
+			inst.Imm = int32(src.imm)
+		}
+	} else {
+		inst.Args[1] = argOf(src)
+		if src.kind == oMem {
+			dispE = src.dispE
+		}
+	}
+	p.emit(inst, dispE, immE)
+}
+
+func (p *parser) unary(mn string, op ia32.Op, ops []operand) {
+	if len(ops) != 1 {
+		p.errorf("%s needs one operand", mn)
+		return
+	}
+	o := ops[0]
+	if o.kind == oImm {
+		p.errorf("%s: immediate operand", mn)
+		return
+	}
+	w8 := o.kind == oReg8 || (o.kind == oMem && o.size == 1)
+	p.emit(ia32.Inst{Op: op, W8: w8, Args: [2]ia32.Arg{argOf(o)}}, o.dispE, nil)
+}
+
+func (p *parser) shift(mn string, op ia32.Op, ops []operand) {
+	if len(ops) != 2 {
+		p.errorf("%s needs two operands", mn)
+		return
+	}
+	dst, cnt := ops[0], ops[1]
+	w8 := dst.kind == oReg8 || (dst.kind == oMem && dst.size == 1)
+	inst := ia32.Inst{Op: op, W8: w8, Args: [2]ia32.Arg{argOf(dst)}}
+	switch {
+	case cnt.kind == oReg8 && cnt.reg == 1: // cl
+	case cnt.kind == oImm && cnt.immE == nil:
+		inst.Imm = int32(cnt.imm)
+		inst.HasImm = true
+	default:
+		p.errorf("%s: count must be cl or a constant", mn)
+		return
+	}
+	p.emit(inst, dst.dispE, nil)
+}
+
+func (p *parser) doubleShift(mn string, ops []operand) {
+	if len(ops) != 3 || ops[1].kind != oReg {
+		p.errorf("%s needs dst, reg, count", mn)
+		return
+	}
+	op := ia32.OpShld
+	if mn == "shrd" {
+		op = ia32.OpShrd
+	}
+	inst := ia32.Inst{Op: op, Args: [2]ia32.Arg{argOf(ops[0]), argOf(ops[1])}}
+	cnt := ops[2]
+	switch {
+	case cnt.kind == oReg8 && cnt.reg == 1: // cl
+	case cnt.kind == oImm && cnt.immE == nil:
+		inst.Imm = int32(cnt.imm)
+		inst.HasImm = true
+	default:
+		p.errorf("%s: count must be cl or a constant", mn)
+		return
+	}
+	p.emit(inst, ops[0].dispE, nil)
+}
+
+func (p *parser) lea(ops []operand) {
+	if len(ops) != 2 || ops[0].kind != oReg || ops[1].kind != oMem {
+		p.errorf("lea needs reg, mem")
+		return
+	}
+	p.emit(ia32.Inst{Op: ia32.OpLea,
+		Args: [2]ia32.Arg{argOf(ops[0]), argOf(ops[1])}}, ops[1].dispE, nil)
+}
+
+func (p *parser) pushPop(mn string, ops []operand) {
+	if len(ops) != 1 {
+		p.errorf("%s needs one operand", mn)
+		return
+	}
+	o := ops[0]
+	if mn == "push" {
+		if o.kind == oImm {
+			inst := ia32.Inst{Op: ia32.OpPush, HasImm: true}
+			var immE expr
+			if o.immE != nil {
+				immE = o.immE
+			} else {
+				inst.Imm = int32(o.imm)
+			}
+			p.emit(inst, nil, immE)
+			return
+		}
+		p.emit(ia32.Inst{Op: ia32.OpPush, Args: [2]ia32.Arg{argOf(o)}}, o.dispE, nil)
+		return
+	}
+	if o.kind == oImm {
+		p.errorf("pop: immediate operand")
+		return
+	}
+	p.emit(ia32.Inst{Op: ia32.OpPop, Args: [2]ia32.Arg{argOf(o)}}, o.dispE, nil)
+}
+
+func (p *parser) imul(ops []operand) {
+	switch len(ops) {
+	case 1:
+		p.unary("imul", ia32.OpImul1, ops)
+	case 2:
+		if ops[0].kind != oReg {
+			p.errorf("imul: destination must be a 32-bit register")
+			return
+		}
+		p.emit(ia32.Inst{Op: ia32.OpImul2,
+			Args: [2]ia32.Arg{argOf(ops[0]), argOf(ops[1])}}, ops[1].dispE, nil)
+	case 3:
+		if ops[0].kind != oReg || ops[2].kind != oImm || ops[2].immE != nil {
+			p.errorf("imul: bad three-operand form")
+			return
+		}
+		p.emit(ia32.Inst{Op: ia32.OpImul3,
+			Args: [2]ia32.Arg{argOf(ops[0]), argOf(ops[1])},
+			Imm:  int32(ops[2].imm), HasImm: true}, ops[1].dispE, nil)
+	default:
+		p.errorf("imul: bad operand count")
+	}
+}
+
+func (p *parser) extend(mn string, ops []operand) {
+	if len(ops) != 2 || ops[0].kind != oReg {
+		p.errorf("%s needs reg32, reg8/mem", mn)
+		return
+	}
+	src := ops[1]
+	var op ia32.Op
+	switch {
+	case src.kind == oReg8 || (src.kind == oMem && src.size == 1):
+		op = ia32.OpMovzx8
+		if mn == "movsx" {
+			op = ia32.OpMovsx8
+		}
+	case src.kind == oMem && src.size == 2:
+		op = ia32.OpMovzx16
+		if mn == "movsx" {
+			op = ia32.OpMovsx16
+		}
+	default:
+		p.errorf("%s: source needs byte/word size", mn)
+		return
+	}
+	p.emit(ia32.Inst{Op: op,
+		Args: [2]ia32.Arg{argOf(ops[0]), argOf(src)}}, src.dispE, nil)
+}
+
+func (p *parser) inOut(mn string, ops []operand, raw string) {
+	fields := splitTop(raw)
+	isDX := func(s string) bool { return strings.EqualFold(strings.TrimSpace(s), "dx") }
+	if len(fields) != 2 {
+		p.errorf("%s needs two operands", mn)
+		return
+	}
+	if mn == "in" {
+		acc, err := p.parseOperand(fields[0])
+		if err != nil || (acc.kind != oReg8 && acc.kind != oReg) || acc.reg != 0 {
+			p.errorf("in: first operand must be al/eax")
+			return
+		}
+		inst := ia32.Inst{Op: ia32.OpIn, W8: acc.kind == oReg8}
+		if !isDX(fields[1]) {
+			port, err := p.constExpr(fields[1])
+			if err != nil {
+				p.errorf("in: bad port %q", fields[1])
+				return
+			}
+			inst.Imm = int32(port)
+			inst.HasImm = true
+		}
+		p.emit(inst, nil, nil)
+		return
+	}
+	acc, err := p.parseOperand(fields[1])
+	if err != nil || (acc.kind != oReg8 && acc.kind != oReg) || acc.reg != 0 {
+		p.errorf("out: second operand must be al/eax")
+		return
+	}
+	inst := ia32.Inst{Op: ia32.OpOut, W8: acc.kind == oReg8}
+	if !isDX(fields[0]) {
+		port, err := p.constExpr(fields[0])
+		if err != nil {
+			p.errorf("out: bad port %q", fields[0])
+			return
+		}
+		inst.Imm = int32(port)
+		inst.HasImm = true
+	}
+	p.emit(inst, nil, nil)
+}

@@ -1,0 +1,717 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ia32"
+)
+
+// term is one additive term of an expression: either a literal value or
+// a (possibly negated) symbol reference.
+type term struct {
+	neg bool
+	sym string
+	val int64
+}
+
+// expr is a sum of terms.
+type expr []term
+
+func (e expr) eval(lookup func(string) (int64, bool)) (int64, error) {
+	var sum int64
+	for _, t := range e {
+		v := t.val
+		if t.sym != "" {
+			sv, ok := lookup(t.sym)
+			if !ok {
+				return 0, fmt.Errorf("undefined symbol %q", t.sym)
+			}
+			v = sv
+		}
+		if t.neg {
+			sum -= v
+		} else {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+// hasSyms reports whether the expression references any symbol.
+func (e expr) hasSyms() bool {
+	for _, t := range e {
+		if t.sym != "" {
+			return true
+		}
+	}
+	return false
+}
+
+var reg32Names = map[string]ia32.Reg{
+	"eax": ia32.EAX, "ecx": ia32.ECX, "edx": ia32.EDX, "ebx": ia32.EBX,
+	"esp": ia32.ESP, "ebp": ia32.EBP, "esi": ia32.ESI, "edi": ia32.EDI,
+}
+
+var reg8Names = map[string]ia32.Reg{
+	"al": 0, "cl": 1, "dl": 2, "bl": 3, "ah": 4, "ch": 5, "dh": 6, "bh": 7,
+}
+
+var condNames = map[string]ia32.Cond{
+	"o": ia32.CondO, "no": ia32.CondNO,
+	"b": ia32.CondB, "c": ia32.CondB, "nae": ia32.CondB,
+	"ae": ia32.CondAE, "nb": ia32.CondAE, "nc": ia32.CondAE,
+	"e": ia32.CondE, "z": ia32.CondE,
+	"ne": ia32.CondNE, "nz": ia32.CondNE,
+	"be": ia32.CondBE, "na": ia32.CondBE,
+	"a": ia32.CondA, "nbe": ia32.CondA,
+	"s": ia32.CondS, "ns": ia32.CondNS,
+	"p": ia32.CondP, "pe": ia32.CondP,
+	"np": ia32.CondNP, "po": ia32.CondNP,
+	"l": ia32.CondL, "nge": ia32.CondL,
+	"ge": ia32.CondGE, "nl": ia32.CondGE,
+	"le": ia32.CondLE, "ng": ia32.CondLE,
+	"g": ia32.CondG, "nle": ia32.CondG,
+}
+
+var zeroOperand = map[string]ia32.Op{
+	"nop": ia32.OpNop, "ud2": ia32.OpUd2, "ud2a": ia32.OpUd2,
+	"int3": ia32.OpInt3, "into": ia32.OpInto, "hlt": ia32.OpHlt,
+	"leave": ia32.OpLeave, "cdq": ia32.OpCdq, "cwde": ia32.OpCwde,
+	"pusha": ia32.OpPusha, "popa": ia32.OpPopa,
+	"pushf": ia32.OpPushf, "popf": ia32.OpPopf,
+	"cli": ia32.OpCli, "sti": ia32.OpSti, "cld": ia32.OpCld, "std": ia32.OpStd,
+	"clc": ia32.OpClc, "stc": ia32.OpStc, "cmc": ia32.OpCmc,
+	"sahf": ia32.OpSahf, "lahf": ia32.OpLahf,
+}
+
+var stringOps = map[string]struct {
+	op ia32.Op
+	w8 bool
+}{
+	"movsb": {ia32.OpMovs, true}, "movsd": {ia32.OpMovs, false},
+	"stosb": {ia32.OpStos, true}, "stosd": {ia32.OpStos, false},
+	"lodsb": {ia32.OpLods, true}, "lodsd": {ia32.OpLods, false},
+	"scasb": {ia32.OpScas, true}, "scasd": {ia32.OpScas, false},
+	"cmpsb": {ia32.OpCmps, true}, "cmpsd": {ia32.OpCmps, false},
+}
+
+var aluOps = map[string]ia32.Op{
+	"mov": ia32.OpMov, "add": ia32.OpAdd, "or": ia32.OpOr, "adc": ia32.OpAdc,
+	"sbb": ia32.OpSbb, "and": ia32.OpAnd, "sub": ia32.OpSub, "xor": ia32.OpXor,
+	"cmp": ia32.OpCmp, "test": ia32.OpTest, "xchg": ia32.OpXchg,
+}
+
+var shiftOps = map[string]ia32.Op{
+	"shl": ia32.OpShl, "sal": ia32.OpShl, "shr": ia32.OpShr, "sar": ia32.OpSar,
+	"rol": ia32.OpRol, "ror": ia32.OpRor, "rcl": ia32.OpRcl, "rcr": ia32.OpRcr,
+}
+
+var unaryOps = map[string]ia32.Op{
+	"inc": ia32.OpInc, "dec": ia32.OpDec, "not": ia32.OpNot, "neg": ia32.OpNeg,
+	"mul": ia32.OpMul, "div": ia32.OpDiv, "idiv": ia32.OpIdiv,
+}
+
+type opdKind uint8
+
+const (
+	oReg opdKind = iota + 1
+	oReg8
+	oMem
+	oImm
+)
+
+type operand struct {
+	kind  opdKind
+	reg   ia32.Reg
+	mem   ia32.MemRef
+	dispE expr // symbolic displacement (nil when folded into mem.Disp)
+	size  int  // memory size hint: 0 unknown, 1 byte, 2 word, 4 dword
+	immE  expr // symbolic immediate (nil when folded into imm)
+	imm   int64
+}
+
+type parser struct {
+	asm        *Assembler
+	file       string
+	line       int
+	section    string
+	lastGlobal string
+}
+
+func (p *parser) pos() string { return fmt.Sprintf("%s:%d", p.file, p.line) }
+
+func (p *parser) errorf(format string, args ...interface{}) {
+	p.asm.errorf(p.pos(), format, args...)
+}
+
+func (p *parser) parse(src string) {
+	for n, raw := range strings.Split(src, "\n") {
+		p.line = n + 1
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by more on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				break
+			}
+			p.label(name)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			p.directive(line)
+			continue
+		}
+		p.statement(line)
+	}
+}
+
+func (p *parser) label(name string) {
+	full := p.expandLabel(name)
+	if !strings.HasPrefix(name, ".") {
+		p.lastGlobal = name
+	}
+	p.asm.addStmt(p.section, &stmt{kind: sLabel, pos: p.pos(), name: full})
+}
+
+// expandLabel scopes .L-style local labels to the enclosing global
+// label.
+func (p *parser) expandLabel(name string) string {
+	if strings.HasPrefix(name, ".") {
+		return p.lastGlobal + "$" + name[1:]
+	}
+	return name
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) directive(line string) {
+	name, rest := splitWord(line)
+	switch name {
+	case ".section":
+		p.section = strings.TrimSpace(rest)
+	case ".global", ".globl", ".text":
+		// accepted for familiarity; labels are global by default
+	case ".equ", ".set":
+		parts := strings.SplitN(rest, ",", 2)
+		if len(parts) != 2 {
+			p.errorf(".equ needs name, value")
+			return
+		}
+		sym := strings.TrimSpace(parts[0])
+		e, err := p.parseExpr(strings.TrimSpace(parts[1]))
+		if err != nil {
+			p.errorf(".equ %s: %v", sym, err)
+			return
+		}
+		v, err := e.eval(func(s string) (int64, bool) {
+			c, ok := p.asm.consts[s]
+			return c, ok
+		})
+		if err != nil {
+			p.errorf(".equ %s: %v", sym, err)
+			return
+		}
+		p.asm.consts[sym] = v
+	case ".long", ".int", ".word", ".byte":
+		elemSize := 4
+		if name == ".word" {
+			elemSize = 2
+		} else if name == ".byte" {
+			elemSize = 1
+		}
+		s := &stmt{kind: sData, pos: p.pos(), elemSize: elemSize}
+		for _, f := range splitTop(rest) {
+			e, err := p.parseExpr(strings.TrimSpace(f))
+			if err != nil {
+				p.errorf("%s: %v", name, err)
+				return
+			}
+			s.elems = append(s.elems, e)
+		}
+		p.asm.addStmt(p.section, s)
+	case ".asciz", ".ascii":
+		str, err := parseString(strings.TrimSpace(rest))
+		if err != nil {
+			p.errorf("%s: %v", name, err)
+			return
+		}
+		raw := []byte(str)
+		if name == ".asciz" {
+			raw = append(raw, 0)
+		}
+		p.asm.addStmt(p.section, &stmt{kind: sData, pos: p.pos(), raw: raw, elemSize: 1})
+	case ".skip", ".space":
+		parts := splitTop(rest)
+		if len(parts) == 0 {
+			p.errorf(".skip needs a size")
+			return
+		}
+		n, err := p.constExpr(strings.TrimSpace(parts[0]))
+		if err != nil {
+			p.errorf(".skip: %v", err)
+			return
+		}
+		if n < 0 || n > 1<<24 {
+			p.errorf(".skip: size %d out of range", n)
+			return
+		}
+		s := &stmt{kind: sSkip, pos: p.pos(), n: int(n)}
+		if len(parts) > 1 {
+			f, err := p.constExpr(strings.TrimSpace(parts[1]))
+			if err != nil {
+				p.errorf(".skip fill: %v", err)
+				return
+			}
+			s.fill = byte(f)
+		}
+		p.asm.addStmt(p.section, s)
+	case ".align":
+		n, err := p.constExpr(strings.TrimSpace(rest))
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			p.errorf(".align: need power-of-two, got %q", rest)
+			return
+		}
+		p.asm.addStmt(p.section, &stmt{kind: sAlign, pos: p.pos(), n: int(n)})
+	default:
+		p.errorf("unknown directive %s", name)
+	}
+}
+
+// constExpr parses and evaluates an expression that must fold with the
+// current constant table.
+func (p *parser) constExpr(s string) (int64, error) {
+	e, err := p.parseExpr(s)
+	if err != nil {
+		return 0, err
+	}
+	return e.eval(func(sym string) (int64, bool) {
+		c, ok := p.asm.consts[sym]
+		return c, ok
+	})
+}
+
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+// splitTop splits on commas (no nesting constructs contain commas in
+// this syntax).
+func splitTop(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseString(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("malformed string literal %q", s)
+	}
+	return strconv.Unquote(s)
+}
+
+// parseExpr parses an expression of numbers, chars and symbols with
+// + - * / operators (C precedence). Multiplication and division must
+// fold at parse time from the constant table; only additive terms may
+// carry unresolved symbols (label addresses resolved at link).
+func (p *parser) parseExpr(s string) (expr, error) {
+	toks, err := tokenizeExpr(s)
+	if err != nil {
+		return nil, err
+	}
+	ep := exprParser{p: p, toks: toks}
+	e, err := ep.additive()
+	if err != nil {
+		return nil, err
+	}
+	if ep.pos != len(ep.toks) {
+		return nil, fmt.Errorf("trailing junk in expression %q", s)
+	}
+	return e, nil
+}
+
+func tokenizeExpr(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, string(c))
+			i++
+		case c == '\'':
+			if i+2 < len(s) && s[i+2] == '\'' {
+				toks = append(toks, s[i:i+3])
+				i += 3
+			} else {
+				return nil, fmt.Errorf("bad char literal in %q", s)
+			}
+		default:
+			j := i
+			for j < len(s) && s[j] != '+' && s[j] != '-' && s[j] != '*' &&
+				s[j] != '/' && s[j] != ' ' && s[j] != '\t' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("empty expression")
+	}
+	return toks, nil
+}
+
+type exprParser struct {
+	p    *parser
+	toks []string
+	pos  int
+}
+
+func (ep *exprParser) peek() string {
+	if ep.pos < len(ep.toks) {
+		return ep.toks[ep.pos]
+	}
+	return ""
+}
+
+// additive = multiplicative (('+'|'-') multiplicative)*
+func (ep *exprParser) additive() (expr, error) {
+	neg := false
+	for ep.peek() == "+" || ep.peek() == "-" {
+		if ep.peek() == "-" {
+			neg = !neg
+		}
+		ep.pos++
+	}
+	e, err := ep.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		e, err = negate(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for ep.peek() == "+" || ep.peek() == "-" {
+		op := ep.peek()
+		ep.pos++
+		rhs, err := ep.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		if op == "-" {
+			rhs, err = negate(rhs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e = append(e, rhs...)
+	}
+	return e, nil
+}
+
+// multiplicative = term (('*'|'/') term)*; all operands must fold.
+func (ep *exprParser) multiplicative() (expr, error) {
+	e, err := ep.term()
+	if err != nil {
+		return nil, err
+	}
+	for ep.peek() == "*" || ep.peek() == "/" {
+		op := ep.peek()
+		ep.pos++
+		rhs, err := ep.term()
+		if err != nil {
+			return nil, err
+		}
+		lv, lok := foldConst(e, ep.p.asm.consts)
+		rv, rok := foldConst(rhs, ep.p.asm.consts)
+		if !lok || !rok {
+			return nil, fmt.Errorf("'%s' operands must be constants", op)
+		}
+		if op == "*" {
+			e = expr{term{val: lv * rv}}
+		} else {
+			if rv == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			e = expr{term{val: lv / rv}}
+		}
+	}
+	return e, nil
+}
+
+func (ep *exprParser) term() (expr, error) {
+	tok := ep.peek()
+	if tok == "" {
+		return nil, fmt.Errorf("unexpected end of expression")
+	}
+	// Unary sign directly on a term (e.g. after '*').
+	neg := false
+	for tok == "+" || tok == "-" {
+		if tok == "-" {
+			neg = !neg
+		}
+		ep.pos++
+		tok = ep.peek()
+		if tok == "" {
+			return nil, fmt.Errorf("dangling sign in expression")
+		}
+	}
+	ep.pos++
+	t, err := parseTerm(tok)
+	if err != nil {
+		return nil, err
+	}
+	t.neg = neg
+	if t.sym != "" && strings.HasPrefix(tok, ".") {
+		t.sym = ep.p.expandLabel(tok)
+	}
+	return expr{t}, nil
+}
+
+func negate(e expr) (expr, error) {
+	out := make(expr, len(e))
+	for i, t := range e {
+		t.neg = !t.neg
+		out[i] = t
+	}
+	return out, nil
+}
+
+// foldConst evaluates e against consts only.
+func foldConst(e expr, consts map[string]int64) (int64, bool) {
+	v, err := e.eval(func(sym string) (int64, bool) {
+		c, ok := consts[sym]
+		return c, ok
+	})
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func parseTerm(tok string) (term, error) {
+	if tok == "" {
+		return term{}, fmt.Errorf("empty term")
+	}
+	if tok[0] == '\'' {
+		if len(tok) == 3 && tok[2] == '\'' {
+			return term{val: int64(tok[1])}, nil
+		}
+		return term{}, fmt.Errorf("bad char literal %q", tok)
+	}
+	if tok[0] >= '0' && tok[0] <= '9' {
+		v, err := strconv.ParseInt(tok, 0, 64)
+		if err != nil {
+			// Allow large unsigned hex like 0xc0100000.
+			u, uerr := strconv.ParseUint(tok, 0, 64)
+			if uerr != nil {
+				return term{}, fmt.Errorf("bad number %q", tok)
+			}
+			v = int64(u)
+		}
+		return term{val: v}, nil
+	}
+	if !isIdent(tok) {
+		return term{}, fmt.Errorf("bad term %q", tok)
+	}
+	return term{sym: tok}, nil
+}
+
+// parseOperand classifies one operand string.
+func (p *parser) parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	low := strings.ToLower(s)
+
+	if r, ok := reg32Names[low]; ok {
+		return operand{kind: oReg, reg: r}, nil
+	}
+	if r, ok := reg8Names[low]; ok {
+		return operand{kind: oReg8, reg: r}, nil
+	}
+
+	size := 0
+	for _, pfx := range []struct {
+		word string
+		sz   int
+	}{{"byte", 1}, {"word", 2}, {"dword", 4}} {
+		if strings.HasPrefix(low, pfx.word+" ") || strings.HasPrefix(low, pfx.word+"[") {
+			size = pfx.sz
+			s = strings.TrimSpace(s[len(pfx.word):])
+			break
+		}
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return operand{}, fmt.Errorf("unterminated memory operand %q", s)
+		}
+		return p.parseMem(s[1:len(s)-1], size)
+	}
+	if size != 0 {
+		return operand{}, fmt.Errorf("size prefix on non-memory operand %q", s)
+	}
+
+	e, err := p.parseExpr(s)
+	if err != nil {
+		return operand{}, err
+	}
+	if v, err := e.eval(func(sym string) (int64, bool) {
+		c, ok := p.asm.consts[sym]
+		return c, ok
+	}); err == nil {
+		return operand{kind: oImm, imm: v}, nil
+	}
+	return operand{kind: oImm, immE: e}, nil
+}
+
+// parseMem parses the inside of a [...] operand.
+func (p *parser) parseMem(s string, size int) (operand, error) {
+	o := operand{kind: oMem, size: size}
+	o.mem.Scale = 1
+	var dispTerms expr
+
+	i := 0
+	neg := false
+	for i < len(s) {
+		switch s[i] {
+		case '+':
+			i++
+			continue
+		case '-':
+			neg = !neg
+			i++
+			continue
+		case ' ', '\t':
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != '+' && s[j] != '-' && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		tok := s[i:j]
+		i = j
+
+		// reg, reg*scale, scale*reg, or const*const?
+		if star := strings.Index(tok, "*"); star >= 0 {
+			a, b := strings.TrimSpace(tok[:star]), strings.TrimSpace(tok[star+1:])
+			_, aIsReg := reg32Names[strings.ToLower(a)]
+			_, bIsReg := reg32Names[strings.ToLower(b)]
+			if !aIsReg && !bIsReg {
+				// Constant product folds into the displacement.
+				v, err := p.constExpr(tok)
+				if err != nil {
+					return operand{}, fmt.Errorf("bad product %q: %v", tok, err)
+				}
+				dispTerms = append(dispTerms, term{neg: neg, val: v})
+				neg = false
+				continue
+			}
+			var regName, scaleStr string
+			if aIsReg {
+				regName, scaleStr = a, b
+			} else {
+				regName, scaleStr = b, a
+			}
+			r, ok := reg32Names[strings.ToLower(regName)]
+			if !ok {
+				return operand{}, fmt.Errorf("bad index register %q", regName)
+			}
+			sc, err := strconv.Atoi(scaleStr)
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return operand{}, fmt.Errorf("bad scale %q", scaleStr)
+			}
+			if neg || o.mem.HasIndex {
+				return operand{}, fmt.Errorf("bad memory operand [%s]", s)
+			}
+			o.mem.HasIndex = true
+			o.mem.Index = r
+			o.mem.Scale = uint8(sc)
+			continue
+		}
+		if r, ok := reg32Names[strings.ToLower(tok)]; ok {
+			if neg {
+				return operand{}, fmt.Errorf("negated register in [%s]", s)
+			}
+			switch {
+			case !o.mem.HasBase:
+				o.mem.HasBase = true
+				o.mem.Base = r
+			case !o.mem.HasIndex:
+				o.mem.HasIndex = true
+				o.mem.Index = r
+				o.mem.Scale = 1
+			default:
+				return operand{}, fmt.Errorf("too many registers in [%s]", s)
+			}
+			continue
+		}
+		t, err := parseTerm(tok)
+		if err != nil {
+			return operand{}, err
+		}
+		t.neg = neg
+		if t.sym != "" && strings.HasPrefix(tok, ".") {
+			t.sym = p.expandLabel(tok)
+		}
+		dispTerms = append(dispTerms, t)
+		neg = false
+	}
+
+	if len(dispTerms) > 0 {
+		if v, err := dispTerms.eval(func(sym string) (int64, bool) {
+			c, ok := p.asm.consts[sym]
+			return c, ok
+		}); err == nil {
+			o.mem.Disp = int32(v)
+		} else {
+			o.dispE = dispTerms
+		}
+	}
+	return o, nil
+}

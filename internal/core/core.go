@@ -1,0 +1,435 @@
+// Package core is the study facade: it wires the profiler, the
+// injector and the analysis layer into the paper's experiment pipeline
+// — profile the kernel under UnixBench, select the most frequently
+// used functions, run the three injection campaigns, and produce every
+// table and figure of the evaluation.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/inject"
+	"repro/internal/kernel"
+	"repro/internal/kernprof"
+	"repro/internal/unixbench"
+)
+
+// Config controls a study run.
+type Config struct {
+	// Scale sizes the benchmark workloads (1 = quick).
+	Scale int
+	// Seed drives all random bit selection.
+	Seed int64
+	// CoverFrac selects the profiling coverage for the core function
+	// set (the paper used 0.95).
+	CoverFrac float64
+	// Campaigns to run (default: A, B, C).
+	Campaigns []inject.Campaign
+	// MaxTargetsPerFunc caps injections per function (0 = all); used
+	// to subsample quick studies.
+	MaxTargetsPerFunc int
+	// MaxFuncsPerCampaign caps the number of functions injected per
+	// campaign (0 = all selected).
+	MaxFuncsPerCampaign int
+	// DisableAssertions runs the study against the assertion-stripped
+	// kernel build (the §8 ablation).
+	DisableAssertions bool
+	// Workers is the number of parallel injection machines (each runs
+	// an isolated simulated system; results are deterministic and
+	// identical to a single-worker run). 0 or 1 = serial.
+	Workers int
+	// Progress, when set, receives per-run progress.
+	Progress func(c inject.Campaign, fn string, done, total int)
+}
+
+// DefaultConfig is the full-study configuration.
+func DefaultConfig() Config {
+	return Config{
+		Scale:     1,
+		Seed:      2003, // DSN 2003
+		CoverFrac: 0.95,
+		Campaigns: []inject.Campaign{inject.CampaignA, inject.CampaignB, inject.CampaignC},
+	}
+}
+
+// Study is a prepared experiment: booted machine, golden run, profile
+// and selected target functions.
+type Study struct {
+	Cfg     Config
+	Profile *kernprof.Profile
+	Core    []kernprof.FuncProfile
+	Runner  *inject.Runner
+	Set     *analysis.ResultSet
+
+	// FuncsFor maps each campaign to its selected functions.
+	FuncsFor map[inject.Campaign][]asm.Func
+}
+
+// New profiles the kernel and prepares the injection runner.
+func New(cfg Config) (*Study, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.CoverFrac == 0 {
+		cfg.CoverFrac = 0.95
+	}
+	if len(cfg.Campaigns) == 0 {
+		cfg.Campaigns = []inject.Campaign{inject.CampaignA, inject.CampaignB, inject.CampaignC}
+	}
+	ws := unixbench.Suite(unixbench.Scale(cfg.Scale))
+
+	prof, err := kernprof.Collect(ws, 1<<40, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: profile: %w", err)
+	}
+	runner, err := inject.NewRunnerWithOptions(ws, inject.RunnerOptions{
+		DisableAssertions: cfg.DisableAssertions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: runner: %w", err)
+	}
+
+	s := &Study{
+		Cfg:     cfg,
+		Profile: prof,
+		Core:    prof.TopCovering(cfg.CoverFrac),
+		Runner:  runner,
+		Set: &analysis.ResultSet{
+			Seed:    cfg.Seed,
+			Scale:   cfg.Scale,
+			Results: make(map[string][]inject.Result),
+		},
+		FuncsFor: make(map[inject.Campaign][]asm.Func),
+	}
+	s.selectFunctions()
+	return s, nil
+}
+
+// selectFunctions chooses the target functions per campaign. Campaign
+// A targets the core (most frequently used) functions, as the paper's
+// profiling dictated; campaigns B and C extend to every selected-
+// subsystem function containing conditional branches (the paper also
+// injected more functions in those campaigns: 51/81/176).
+func (s *Study) selectFunctions() {
+	prog := s.Runner.M.Prog
+	coreSet := make(map[string]bool, len(s.Core))
+	for _, f := range s.Core {
+		coreSet[f.Name] = true
+	}
+
+	var coreFuncs, branchFuncs []asm.Func
+	for _, fn := range prog.Funcs {
+		if !isTargetSubsystem(fn.Section) {
+			continue
+		}
+		if coreSet[fn.Name] {
+			coreFuncs = append(coreFuncs, fn)
+		}
+		if inject.HasCondBranch(prog, fn) {
+			branchFuncs = append(branchFuncs, fn)
+		}
+	}
+	sort.Slice(coreFuncs, func(i, j int) bool { return coreFuncs[i].Addr < coreFuncs[j].Addr })
+	sort.Slice(branchFuncs, func(i, j int) bool { return branchFuncs[i].Addr < branchFuncs[j].Addr })
+
+	for _, c := range s.Cfg.Campaigns {
+		switch c {
+		case inject.CampaignA:
+			s.FuncsFor[c] = coreFuncs
+		default:
+			s.FuncsFor[c] = branchFuncs
+		}
+		if s.Cfg.MaxFuncsPerCampaign > 0 && len(s.FuncsFor[c]) > s.Cfg.MaxFuncsPerCampaign {
+			s.FuncsFor[c] = s.FuncsFor[c][:s.Cfg.MaxFuncsPerCampaign]
+		}
+	}
+}
+
+func isTargetSubsystem(sec string) bool {
+	switch sec {
+	case "arch", "fs", "kernel", "mm":
+		return true
+	}
+	return false
+}
+
+// Targets enumerates all injections for one campaign.
+func (s *Study) Targets(c inject.Campaign) ([]inject.Target, error) {
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + int64(c)))
+	var out []inject.Target
+	for _, fn := range s.FuncsFor[c] {
+		ts, err := inject.EnumerateTargets(s.Runner.M.Prog, fn, c, rng)
+		if err != nil {
+			return nil, err
+		}
+		if s.Cfg.MaxTargetsPerFunc > 0 && len(ts) > s.Cfg.MaxTargetsPerFunc {
+			// Deterministic subsample: evenly spaced.
+			step := float64(len(ts)) / float64(s.Cfg.MaxTargetsPerFunc)
+			sub := make([]inject.Target, 0, s.Cfg.MaxTargetsPerFunc)
+			for i := 0; i < s.Cfg.MaxTargetsPerFunc; i++ {
+				sub = append(sub, ts[int(float64(i)*step)])
+			}
+			ts = sub
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// RunCampaign executes one campaign and stores the results. With
+// Cfg.Workers > 1, targets are spread across independent simulated
+// machines; the result slice is ordered by target, so the output is
+// identical to a serial run.
+func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
+	targets, err := s.Targets(c)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]inject.Result, len(targets))
+	workers := s.Cfg.Workers
+	if workers <= 1 {
+		for i, t := range targets {
+			results[i] = s.Runner.RunTarget(c, t)
+			if s.Cfg.Progress != nil {
+				s.Cfg.Progress(c, t.Func.Name, i+1, len(targets))
+			}
+		}
+		s.Set.Results[analysis.CampaignKey(c)] = results
+		return results, nil
+	}
+
+	var (
+		next int32 = -1
+		done int32
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		rerr error
+	)
+	ws := unixbench.Suite(unixbench.Scale(s.Cfg.Scale))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(useShared bool) {
+			defer wg.Done()
+			runner := s.Runner
+			if !useShared {
+				r, err := inject.NewRunnerWithOptions(ws, inject.RunnerOptions{
+					DisableAssertions: s.Cfg.DisableAssertions,
+				})
+				if err != nil {
+					mu.Lock()
+					if rerr == nil {
+						rerr = err
+					}
+					mu.Unlock()
+					return
+				}
+				runner = r
+			}
+			for {
+				i := int(atomic.AddInt32(&next, 1))
+				if i >= len(targets) {
+					return
+				}
+				results[i] = runner.RunTarget(c, targets[i])
+				n := int(atomic.AddInt32(&done, 1))
+				if s.Cfg.Progress != nil && n%64 == 0 {
+					mu.Lock()
+					s.Cfg.Progress(c, targets[i].Func.Name, n, len(targets))
+					mu.Unlock()
+				}
+			}
+		}(w == 0)
+	}
+	wg.Wait()
+	if rerr != nil {
+		return nil, rerr
+	}
+	s.Set.Results[analysis.CampaignKey(c)] = results
+	return results, nil
+}
+
+// RunAll executes every configured campaign.
+func (s *Study) RunAll() error {
+	for _, c := range s.Cfg.Campaigns {
+		if _, err := s.RunCampaign(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Results returns the stored results for a campaign.
+func (s *Study) Results(c inject.Campaign) []inject.Result {
+	return s.Set.Results[analysis.CampaignKey(c)]
+}
+
+// --- report rendering ---
+
+// ReportTable1 renders the function distribution among subsystems.
+func (s *Study) ReportTable1() string {
+	rows, coreFns := s.Profile.Table1(s.Cfg.CoverFrac)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: function distribution among kernel subsystems\n")
+	fmt.Fprintf(&b, "%-10s %18s %22s\n", "Subsystem", "Profiled functions", "In core (95%) set")
+	totalProf, totalCore := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %18d %22d\n", r.Section, r.Profiled, r.InCore)
+		totalProf += r.Profiled
+		totalCore += r.InCore
+	}
+	fmt.Fprintf(&b, "%-10s %18d %22d\n", "Total", totalProf, totalCore)
+	fmt.Fprintf(&b, "\ntop functions covering %.0f%% of %d samples: %d\n",
+		100*s.Cfg.CoverFrac, s.Profile.Total, len(coreFns))
+	return b.String()
+}
+
+// ReportFigure1 renders the subsystem sizes of the mini-kernel.
+func (s *Study) ReportFigure1() string {
+	return RenderSubsystemSizes(s.Runner.M.Prog)
+}
+
+// ReportFigure4 renders the outcome tables for every campaign.
+func (s *Study) ReportFigure4() string {
+	var b strings.Builder
+	for _, c := range s.Cfg.Campaigns {
+		rows := analysis.OutcomeTable(s.Results(c))
+		b.WriteString(analysis.RenderOutcomeTable(
+			fmt.Sprintf("Figure 4 — campaign %v", c), rows))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ReportFigure6 renders crash-cause distributions per campaign.
+func (s *Study) ReportFigure6() string {
+	var b strings.Builder
+	for _, c := range s.Cfg.Campaigns {
+		causes := analysis.CrashCauses(s.Results(c))
+		b.WriteString(analysis.RenderCauses(
+			fmt.Sprintf("Figure 6 — campaign %v", c), causes))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ReportFigure7 renders crash-latency histograms per campaign.
+func (s *Study) ReportFigure7() string {
+	var b strings.Builder
+	for _, c := range s.Cfg.Campaigns {
+		b.WriteString(analysis.RenderLatency(
+			fmt.Sprintf("Figure 7 — campaign %v", c),
+			analysis.Latency(s.Results(c))))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ReportFigure8 renders propagation graphs (fs and kernel panels, as
+// in the paper, plus the rest).
+func (s *Study) ReportFigure8() string {
+	var b strings.Builder
+	for _, c := range s.Cfg.Campaigns {
+		prop := analysis.Propagation(s.Results(c))
+		fmt.Fprintf(&b, "Figure 8 — campaign %v\n", c)
+		for _, sub := range analysis.Subsystems {
+			if row := prop[sub]; row != nil {
+				b.WriteString(analysis.RenderPropagation(row))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ReportTable5 renders the most-severe crash summary.
+func (s *Study) ReportTable5() string {
+	return analysis.RenderSevere(s.Set.All())
+}
+
+// ReportTable6 renders not-manifested branch case studies.
+func (s *Study) ReportTable6(max int) string {
+	return analysis.RenderTable6(s.Results(inject.CampaignB), max)
+}
+
+// ReportTable7 renders crash case studies per major cause.
+func (s *Study) ReportTable7() string {
+	return analysis.RenderTable7(s.Set.All())
+}
+
+// RenderSubsystemSizes reports the size of each kernel subsystem
+// (Figure 1 analog: text bytes and function counts of the mini-kernel).
+func RenderSubsystemSizes(prog *asm.Program) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: size of kernel subsystems\n")
+	fmt.Fprintf(&b, "%-10s %12s %10s\n", "Subsystem", "Text bytes", "Functions")
+	for _, sub := range analysis.Subsystems {
+		sec := prog.Sections[sub]
+		if sec == nil {
+			continue
+		}
+		n := 0
+		for _, f := range prog.Funcs {
+			if f.Section == sub {
+				n++
+			}
+		}
+		fmt.Fprintf(&b, "%-10s %12d %10d\n", sub, len(sec.Code), n)
+	}
+	return b.String()
+}
+
+// KernelFunctionCount returns the total functions assembled into the
+// four target subsystems.
+func KernelFunctionCount() (int, error) {
+	prog, err := kernel.Assemble()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, f := range prog.Funcs {
+		if isTargetSubsystem(f.Section) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ReportTable2 summarizes the experimental setup (the paper's Table 2),
+// with the simulated equivalents of each apparatus column.
+func (s *Study) ReportTable2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: experimental setup summary\n")
+	rows := [][2]string{
+		{"CPU", "simulated IA-32 subset interpreter (internal/cpu)"},
+		{"Memory", fmt.Sprintf("%d MiB lowmem direct-mapped at 0xC0000000", kernel.LowmemSize>>20)},
+		{"Kernel", fmt.Sprintf("mini-kernel, %d functions in arch/fs/kernel/mm (+drivers, lib)", s.kernelFuncCount())},
+		{"File system", fmt.Sprintf("ext2-lite, %d blocks x %d B ramdisk", kernel.RamdiskBlocks, kernel.PageSize)},
+		{"Crash dump", "host crash handler + register/stack capture (internal/dump)"},
+		{"Workload", fmt.Sprintf("UnixBench-like suite, 8 programs, scale %d", s.Cfg.Scale)},
+		{"Profiling", "PC sampling every 97 cycles (internal/kernprof)"},
+		{"Kernel debug", "AT&T disassembler + symbolized oops (internal/ia32)"},
+		{"Injection tool", "debug-register single-bit injector (internal/inject)"},
+		{"Watchdog", fmt.Sprintf("%d-cycle budget per run", s.Runner.Budget)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %s\n", r[0], r[1])
+	}
+	return b.String()
+}
+
+func (s *Study) kernelFuncCount() int {
+	n := 0
+	for _, f := range s.Runner.M.Prog.Funcs {
+		if isTargetSubsystem(f.Section) {
+			n++
+		}
+	}
+	return n
+}

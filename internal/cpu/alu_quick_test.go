@@ -1,0 +1,145 @@
+package cpu_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
+
+// aluMachine executes single encoded instructions for property tests.
+type aluMachine struct {
+	c *cpu.CPU
+	m *mem.Memory
+}
+
+func newALUMachine() *aluMachine {
+	m := mem.New()
+	m.Map(0x1000, 0x1000, mem.PermRX)
+	m.Map(0x8000, 0x1000, mem.PermRW)
+	return &aluMachine{c: cpu.New(m), m: m}
+}
+
+// exec runs one instruction with the given EAX/ECX and returns the
+// resulting EAX plus the ZF/SF/CF/OF flags.
+func (am *aluMachine) exec(t *testing.T, inst ia32.Inst, eax, ecx uint32) (uint32, [4]bool) {
+	t.Helper()
+	code, err := ia32.Encode(inst)
+	if err != nil {
+		t.Fatalf("encode %+v: %v", inst, err)
+	}
+	if err := am.m.WriteRaw(0x1000, append(code, 0x90)); err != nil {
+		t.Fatal(err)
+	}
+	am.c.Reset()
+	am.c.EIP = 0x1000
+	am.c.Regs[ia32.EAX] = eax
+	am.c.Regs[ia32.ECX] = ecx
+	am.c.Regs[ia32.ESP] = 0x8800
+	if err := am.c.Step(); err != nil {
+		t.Fatalf("step %+v: %v", inst, err)
+	}
+	f := am.c.Eflags
+	return am.c.Regs[ia32.EAX], [4]bool{
+		f&cpu.FlagZF != 0, f&cpu.FlagSF != 0, f&cpu.FlagCF != 0, f&cpu.FlagOF != 0,
+	}
+}
+
+func flagsModel(op ia32.Op, a, b uint32) (uint32, [4]bool) {
+	var res uint32
+	var cf, of bool
+	switch op {
+	case ia32.OpAdd:
+		res = a + b
+		cf = uint64(a)+uint64(b) > 0xFFFFFFFF
+		of = (a^res)&(b^res)&0x80000000 != 0
+	case ia32.OpSub, ia32.OpCmp:
+		res = a - b
+		cf = b > a
+		of = (a^b)&(a^res)&0x80000000 != 0
+		if op == ia32.OpCmp {
+			return a, [4]bool{res == 0, res&0x80000000 != 0, cf, of}
+		}
+	case ia32.OpAnd, ia32.OpTest:
+		res = a & b
+		if op == ia32.OpTest {
+			return a, [4]bool{res == 0, res&0x80000000 != 0, false, false}
+		}
+	case ia32.OpOr:
+		res = a | b
+	case ia32.OpXor:
+		res = a ^ b
+	}
+	return res, [4]bool{res == 0, res&0x80000000 != 0, cf, of}
+}
+
+// TestALUAgainstModel cross-checks the interpreter's ALU results and
+// ZF/SF/CF/OF against a Go model for random operand pairs.
+func TestALUAgainstModel(t *testing.T) {
+	am := newALUMachine()
+	ops := []ia32.Op{ia32.OpAdd, ia32.OpSub, ia32.OpCmp, ia32.OpAnd, ia32.OpOr, ia32.OpXor, ia32.OpTest}
+	k := 0
+	f := func(a, b uint32) bool {
+		op := ops[k%len(ops)]
+		k++
+		inst := ia32.Inst{Op: op, Args: [2]ia32.Arg{ia32.RegArg(ia32.EAX), ia32.RegArg(ia32.ECX)}}
+		gotV, gotF := am.exec(t, inst, a, b)
+		wantV, wantF := flagsModel(op, a, b)
+		if gotV != wantV || gotF != wantF {
+			t.Logf("op %v a=%#x b=%#x: got (%#x,%v), want (%#x,%v)",
+				op, a, b, gotV, gotF, wantV, wantF)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShiftsAgainstModel checks SHL/SHR/SAR for all counts.
+func TestShiftsAgainstModel(t *testing.T) {
+	am := newALUMachine()
+	for _, op := range []ia32.Op{ia32.OpShl, ia32.OpShr, ia32.OpSar} {
+		for count := 1; count < 32; count++ {
+			for _, a := range []uint32{0, 1, 0x80000000, 0xFFFFFFFF, 0x12345678, 0xDEADBEEF} {
+				inst := ia32.Inst{
+					Op:   op,
+					Args: [2]ia32.Arg{ia32.RegArg(ia32.EAX)},
+					Imm:  int32(count), HasImm: true,
+				}
+				got, _ := am.exec(t, inst, a, 0)
+				var want uint32
+				switch op {
+				case ia32.OpShl:
+					want = a << uint(count)
+				case ia32.OpShr:
+					want = a >> uint(count)
+				case ia32.OpSar:
+					want = uint32(int32(a) >> uint(count))
+				}
+				if got != want {
+					t.Fatalf("%v %#x by %d = %#x, want %#x", op, a, count, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestImmediateFormsMatchRegForms: op reg,imm must equal op reg,reg
+// with the same value.
+func TestImmediateFormsMatchRegForms(t *testing.T) {
+	am := newALUMachine()
+	f := func(a uint32, imm int32) bool {
+		immInst := ia32.Inst{Op: ia32.OpAdd, Args: [2]ia32.Arg{ia32.RegArg(ia32.EAX)}, Imm: imm, HasImm: true}
+		regInst := ia32.Inst{Op: ia32.OpAdd, Args: [2]ia32.Arg{ia32.RegArg(ia32.EAX), ia32.RegArg(ia32.ECX)}}
+		v1, f1 := am.exec(t, immInst, a, 0)
+		v2, f2 := am.exec(t, regInst, a, uint32(imm))
+		return v1 == v2 && f1 == f2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,393 @@
+// Package cpu implements the simulated IA-32 processor core: register
+// file, EFLAGS, instruction execution, exceptions, debug registers
+// (used by the error injector to trigger on a target instruction
+// address, like the paper's injection driver), and a cycle counter
+// (the paper's performance counter, used to measure crash latency).
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
+
+// EFLAGS bit positions.
+const (
+	FlagCF uint32 = 1 << 0
+	FlagPF uint32 = 1 << 2
+	FlagAF uint32 = 1 << 4
+	FlagZF uint32 = 1 << 6
+	FlagSF uint32 = 1 << 7
+	FlagTF uint32 = 1 << 8
+	FlagIF uint32 = 1 << 9
+	FlagDF uint32 = 1 << 10
+	FlagOF uint32 = 1 << 11
+)
+
+// Exception vectors (IA-32 numbering).
+const (
+	VecDE = 0  // divide error
+	VecDB = 1  // debug
+	VecBP = 3  // breakpoint (int3)
+	VecOF = 4  // overflow (into)
+	VecBR = 5  // bounds check
+	VecUD = 6  // invalid opcode
+	VecNM = 7  // device not available
+	VecDF = 8  // double fault
+	VecCS = 9  // coprocessor segment overrun
+	VecTS = 10 // invalid TSS
+	VecNP = 11 // segment not present
+	VecSS = 12 // stack exception
+	VecGP = 13 // general protection fault
+	VecPF = 14 // page fault
+)
+
+// VectorName returns the human-readable trap name used in crash reports.
+func VectorName(v int) string {
+	switch v {
+	case VecDE:
+		return "divide error"
+	case VecDB:
+		return "debug"
+	case VecBP:
+		return "int3"
+	case VecOF:
+		return "overflow"
+	case VecBR:
+		return "bounds"
+	case VecUD:
+		return "invalid opcode"
+	case VecNM:
+		return "device not available"
+	case VecDF:
+		return "double fault"
+	case VecCS:
+		return "coprocessor segment overrun"
+	case VecTS:
+		return "invalid TSS"
+	case VecNP:
+		return "segment not present"
+	case VecSS:
+		return "stack exception"
+	case VecGP:
+		return "general protection fault"
+	case VecPF:
+		return "page fault"
+	}
+	return fmt.Sprintf("vector %d", v)
+}
+
+// Exception is a CPU exception. It satisfies error; the run loop and the
+// crash handler inspect it to classify crashes.
+type Exception struct {
+	Vector int
+	EIP    uint32 // address of the faulting instruction
+	Addr   uint32 // faulting linear address (page faults)
+	Write  bool   // page fault was a write
+}
+
+func (e *Exception) Error() string {
+	if e.Vector == VecPF {
+		return fmt.Sprintf("cpu: %s at eip 0x%08x, virtual address 0x%08x",
+			VectorName(e.Vector), e.EIP, e.Addr)
+	}
+	return fmt.Sprintf("cpu: %s at eip 0x%08x", VectorName(e.Vector), e.EIP)
+}
+
+// ErrHalted is returned when the CPU executes HLT; outside an idle loop
+// this leaves the system non-operational (a hang in the study's
+// taxonomy).
+var ErrHalted = errors.New("cpu: halted")
+
+// CPU is the simulated processor.
+type CPU struct {
+	Regs   [8]uint32 // EAX..EDI, indexed by ia32.Reg
+	EIP    uint32
+	Eflags uint32
+	Mem    *mem.Memory
+
+	// Cycles is the performance counter: it advances with every
+	// executed instruction and memory access.
+	Cycles uint64
+
+	// Debug registers: execute breakpoints (DR0-DR3 analog).
+	DR        [4]uint32
+	DREnabled [4]bool
+	// OnBreakpoint is invoked before executing the instruction at an
+	// enabled debug-register address. The hook typically flips a bit at
+	// the address and disables the register (the injection driver).
+	OnBreakpoint func(c *CPU, dr int)
+
+	// Port I/O hooks. OnOut receives OUT writes (console, panic port);
+	// OnIn supplies IN reads. Nil hooks discard writes and read all-ones.
+	OnOut func(port uint16, w8 bool, val uint32)
+	OnIn  func(port uint16, w8 bool) uint32
+
+	// PC sampling (the kernprof substitute): when SampleEvery > 0,
+	// OnSample receives the current EIP every SampleEvery cycles.
+	SampleEvery uint64
+	OnSample    func(eip uint32)
+	nextSample  uint64
+
+	fetch [ia32.MaxInstLen]byte
+
+	// Decode cache: executable bytes only change when Mem.CodeGen
+	// moves (raw writes, mapping changes, restores), so decoded
+	// instructions are reusable across the hot interpreter loop.
+	icache    map[uint32]ia32.Inst
+	icacheGen uint64
+}
+
+// New creates a CPU attached to m with all state zeroed (IF set, as the
+// kernel runs with interrupts enabled).
+func New(m *mem.Memory) *CPU {
+	return &CPU{Mem: m, Eflags: FlagIF}
+}
+
+// Reset clears registers and flags (memory is managed separately via
+// snapshots).
+func (c *CPU) Reset() {
+	c.Regs = [8]uint32{}
+	c.EIP = 0
+	c.Eflags = FlagIF
+	c.Cycles = 0
+	c.DR = [4]uint32{}
+	c.DREnabled = [4]bool{}
+	c.nextSample = 0
+}
+
+// SetBreakpoint arms debug register dr at addr.
+func (c *CPU) SetBreakpoint(dr int, addr uint32) {
+	c.DR[dr] = addr
+	c.DREnabled[dr] = true
+}
+
+// ClearBreakpoint disarms debug register dr.
+func (c *CPU) ClearBreakpoint(dr int) { c.DREnabled[dr] = false }
+
+// StopReason tells why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopReturned  StopReason = iota + 1 // EIP reached the host return sentinel
+	StopException                       // unhandled CPU exception
+	StopBudget                          // cycle budget exhausted (watchdog)
+	StopHalted                          // HLT executed
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopReturned:
+		return "returned"
+	case StopException:
+		return "exception"
+	case StopBudget:
+		return "budget exhausted"
+	case StopHalted:
+		return "halted"
+	}
+	return "stop?"
+}
+
+// HostReturn is the sentinel return address pushed by the host when
+// calling into simulated code; reaching it means the called function
+// returned to the host.
+const HostReturn uint32 = 0xFFFFFFF0
+
+// Step executes one instruction. It returns nil on success, an
+// *Exception on a fault/trap, or ErrHalted for HLT. On an exception the
+// architectural state is that of the instruction start (faults are
+// restartable, as on real hardware).
+func (c *CPU) Step() error {
+	for i := 0; i < 4; i++ {
+		if c.DREnabled[i] && c.DR[i] == c.EIP && c.OnBreakpoint != nil {
+			c.OnBreakpoint(c, i)
+		}
+	}
+
+	if gen := c.Mem.CodeGen(); c.icache == nil || gen != c.icacheGen {
+		c.icache = make(map[uint32]ia32.Inst, 4096)
+		c.icacheGen = gen
+	}
+	if inst, ok := c.icache[c.EIP]; ok {
+		return c.exec(&inst)
+	}
+	n, err := c.Mem.Fetch(c.EIP, c.fetch[:])
+	if err != nil {
+		return c.pageFault(err, c.EIP)
+	}
+	inst, derr := ia32.Decode(c.fetch[:n])
+	if derr != nil {
+		if errors.Is(derr, ia32.ErrTruncated) && n < ia32.MaxInstLen {
+			// The instruction extends into an unfetchable page.
+			return &Exception{Vector: VecPF, EIP: c.EIP, Addr: c.EIP + uint32(n)}
+		}
+		return &Exception{Vector: VecUD, EIP: c.EIP}
+	}
+	c.icache[c.EIP] = inst
+	return c.exec(&inst)
+}
+
+// pageFault converts a mem.Fault into a page-fault exception.
+func (c *CPU) pageFault(err error, _ uint32) error {
+	var f *mem.Fault
+	if errors.As(err, &f) {
+		return &Exception{
+			Vector: VecPF,
+			EIP:    c.EIP,
+			Addr:   f.Addr,
+			Write:  f.Access == mem.AccessWrite,
+		}
+	}
+	return err
+}
+
+// Run executes instructions until the budget is exhausted, an exception
+// or halt occurs, or control returns to the host sentinel. It returns
+// the stop reason and, for StopException, the exception.
+func (c *CPU) Run(budget uint64) (StopReason, *Exception) {
+	limit := c.Cycles + budget
+	for c.Cycles < limit {
+		if c.EIP == HostReturn {
+			return StopReturned, nil
+		}
+		if c.SampleEvery > 0 && c.Cycles >= c.nextSample {
+			c.OnSample(c.EIP)
+			c.nextSample = c.Cycles + c.SampleEvery
+		}
+		err := c.Step()
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrHalted) {
+			return StopHalted, nil
+		}
+		var exc *Exception
+		if errors.As(err, &exc) {
+			return StopException, exc
+		}
+		// Unknown internal error: surface as a double fault.
+		return StopException, &Exception{Vector: VecDF, EIP: c.EIP}
+	}
+	if c.EIP == HostReturn {
+		return StopReturned, nil
+	}
+	return StopBudget, nil
+}
+
+// reg8 reads an 8-bit register by encoding (AL..BH).
+func (c *CPU) reg8(r ia32.Reg) uint8 {
+	if r < 4 {
+		return uint8(c.Regs[r])
+	}
+	return uint8(c.Regs[r-4] >> 8)
+}
+
+// setReg8 writes an 8-bit register by encoding.
+func (c *CPU) setReg8(r ia32.Reg, v uint8) {
+	if r < 4 {
+		c.Regs[r] = c.Regs[r]&^uint32(0xFF) | uint32(v)
+	} else {
+		c.Regs[r-4] = c.Regs[r-4]&^uint32(0xFF00) | uint32(v)<<8
+	}
+}
+
+// ea computes the effective address of a memory operand.
+func (c *CPU) ea(m ia32.MemRef) uint32 {
+	addr := uint32(m.Disp)
+	if m.HasBase {
+		addr += c.Regs[m.Base]
+	}
+	if m.HasIndex {
+		addr += c.Regs[m.Index] * uint32(m.Scale)
+	}
+	return addr
+}
+
+// readArg reads an operand value (zero-extended for 8-bit).
+func (c *CPU) readArg(a ia32.Arg, w8 bool) (uint32, error) {
+	switch a.Kind {
+	case ia32.KindReg:
+		if w8 {
+			return uint32(c.reg8(a.Reg)), nil
+		}
+		return c.Regs[a.Reg], nil
+	case ia32.KindMem:
+		addr := c.ea(a.Mem)
+		c.Cycles++
+		if w8 {
+			v, err := c.Mem.Read8(addr)
+			if err != nil {
+				return 0, c.pageFault(err, addr)
+			}
+			return uint32(v), nil
+		}
+		v, err := c.Mem.Read32(addr)
+		if err != nil {
+			return 0, c.pageFault(err, addr)
+		}
+		return v, nil
+	}
+	return 0, &Exception{Vector: VecUD, EIP: c.EIP}
+}
+
+// writeArg writes an operand.
+func (c *CPU) writeArg(a ia32.Arg, w8 bool, v uint32) error {
+	switch a.Kind {
+	case ia32.KindReg:
+		if w8 {
+			c.setReg8(a.Reg, uint8(v))
+		} else {
+			c.Regs[a.Reg] = v
+		}
+		return nil
+	case ia32.KindMem:
+		addr := c.ea(a.Mem)
+		c.Cycles++
+		var err error
+		if w8 {
+			err = c.Mem.Write8(addr, uint8(v))
+		} else {
+			err = c.Mem.Write32(addr, v)
+		}
+		if err != nil {
+			return c.pageFault(err, addr)
+		}
+		return nil
+	}
+	return &Exception{Vector: VecUD, EIP: c.EIP}
+}
+
+// push writes v at ESP-4. Stack accesses that run off the ends of the
+// address space raise #SS (stack exception), mirroring the stack-segment
+// checks of real hardware.
+func (c *CPU) push(v uint32) error {
+	sp := c.Regs[ia32.ESP] - 4
+	if sp >= 0xFFFFFFF8 || sp < 4 {
+		return &Exception{Vector: VecSS, EIP: c.EIP, Addr: sp}
+	}
+	c.Cycles++
+	if err := c.Mem.Write32(sp, v); err != nil {
+		return c.pageFault(err, sp)
+	}
+	c.Regs[ia32.ESP] = sp
+	return nil
+}
+
+// pop reads the value at ESP and grows the stack.
+func (c *CPU) pop() (uint32, error) {
+	sp := c.Regs[ia32.ESP]
+	if sp >= 0xFFFFFFF8 || sp < 4 {
+		return 0, &Exception{Vector: VecSS, EIP: c.EIP, Addr: sp}
+	}
+	c.Cycles++
+	v, err := c.Mem.Read32(sp)
+	if err != nil {
+		return 0, c.pageFault(err, sp)
+	}
+	c.Regs[ia32.ESP] = sp + 4
+	return v, nil
+}

@@ -1,0 +1,597 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ia32"
+)
+
+// TestFlagSemantics drives small assembled functions that return a
+// condition flag as 0/1 and checks them against Go arithmetic.
+func TestFlagSemantics(t *testing.T) {
+	m := build(t, `
+; returns packed flags of a+b: CF | ZF<<1 | SF<<2 | OF<<3
+add_flags:
+	push ebx
+	mov eax, [esp+8]
+	add eax, [esp+12]
+	setc al
+	movzx ebx, al
+	setz al
+	movzx eax, al
+	shl eax, 1
+	or ebx, eax
+	mov eax, [esp+8]
+	add eax, [esp+12]
+	sets al
+	movzx eax, al
+	shl eax, 2
+	or ebx, eax
+	mov eax, [esp+8]
+	add eax, [esp+12]
+	seto al
+	movzx eax, al
+	shl eax, 3
+	or ebx, eax
+	mov eax, ebx
+	pop ebx
+	ret
+; returns packed flags of a-b
+sub_flags:
+	push ebx
+	mov eax, [esp+8]
+	sub eax, [esp+12]
+	setc al
+	movzx ebx, al
+	mov eax, [esp+8]
+	cmp eax, [esp+12]
+	setz al
+	movzx eax, al
+	shl eax, 1
+	or ebx, eax
+	mov eax, [esp+8]
+	cmp eax, [esp+12]
+	sets al
+	movzx eax, al
+	shl eax, 2
+	or ebx, eax
+	mov eax, [esp+8]
+	cmp eax, [esp+12]
+	seto al
+	movzx eax, al
+	shl eax, 3
+	or ebx, eax
+	mov eax, ebx
+	pop ebx
+	ret
+`)
+	goldAdd := func(a, b uint32) uint32 {
+		sum64 := uint64(a) + uint64(b)
+		res := uint32(sum64)
+		var f uint32
+		if sum64 > 0xFFFFFFFF {
+			f |= 1 // CF
+		}
+		if res == 0 {
+			f |= 2 // ZF
+		}
+		if res&0x80000000 != 0 {
+			f |= 4 // SF
+		}
+		if (a^res)&(b^res)&0x80000000 != 0 {
+			f |= 8 // OF
+		}
+		return f
+	}
+	goldSub := func(a, b uint32) uint32 {
+		res := a - b
+		var f uint32
+		if b > a {
+			f |= 1
+		}
+		if res == 0 {
+			f |= 2
+		}
+		if res&0x80000000 != 0 {
+			f |= 4
+		}
+		if (a^b)&(a^res)&0x80000000 != 0 {
+			f |= 8
+		}
+		return f
+	}
+	cases := [][2]uint32{
+		{0, 0}, {1, 1}, {0xFFFFFFFF, 1}, {0x7FFFFFFF, 1},
+		{0x80000000, 0x80000000}, {0x80000000, 1}, {5, 3}, {3, 5},
+		{0xFFFFFFFF, 0xFFFFFFFF}, {0x12345678, 0x87654321},
+	}
+	for _, c := range cases {
+		if got, want := mustReturn(t, m, "add_flags", c[0], c[1]), goldAdd(c[0], c[1]); got != want {
+			t.Errorf("add_flags(%#x,%#x) = %04b, want %04b", c[0], c[1], got, want)
+		}
+		if got, want := mustReturn(t, m, "sub_flags", c[0], c[1]), goldSub(c[0], c[1]); got != want {
+			t.Errorf("sub_flags(%#x,%#x) = %04b, want %04b", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestAdcSbbChains(t *testing.T) {
+	m := build(t, `
+; 64-bit add: (alo,ahi)+(blo,bhi) -> returns hi result, lo in [out]
+.section data
+out_lo: .long 0
+.section text
+add64:
+	mov eax, [esp+4]
+	add eax, [esp+12]
+	mov [out_lo], eax
+	mov eax, [esp+8]
+	adc eax, [esp+16]
+	ret
+; 64-bit sub hi
+sub64:
+	mov eax, [esp+4]
+	sub eax, [esp+12]
+	mov [out_lo], eax
+	mov eax, [esp+8]
+	sbb eax, [esp+16]
+	ret
+`)
+	cases := [][2]uint64{
+		{0xFFFFFFFF, 1}, {0x1_00000000, 0x2_00000001},
+		{0xDEADBEEF_CAFEBABE, 0x12345678_9ABCDEF0},
+		{5, 10}, {1 << 63, 1},
+	}
+	loAddr := m.prog.Symbols["out_lo"]
+	for _, c := range cases {
+		a, b := c[0], c[1]
+		hi := mustReturn(t, m, "add64",
+			uint32(a), uint32(a>>32), uint32(b), uint32(b>>32))
+		lo, _ := m.mem.Read32(loAddr)
+		if got, want := uint64(hi)<<32|uint64(lo), a+b; got != want {
+			t.Errorf("add64(%#x,%#x) = %#x, want %#x", a, b, got, want)
+		}
+		hi = mustReturn(t, m, "sub64",
+			uint32(a), uint32(a>>32), uint32(b), uint32(b>>32))
+		lo, _ = m.mem.Read32(loAddr)
+		if got, want := uint64(hi)<<32|uint64(lo), a-b; got != want {
+			t.Errorf("sub64(%#x,%#x) = %#x, want %#x", a, b, got, want)
+		}
+	}
+}
+
+func TestImulForms(t *testing.T) {
+	m := build(t, `
+imul2: ; a * b via two-operand imul
+	mov eax, [esp+4]
+	imul eax, [esp+8]
+	ret
+imul3: ; a * 100 via three-operand imul
+	imul eax, [esp+4], 100
+	ret
+imul1_hi: ; signed widening multiply, returns EDX (high half)
+	mov eax, [esp+4]
+	imul dword [esp+8]
+	mov eax, edx
+	ret
+mul1_hi: ; unsigned widening multiply high half
+	mov eax, [esp+4]
+	mul dword [esp+8]
+	mov eax, edx
+	ret
+`)
+	if got := mustReturn(t, m, "imul2", 7, 0xFFFFFFFF); got != uint32(0xFFFFFFF9) {
+		t.Errorf("imul2(7,-1) = %#x", got)
+	}
+	if got := mustReturn(t, m, "imul3", 0xFFFFFFFF); got != uint32(4294967196) {
+		t.Errorf("imul3(-1) = %d, want -100", int32(got))
+	}
+	if got := mustReturn(t, m, "imul1_hi", 0xFFFFFFFF, 2); got != 0xFFFFFFFF {
+		t.Errorf("imul1_hi(-1,2) = %#x, want -1 (sign ext)", got)
+	}
+	if got := mustReturn(t, m, "mul1_hi", 0xFFFFFFFF, 2); got != 1 {
+		t.Errorf("mul1_hi(max,2) = %#x, want 1", got)
+	}
+}
+
+func TestIdivSignedAndOverflow(t *testing.T) {
+	m := build(t, `
+sdiv: ; signed a / b
+	mov eax, [esp+4]
+	cdq
+	idiv dword [esp+8]
+	ret
+srem: ; signed a % b
+	mov eax, [esp+4]
+	cdq
+	idiv dword [esp+8]
+	mov eax, edx
+	ret
+`)
+	if got := mustReturn(t, m, "sdiv", uint32(0xFFFFFFF9), 2); int32(got) != -3 {
+		t.Errorf("sdiv(-7,2) = %d", int32(got))
+	}
+	if got := mustReturn(t, m, "srem", uint32(0xFFFFFFF9), 2); int32(got) != -1 {
+		t.Errorf("srem(-7,2) = %d", int32(got))
+	}
+	// INT_MIN / -1 overflows -> #DE.
+	_, exc := m.call(t, "sdiv", 1000, 0x80000000, 0xFFFFFFFF)
+	if exc == nil || exc.Vector != cpu.VecDE {
+		t.Fatalf("INT_MIN/-1: exc = %+v, want #DE", exc)
+	}
+}
+
+func TestRotates(t *testing.T) {
+	m := build(t, `
+rol8: ; rotate a left by 8
+	mov eax, [esp+4]
+	rol eax, 8
+	ret
+ror4:
+	mov eax, [esp+4]
+	ror eax, 4
+	ret
+rclrcr: ; rcl 1 then rcr 1 restores the value (carry round-trips)
+	clc
+	mov eax, [esp+4]
+	rcl eax, 1
+	rcr eax, 1
+	ret
+`)
+	if got := mustReturn(t, m, "rol8", 0x12345678); got != 0x34567812 {
+		t.Errorf("rol8 = %#x", got)
+	}
+	if got := mustReturn(t, m, "ror4", 0x12345678); got != 0x81234567 {
+		t.Errorf("ror4 = %#x", got)
+	}
+	for _, v := range []uint32{0, 1, 0x80000000, 0xFFFFFFFF, 0xDEADBEEF} {
+		if got := mustReturn(t, m, "rclrcr", v); got != v {
+			t.Errorf("rcl/rcr roundtrip(%#x) = %#x", v, got)
+		}
+	}
+}
+
+func TestShldShrdCL(t *testing.T) {
+	m := build(t, `
+shld_cl:
+	mov eax, [esp+4]
+	mov edx, [esp+8]
+	mov ecx, [esp+12]
+	shld eax, edx, cl
+	ret
+shrd_cl:
+	mov eax, [esp+4]
+	mov edx, [esp+8]
+	mov ecx, [esp+12]
+	shrd eax, edx, cl
+	ret
+`)
+	// shld: eax = eax<<n | edx>>(32-n)
+	if got := mustReturn(t, m, "shld_cl", 0x00000001, 0x80000000, 4); got != 0x00000018 {
+		t.Errorf("shld = %#x", got)
+	}
+	// shrd: eax = eax>>n | edx<<(32-n)
+	if got := mustReturn(t, m, "shrd_cl", 0x0000b728, 0, 12); got != 0xb {
+		t.Errorf("shrd = %#x", got)
+	}
+	if got := mustReturn(t, m, "shrd_cl", 0x80000000, 0xF, 4); got != 0xF8000000 {
+		t.Errorf("shrd high = %#x", got)
+	}
+	// count 0: unchanged
+	if got := mustReturn(t, m, "shld_cl", 0x1234, 0xFFFF, 0); got != 0x1234 {
+		t.Errorf("shld count 0 = %#x", got)
+	}
+}
+
+func TestByteRegisterAliasing(t *testing.T) {
+	m := build(t, `
+bytes:
+	mov eax, 0x11223344
+	mov al, 0x55
+	mov ah, 0x66
+	ret
+high_regs:
+	mov ebx, 0x00000000
+	mov bl, 0xAA
+	mov bh, 0xBB
+	mov eax, ebx
+	ret
+`)
+	if got := mustReturn(t, m, "bytes"); got != 0x11226655 {
+		t.Errorf("bytes = %#x", got)
+	}
+	if got := mustReturn(t, m, "high_regs"); got != 0x0000BBAA {
+		t.Errorf("high_regs = %#x", got)
+	}
+}
+
+func TestMovsxMovzx(t *testing.T) {
+	m := build(t, `
+.section data
+vals: .byte 0x80, 0x7F
+words: .word 0x8000, 0x7FFF
+.section text
+sx8:
+	movsx eax, byte [vals]
+	ret
+zx8:
+	movzx eax, byte [vals]
+	ret
+sx16:
+	movsx eax, word [words]
+	ret
+zx16:
+	movzx eax, word [words]
+	ret
+`)
+	if got := mustReturn(t, m, "sx8"); int32(got) != -128 {
+		t.Errorf("sx8 = %d", int32(got))
+	}
+	if got := mustReturn(t, m, "zx8"); got != 0x80 {
+		t.Errorf("zx8 = %#x", got)
+	}
+	if got := mustReturn(t, m, "sx16"); int32(got) != -32768 {
+		t.Errorf("sx16 = %d", int32(got))
+	}
+	if got := mustReturn(t, m, "zx16"); got != 0x8000 {
+		t.Errorf("zx16 = %#x", got)
+	}
+}
+
+func TestXchgForms(t *testing.T) {
+	m := build(t, `
+.section data
+cell: .long 77
+.section text
+swap_mem:
+	mov eax, 42
+	xchg eax, [cell]
+	ret
+swap_regs:
+	mov eax, 1
+	mov ecx, 2
+	xchg eax, ecx
+	ret
+`)
+	if got := mustReturn(t, m, "swap_mem"); got != 77 {
+		t.Errorf("xchg returned %d", got)
+	}
+	v, _ := m.mem.Read32(m.prog.Symbols["cell"])
+	if v != 42 {
+		t.Errorf("cell = %d", v)
+	}
+	if got := mustReturn(t, m, "swap_regs"); got != 2 {
+		t.Errorf("swap_regs = %d", got)
+	}
+}
+
+func TestScasRepne(t *testing.T) {
+	m := build(t, `
+.section data
+hay: .asciz "find the needle byte X here"
+.section text
+; strchr-ish: scan 64 bytes for 'X', return offset or -1
+find_x:
+	push edi
+	mov edi, hay
+	mov eax, 'X'
+	mov ecx, 64
+	cld
+	repne scasb
+	jne .Lmiss
+	mov eax, edi
+	sub eax, hay
+	dec eax
+	jmp .Lout
+.Lmiss:
+	mov eax, -1
+.Lout:
+	pop edi
+	ret
+`)
+	got := mustReturn(t, m, "find_x")
+	if got != 21 {
+		t.Errorf("find_x = %d, want 21", got)
+	}
+}
+
+func TestInOutHooks(t *testing.T) {
+	m := build(t, `
+talk:
+	mov eax, 0x41
+	out 0xE9, al
+	in eax, 0x60
+	ret
+`)
+	var outPort uint16
+	var outVal uint32
+	m.cpu.OnOut = func(port uint16, w8 bool, val uint32) {
+		outPort, outVal = port, val
+	}
+	m.cpu.OnIn = func(port uint16, w8 bool) uint32 {
+		if port == 0x60 {
+			return 0x1234
+		}
+		return 0
+	}
+	if got := mustReturn(t, m, "talk"); got != 0x1234 {
+		t.Errorf("in = %#x", got)
+	}
+	if outPort != 0xE9 || outVal != 0x41 {
+		t.Errorf("out port=%#x val=%#x", outPort, outVal)
+	}
+}
+
+func TestDirectionFlagStringOps(t *testing.T) {
+	m := build(t, `
+.section data
+src: .asciz "abcdef"
+dst: .skip 8
+.section text
+copy_backwards:
+	push esi
+	push edi
+	mov esi, src+5
+	mov edi, dst+5
+	mov ecx, 6
+	std
+	rep movsb
+	cld
+	pop edi
+	pop esi
+	ret
+`)
+	mustReturn(t, m, "copy_backwards")
+	got, _ := m.mem.ReadBytes(m.prog.Symbols["dst"], 6)
+	if string(got) != "abcdef" {
+		t.Errorf("backwards copy = %q", got)
+	}
+}
+
+func TestCallIndirectThroughTable(t *testing.T) {
+	m := build(t, `
+.section data
+table: .long fn_a, fn_b
+.section text
+fn_a:
+	mov eax, 100
+	ret
+fn_b:
+	mov eax, 200
+	ret
+dispatch:
+	mov eax, [esp+4]
+	call [table+eax*4]
+	ret
+`)
+	if got := mustReturn(t, m, "dispatch", 0); got != 100 {
+		t.Errorf("dispatch(0) = %d", got)
+	}
+	if got := mustReturn(t, m, "dispatch", 1); got != 200 {
+		t.Errorf("dispatch(1) = %d", got)
+	}
+}
+
+func TestNegNotFlags(t *testing.T) {
+	m := build(t, `
+negate:
+	mov eax, [esp+4]
+	neg eax
+	ret
+invert:
+	mov eax, [esp+4]
+	not eax
+	ret
+neg_sets_cf: ; CF set iff operand != 0
+	mov eax, [esp+4]
+	neg eax
+	setc al
+	movzx eax, al
+	ret
+`)
+	if got := mustReturn(t, m, "negate", 5); int32(got) != -5 {
+		t.Errorf("neg 5 = %d", int32(got))
+	}
+	if got := mustReturn(t, m, "invert", 0); got != 0xFFFFFFFF {
+		t.Errorf("not 0 = %#x", got)
+	}
+	if got := mustReturn(t, m, "neg_sets_cf", 0); got != 0 {
+		t.Errorf("neg 0 CF = %d", got)
+	}
+	if got := mustReturn(t, m, "neg_sets_cf", 7); got != 1 {
+		t.Errorf("neg 7 CF = %d", got)
+	}
+}
+
+func TestLeaveEnterPattern(t *testing.T) {
+	m := build(t, `
+framed:
+	push ebp
+	mov ebp, esp
+	sub esp, 16
+	mov dword [ebp-4], 11
+	mov dword [ebp-8], 22
+	mov eax, [ebp-4]
+	add eax, [ebp-8]
+	leave
+	ret
+`)
+	if got := mustReturn(t, m, "framed"); got != 33 {
+		t.Errorf("framed = %d", got)
+	}
+}
+
+func TestSahfLahf(t *testing.T) {
+	m := build(t, `
+roundtrip:
+	xor eax, eax
+	cmp eax, 1      ; sets CF, SF
+	lahf            ; flags -> AH
+	mov ecx, eax
+	xor eax, eax
+	add eax, 0      ; clears CF/SF/ZF... ZF set actually
+	mov eax, ecx
+	sahf            ; AH -> flags
+	setc al
+	movzx eax, al
+	ret
+`)
+	if got := mustReturn(t, m, "roundtrip"); got != 1 {
+		t.Errorf("lahf/sahf CF roundtrip = %d", got)
+	}
+}
+
+func TestDecodeCacheIndependence(t *testing.T) {
+	// Self-modifying code must be re-decoded: flip a branch in memory
+	// mid-run and observe the change (the injector depends on this).
+	m := build(t, `
+flipme:
+	mov eax, 1
+	test eax, eax
+	jz .La
+	mov eax, 10
+	ret
+.La:
+	mov eax, 20
+	ret
+`)
+	if got := mustReturn(t, m, "flipme"); got != 10 {
+		t.Fatalf("baseline = %d", got)
+	}
+	// Find the jz and flip its condition in text.
+	f, _ := m.prog.FuncByName("flipme")
+	code, _ := m.mem.ReadRaw(f.Addr, f.Size)
+	for off := 0; off < len(code); {
+		in, err := ia32.Decode(code[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op == ia32.OpJcc {
+			b, _ := m.mem.ReadRaw(f.Addr+uint32(off), 1)
+			_ = m.mem.WriteRaw(f.Addr+uint32(off), []byte{b[0] ^ 1})
+			break
+		}
+		off += int(in.Len)
+	}
+	if got := mustReturn(t, m, "flipme"); got != 20 {
+		t.Fatalf("after flip = %d, want 20", got)
+	}
+}
+
+func TestLretWithKernelCS(t *testing.T) {
+	m := build(t, `
+good_lret:
+	push 0x10      ; KernelCS
+	push .Lback
+	lret
+	mov eax, 0
+	ret
+.Lback:
+	mov eax, 77
+	ret
+`)
+	if got := mustReturn(t, m, "good_lret"); got != 77 {
+		t.Fatalf("lret with kernel CS = %d, want 77", got)
+	}
+}

@@ -1,0 +1,102 @@
+package cpu
+
+// parityTable[i] is true when byte i has even parity (PF set).
+var parityTable [256]bool
+
+func init() {
+	for i := range parityTable {
+		n := 0
+		for b := i; b != 0; b >>= 1 {
+			n += b & 1
+		}
+		parityTable[i] = n%2 == 0
+	}
+}
+
+func (c *CPU) getFlag(f uint32) bool { return c.Eflags&f != 0 }
+func (c *CPU) setFlag(f uint32, v bool) {
+	if v {
+		c.Eflags |= f
+	} else {
+		c.Eflags &^= f
+	}
+}
+
+// szp sets SF, ZF and PF from a result of the given width.
+func (c *CPU) szp(res uint32, w8 bool) {
+	if w8 {
+		res &= 0xFF
+		c.setFlag(FlagSF, res&0x80 != 0)
+	} else {
+		c.setFlag(FlagSF, res&0x80000000 != 0)
+	}
+	c.setFlag(FlagZF, res == 0)
+	c.setFlag(FlagPF, parityTable[res&0xFF])
+}
+
+// flagsLogic sets flags for AND/OR/XOR/TEST: CF=OF=0, SZP from result.
+func (c *CPU) flagsLogic(res uint32, w8 bool) {
+	c.setFlag(FlagCF, false)
+	c.setFlag(FlagOF, false)
+	c.setFlag(FlagAF, false)
+	c.szp(res, w8)
+}
+
+// flagsAdd sets flags for dst = a + b (+carryIn).
+func (c *CPU) flagsAdd(a, b, res uint32, w8 bool, carryIn uint32) {
+	var signBit, mask uint32 = 0x80000000, 0xFFFFFFFF
+	if w8 {
+		signBit, mask = 0x80, 0xFF
+		a &= mask
+		b &= mask
+	}
+	r := res & mask
+	// Carry: unsigned overflow.
+	c.setFlag(FlagCF, uint64(a)+uint64(b)+uint64(carryIn) > uint64(mask))
+	// Overflow: operands same sign, result different sign.
+	c.setFlag(FlagOF, (a^r)&(b^r)&signBit != 0)
+	c.setFlag(FlagAF, (a^b^r)&0x10 != 0)
+	c.szp(r, w8)
+}
+
+// flagsSub sets flags for dst = a - b (-borrowIn).
+func (c *CPU) flagsSub(a, b, res uint32, w8 bool, borrowIn uint32) {
+	var signBit, mask uint32 = 0x80000000, 0xFFFFFFFF
+	if w8 {
+		signBit, mask = 0x80, 0xFF
+		a &= mask
+		b &= mask
+	}
+	r := res & mask
+	c.setFlag(FlagCF, uint64(b)+uint64(borrowIn) > uint64(a))
+	c.setFlag(FlagOF, (a^b)&(a^r)&signBit != 0)
+	c.setFlag(FlagAF, (a^b^r)&0x10 != 0)
+	c.szp(r, w8)
+}
+
+// condTrue evaluates a condition code against EFLAGS.
+func (c *CPU) condTrue(cc uint8) bool {
+	var v bool
+	switch cc >> 1 {
+	case 0: // O
+		v = c.getFlag(FlagOF)
+	case 1: // B
+		v = c.getFlag(FlagCF)
+	case 2: // E
+		v = c.getFlag(FlagZF)
+	case 3: // BE
+		v = c.getFlag(FlagCF) || c.getFlag(FlagZF)
+	case 4: // S
+		v = c.getFlag(FlagSF)
+	case 5: // P
+		v = c.getFlag(FlagPF)
+	case 6: // L
+		v = c.getFlag(FlagSF) != c.getFlag(FlagOF)
+	case 7: // LE
+		v = c.getFlag(FlagZF) || c.getFlag(FlagSF) != c.getFlag(FlagOF)
+	}
+	if cc&1 != 0 {
+		return !v
+	}
+	return v
+}

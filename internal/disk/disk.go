@@ -1,0 +1,76 @@
+// Package disk provides the simulated block device backing the ext2-lite
+// file system. The device image is loaded into the kernel's address
+// space as a ramdisk at boot; after a crash the harness reads it back to
+// run fsck, exactly as the study classified crash severity by the state
+// of the on-disk file system.
+package disk
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// BlockSize is the device block size (ext2-lite uses 4 KiB blocks, a
+// configuration ext2 supports).
+const BlockSize = 4096
+
+// Device is a fixed-geometry in-memory block device.
+type Device struct {
+	nblocks int
+	data    []byte
+}
+
+// New creates a zeroed device with nblocks blocks.
+func New(nblocks int) *Device {
+	return &Device{nblocks: nblocks, data: make([]byte, nblocks*BlockSize)}
+}
+
+// FromImage wraps an existing raw image (length must be a whole number
+// of blocks). The image is used directly, not copied.
+func FromImage(img []byte) (*Device, error) {
+	if len(img) == 0 || len(img)%BlockSize != 0 {
+		return nil, fmt.Errorf("disk: image size %d not a multiple of %d", len(img), BlockSize)
+	}
+	return &Device{nblocks: len(img) / BlockSize, data: img}, nil
+}
+
+// Blocks returns the number of blocks.
+func (d *Device) Blocks() int { return d.nblocks }
+
+// Size returns the device size in bytes.
+func (d *Device) Size() int { return len(d.data) }
+
+// ReadBlock returns a view of block n (not a copy).
+func (d *Device) ReadBlock(n int) ([]byte, error) {
+	if n < 0 || n >= d.nblocks {
+		return nil, fmt.Errorf("disk: block %d out of range [0,%d)", n, d.nblocks)
+	}
+	return d.data[n*BlockSize : (n+1)*BlockSize], nil
+}
+
+// WriteBlock copies b into block n.
+func (d *Device) WriteBlock(n int, b []byte) error {
+	if n < 0 || n >= d.nblocks {
+		return fmt.Errorf("disk: block %d out of range [0,%d)", n, d.nblocks)
+	}
+	if len(b) > BlockSize {
+		return fmt.Errorf("disk: write of %d bytes exceeds block size", len(b))
+	}
+	copy(d.data[n*BlockSize:(n+1)*BlockSize], b)
+	return nil
+}
+
+// Image returns the raw device bytes (not a copy).
+func (d *Device) Image() []byte { return d.data }
+
+// Clone deep-copies the device.
+func (d *Device) Clone() *Device {
+	cp := make([]byte, len(d.data))
+	copy(cp, d.data)
+	return &Device{nblocks: d.nblocks, data: cp}
+}
+
+// Hash returns a content digest of the image, used to detect silent
+// on-disk corruption (a fail-silence violation when the run otherwise
+// completed).
+func (d *Device) Hash() [32]byte { return sha256.Sum256(d.data) }

@@ -1,0 +1,81 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewAndGeometry(t *testing.T) {
+	d := New(16)
+	if d.Blocks() != 16 || d.Size() != 16*BlockSize {
+		t.Fatalf("geometry: %d blocks, %d bytes", d.Blocks(), d.Size())
+	}
+}
+
+func TestReadWriteBlock(t *testing.T) {
+	d := New(4)
+	data := bytes.Repeat([]byte{0xAB}, BlockSize)
+	if err := d.WriteBlock(2, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBlock(2)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read back mismatch: %v", err)
+	}
+	// Views alias the image.
+	got[0] = 0xCD
+	if d.Image()[2*BlockSize] != 0xCD {
+		t.Fatal("ReadBlock should return a view")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := New(4)
+	if _, err := d.ReadBlock(-1); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if _, err := d.ReadBlock(4); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if err := d.WriteBlock(4, nil); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if err := d.WriteBlock(0, make([]byte, BlockSize+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestFromImage(t *testing.T) {
+	img := make([]byte, 3*BlockSize)
+	img[0] = 0x42
+	d, err := FromImage(img)
+	if err != nil || d.Blocks() != 3 {
+		t.Fatalf("FromImage: %v", err)
+	}
+	b, _ := d.ReadBlock(0)
+	if b[0] != 0x42 {
+		t.Fatal("image content lost")
+	}
+	if _, err := FromImage(make([]byte, 100)); err == nil {
+		t.Fatal("non-block-multiple image accepted")
+	}
+	if _, err := FromImage(nil); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestCloneAndHash(t *testing.T) {
+	d := New(2)
+	_ = d.WriteBlock(0, []byte{1, 2, 3})
+	c := d.Clone()
+	if d.Hash() != c.Hash() {
+		t.Fatal("clone hash differs")
+	}
+	_ = c.WriteBlock(0, []byte{9})
+	if d.Hash() == c.Hash() {
+		t.Fatal("clone shares storage with original")
+	}
+	if d.Image()[0] != 1 {
+		t.Fatal("original mutated by clone write")
+	}
+}

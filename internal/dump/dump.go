@@ -1,0 +1,161 @@
+// Package dump is the crash-handling layer (the study's LKCD + custom
+// crash handlers): it classifies kernel crashes into the cause
+// categories of the paper's Table 3 / Figure 6 and renders Linux-style
+// oops messages.
+package dump
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+)
+
+// Cause is a crash-cause category (paper Figure 6).
+type Cause int
+
+// Crash causes. The first four account for ~95% of crashes in the
+// study.
+const (
+	CauseNullPointer   Cause = iota + 1 // unable to handle kernel NULL pointer dereference
+	CausePagingRequest                  // unable to handle kernel paging request
+	CauseInvalidOpcode                  // invalid operand/opcode (incl. BUG()/ud2 assertions)
+	CauseGPF                            // general protection fault
+	CauseDivideError
+	CauseBounds
+	CauseOverflow
+	CauseBreakpoint // int3
+	CauseInvalidTSS
+	CauseStackException
+	CauseCoprocessor
+	CauseKernelPanic // software-detected (panic())
+	CauseOther
+)
+
+var causeNames = map[Cause]string{
+	CauseNullPointer:    "null pointer",
+	CausePagingRequest:  "paging request",
+	CauseInvalidOpcode:  "invalid opcode",
+	CauseGPF:            "general protection fault",
+	CauseDivideError:    "divide error",
+	CauseBounds:         "bounds",
+	CauseOverflow:       "overflow",
+	CauseBreakpoint:     "int3",
+	CauseInvalidTSS:     "invalid TSS",
+	CauseStackException: "stack exception",
+	CauseCoprocessor:    "coprocessor segment overrun",
+	CauseKernelPanic:    "kernel panic",
+	CauseOther:          "other",
+}
+
+func (c Cause) String() string {
+	if n, ok := causeNames[c]; ok {
+		return n
+	}
+	return "cause?"
+}
+
+// MajorCauses are the four dominant categories from the paper.
+var MajorCauses = []Cause{CauseNullPointer, CausePagingRequest, CauseInvalidOpcode, CauseGPF}
+
+// Record is one classified crash.
+type Record struct {
+	Cause     Cause
+	Vector    int    // CPU exception vector (-1 for panics)
+	EIP       uint32 // faulting instruction
+	Addr      uint32 // faulting address (page faults)
+	PanicCode int
+	Cycles    uint64    // cycle counter at crash
+	Regs      [8]uint32 // register file at crash (EAX..EDI)
+	Stack     []uint32  // top of the kernel stack
+	Code      []byte    // instruction bytes at the crash EIP
+}
+
+// nullThreshold: page faults below one page are NULL-pointer
+// dereferences (pointer + small field offset), as Linux reports them.
+const nullThreshold = kernel.PageSize
+
+// Classify converts a kernel crash error into a Record. ok is false
+// when err is not a crash (nil or a hang).
+func Classify(err error) (Record, bool) {
+	var ce *kernel.CrashError
+	if !errors.As(err, &ce) {
+		return Record{}, false
+	}
+	r := Record{Cycles: ce.Cycles, Vector: -1, Regs: ce.Regs, Stack: ce.Stack, Code: ce.Code}
+	if ce.Exc == nil {
+		r.Cause = CauseKernelPanic
+		r.PanicCode = ce.Panic
+		return r, true
+	}
+	exc := ce.Exc
+	r.Vector = exc.Vector
+	r.EIP = exc.EIP
+	r.Addr = exc.Addr
+	switch exc.Vector {
+	case cpu.VecPF:
+		if exc.Addr < nullThreshold {
+			r.Cause = CauseNullPointer
+		} else {
+			r.Cause = CausePagingRequest
+		}
+	case cpu.VecUD:
+		r.Cause = CauseInvalidOpcode
+	case cpu.VecGP:
+		r.Cause = CauseGPF
+	case cpu.VecDE:
+		r.Cause = CauseDivideError
+	case cpu.VecBR:
+		r.Cause = CauseBounds
+	case cpu.VecOF:
+		r.Cause = CauseOverflow
+	case cpu.VecBP:
+		r.Cause = CauseBreakpoint
+	case cpu.VecTS:
+		r.Cause = CauseInvalidTSS
+	case cpu.VecSS:
+		r.Cause = CauseStackException
+	case cpu.VecCS:
+		r.Cause = CauseCoprocessor
+	default:
+		r.Cause = CauseOther
+	}
+	return r, true
+}
+
+// Oops renders the record in the style of a Linux oops report,
+// including the register dump a crash handler would save.
+func (r Record) Oops() string {
+	var b strings.Builder
+	switch r.Cause {
+	case CauseNullPointer:
+		fmt.Fprintf(&b, "Unable to handle kernel NULL pointer dereference at virtual address %08x\n", r.Addr)
+	case CausePagingRequest:
+		fmt.Fprintf(&b, "Unable to handle kernel paging request at virtual address %08x\n", r.Addr)
+	case CauseKernelPanic:
+		fmt.Fprintf(&b, "Kernel panic: code %d", r.PanicCode)
+		return b.String()
+	default:
+		fmt.Fprintf(&b, "%s\n", r.Cause)
+	}
+	fmt.Fprintf(&b, " EIP: %08x\n", r.EIP)
+	fmt.Fprintf(&b, " eax: %08x  ebx: %08x  ecx: %08x  edx: %08x\n",
+		r.Regs[0], r.Regs[3], r.Regs[1], r.Regs[2])
+	fmt.Fprintf(&b, " esi: %08x  edi: %08x  ebp: %08x  esp: %08x",
+		r.Regs[6], r.Regs[7], r.Regs[5], r.Regs[4])
+	if len(r.Stack) > 0 {
+		b.WriteString("\nStack:")
+		for _, w := range r.Stack {
+			fmt.Fprintf(&b, " %08x", w)
+		}
+	}
+	if len(r.Code) > 0 {
+		b.WriteString("\nCode:")
+		for _, c := range r.Code {
+			fmt.Fprintf(&b, " %02x", c)
+		}
+	}
+	return b.String()
+}

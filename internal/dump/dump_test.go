@@ -1,0 +1,119 @@
+package dump
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+)
+
+func TestClassifyVectors(t *testing.T) {
+	tests := []struct {
+		vector int
+		addr   uint32
+		want   Cause
+	}{
+		{cpu.VecPF, 0x0000001b, CauseNullPointer},
+		{cpu.VecPF, 0x00000fff, CauseNullPointer},
+		{cpu.VecPF, 0x00001000, CausePagingRequest},
+		{cpu.VecPF, 0xffffffce, CausePagingRequest},
+		{cpu.VecUD, 0, CauseInvalidOpcode},
+		{cpu.VecGP, 0, CauseGPF},
+		{cpu.VecDE, 0, CauseDivideError},
+		{cpu.VecBR, 0, CauseBounds},
+		{cpu.VecOF, 0, CauseOverflow},
+		{cpu.VecBP, 0, CauseBreakpoint},
+		{cpu.VecTS, 0, CauseInvalidTSS},
+		{cpu.VecSS, 0, CauseStackException},
+		{cpu.VecCS, 0, CauseCoprocessor},
+		{cpu.VecNM, 0, CauseOther},
+	}
+	for _, tt := range tests {
+		err := &kernel.CrashError{
+			Exc:    &cpu.Exception{Vector: tt.vector, Addr: tt.addr, EIP: 0xc0100000},
+			Cycles: 123,
+		}
+		rec, ok := Classify(err)
+		if !ok {
+			t.Fatalf("vector %d not classified", tt.vector)
+		}
+		if rec.Cause != tt.want {
+			t.Errorf("vector %d addr %#x: cause = %v, want %v", tt.vector, tt.addr, rec.Cause, tt.want)
+		}
+		if rec.Cycles != 123 {
+			t.Errorf("cycles lost")
+		}
+	}
+}
+
+func TestClassifyPanic(t *testing.T) {
+	rec, ok := Classify(&kernel.CrashError{Panic: kernel.PanicOOM, Cycles: 9})
+	if !ok || rec.Cause != CauseKernelPanic || rec.PanicCode != kernel.PanicOOM {
+		t.Fatalf("rec = %+v ok=%v", rec, ok)
+	}
+}
+
+func TestClassifyNonCrash(t *testing.T) {
+	if _, ok := Classify(nil); ok {
+		t.Fatal("nil classified as crash")
+	}
+	if _, ok := Classify(kernel.ErrHang); ok {
+		t.Fatal("hang classified as crash")
+	}
+	if _, ok := Classify(errors.New("random")); ok {
+		t.Fatal("random error classified as crash")
+	}
+}
+
+func TestClassifyWrapped(t *testing.T) {
+	inner := &kernel.CrashError{Exc: &cpu.Exception{Vector: cpu.VecUD}}
+	wrapped := errorsJoin("context", inner)
+	rec, ok := Classify(wrapped)
+	if !ok || rec.Cause != CauseInvalidOpcode {
+		t.Fatalf("wrapped crash not classified: %+v %v", rec, ok)
+	}
+}
+
+func errorsJoin(msg string, err error) error {
+	return &wrapErr{msg: msg, err: err}
+}
+
+type wrapErr struct {
+	msg string
+	err error
+}
+
+func (w *wrapErr) Error() string { return w.msg + ": " + w.err.Error() }
+func (w *wrapErr) Unwrap() error { return w.err }
+
+func TestOopsMessages(t *testing.T) {
+	rec := Record{Cause: CauseNullPointer, Addr: 0x1b, EIP: 0xc0130a33}
+	if got := rec.Oops(); !strings.Contains(got, "NULL pointer dereference at virtual address 0000001b") {
+		t.Fatalf("oops = %q", got)
+	}
+	rec = Record{Cause: CausePagingRequest, Addr: 0xffffffce}
+	if got := rec.Oops(); !strings.Contains(got, "paging request at virtual address ffffffce") {
+		t.Fatalf("oops = %q", got)
+	}
+	rec = Record{Cause: CauseKernelPanic, PanicCode: 2}
+	if got := rec.Oops(); !strings.Contains(got, "panic") {
+		t.Fatalf("oops = %q", got)
+	}
+	rec = Record{Cause: CauseGPF}
+	if got := rec.Oops(); !strings.Contains(got, "general protection fault") {
+		t.Fatalf("oops = %q", got)
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	for c := CauseNullPointer; c <= CauseOther; c++ {
+		if c.String() == "cause?" {
+			t.Errorf("cause %d has no name", c)
+		}
+	}
+	if len(MajorCauses) != 4 {
+		t.Fatal("the paper has four major causes")
+	}
+}

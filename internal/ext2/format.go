@@ -1,0 +1,378 @@
+// Package ext2 implements the ext2-lite on-disk file system used by the
+// mini-kernel: a superblock, block/inode bitmaps, a fixed inode table,
+// direct+indirect block pointers and fixed-size directory entries. The
+// package provides mkfs, a reader, a writer and fsck.
+//
+// Crash severity in the study is defined by what it takes to bring the
+// system back: a clean file system reboots normally, a damaged one needs
+// fsck (severe), and a destroyed one needs reformatting (most severe).
+// The fsck here implements that classification.
+package ext2
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// On-disk layout constants. These are exported to the assembler so the
+// mini-kernel's fs functions walk the same structures.
+const (
+	// Magic identifies an ext2-lite superblock (0xEF53 is ext2's magic;
+	// the suffix marks this variant).
+	Magic = 0xEF530203
+
+	// BlockSize mirrors disk.BlockSize.
+	BlockSize = disk.BlockSize
+
+	// Superblock field offsets (block 0).
+	SBMagic       = 0
+	SBNBlocks     = 4
+	SBNInodes     = 8
+	SBBlockBitmap = 12
+	SBInodeBitmap = 16
+	SBInodeTable  = 20
+	SBInodeBlocks = 24
+	SBFirstData   = 28
+	SBRootIno     = 32
+	SBState       = 36
+	SBFreeBlocks  = 40
+	SBFreeInodes  = 44
+
+	// File system states.
+	StateClean   = 1
+	StateMounted = 2
+
+	// Inode layout (64 bytes each).
+	InodeSize     = 64
+	InodeMode     = 0
+	InodeFileSize = 4
+	InodeLinks    = 8
+	InodeBlock0   = 12 // 10 direct pointers
+	NDirect       = 10
+	InodeIndirect = 52
+
+	// Inode modes.
+	ModeFree = 0
+	ModeFile = 1
+	ModeDir  = 2
+
+	// Directory entries are fixed 32-byte records.
+	DirentSize    = 32
+	DirentIno     = 0
+	DirentNameLen = 4
+	DirentName    = 8
+	MaxNameLen    = 24
+
+	// RootIno is the root directory's inode number (inode 0 is
+	// reserved/invalid, mirroring ext2).
+	RootIno = 1
+)
+
+// InodesPerBlock is the number of inodes per table block.
+const InodesPerBlock = BlockSize / InodeSize
+
+// DirentsPerBlock is the number of directory entries per block.
+const DirentsPerBlock = BlockSize / DirentSize
+
+// PointersPerBlock is the number of block pointers in an indirect block.
+const PointersPerBlock = BlockSize / 4
+
+// MaxFileBlocks is the maximum data blocks a file can map.
+const MaxFileBlocks = NDirect + PointersPerBlock
+
+func le32(b []byte, off int) uint32       { return binary.LittleEndian.Uint32(b[off:]) }
+func putLE32(b []byte, off int, v uint32) { binary.LittleEndian.PutUint32(b[off:], v) }
+
+// Superblock is the decoded superblock.
+type Superblock struct {
+	Magic       uint32
+	NBlocks     uint32
+	NInodes     uint32
+	BlockBitmap uint32
+	InodeBitmap uint32
+	InodeTable  uint32
+	InodeBlocks uint32
+	FirstData   uint32
+	RootIno     uint32
+	State       uint32
+	FreeBlocks  uint32
+	FreeInodes  uint32
+}
+
+// Inode is a decoded inode.
+type Inode struct {
+	Mode     uint32
+	Size     uint32
+	Links    uint32
+	Blocks   [NDirect]uint32
+	Indirect uint32
+}
+
+// FS is an ext2-lite file system over a block device.
+type FS struct {
+	Dev *disk.Device
+	SB  Superblock
+}
+
+// Open validates the superblock and returns a handle.
+func Open(dev *disk.Device) (*FS, error) {
+	fs := &FS{Dev: dev}
+	if err := fs.readSB(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (fs *FS) readSB() error {
+	b, err := fs.Dev.ReadBlock(0)
+	if err != nil {
+		return err
+	}
+	sb := Superblock{
+		Magic:       le32(b, SBMagic),
+		NBlocks:     le32(b, SBNBlocks),
+		NInodes:     le32(b, SBNInodes),
+		BlockBitmap: le32(b, SBBlockBitmap),
+		InodeBitmap: le32(b, SBInodeBitmap),
+		InodeTable:  le32(b, SBInodeTable),
+		InodeBlocks: le32(b, SBInodeBlocks),
+		FirstData:   le32(b, SBFirstData),
+		RootIno:     le32(b, SBRootIno),
+		State:       le32(b, SBState),
+		FreeBlocks:  le32(b, SBFreeBlocks),
+		FreeInodes:  le32(b, SBFreeInodes),
+	}
+	if sb.Magic != Magic {
+		return fmt.Errorf("ext2: bad magic %#x", sb.Magic)
+	}
+	if sb.NBlocks == 0 || sb.NBlocks > uint32(fs.Dev.Blocks()) {
+		return fmt.Errorf("ext2: bad block count %d", sb.NBlocks)
+	}
+	if sb.NInodes == 0 || sb.InodeBlocks*InodesPerBlock < sb.NInodes {
+		return fmt.Errorf("ext2: bad inode geometry")
+	}
+	if sb.FirstData >= sb.NBlocks || sb.InodeTable+sb.InodeBlocks > sb.NBlocks {
+		return fmt.Errorf("ext2: layout exceeds device")
+	}
+	if sb.RootIno == 0 || sb.RootIno >= sb.NInodes {
+		return fmt.Errorf("ext2: bad root inode %d", sb.RootIno)
+	}
+	fs.SB = sb
+	return nil
+}
+
+func (fs *FS) writeSB() error {
+	b, err := fs.Dev.ReadBlock(0)
+	if err != nil {
+		return err
+	}
+	putLE32(b, SBMagic, fs.SB.Magic)
+	putLE32(b, SBNBlocks, fs.SB.NBlocks)
+	putLE32(b, SBNInodes, fs.SB.NInodes)
+	putLE32(b, SBBlockBitmap, fs.SB.BlockBitmap)
+	putLE32(b, SBInodeBitmap, fs.SB.InodeBitmap)
+	putLE32(b, SBInodeTable, fs.SB.InodeTable)
+	putLE32(b, SBInodeBlocks, fs.SB.InodeBlocks)
+	putLE32(b, SBFirstData, fs.SB.FirstData)
+	putLE32(b, SBRootIno, fs.SB.RootIno)
+	putLE32(b, SBState, fs.SB.State)
+	putLE32(b, SBFreeBlocks, fs.SB.FreeBlocks)
+	putLE32(b, SBFreeInodes, fs.SB.FreeInodes)
+	return nil
+}
+
+// InodeAddr returns (block, offset) of inode ino in the table.
+func (fs *FS) inodeLoc(ino uint32) (int, int, error) {
+	if ino == 0 || ino >= fs.SB.NInodes {
+		return 0, 0, fmt.Errorf("ext2: inode %d out of range", ino)
+	}
+	blk := int(fs.SB.InodeTable) + int(ino)/InodesPerBlock
+	off := (int(ino) % InodesPerBlock) * InodeSize
+	return blk, off, nil
+}
+
+// ReadInode decodes inode ino.
+func (fs *FS) ReadInode(ino uint32) (Inode, error) {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return Inode{}, err
+	}
+	b, err := fs.Dev.ReadBlock(blk)
+	if err != nil {
+		return Inode{}, err
+	}
+	var in Inode
+	in.Mode = le32(b, off+InodeMode)
+	in.Size = le32(b, off+InodeFileSize)
+	in.Links = le32(b, off+InodeLinks)
+	for i := 0; i < NDirect; i++ {
+		in.Blocks[i] = le32(b, off+InodeBlock0+4*i)
+	}
+	in.Indirect = le32(b, off+InodeIndirect)
+	return in, nil
+}
+
+// WriteInode encodes inode ino.
+func (fs *FS) WriteInode(ino uint32, in Inode) error {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return err
+	}
+	b, err := fs.Dev.ReadBlock(blk)
+	if err != nil {
+		return err
+	}
+	putLE32(b, off+InodeMode, in.Mode)
+	putLE32(b, off+InodeFileSize, in.Size)
+	putLE32(b, off+InodeLinks, in.Links)
+	for i := 0; i < NDirect; i++ {
+		putLE32(b, off+InodeBlock0+4*i, in.Blocks[i])
+	}
+	putLE32(b, off+InodeIndirect, in.Indirect)
+	return nil
+}
+
+// bitmap helpers.
+
+func (fs *FS) bitGet(bitmapBlock uint32, n uint32) (bool, error) {
+	b, err := fs.Dev.ReadBlock(int(bitmapBlock))
+	if err != nil {
+		return false, err
+	}
+	return b[n/8]&(1<<(n%8)) != 0, nil
+}
+
+func (fs *FS) bitSet(bitmapBlock uint32, n uint32, v bool) error {
+	b, err := fs.Dev.ReadBlock(int(bitmapBlock))
+	if err != nil {
+		return err
+	}
+	if v {
+		b[n/8] |= 1 << (n % 8)
+	} else {
+		b[n/8] &^= 1 << (n % 8)
+	}
+	return nil
+}
+
+// AllocBlock finds, marks and returns a free data block (0 on
+// exhaustion is never returned; an error is).
+func (fs *FS) AllocBlock() (uint32, error) {
+	for n := fs.SB.FirstData; n < fs.SB.NBlocks; n++ {
+		used, err := fs.bitGet(fs.SB.BlockBitmap, n)
+		if err != nil {
+			return 0, err
+		}
+		if !used {
+			if err := fs.bitSet(fs.SB.BlockBitmap, n, true); err != nil {
+				return 0, err
+			}
+			fs.SB.FreeBlocks--
+			if err := fs.writeSB(); err != nil {
+				return 0, err
+			}
+			// Zero the block.
+			blk, _ := fs.Dev.ReadBlock(int(n))
+			for i := range blk {
+				blk[i] = 0
+			}
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("ext2: no free blocks")
+}
+
+// AllocInode finds, marks and returns a free inode number.
+func (fs *FS) AllocInode(mode uint32) (uint32, error) {
+	for n := uint32(RootIno); n < fs.SB.NInodes; n++ {
+		used, err := fs.bitGet(fs.SB.InodeBitmap, n)
+		if err != nil {
+			return 0, err
+		}
+		if !used {
+			if err := fs.bitSet(fs.SB.InodeBitmap, n, true); err != nil {
+				return 0, err
+			}
+			fs.SB.FreeInodes--
+			if err := fs.writeSB(); err != nil {
+				return 0, err
+			}
+			if err := fs.WriteInode(n, Inode{Mode: mode, Links: 1}); err != nil {
+				return 0, err
+			}
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("ext2: no free inodes")
+}
+
+// BlockOf returns the data block mapping file block index bi of inode
+// in (0 means a hole).
+func (fs *FS) BlockOf(in Inode, bi uint32) (uint32, error) {
+	if bi < NDirect {
+		return in.Blocks[bi], nil
+	}
+	bi -= NDirect
+	if bi >= PointersPerBlock || in.Indirect == 0 {
+		return 0, nil
+	}
+	ib, err := fs.Dev.ReadBlock(int(in.Indirect))
+	if err != nil {
+		return 0, err
+	}
+	return le32(ib, int(bi)*4), nil
+}
+
+// MapBlock ensures file block bi of inode ino is mapped, allocating as
+// needed, and returns the data block number.
+func (fs *FS) MapBlock(ino uint32, bi uint32) (uint32, error) {
+	in, err := fs.ReadInode(ino)
+	if err != nil {
+		return 0, err
+	}
+	if bi < NDirect {
+		if in.Blocks[bi] == 0 {
+			blk, err := fs.AllocBlock()
+			if err != nil {
+				return 0, err
+			}
+			in.Blocks[bi] = blk
+			if err := fs.WriteInode(ino, in); err != nil {
+				return 0, err
+			}
+		}
+		return in.Blocks[bi], nil
+	}
+	ii := bi - NDirect
+	if ii >= PointersPerBlock {
+		return 0, fmt.Errorf("ext2: file block %d beyond maximum", bi)
+	}
+	if in.Indirect == 0 {
+		blk, err := fs.AllocBlock()
+		if err != nil {
+			return 0, err
+		}
+		in.Indirect = blk
+		if err := fs.WriteInode(ino, in); err != nil {
+			return 0, err
+		}
+	}
+	ib, err := fs.Dev.ReadBlock(int(in.Indirect))
+	if err != nil {
+		return 0, err
+	}
+	ptr := le32(ib, int(ii)*4)
+	if ptr == 0 {
+		blk, err := fs.AllocBlock()
+		if err != nil {
+			return 0, err
+		}
+		// Re-read: AllocBlock may have zeroed our view's target, but
+		// the indirect block view is still valid (same backing array).
+		putLE32(ib, int(ii)*4, blk)
+		ptr = blk
+	}
+	return ptr, nil
+}

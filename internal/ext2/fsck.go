@@ -1,0 +1,444 @@
+package ext2
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// CheckStatus classifies a file system image, mapping directly onto the
+// study's crash-severity scale.
+type CheckStatus int
+
+// Check results.
+const (
+	// StatusClean: the system reboots automatically (normal severity).
+	StatusClean CheckStatus = iota + 1
+	// StatusFixable: fsck must repair the file system interactively
+	// (severe: >5 minutes and user intervention).
+	StatusFixable
+	// StatusUnrecoverable: the file system must be reformatted and the
+	// OS reinstalled (most severe: close to an hour of downtime).
+	StatusUnrecoverable
+)
+
+func (s CheckStatus) String() string {
+	switch s {
+	case StatusClean:
+		return "clean"
+	case StatusFixable:
+		return "fixable"
+	case StatusUnrecoverable:
+		return "unrecoverable"
+	}
+	return "status?"
+}
+
+// Report is the result of a consistency check.
+type Report struct {
+	Status   CheckStatus
+	Problems []string
+	// WasMounted records an unclean shutdown. On its own it does not
+	// raise severity: a crash always leaves the fs mounted, and the
+	// boot-time automatic fsck -p handles it without operator help
+	// (the study's "normal" severity).
+	WasMounted bool
+}
+
+func (r *Report) problem(format string, args ...interface{}) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	if r.Status < StatusFixable {
+		r.Status = StatusFixable
+	}
+}
+
+func (r *Report) fatal(format string, args ...interface{}) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	r.Status = StatusUnrecoverable
+}
+
+// Check runs a full consistency check of the image on dev. It never
+// modifies the image.
+func Check(dev *disk.Device) *Report {
+	r := &Report{Status: StatusClean}
+	fs := &FS{Dev: dev}
+	if err := fs.readSB(); err != nil {
+		r.fatal("superblock: %v", err)
+		return r
+	}
+	sb := fs.SB
+
+	if sb.State != StateClean {
+		r.WasMounted = true
+	}
+
+	root, err := fs.ReadInode(sb.RootIno)
+	if err != nil || root.Mode != ModeDir {
+		r.fatal("root inode %d unusable (mode %d, err %v)", sb.RootIno, root.Mode, err)
+		return r
+	}
+
+	// Walk the tree from the root, accounting block and inode usage.
+	blockUsed := make(map[uint32]uint32) // block -> first owner inode
+	inodeSeen := make(map[uint32]int)    // inode -> reference count
+	inodeSeen[sb.RootIno]++
+
+	claim := func(blk, ino uint32, what string) {
+		if blk == 0 {
+			return
+		}
+		if blk < sb.FirstData || blk >= sb.NBlocks {
+			r.problem("inode %d: %s block %d out of range", ino, what, blk)
+			return
+		}
+		if owner, dup := blockUsed[blk]; dup {
+			r.problem("block %d multiply claimed (inodes %d and %d)", blk, owner, ino)
+			return
+		}
+		blockUsed[blk] = ino
+	}
+
+	type dirWork struct {
+		ino   uint32
+		depth int
+	}
+	queue := []dirWork{{sb.RootIno, 0}}
+	visitedDir := map[uint32]bool{sb.RootIno: true}
+
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if w.depth > 64 {
+			r.problem("directory nesting exceeds 64 (cycle suspected)")
+			continue
+		}
+		in, err := fs.ReadInode(w.ino)
+		if err != nil {
+			r.problem("directory inode %d unreadable: %v", w.ino, err)
+			continue
+		}
+		checkInodeBlocks(fs, r, w.ino, in, claim)
+		if in.Size%DirentSize != 0 {
+			r.problem("directory %d size %d not a multiple of %d", w.ino, in.Size, DirentSize)
+			continue
+		}
+		nslots := in.Size / DirentSize
+		if nslots > MaxFileBlocks*DirentsPerBlock {
+			r.problem("directory %d size %d too large", w.ino, in.Size)
+			continue
+		}
+		for slot := uint32(0); slot < nslots; slot++ {
+			blk, err := fs.BlockOf(in, slot/DirentsPerBlock)
+			if err != nil || blk == 0 || blk >= sb.NBlocks {
+				r.problem("directory %d: entry block missing", w.ino)
+				break
+			}
+			b, err := fs.Dev.ReadBlock(int(blk))
+			if err != nil {
+				r.problem("directory %d: %v", w.ino, err)
+				break
+			}
+			off := int(slot%DirentsPerBlock) * DirentSize
+			entIno := le32(b, off+DirentIno)
+			nameLen := le32(b, off+DirentNameLen)
+			if entIno == 0 {
+				continue
+			}
+			if nameLen == 0 || nameLen > MaxNameLen {
+				r.problem("directory %d slot %d: bad name length %d", w.ino, slot, nameLen)
+				continue
+			}
+			if entIno >= sb.NInodes {
+				r.problem("directory %d slot %d: inode %d out of range", w.ino, slot, entIno)
+				continue
+			}
+			child, err := fs.ReadInode(entIno)
+			if err != nil || (child.Mode != ModeFile && child.Mode != ModeDir) {
+				r.problem("directory %d slot %d: entry references bad inode %d (mode %d)",
+					w.ino, slot, entIno, child.Mode)
+				continue
+			}
+			inodeSeen[entIno]++
+			if child.Mode == ModeDir {
+				if visitedDir[entIno] {
+					r.problem("directory %d appears in multiple parents (cycle/hard link)", entIno)
+					continue
+				}
+				visitedDir[entIno] = true
+				queue = append(queue, dirWork{entIno, w.depth + 1})
+			} else if inodeSeen[entIno] == 1 {
+				// First reference claims the blocks; hard links to the
+				// same inode legitimately share them.
+				checkInodeBlocks(fs, r, entIno, child, claim)
+				if child.Size > MaxFileBlocks*BlockSize {
+					r.problem("inode %d: size %d exceeds maximum", entIno, child.Size)
+				}
+			}
+		}
+	}
+
+	// Bitmap consistency: every reachable block must be marked used;
+	// every allocated inode must be reachable.
+	for blk, ino := range blockUsed {
+		used, err := fs.bitGet(sb.BlockBitmap, blk)
+		if err == nil && !used {
+			r.problem("block %d (inode %d) in use but free in bitmap", blk, ino)
+		}
+	}
+	// Link counts of regular files must match their directory
+	// references (hard-link bookkeeping).
+	for ino, refs := range inodeSeen {
+		if ino == sb.RootIno {
+			continue
+		}
+		in, err := fs.ReadInode(ino)
+		if err != nil || in.Mode != ModeFile {
+			continue
+		}
+		if int(in.Links) != refs {
+			r.problem("inode %d: link count %d but %d references", ino, in.Links, refs)
+		}
+	}
+	for ino := uint32(RootIno); ino < sb.NInodes; ino++ {
+		used, err := fs.bitGet(sb.InodeBitmap, ino)
+		if err != nil {
+			break
+		}
+		_, reachable := inodeSeen[ino]
+		if used && !reachable {
+			in, err := fs.ReadInode(ino)
+			if err == nil && in.Mode != ModeFree {
+				r.problem("inode %d allocated but unreachable", ino)
+			}
+		}
+		if !used && reachable {
+			r.problem("inode %d reachable but free in bitmap", ino)
+		}
+	}
+
+	return r
+}
+
+// checkInodeBlocks verifies and claims all block pointers of an inode.
+func checkInodeBlocks(fs *FS, r *Report, ino uint32, in Inode, claim func(blk, ino uint32, what string)) {
+	for i := 0; i < NDirect; i++ {
+		claim(in.Blocks[i], ino, "direct")
+	}
+	if in.Indirect == 0 {
+		return
+	}
+	if in.Indirect < fs.SB.FirstData || in.Indirect >= fs.SB.NBlocks {
+		r.problem("inode %d: indirect block %d out of range", ino, in.Indirect)
+		return
+	}
+	claim(in.Indirect, ino, "indirect")
+	b, err := fs.Dev.ReadBlock(int(in.Indirect))
+	if err != nil {
+		r.problem("inode %d: indirect block unreadable: %v", ino, err)
+		return
+	}
+	for i := 0; i < PointersPerBlock; i++ {
+		claim(le32(b, i*4), ino, "indirect-mapped")
+	}
+}
+
+// Repair fixes every fixable problem in place: rebuilds both bitmaps
+// from the reachable tree, clears out-of-range block pointers, clamps
+// sizes, truncates corrupt directories, and marks the file system
+// clean. It returns an error when the image is unrecoverable (reformat
+// required).
+func Repair(dev *disk.Device) error {
+	rep := Check(dev)
+	if rep.Status == StatusUnrecoverable {
+		return fmt.Errorf("ext2: unrecoverable: %s", rep.Problems[0])
+	}
+	fs := &FS{Dev: dev}
+	if err := fs.readSB(); err != nil {
+		return err
+	}
+	sb := &fs.SB
+
+	// Pass 1: sanitize inodes reachable from the root; collect usage.
+	blockUsed := make(map[uint32]bool)
+	inodeUsed := map[uint32]bool{RootIno: true}
+
+	sanitize := func(ino uint32) error {
+		in, err := fs.ReadInode(ino)
+		if err != nil {
+			return err
+		}
+		dirty := false
+		for i := 0; i < NDirect; i++ {
+			if in.Blocks[i] != 0 && (in.Blocks[i] < sb.FirstData || in.Blocks[i] >= sb.NBlocks) {
+				in.Blocks[i] = 0
+				dirty = true
+			} else if in.Blocks[i] != 0 {
+				blockUsed[in.Blocks[i]] = true
+			}
+		}
+		if in.Indirect != 0 && (in.Indirect < sb.FirstData || in.Indirect >= sb.NBlocks) {
+			in.Indirect = 0
+			dirty = true
+		} else if in.Indirect != 0 {
+			blockUsed[in.Indirect] = true
+			b, err := fs.Dev.ReadBlock(int(in.Indirect))
+			if err == nil {
+				for i := 0; i < PointersPerBlock; i++ {
+					p := le32(b, i*4)
+					if p != 0 && (p < sb.FirstData || p >= sb.NBlocks) {
+						putLE32(b, i*4, 0)
+					} else if p != 0 {
+						blockUsed[p] = true
+					}
+				}
+			}
+		}
+		if in.Size > MaxFileBlocks*BlockSize {
+			in.Size = 0
+			dirty = true
+		}
+		if dirty {
+			return fs.WriteInode(ino, in)
+		}
+		return nil
+	}
+
+	var fixDir func(ino uint32, depth int) error
+	seenDirs := map[uint32]bool{RootIno: true}
+	fixDir = func(ino uint32, depth int) error {
+		if depth > 64 {
+			return nil
+		}
+		if err := sanitize(ino); err != nil {
+			return err
+		}
+		in, err := fs.ReadInode(ino)
+		if err != nil {
+			return err
+		}
+		if in.Size%DirentSize != 0 {
+			in.Size -= in.Size % DirentSize
+			if err := fs.WriteInode(ino, in); err != nil {
+				return err
+			}
+		}
+		nslots := in.Size / DirentSize
+		for slot := uint32(0); slot < nslots; slot++ {
+			blk, err := fs.BlockOf(in, slot/DirentsPerBlock)
+			if err != nil || blk == 0 || blk >= sb.NBlocks {
+				// Directory data lost: truncate here.
+				in.Size = slot * DirentSize
+				return fs.WriteInode(ino, in)
+			}
+			b, err := fs.Dev.ReadBlock(int(blk))
+			if err != nil {
+				return err
+			}
+			off := int(slot%DirentsPerBlock) * DirentSize
+			entIno := le32(b, off+DirentIno)
+			nameLen := le32(b, off+DirentNameLen)
+			if entIno == 0 {
+				continue
+			}
+			drop := false
+			if nameLen == 0 || nameLen > MaxNameLen || entIno >= sb.NInodes {
+				drop = true
+			} else {
+				child, err := fs.ReadInode(entIno)
+				if err != nil || (child.Mode != ModeFile && child.Mode != ModeDir) {
+					drop = true
+				} else if child.Mode == ModeDir && seenDirs[entIno] {
+					drop = true // break cycles / duplicate dirs
+				}
+			}
+			if drop {
+				putLE32(b, off+DirentIno, 0)
+				continue
+			}
+			inodeUsed[entIno] = true
+			child, _ := fs.ReadInode(entIno)
+			if child.Mode == ModeDir {
+				seenDirs[entIno] = true
+				if err := fixDir(entIno, depth+1); err != nil {
+					return err
+				}
+			} else if err := sanitize(entIno); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fixDir(RootIno, 0); err != nil {
+		return err
+	}
+
+	// Recount references and repair stored link counts of files.
+	refs := make(map[uint32]int)
+	countRefs := func() error {
+		fsv := &FS{Dev: dev}
+		if err := fsv.readSB(); err != nil {
+			return err
+		}
+		return fsv.Walk(func(_ string, ino uint32, in Inode) error {
+			if in.Mode == ModeFile {
+				refs[ino]++
+			}
+			return nil
+		})
+	}
+	if err := countRefs(); err == nil {
+		for ino, n := range refs {
+			in, err := fs.ReadInode(ino)
+			if err == nil && int(in.Links) != n {
+				in.Links = uint32(n)
+				_ = fs.WriteInode(ino, in)
+			}
+		}
+	}
+
+	// Pass 2: rebuild bitmaps.
+	bb, err := fs.Dev.ReadBlock(int(sb.BlockBitmap))
+	if err != nil {
+		return err
+	}
+	for i := range bb {
+		bb[i] = 0
+	}
+	for n := uint32(0); n < sb.FirstData; n++ {
+		bb[n/8] |= 1 << (n % 8)
+	}
+	free := uint32(0)
+	for n := sb.FirstData; n < sb.NBlocks; n++ {
+		if blockUsed[n] {
+			bb[n/8] |= 1 << (n % 8)
+		} else {
+			free++
+		}
+	}
+	ib, err := fs.Dev.ReadBlock(int(sb.InodeBitmap))
+	if err != nil {
+		return err
+	}
+	for i := range ib {
+		ib[i] = 0
+	}
+	ib[0] |= 1 // inode 0 reserved
+	freeInodes := uint32(0)
+	for n := uint32(RootIno); n < sb.NInodes; n++ {
+		if inodeUsed[n] {
+			ib[n/8] |= 1 << (n % 8)
+		} else {
+			freeInodes++
+			// Clear orphaned inodes.
+			in, err := fs.ReadInode(n)
+			if err == nil && in.Mode != ModeFree {
+				_ = fs.WriteInode(n, Inode{})
+			}
+		}
+	}
+
+	sb.FreeBlocks = free
+	sb.FreeInodes = freeInodes
+	sb.State = StateClean
+	return fs.writeSB()
+}

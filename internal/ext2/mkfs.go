@@ -1,0 +1,185 @@
+package ext2
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/disk"
+)
+
+// Mkfs formats the device with ninodes inodes and an empty root
+// directory. Everything on the device is destroyed.
+func Mkfs(dev *disk.Device, ninodes uint32) (*FS, error) {
+	img := dev.Image()
+	for i := range img {
+		img[i] = 0
+	}
+	inodeBlocks := (ninodes + InodesPerBlock - 1) / InodesPerBlock
+	firstData := 3 + inodeBlocks
+	if int(firstData)+8 > dev.Blocks() {
+		return nil, fmt.Errorf("ext2: device too small")
+	}
+	fs := &FS{Dev: dev, SB: Superblock{
+		Magic:       Magic,
+		NBlocks:     uint32(dev.Blocks()),
+		NInodes:     ninodes,
+		BlockBitmap: 1,
+		InodeBitmap: 2,
+		InodeTable:  3,
+		InodeBlocks: inodeBlocks,
+		FirstData:   firstData,
+		RootIno:     RootIno,
+		State:       StateClean,
+		FreeBlocks:  uint32(dev.Blocks()) - firstData,
+		FreeInodes:  ninodes - 2, // inode 0 reserved, root allocated
+	}}
+	if err := fs.writeSB(); err != nil {
+		return nil, err
+	}
+	// Mark metadata blocks used.
+	for n := uint32(0); n < firstData; n++ {
+		if err := fs.bitSet(fs.SB.BlockBitmap, n, true); err != nil {
+			return nil, err
+		}
+	}
+	// Reserve inode 0 and allocate the root directory.
+	if err := fs.bitSet(fs.SB.InodeBitmap, 0, true); err != nil {
+		return nil, err
+	}
+	if err := fs.bitSet(fs.SB.InodeBitmap, RootIno, true); err != nil {
+		return nil, err
+	}
+	if err := fs.WriteInode(RootIno, Inode{Mode: ModeDir, Links: 2}); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// AddDirent appends a directory entry to dir.
+func (fs *FS) AddDirent(dirIno uint32, name string, ino uint32) error {
+	if len(name) == 0 || len(name) > MaxNameLen {
+		return fmt.Errorf("ext2: bad name %q", name)
+	}
+	dir, err := fs.ReadInode(dirIno)
+	if err != nil {
+		return err
+	}
+	if dir.Mode != ModeDir {
+		return fmt.Errorf("ext2: inode %d is not a directory", dirIno)
+	}
+	slot := dir.Size / DirentSize
+	bi := slot / DirentsPerBlock
+	off := (slot % DirentsPerBlock) * DirentSize
+	blk, err := fs.MapBlock(dirIno, bi)
+	if err != nil {
+		return err
+	}
+	b, err := fs.Dev.ReadBlock(int(blk))
+	if err != nil {
+		return err
+	}
+	putLE32(b, int(off)+DirentIno, ino)
+	putLE32(b, int(off)+DirentNameLen, uint32(len(name)))
+	copy(b[int(off)+DirentName:int(off)+DirentName+MaxNameLen], name)
+
+	dir, err = fs.ReadInode(dirIno) // MapBlock may have updated it
+	if err != nil {
+		return err
+	}
+	dir.Size += DirentSize
+	return fs.WriteInode(dirIno, dir)
+}
+
+// MkdirP creates the directory path (like mkdir -p) and returns its
+// inode.
+func (fs *FS) MkdirP(path string) (uint32, error) {
+	ino := uint32(RootIno)
+	for _, part := range splitPath(path) {
+		child, err := fs.lookupIn(ino, part)
+		if err == nil {
+			ino = child
+			continue
+		}
+		nd, err := fs.AllocInode(ModeDir)
+		if err != nil {
+			return 0, err
+		}
+		if err := fs.AddDirent(ino, part, nd); err != nil {
+			return 0, err
+		}
+		ino = nd
+	}
+	return ino, nil
+}
+
+// WriteFile creates (or replaces) the file at path with content,
+// creating parent directories as needed.
+func (fs *FS) WriteFile(path string, content []byte) error {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return fmt.Errorf("ext2: empty path")
+	}
+	dir := uint32(RootIno)
+	if len(parts) > 1 {
+		d, err := fs.MkdirP(strings.Join(parts[:len(parts)-1], "/"))
+		if err != nil {
+			return err
+		}
+		dir = d
+	}
+	name := parts[len(parts)-1]
+	ino, err := fs.lookupIn(dir, name)
+	if err != nil {
+		ino, err = fs.AllocInode(ModeFile)
+		if err != nil {
+			return err
+		}
+		if err := fs.AddDirent(dir, name, ino); err != nil {
+			return err
+		}
+	}
+	for off := 0; off < len(content); off += BlockSize {
+		blk, err := fs.MapBlock(ino, uint32(off/BlockSize))
+		if err != nil {
+			return err
+		}
+		b, err := fs.Dev.ReadBlock(int(blk))
+		if err != nil {
+			return err
+		}
+		copy(b, content[off:])
+	}
+	in, err := fs.ReadInode(ino)
+	if err != nil {
+		return err
+	}
+	in.Size = uint32(len(content))
+	return fs.WriteInode(ino, in)
+}
+
+// PopulateTree writes a map of path -> content, in sorted order for
+// determinism.
+func (fs *FS) PopulateTree(files map[string][]byte) error {
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := fs.WriteFile(p, files[p]); err != nil {
+			return fmt.Errorf("populate %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+func splitPath(path string) []string {
+	var out []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" && p != "." {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package ext2
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+// TestRandomOperationsAgainstModel drives the host-side ext2
+// implementation through a long random (seeded) sequence of writes and
+// overwrites, cross-checking every file against a map model and
+// running fsck after every few steps.
+func TestRandomOperationsAgainstModel(t *testing.T) {
+	dev := disk.New(512)
+	fs, err := Mkfs(dev, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	model := make(map[string][]byte)
+
+	dirs := []string{"", "/d1", "/d2", "/d1/sub"}
+	randPath := func() string {
+		return fmt.Sprintf("%s/f%d", dirs[rng.Intn(len(dirs))], rng.Intn(12))
+	}
+	randContent := func() []byte {
+		n := rng.Intn(20000)
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+
+	for step := 0; step < 200; step++ {
+		p := randPath()
+		c := randContent()
+		if err := fs.WriteFile(p, c); err != nil {
+			t.Fatalf("step %d: write %s (%d bytes): %v", step, p, len(c), err)
+		}
+		model[p] = c
+
+		// Spot-check a random known file.
+		for kp, kc := range model {
+			got, err := fs.ReadFile(kp)
+			if err != nil {
+				t.Fatalf("step %d: read %s: %v", step, kp, err)
+			}
+			if !bytes.Equal(got, kc) {
+				t.Fatalf("step %d: %s content mismatch (%d vs %d bytes)",
+					step, kp, len(got), len(kc))
+			}
+			break
+		}
+
+		if step%20 == 19 {
+			if rep := Check(dev); rep.Status != StatusClean {
+				t.Fatalf("step %d: fsck: %v %v", step, rep.Status, rep.Problems)
+			}
+		}
+	}
+
+	// Final full verification.
+	for p, c := range model {
+		got, err := fs.ReadFile(p)
+		if err != nil || !bytes.Equal(got, c) {
+			t.Fatalf("final: %s mismatch: %v", p, err)
+		}
+	}
+	if rep := Check(dev); rep.Status != StatusClean {
+		t.Fatalf("final fsck: %v %v", rep.Status, rep.Problems)
+	}
+}
+
+// TestRepairConvergesUnderCorruption: for many random single-byte
+// corruptions, Check/Repair either declares the image unrecoverable or
+// converges to a clean state within one repair pass.
+func TestRepairConvergesUnderCorruption(t *testing.T) {
+	base := disk.New(512)
+	fs, err := Mkfs(base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/dir%d/file%d", i%3, i),
+			bytes.Repeat([]byte{byte(i)}, 3000+i*1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pristine := base.Clone()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		dev := pristine.Clone()
+		img := dev.Image()
+		// Corrupt 1-4 random bytes in the metadata area (first 16
+		// blocks), where fsck-visible damage lives.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(16 * BlockSize)
+			img[pos] ^= byte(1 << rng.Intn(8))
+		}
+		rep := Check(dev)
+		switch rep.Status {
+		case StatusClean:
+			continue
+		case StatusUnrecoverable:
+			if err := Repair(dev); err == nil {
+				t.Fatalf("trial %d: repair succeeded on unrecoverable image", trial)
+			}
+		case StatusFixable:
+			if err := Repair(dev); err != nil {
+				t.Fatalf("trial %d: repair failed on fixable image: %v", trial, err)
+			}
+			if after := Check(dev); after.Status != StatusClean {
+				t.Fatalf("trial %d: not clean after repair: %v", trial, after.Problems)
+			}
+		}
+	}
+}

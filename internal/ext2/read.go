@@ -1,0 +1,202 @@
+package ext2
+
+import "fmt"
+
+// Dirent is a decoded directory entry.
+type Dirent struct {
+	Ino  uint32
+	Name string
+}
+
+// ReadDir returns the entries of directory inode ino.
+func (fs *FS) ReadDir(ino uint32) ([]Dirent, error) {
+	in, err := fs.ReadInode(ino)
+	if err != nil {
+		return nil, err
+	}
+	if in.Mode != ModeDir {
+		return nil, fmt.Errorf("ext2: inode %d is not a directory", ino)
+	}
+	n := in.Size / DirentSize
+	if in.Size%DirentSize != 0 || n > MaxFileBlocks*DirentsPerBlock {
+		return nil, fmt.Errorf("ext2: directory %d has corrupt size %d", ino, in.Size)
+	}
+	out := make([]Dirent, 0, n)
+	for slot := uint32(0); slot < n; slot++ {
+		bi := slot / DirentsPerBlock
+		off := int(slot%DirentsPerBlock) * DirentSize
+		blk, err := fs.BlockOf(in, bi)
+		if err != nil {
+			return nil, err
+		}
+		if blk == 0 || blk >= fs.SB.NBlocks {
+			return nil, fmt.Errorf("ext2: directory %d block %d invalid", ino, bi)
+		}
+		b, err := fs.Dev.ReadBlock(int(blk))
+		if err != nil {
+			return nil, err
+		}
+		entIno := le32(b, off+DirentIno)
+		nameLen := le32(b, off+DirentNameLen)
+		if entIno == 0 {
+			continue // deleted entry
+		}
+		if nameLen == 0 || nameLen > MaxNameLen {
+			return nil, fmt.Errorf("ext2: directory %d entry %d has bad name length %d", ino, slot, nameLen)
+		}
+		out = append(out, Dirent{
+			Ino:  entIno,
+			Name: string(b[off+DirentName : off+DirentName+int(nameLen)]),
+		})
+	}
+	return out, nil
+}
+
+func (fs *FS) lookupIn(dirIno uint32, name string) (uint32, error) {
+	ents, err := fs.ReadDir(dirIno)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range ents {
+		if e.Name == name {
+			return e.Ino, nil
+		}
+	}
+	return 0, fmt.Errorf("ext2: %q not found in inode %d", name, dirIno)
+}
+
+// Lookup resolves a path to an inode number.
+func (fs *FS) Lookup(path string) (uint32, error) {
+	ino := uint32(RootIno)
+	for _, part := range splitPath(path) {
+		next, err := fs.lookupIn(ino, part)
+		if err != nil {
+			return 0, err
+		}
+		ino = next
+	}
+	return ino, nil
+}
+
+// ReadFile returns the full content of the file at path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	ino, err := fs.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	in, err := fs.ReadInode(ino)
+	if err != nil {
+		return nil, err
+	}
+	if in.Mode != ModeFile {
+		return nil, fmt.Errorf("ext2: %s is not a regular file", path)
+	}
+	if in.Size > MaxFileBlocks*BlockSize {
+		return nil, fmt.Errorf("ext2: %s has corrupt size %d", path, in.Size)
+	}
+	out := make([]byte, 0, in.Size)
+	for off := uint32(0); off < in.Size; off += BlockSize {
+		blk, err := fs.BlockOf(in, off/BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		n := in.Size - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		if blk == 0 { // hole
+			out = append(out, make([]byte, n)...)
+			continue
+		}
+		if blk >= fs.SB.NBlocks {
+			return nil, fmt.Errorf("ext2: %s block pointer %d out of range", path, blk)
+		}
+		b, err := fs.Dev.ReadBlock(int(blk))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b[:n]...)
+	}
+	return out, nil
+}
+
+// Walk visits every path in the tree (depth-first, sorted order is not
+// guaranteed), calling fn with the full path and inode number.
+func (fs *FS) Walk(fn func(path string, ino uint32, in Inode) error) error {
+	var rec func(prefix string, ino uint32, depth int) error
+	rec = func(prefix string, ino uint32, depth int) error {
+		if depth > 32 {
+			return fmt.Errorf("ext2: directory tree too deep (cycle?)")
+		}
+		in, err := fs.ReadInode(ino)
+		if err != nil {
+			return err
+		}
+		if err := fn(prefix, ino, in); err != nil {
+			return err
+		}
+		if in.Mode != ModeDir {
+			return nil
+		}
+		ents, err := fs.ReadDir(ino)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if err := rec(prefix+"/"+e.Name, e.Ino, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec("", RootIno, 0)
+}
+
+// Manifest maps boot-critical file paths to their exact contents; boot
+// verification fails (a "most severe" outcome: reinstall required) when
+// any of them is damaged — like the paper's case 1, where a truncated
+// /lib/i686/libc.so.6 kept init from loading shared libraries.
+type Manifest map[string]string
+
+// BuildManifest snapshots the given paths.
+func (fs *FS) BuildManifest(paths []string) (Manifest, error) {
+	m := make(Manifest, len(paths))
+	for _, p := range paths {
+		content, err := fs.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("manifest %s: %w", p, err)
+		}
+		m[p] = string(content)
+	}
+	return m, nil
+}
+
+// VerifyBoot checks every manifest file; it returns nil when the system
+// would boot, or an error naming the first damaged file.
+func (fs *FS) VerifyBoot(m Manifest) error {
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	// Deterministic order.
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if paths[j] < paths[i] {
+				paths[i], paths[j] = paths[j], paths[i]
+			}
+		}
+	}
+	for _, p := range paths {
+		content, err := fs.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("boot: cannot read %s: %w", p, err)
+		}
+		if string(content) != m[p] {
+			if len(content) < len(m[p]) {
+				return fmt.Errorf("boot: error while loading %s: file too short", p)
+			}
+			return fmt.Errorf("boot: %s corrupted", p)
+		}
+	}
+	return nil
+}

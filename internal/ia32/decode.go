@@ -1,0 +1,685 @@
+package ia32
+
+// Decode decodes a single instruction from the start of b. It never
+// panics: arbitrary byte sequences (such as those produced by bit flips)
+// decode either to a valid instruction of the subset, to
+// ErrInvalidOpcode, or to ErrTruncated when the encoding runs past the
+// end of b.
+func Decode(b []byte) (Inst, error) {
+	d := decoder{b: b}
+	inst, err := d.decode()
+	if err != nil {
+		return Inst{}, err
+	}
+	inst.Len = uint8(d.pos)
+	return inst, nil
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+	rep byte // 0, 0xF2 or 0xF3
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.pos >= len(d.b) || d.pos >= MaxInstLen {
+		return 0, ErrTruncated
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) imm8() (int32, error) {
+	v, err := d.u8()
+	if err != nil {
+		return 0, err
+	}
+	return int32(int8(v)), nil
+}
+
+func (d *decoder) imm16() (int32, error) {
+	lo, err := d.u8()
+	if err != nil {
+		return 0, err
+	}
+	hi, err := d.u8()
+	if err != nil {
+		return 0, err
+	}
+	return int32(uint32(lo) | uint32(hi)<<8), nil
+}
+
+func (d *decoder) imm32() (int32, error) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		c, err := d.u8()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(c) << (8 * i)
+	}
+	return int32(v), nil
+}
+
+// modrm decodes a ModRM byte (plus SIB and displacement when present) and
+// returns the reg field and the r/m operand.
+func (d *decoder) modrm() (reg uint8, rm Arg, err error) {
+	mb, err := d.u8()
+	if err != nil {
+		return 0, Arg{}, err
+	}
+	mod := mb >> 6
+	reg = (mb >> 3) & 7
+	rmf := mb & 7
+
+	if mod == 3 {
+		return reg, RegArg(Reg(rmf)), nil
+	}
+
+	var m MemRef
+	m.Scale = 1
+	switch {
+	case rmf == 4: // SIB follows
+		sib, err := d.u8()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		ss := sib >> 6
+		idx := (sib >> 3) & 7
+		base := sib & 7
+		if idx != 4 {
+			m.HasIndex = true
+			m.Index = Reg(idx)
+			m.Scale = 1 << ss
+		}
+		if base == 5 && mod == 0 {
+			disp, err := d.imm32()
+			if err != nil {
+				return 0, Arg{}, err
+			}
+			m.Disp = disp
+		} else {
+			m.HasBase = true
+			m.Base = Reg(base)
+		}
+	case rmf == 5 && mod == 0: // disp32, no base
+		disp, err := d.imm32()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		m.Disp = disp
+	default:
+		m.HasBase = true
+		m.Base = Reg(rmf)
+	}
+
+	switch mod {
+	case 1:
+		disp, err := d.imm8()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		m.Disp += disp
+	case 2:
+		disp, err := d.imm32()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		m.Disp += disp
+	}
+	return reg, MemArg(m), nil
+}
+
+var grp1Ops = [8]Op{OpAdd, OpOr, OpAdc, OpSbb, OpAnd, OpSub, OpXor, OpCmp}
+var grp2Ops = [8]Op{OpRol, OpRor, OpRcl, OpRcr, OpShl, OpShr, OpShl, OpSar}
+
+func (d *decoder) decode() (Inst, error) {
+	// Prefix scan. Segment overrides and LOCK are accepted and ignored
+	// (flat memory model); REP prefixes are remembered for string ops;
+	// operand/address size overrides are outside the subset.
+	for nprefix := 0; ; nprefix++ {
+		if nprefix > 4 {
+			return Inst{}, ErrInvalidOpcode
+		}
+		op, err := d.u8()
+		if err != nil {
+			return Inst{}, err
+		}
+		switch op {
+		case 0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0xF0:
+			continue
+		case 0xF2, 0xF3:
+			d.rep = op
+			continue
+		case 0x66, 0x67:
+			return Inst{}, ErrInvalidOpcode
+		}
+		return d.opcode(op)
+	}
+}
+
+// aluRM builds the four-form ALU family (op rm,r / op r,rm / op al,imm8 /
+// op eax,imm32) from the low three bits of the opcode.
+func (d *decoder) aluRM(op Op, form byte) (Inst, error) {
+	switch form {
+	case 0, 1: // rm <- r
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, W8: form == 0, Args: [2]Arg{rm, RegArg(Reg(reg))}}, nil
+	case 2, 3: // r <- rm
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, W8: form == 2, Args: [2]Arg{RegArg(Reg(reg)), rm}}, nil
+	case 4: // al, imm8
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, W8: true, Args: [2]Arg{RegArg(EAX)}, Imm: imm, HasImm: true}, nil
+	default: // eax, imm32
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Args: [2]Arg{RegArg(EAX)}, Imm: imm, HasImm: true}, nil
+	}
+}
+
+func (d *decoder) opcode(op byte) (Inst, error) {
+	// ALU block: 00-3D excluding the gaps.
+	if op < 0x40 {
+		hi, lo := op>>3, op&7
+		if lo <= 5 {
+			switch hi {
+			case 0:
+				return d.aluRM(OpAdd, lo)
+			case 1:
+				return d.aluRM(OpOr, lo)
+			case 2:
+				return d.aluRM(OpAdc, lo)
+			case 3:
+				return d.aluRM(OpSbb, lo)
+			case 4:
+				return d.aluRM(OpAnd, lo)
+			case 5:
+				return d.aluRM(OpSub, lo)
+			case 6:
+				return d.aluRM(OpXor, lo)
+			case 7:
+				return d.aluRM(OpCmp, lo)
+			}
+		}
+		if op == 0x0F {
+			return d.twoByte()
+		}
+		return Inst{}, ErrInvalidOpcode
+	}
+
+	switch {
+	case op >= 0x40 && op <= 0x47:
+		return Inst{Op: OpInc, Args: [2]Arg{RegArg(Reg(op - 0x40))}}, nil
+	case op >= 0x48 && op <= 0x4F:
+		return Inst{Op: OpDec, Args: [2]Arg{RegArg(Reg(op - 0x48))}}, nil
+	case op >= 0x50 && op <= 0x57:
+		return Inst{Op: OpPush, Args: [2]Arg{RegArg(Reg(op - 0x50))}}, nil
+	case op >= 0x58 && op <= 0x5F:
+		return Inst{Op: OpPop, Args: [2]Arg{RegArg(Reg(op - 0x58))}}, nil
+	case op >= 0x70 && op <= 0x7F:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJcc, Cond: Cond(op - 0x70), Imm: imm, HasImm: true}, nil
+	case op >= 0x91 && op <= 0x97:
+		return Inst{Op: OpXchg, Args: [2]Arg{RegArg(EAX), RegArg(Reg(op - 0x90))}}, nil
+	case op >= 0xB0 && op <= 0xB7:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, W8: true, Args: [2]Arg{RegArg(Reg(op - 0xB0))}, Imm: imm, HasImm: true}, nil
+	case op >= 0xB8 && op <= 0xBF:
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, Args: [2]Arg{RegArg(Reg(op - 0xB8))}, Imm: imm, HasImm: true}, nil
+	}
+
+	switch op {
+	case 0x60:
+		return Inst{Op: OpPusha}, nil
+	case 0x61:
+		return Inst{Op: OpPopa}, nil
+	case 0x62:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		if rm.Kind != KindMem {
+			return Inst{}, ErrInvalidOpcode
+		}
+		return Inst{Op: OpBound, Args: [2]Arg{RegArg(Reg(reg)), rm}}, nil
+	case 0x68:
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpPush, Imm: imm, HasImm: true}, nil
+	case 0x6A:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpPush, Imm: imm, HasImm: true}, nil
+	case 0x69, 0x6B:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		var imm int32
+		if op == 0x69 {
+			imm, err = d.imm32()
+		} else {
+			imm, err = d.imm8()
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpImul3, Args: [2]Arg{RegArg(Reg(reg)), rm}, Imm: imm, HasImm: true}, nil
+	case 0x80, 0x82: // 0x82 is the historical alias of 0x80
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: grp1Ops[reg], W8: true, Args: [2]Arg{rm}, Imm: imm, HasImm: true}, nil
+	case 0x81:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: grp1Ops[reg], Args: [2]Arg{rm}, Imm: imm, HasImm: true}, nil
+	case 0x83:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: grp1Ops[reg], Args: [2]Arg{rm}, Imm: imm, HasImm: true}, nil
+	case 0x84, 0x85:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpTest, W8: op == 0x84, Args: [2]Arg{rm, RegArg(Reg(reg))}}, nil
+	case 0x86, 0x87:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpXchg, W8: op == 0x86, Args: [2]Arg{rm, RegArg(Reg(reg))}}, nil
+	case 0x88, 0x89:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, W8: op == 0x88, Args: [2]Arg{rm, RegArg(Reg(reg))}}, nil
+	case 0x8A, 0x8B:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, W8: op == 0x8A, Args: [2]Arg{RegArg(Reg(reg)), rm}}, nil
+	case 0x8D:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		if rm.Kind != KindMem {
+			return Inst{}, ErrInvalidOpcode
+		}
+		return Inst{Op: OpLea, Args: [2]Arg{RegArg(Reg(reg)), rm}}, nil
+	case 0x8F:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		if reg != 0 {
+			return Inst{}, ErrInvalidOpcode
+		}
+		return Inst{Op: OpPop, Args: [2]Arg{rm}}, nil
+	case 0x90:
+		return Inst{Op: OpNop}, nil
+	case 0x98:
+		return Inst{Op: OpCwde}, nil
+	case 0x99:
+		return Inst{Op: OpCdq}, nil
+	case 0x9C:
+		return Inst{Op: OpPushf}, nil
+	case 0x9D:
+		return Inst{Op: OpPopf}, nil
+	case 0x9E:
+		return Inst{Op: OpSahf}, nil
+	case 0x9F:
+		return Inst{Op: OpLahf}, nil
+	case 0xA0, 0xA1, 0xA2, 0xA3: // mov al/eax <-> moffs
+		disp, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		mem := MemArg(MemRef{Disp: disp, Scale: 1})
+		w8 := op == 0xA0 || op == 0xA2
+		if op <= 0xA1 {
+			return Inst{Op: OpMov, W8: w8, Args: [2]Arg{RegArg(EAX), mem}}, nil
+		}
+		return Inst{Op: OpMov, W8: w8, Args: [2]Arg{mem, RegArg(EAX)}}, nil
+	case 0xA4, 0xA5:
+		return Inst{Op: OpMovs, W8: op == 0xA4, Rep: d.repFor(false)}, nil
+	case 0xA6, 0xA7:
+		return Inst{Op: OpCmps, W8: op == 0xA6, Rep: d.repFor(true)}, nil
+	case 0xA8:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpTest, W8: true, Args: [2]Arg{RegArg(EAX)}, Imm: imm, HasImm: true}, nil
+	case 0xA9:
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpTest, Args: [2]Arg{RegArg(EAX)}, Imm: imm, HasImm: true}, nil
+	case 0xAA, 0xAB:
+		return Inst{Op: OpStos, W8: op == 0xAA, Rep: d.repFor(false)}, nil
+	case 0xAC, 0xAD:
+		return Inst{Op: OpLods, W8: op == 0xAC, Rep: d.repFor(false)}, nil
+	case 0xAE, 0xAF:
+		return Inst{Op: OpScas, W8: op == 0xAE, Rep: d.repFor(true)}, nil
+	case 0xC0, 0xC1:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: grp2Ops[reg], W8: op == 0xC0, Args: [2]Arg{rm}, Imm: imm, HasImm: true}, nil
+	case 0xC2:
+		imm, err := d.imm16()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpRet, Imm: imm, HasImm: true}, nil
+	case 0xC3:
+		return Inst{Op: OpRet}, nil
+	case 0xC6, 0xC7:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		if reg != 0 {
+			return Inst{}, ErrInvalidOpcode
+		}
+		var imm int32
+		if op == 0xC6 {
+			imm, err = d.imm8()
+		} else {
+			imm, err = d.imm32()
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, W8: op == 0xC6, Args: [2]Arg{rm}, Imm: imm, HasImm: true}, nil
+	case 0xC9:
+		return Inst{Op: OpLeave}, nil
+	case 0xCA:
+		imm, err := d.imm16()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpLret, Imm: imm, HasImm: true}, nil
+	case 0xCB:
+		return Inst{Op: OpLret}, nil
+	case 0xCC:
+		return Inst{Op: OpInt3}, nil
+	case 0xCD:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpInt, Imm: imm & 0xFF, HasImm: true}, nil
+	case 0xCE:
+		return Inst{Op: OpInto}, nil
+	case 0xD0, 0xD1:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: grp2Ops[reg], W8: op == 0xD0, Args: [2]Arg{rm}, Imm: 1, HasImm: true}, nil
+	case 0xD2, 0xD3:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: grp2Ops[reg], W8: op == 0xD2, Args: [2]Arg{rm}}, nil
+	case 0xE4, 0xE5:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpIn, W8: op == 0xE4, Imm: imm & 0xFF, HasImm: true}, nil
+	case 0xE6, 0xE7:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpOut, W8: op == 0xE6, Imm: imm & 0xFF, HasImm: true}, nil
+	case 0xE8:
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpCall, Imm: imm, HasImm: true}, nil
+	case 0xE9:
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJmp, Imm: imm, HasImm: true}, nil
+	case 0xEB:
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJmp, Imm: imm, HasImm: true}, nil
+	case 0xEC, 0xED:
+		return Inst{Op: OpIn, W8: op == 0xEC}, nil
+	case 0xEE, 0xEF:
+		return Inst{Op: OpOut, W8: op == 0xEE}, nil
+	case 0xF4:
+		return Inst{Op: OpHlt}, nil
+	case 0xF5:
+		return Inst{Op: OpCmc}, nil
+	case 0xF6, 0xF7:
+		return d.grp3(op == 0xF6)
+	case 0xF8:
+		return Inst{Op: OpClc}, nil
+	case 0xF9:
+		return Inst{Op: OpStc}, nil
+	case 0xFA:
+		return Inst{Op: OpCli}, nil
+	case 0xFB:
+		return Inst{Op: OpSti}, nil
+	case 0xFC:
+		return Inst{Op: OpCld}, nil
+	case 0xFD:
+		return Inst{Op: OpStd}, nil
+	case 0xFE:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		switch reg {
+		case 0:
+			return Inst{Op: OpInc, W8: true, Args: [2]Arg{rm}}, nil
+		case 1:
+			return Inst{Op: OpDec, W8: true, Args: [2]Arg{rm}}, nil
+		}
+		return Inst{}, ErrInvalidOpcode
+	case 0xFF:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		switch reg {
+		case 0:
+			return Inst{Op: OpInc, Args: [2]Arg{rm}}, nil
+		case 1:
+			return Inst{Op: OpDec, Args: [2]Arg{rm}}, nil
+		case 2:
+			return Inst{Op: OpCall, Args: [2]Arg{rm}}, nil
+		case 4:
+			return Inst{Op: OpJmp, Args: [2]Arg{rm}}, nil
+		case 6:
+			return Inst{Op: OpPush, Args: [2]Arg{rm}}, nil
+		}
+		return Inst{}, ErrInvalidOpcode
+	}
+	return Inst{}, ErrInvalidOpcode
+}
+
+func (d *decoder) repFor(cmpScas bool) RepKind {
+	switch d.rep {
+	case 0xF3:
+		if cmpScas {
+			return Repe
+		}
+		return Rep
+	case 0xF2:
+		if cmpScas {
+			return Repne
+		}
+		return Rep
+	}
+	return RepNone
+}
+
+func (d *decoder) grp3(w8 bool) (Inst, error) {
+	reg, rm, err := d.modrm()
+	if err != nil {
+		return Inst{}, err
+	}
+	switch reg {
+	case 0, 1: // test rm, imm
+		var imm int32
+		if w8 {
+			imm, err = d.imm8()
+		} else {
+			imm, err = d.imm32()
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpTest, W8: w8, Args: [2]Arg{rm}, Imm: imm, HasImm: true}, nil
+	case 2:
+		return Inst{Op: OpNot, W8: w8, Args: [2]Arg{rm}}, nil
+	case 3:
+		return Inst{Op: OpNeg, W8: w8, Args: [2]Arg{rm}}, nil
+	case 4:
+		return Inst{Op: OpMul, W8: w8, Args: [2]Arg{rm}}, nil
+	case 5:
+		return Inst{Op: OpImul1, W8: w8, Args: [2]Arg{rm}}, nil
+	case 6:
+		return Inst{Op: OpDiv, W8: w8, Args: [2]Arg{rm}}, nil
+	default:
+		return Inst{Op: OpIdiv, W8: w8, Args: [2]Arg{rm}}, nil
+	}
+}
+
+func (d *decoder) twoByte() (Inst, error) {
+	op, err := d.u8()
+	if err != nil {
+		return Inst{}, err
+	}
+	switch {
+	case op == 0x0B:
+		return Inst{Op: OpUd2}, nil
+	case op >= 0x80 && op <= 0x8F:
+		imm, err := d.imm32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJcc, Cond: Cond(op - 0x80), Imm: imm, HasImm: true}, nil
+	case op >= 0x90 && op <= 0x9F:
+		_, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpSetcc, W8: true, Cond: Cond(op - 0x90), Args: [2]Arg{rm}}, nil
+	case op == 0xA4 || op == 0xAC:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.imm8()
+		if err != nil {
+			return Inst{}, err
+		}
+		o := OpShld
+		if op == 0xAC {
+			o = OpShrd
+		}
+		return Inst{Op: o, Args: [2]Arg{rm, RegArg(Reg(reg))}, Imm: imm, HasImm: true}, nil
+	case op == 0xA5 || op == 0xAD:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		o := OpShld
+		if op == 0xAD {
+			o = OpShrd
+		}
+		return Inst{Op: o, Args: [2]Arg{rm, RegArg(Reg(reg))}}, nil
+	case op == 0xAF:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpImul2, Args: [2]Arg{RegArg(Reg(reg)), rm}}, nil
+	case op == 0xB6 || op == 0xB7 || op == 0xBE || op == 0xBF:
+		reg, rm, err := d.modrm()
+		if err != nil {
+			return Inst{}, err
+		}
+		var o Op
+		switch op {
+		case 0xB6:
+			o = OpMovzx8
+		case 0xB7:
+			o = OpMovzx16
+		case 0xBE:
+			o = OpMovsx8
+		default:
+			o = OpMovsx16
+		}
+		return Inst{Op: o, Args: [2]Arg{RegArg(Reg(reg)), rm}}, nil
+	}
+	return Inst{}, ErrInvalidOpcode
+}

@@ -1,0 +1,175 @@
+package ia32
+
+import (
+	"fmt"
+	"strings"
+)
+
+var opNames = map[Op]string{
+	OpMov: "mov", OpLea: "lea", OpXchg: "xchg", OpPush: "push", OpPop: "pop",
+	OpPusha: "pusha", OpPopa: "popa", OpPushf: "pushf", OpPopf: "popf",
+	OpAdd: "add", OpOr: "or", OpAdc: "adc", OpSbb: "sbb", OpAnd: "and",
+	OpSub: "sub", OpXor: "xor", OpCmp: "cmp", OpTest: "test",
+	OpInc: "inc", OpDec: "dec", OpNot: "not", OpNeg: "neg",
+	OpMul: "mul", OpImul1: "imul", OpImul2: "imul", OpImul3: "imul",
+	OpDiv: "div", OpIdiv: "idiv",
+	OpRol: "rol", OpRor: "ror", OpRcl: "rcl", OpRcr: "rcr",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpShld: "shld", OpShrd: "shrd",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpLret: "lret", OpLeave: "leave",
+	OpInt3: "int3", OpInt: "int", OpInto: "into", OpBound: "bound",
+	OpHlt: "hlt", OpUd2: "ud2a", OpNop: "nop", OpCwde: "cwde", OpCdq: "cdq",
+	OpMovzx8: "movzbl", OpMovzx16: "movzwl", OpMovsx8: "movsbl", OpMovsx16: "movswl",
+	OpIn: "in", OpOut: "out", OpClc: "clc", OpStc: "stc", OpCmc: "cmc",
+	OpCli: "cli", OpSti: "sti", OpCld: "cld", OpStd: "std",
+	OpSahf: "sahf", OpLahf: "lahf",
+	OpMovs: "movs", OpStos: "stos", OpLods: "lods", OpScas: "scas", OpCmps: "cmps",
+}
+
+// Mnemonic returns the AT&T mnemonic for the instruction (for Jcc and
+// SETcc the condition suffix is included).
+func (i *Inst) Mnemonic() string {
+	switch i.Op {
+	case OpJcc:
+		return "j" + i.Cond.String()
+	case OpSetcc:
+		return "set" + i.Cond.String()
+	case OpMovs, OpStos, OpLods, OpScas, OpCmps:
+		suffix := "l"
+		if i.W8 {
+			suffix = "b"
+		}
+		prefix := ""
+		switch i.Rep {
+		case Rep:
+			prefix = "rep "
+		case Repe:
+			prefix = "repe "
+		case Repne:
+			prefix = "repne "
+		}
+		return prefix + opNames[i.Op] + suffix
+	}
+	if n, ok := opNames[i.Op]; ok {
+		return n
+	}
+	return "(bad)"
+}
+
+func attArg(a Arg, w8 bool) string {
+	switch a.Kind {
+	case KindReg:
+		if w8 {
+			return "%" + a.Reg.Name8()
+		}
+		return "%" + a.Reg.String()
+	case KindMem:
+		var sb strings.Builder
+		if a.Mem.Disp != 0 || (!a.Mem.HasBase && !a.Mem.HasIndex) {
+			fmt.Fprintf(&sb, "0x%x", uint32(a.Mem.Disp))
+		}
+		if a.Mem.HasBase || a.Mem.HasIndex {
+			sb.WriteByte('(')
+			if a.Mem.HasBase {
+				sb.WriteString("%" + a.Mem.Base.String())
+			}
+			if a.Mem.HasIndex {
+				fmt.Fprintf(&sb, ",%%%s,%d", a.Mem.Index.String(), a.Mem.Scale)
+			}
+			sb.WriteByte(')')
+		}
+		return sb.String()
+	}
+	return ""
+}
+
+// Disasm renders the instruction in AT&T syntax. addr is the address of
+// the instruction; it is used to resolve relative branch targets.
+func (i *Inst) Disasm(addr uint32) string {
+	m := i.Mnemonic()
+	switch i.Op {
+	case OpJcc, OpJmp, OpCall:
+		if i.Args[0].Kind != KindNone {
+			return m + " *" + attArg(i.Args[0], false)
+		}
+		return fmt.Sprintf("%s 0x%x", m, i.BranchTarget(addr))
+	case OpRet, OpLret, OpInt:
+		if i.HasImm && i.Imm != 0 {
+			return fmt.Sprintf("%s $0x%x", m, uint32(i.Imm))
+		}
+		return m
+	case OpIn:
+		if i.HasImm {
+			return fmt.Sprintf("%s $0x%x,%s", m, uint32(i.Imm), accName(i.W8))
+		}
+		return fmt.Sprintf("%s (%%dx),%s", m, accName(i.W8))
+	case OpOut:
+		if i.HasImm {
+			return fmt.Sprintf("%s %s,$0x%x", m, accName(i.W8), uint32(i.Imm))
+		}
+		return fmt.Sprintf("%s %s,(%%dx)", m, accName(i.W8))
+	case OpShld, OpShrd:
+		if i.HasImm {
+			return fmt.Sprintf("%s $0x%x,%s,%s", m, uint32(i.Imm),
+				attArg(i.Args[1], false), attArg(i.Args[0], false))
+		}
+		return fmt.Sprintf("%s %%cl,%s,%s", m,
+			attArg(i.Args[1], false), attArg(i.Args[0], false))
+	case OpImul3:
+		return fmt.Sprintf("%s $0x%x,%s,%s", m, uint32(i.Imm),
+			attArg(i.Args[1], false), attArg(i.Args[0], false))
+	case OpMovzx8, OpMovsx8:
+		return fmt.Sprintf("%s %s,%s", m, attArg(i.Args[1], true), attArg(i.Args[0], false))
+	case OpMovzx16, OpMovsx16:
+		return fmt.Sprintf("%s %s,%s", m, attArg(i.Args[1], false), attArg(i.Args[0], false))
+	}
+
+	// Generic forms: AT&T order is src,dst.
+	var parts []string
+	if i.HasImm {
+		iv := uint32(i.Imm)
+		if i.W8 {
+			iv &= 0xFF
+		}
+		parts = append(parts, fmt.Sprintf("$0x%x", iv))
+	}
+	if i.Args[1].Kind != KindNone {
+		parts = append(parts, attArg(i.Args[1], i.W8))
+	}
+	if i.Args[0].Kind != KindNone {
+		parts = append(parts, attArg(i.Args[0], i.W8))
+	}
+	if len(parts) == 0 {
+		return m
+	}
+	return m + " " + strings.Join(parts, ",")
+}
+
+func accName(w8 bool) string {
+	if w8 {
+		return "%al"
+	}
+	return "%eax"
+}
+
+// DisasmBytes decodes and renders up to max instructions from code,
+// starting at address addr, one per line. Undecodable bytes are rendered
+// as "(bad)" and skipped one byte at a time, matching objdump behavior.
+func DisasmBytes(code []byte, addr uint32, max int) string {
+	var sb strings.Builder
+	off := 0
+	for n := 0; off < len(code) && n < max; n++ {
+		inst, err := Decode(code[off:])
+		if err != nil {
+			fmt.Fprintf(&sb, "%08x:  %02x                   (bad)\n", addr+uint32(off), code[off])
+			off++
+			continue
+		}
+		hex := ""
+		for _, b := range code[off : off+int(inst.Len)] {
+			hex += fmt.Sprintf("%02x ", b)
+		}
+		fmt.Fprintf(&sb, "%08x:  %-20s %s\n", addr+uint32(off), hex, inst.Disasm(addr+uint32(off)))
+		off += int(inst.Len)
+	}
+	return sb.String()
+}

@@ -1,0 +1,126 @@
+package ia32
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisasmGolden pins the AT&T rendering of one example from every
+// instruction family.
+func TestDisasmGolden(t *testing.T) {
+	tests := []struct {
+		bytes []byte
+		want  string
+	}{
+		{[]byte{0x01, 0xC8}, "add %ecx,%eax"},
+		{[]byte{0x03, 0x45, 0x08}, "add 0x8(%ebp),%eax"},
+		{[]byte{0x83, 0xC0, 0x05}, "add $0x5,%eax"},
+		{[]byte{0x81, 0xC3, 0x00, 0x01, 0x00, 0x00}, "add $0x100,%ebx"},
+		{[]byte{0x29, 0xD8}, "sub %ebx,%eax"},
+		{[]byte{0x21, 0xC8}, "and %ecx,%eax"},
+		{[]byte{0x09, 0xC8}, "or %ecx,%eax"},
+		{[]byte{0x11, 0xC8}, "adc %ecx,%eax"},
+		{[]byte{0x19, 0xC8}, "sbb %ecx,%eax"},
+		{[]byte{0x31, 0xC0}, "xor %eax,%eax"},
+		{[]byte{0x39, 0xC8}, "cmp %ecx,%eax"},
+		{[]byte{0x85, 0xC0}, "test %eax,%eax"},
+		{[]byte{0x87, 0xCA}, "xchg %ecx,%edx"},
+		{[]byte{0x8D, 0x44, 0x88, 0x04}, "lea 0x4(%eax,%ecx,4),%eax"},
+		{[]byte{0x50}, "push %eax"},
+		{[]byte{0x5F}, "pop %edi"},
+		{[]byte{0x6A, 0x10}, "push $0x10"},
+		{[]byte{0x68, 0x00, 0x10, 0x00, 0x00}, "push $0x1000"},
+		{[]byte{0x40}, "inc %eax"},
+		{[]byte{0x4B}, "dec %ebx"},
+		{[]byte{0xF7, 0xD8}, "neg %eax"},
+		{[]byte{0xF7, 0xD0}, "not %eax"},
+		{[]byte{0xF7, 0xE1}, "mul %ecx"},
+		{[]byte{0xF7, 0xE9}, "imul %ecx"},
+		{[]byte{0xF7, 0xF1}, "div %ecx"},
+		{[]byte{0xF7, 0xF9}, "idiv %ecx"},
+		{[]byte{0x0F, 0xAF, 0xC1}, "imul %ecx,%eax"},
+		{[]byte{0x6B, 0xC1, 0x0A}, "imul $0xa,%ecx,%eax"},
+		{[]byte{0xC1, 0xE0, 0x04}, "shl $0x4,%eax"},
+		{[]byte{0xC1, 0xE8, 0x02}, "shr $0x2,%eax"},
+		{[]byte{0xC1, 0xF8, 0x1F}, "sar $0x1f,%eax"},
+		{[]byte{0xD3, 0xE0}, "shl %eax"}, // count in CL (implicit)
+		{[]byte{0xC1, 0xC0, 0x08}, "rol $0x8,%eax"},
+		{[]byte{0x0F, 0xA4, 0xD0, 0x0C}, "shld $0xc,%edx,%eax"},
+		{[]byte{0x0F, 0xAD, 0xD0}, "shrd %cl,%edx,%eax"},
+		{[]byte{0xC3}, "ret"},
+		{[]byte{0xC2, 0x08, 0x00}, "ret $0x8"},
+		{[]byte{0xC9}, "leave"},
+		{[]byte{0xCB}, "lret"},
+		{[]byte{0xCC}, "int3"},
+		{[]byte{0xCD, 0x80}, "int $0x80"},
+		{[]byte{0xCE}, "into"},
+		{[]byte{0xF4}, "hlt"},
+		{[]byte{0x0F, 0x0B}, "ud2a"},
+		{[]byte{0x90}, "nop"},
+		{[]byte{0x98}, "cwde"},
+		{[]byte{0x99}, "cdq"},
+		{[]byte{0x60}, "pusha"},
+		{[]byte{0x61}, "popa"},
+		{[]byte{0x9C}, "pushf"},
+		{[]byte{0x9D}, "popf"},
+		{[]byte{0x0F, 0x94, 0xC0}, "sete %al"},
+		{[]byte{0x0F, 0x9C, 0xC1}, "setl %cl"},
+		{[]byte{0x0F, 0xB6, 0xC1}, "movzbl %cl,%eax"},
+		{[]byte{0x0F, 0xBE, 0xC1}, "movsbl %cl,%eax"},
+		{[]byte{0x0F, 0xB7, 0x06}, "movzwl (%esi),%eax"},
+		{[]byte{0xE4, 0x60}, "in $0x60,%al"},
+		{[]byte{0xEC}, "in (%dx),%al"},
+		{[]byte{0xE6, 0xF4}, "out %al,$0xf4"},
+		{[]byte{0xEF}, "out %eax,(%dx)"},
+		{[]byte{0xF8}, "clc"},
+		{[]byte{0xF9}, "stc"},
+		{[]byte{0xF5}, "cmc"},
+		{[]byte{0xFA}, "cli"},
+		{[]byte{0xFB}, "sti"},
+		{[]byte{0xFC}, "cld"},
+		{[]byte{0xFD}, "std"},
+		{[]byte{0xF3, 0xA4}, "rep movsb"},
+		{[]byte{0xF3, 0xAB}, "rep stosl"},
+		{[]byte{0xF3, 0xA6}, "repe cmpsb"},
+		{[]byte{0xF2, 0xAE}, "repne scasb"},
+		{[]byte{0xAD}, "lodsl"},
+		{[]byte{0xFF, 0xD0}, "call *%eax"},
+		{[]byte{0xFF, 0x24, 0x85, 0x00, 0x20, 0x00, 0x00}, "jmp *0x2000(,%eax,4)"},
+		{[]byte{0xFF, 0x30}, "push (%eax)"},
+		{[]byte{0x8F, 0x00}, "pop (%eax)"},
+		{[]byte{0x62, 0x01}, "bound (%ecx),%eax"},
+		{[]byte{0xB0, 0x41}, "mov $0x41,%al"},
+		{[]byte{0xC6, 0x01, 0x00}, "mov $0x0,(%ecx)"},
+		{[]byte{0xC7, 0x45, 0xFC, 0x01, 0x00, 0x00, 0x00}, "mov $0x1,0xfffffffc(%ebp)"},
+	}
+	for _, tt := range tests {
+		in, err := Decode(tt.bytes)
+		if err != nil {
+			t.Errorf("Decode(% x): %v", tt.bytes, err)
+			continue
+		}
+		got := in.Disasm(0)
+		if got != tt.want {
+			t.Errorf("Disasm(% x) = %q, want %q", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestDisasmBytesSkipsBad(t *testing.T) {
+	// A bad byte mid-stream renders as (bad) and resynchronizes.
+	out := DisasmBytes([]byte{0x90, 0xD8, 0x90}, 0x1000, 10)
+	if !strings.Contains(out, "(bad)") || strings.Count(out, "nop") != 2 {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestDisasmBranchTargets(t *testing.T) {
+	in, _ := Decode([]byte{0x74, 0x10})
+	if got := in.Disasm(0xc0100000); got != "je 0xc0100012" {
+		t.Fatalf("je = %q", got)
+	}
+	in, _ = Decode([]byte{0xE8, 0xFB, 0xFF, 0xFF, 0xFF}) // call -5 (self)
+	if got := in.Disasm(0x2000); got != "call 0x2000" {
+		t.Fatalf("call = %q", got)
+	}
+}

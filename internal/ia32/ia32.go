@@ -1,0 +1,279 @@
+// Package ia32 implements a faithful subset of the 32-bit Intel
+// architecture instruction set: variable-length decoding, encoding, and
+// AT&T-style disassembly.
+//
+// The subset covers the instructions the Linux 2.4 kernel's hot paths are
+// built from (data movement, ALU ops, conditional branches, calls, stack
+// ops, string ops, shifts including shld/shrd, movzx/movsx, ud2, software
+// interrupts). Because decoding follows the real encoding rules (ModRM,
+// SIB, displacement and immediate bytes, variable instruction length), a
+// single-bit flip in an instruction byte has the same effect it would have
+// on real hardware: it may change the condition of a branch, turn an
+// instruction into a different one, or re-frame the remainder of the byte
+// stream into an entirely different instruction sequence.
+package ia32
+
+import "errors"
+
+// Reg names a 32-bit general purpose register. In 8-bit contexts
+// (Inst.W8 true) the same encodings 0-7 denote AL, CL, DL, BL, AH, CH,
+// DH, BH.
+type Reg uint8
+
+// General purpose registers in encoding order.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+)
+
+var regNames = [8]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+var reg8Names = [8]string{"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"}
+
+// String returns the AT&T name of the register (without the % sigil).
+func (r Reg) String() string {
+	if r < 8 {
+		return regNames[r]
+	}
+	return "reg?"
+}
+
+// Name8 returns the 8-bit register name for this encoding.
+func (r Reg) Name8() string {
+	if r < 8 {
+		return reg8Names[r]
+	}
+	return "reg?"
+}
+
+// Cond is a condition code as encoded in the low nibble of Jcc/SETcc
+// opcodes.
+type Cond uint8
+
+// Condition codes in encoding order.
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below (carry)
+	CondAE             // above or equal (not carry)
+	CondE              // equal (zero)
+	CondNE             // not equal
+	CondBE             // below or equal
+	CondA              // above
+	CondS              // sign
+	CondNS             // not sign
+	CondP              // parity
+	CondNP             // not parity
+	CondL              // less (signed)
+	CondGE             // greater or equal (signed)
+	CondLE             // less or equal (signed)
+	CondG              // greater (signed)
+)
+
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// String returns the condition suffix ("e", "ne", "l", ...).
+func (c Cond) String() string {
+	if c < 16 {
+		return condNames[c]
+	}
+	return "cc?"
+}
+
+// Inverse returns the negated condition (E <-> NE, L <-> GE, ...). On
+// IA-32 the inverse condition differs in exactly the least significant
+// bit of the condition nibble; campaign C of the study exploits this.
+func (c Cond) Inverse() Cond { return c ^ 1 }
+
+// Op identifies an operation.
+type Op uint8
+
+// Operations. The set mirrors the kernel-relevant IA-32 subset.
+const (
+	OpInvalid Op = iota
+	OpMov
+	OpLea
+	OpXchg
+	OpPush
+	OpPop
+	OpPusha
+	OpPopa
+	OpPushf
+	OpPopf
+	OpAdd
+	OpOr
+	OpAdc
+	OpSbb
+	OpAnd
+	OpSub
+	OpXor
+	OpCmp
+	OpTest
+	OpInc
+	OpDec
+	OpNot
+	OpNeg
+	OpMul
+	OpImul1 // one-operand: edx:eax = eax * r/m
+	OpImul2 // two-operand: r = r * r/m
+	OpImul3 // three-operand: r = r/m * imm
+	OpDiv
+	OpIdiv
+	OpRol
+	OpRor
+	OpRcl
+	OpRcr
+	OpShl
+	OpShr
+	OpSar
+	OpShld
+	OpShrd
+	OpJcc
+	OpJmp
+	OpCall
+	OpRet
+	OpLret
+	OpLeave
+	OpInt3
+	OpInt
+	OpInto
+	OpBound
+	OpHlt
+	OpUd2
+	OpNop
+	OpCwde
+	OpCdq
+	OpSetcc
+	OpMovzx8
+	OpMovzx16
+	OpMovsx8
+	OpMovsx16
+	OpIn
+	OpOut
+	OpClc
+	OpStc
+	OpCmc
+	OpCli
+	OpSti
+	OpCld
+	OpStd
+	OpSahf
+	OpLahf
+	OpMovs
+	OpStos
+	OpLods
+	OpScas
+	OpCmps
+	opMax
+)
+
+// RepKind is a string-operation repeat prefix.
+type RepKind uint8
+
+// Repeat prefixes.
+const (
+	RepNone RepKind = iota
+	Rep             // F3 on movs/stos/lods
+	Repe            // F3 on cmps/scas
+	Repne           // F2 on cmps/scas
+)
+
+// ArgKind discriminates Arg.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	KindNone ArgKind = iota
+	KindReg
+	KindMem
+)
+
+// MemRef is a decoded memory operand: [base + index*scale + disp].
+type MemRef struct {
+	HasBase  bool
+	HasIndex bool
+	Base     Reg
+	Index    Reg
+	Scale    uint8 // 1, 2, 4 or 8
+	Disp     int32
+}
+
+// Arg is one instruction operand.
+type Arg struct {
+	Kind ArgKind
+	Reg  Reg
+	Mem  MemRef
+}
+
+// RegArg constructs a register operand.
+func RegArg(r Reg) Arg { return Arg{Kind: KindReg, Reg: r} }
+
+// MemArg constructs a memory operand.
+func MemArg(m MemRef) Arg { return Arg{Kind: KindMem, Mem: m} }
+
+// Inst is one decoded instruction.
+//
+// Conventions:
+//   - Args[0] is the destination, Args[1] the source.
+//   - Immediate-source forms have Args[1].Kind == KindNone and HasImm set.
+//   - Relative branches (Jcc/Jmp/Call rel) have both Args empty and carry
+//     the displacement in Imm; the target is the address of the next
+//     instruction plus Imm.
+//   - For shifts, Imm holds the count when HasImm is set, otherwise the
+//     count is CL. Shld/Shrd keep the second source register in Args[1].
+//   - In/Out use Imm as the port when HasImm, otherwise the port is DX.
+type Inst struct {
+	Op     Op
+	Len    uint8
+	W8     bool
+	Cond   Cond
+	Rep    RepKind
+	Args   [2]Arg
+	Imm    int32
+	HasImm bool
+}
+
+// Decode errors.
+var (
+	// ErrInvalidOpcode marks byte sequences that do not decode to an
+	// instruction in the supported subset; executing them raises #UD.
+	ErrInvalidOpcode = errors.New("ia32: invalid opcode")
+	// ErrTruncated marks an instruction whose encoding extends past the
+	// available bytes.
+	ErrTruncated = errors.New("ia32: truncated instruction")
+)
+
+// MaxInstLen is the architectural maximum instruction length.
+const MaxInstLen = 15
+
+// IsCondBranch reports whether the instruction is a conditional branch
+// (the target class of campaigns B and C).
+func (i *Inst) IsCondBranch() bool { return i.Op == OpJcc }
+
+// CondFlipOffset returns the byte offset (within the instruction
+// encoding) of the byte containing the condition nibble, and the bit
+// whose flip reverses the branch condition. It returns ok=false for
+// non-conditional-branch instructions.
+func (i *Inst) CondFlipOffset() (byteOff int, bit uint8, ok bool) {
+	if i.Op != OpJcc {
+		return 0, 0, false
+	}
+	if i.Len == 2 {
+		return 0, 0, true // 0x70+cc rel8: condition lives in opcode byte bit 0
+	}
+	return 1, 0, true // 0x0F 0x80+cc rel32: condition in the second byte
+}
+
+// BranchTarget computes the target address of a relative branch located
+// at addr.
+func (i *Inst) BranchTarget(addr uint32) uint32 {
+	return addr + uint32(i.Len) + uint32(i.Imm)
+}

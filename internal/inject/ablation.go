@@ -1,0 +1,68 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/ia32"
+	"repro/internal/kernel"
+)
+
+// DisableAssertions patches the booted kernel text, replacing every
+// BUG()-style ud2 assertion with NOPs (same length, so addresses and
+// branch targets are unchanged). This builds the paper's counterfactual:
+// §8 attributes campaign C's dominant invalid-opcode crashes to kernel
+// assertions, and the conclusions propose *adding* assertions to detect
+// errors early and prevent propagation. Comparing a campaign against
+// the assertion-stripped kernel quantifies exactly that effect.
+//
+// It returns the number of assertions disabled.
+func DisableAssertions(m *kernel.Machine) (int, error) {
+	patched := 0
+	for _, fn := range m.Prog.Funcs {
+		if !isTextSub(fn.Section) {
+			continue
+		}
+		code, err := m.Mem.ReadRaw(fn.Addr, fn.Size)
+		if err != nil {
+			return patched, fmt.Errorf("inject: read %s: %w", fn.Name, err)
+		}
+		off := 0
+		for off < len(code) {
+			in, err := ia32.Decode(code[off:])
+			if err != nil {
+				break
+			}
+			if in.Op == ia32.OpUd2 {
+				if err := m.Mem.WriteRaw(fn.Addr+uint32(off), []byte{0x90, 0x90}); err != nil {
+					return patched, err
+				}
+				code[off], code[off+1] = 0x90, 0x90
+				patched++
+			}
+			off += int(in.Len)
+		}
+	}
+	return patched, nil
+}
+
+// RunnerOptions configure NewRunnerWithOptions.
+type RunnerOptions struct {
+	// DisableAssertions strips every kernel BUG()/ud2 assertion before
+	// the golden run (the ablation build).
+	DisableAssertions bool
+}
+
+// NewRunnerWithOptions is NewRunner with build options applied to the
+// machine before the pristine snapshot is taken.
+func NewRunnerWithOptions(ws []kernel.Workload, opts RunnerOptions) (*Runner, error) {
+	m, err := kernel.Boot()
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableAssertions {
+		if _, err := DisableAssertions(m); err != nil {
+			return nil, err
+		}
+	}
+	return newRunnerFromMachine(m, ws)
+}

@@ -1,0 +1,156 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/dump"
+	"repro/internal/ext2"
+	"repro/internal/kernel"
+	"repro/internal/unixbench"
+)
+
+func TestDisableAssertionsPatchesText(t *testing.T) {
+	r := newRunnerT(t)
+	n, err := DisableAssertions(r.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 8 {
+		t.Fatalf("only %d assertions found; the kernel carries more BUG() checks", n)
+	}
+	// A second pass finds nothing left.
+	n2, err := DisableAssertions(r.M)
+	if err != nil || n2 != 0 {
+		t.Fatalf("second pass patched %d, err %v", n2, err)
+	}
+}
+
+func TestAblationKernelStillWorks(t *testing.T) {
+	// The assertion-free build must still pass the golden run.
+	r, err := NewRunnerWithOptions(unixbench.Suite(1), RunnerOptions{DisableAssertions: true})
+	if err != nil {
+		t.Fatalf("ablation runner: %v", err)
+	}
+	res := r.M.RunWorkloads(r.Workloads, r.Budget)
+	if res.Err != nil {
+		t.Fatalf("ablation golden run: %v", res.Err)
+	}
+}
+
+// TestAblationAssertionEffect is the paper's §8 suggestion quantified:
+// with BUG() assertions stripped, campaign C must produce fewer
+// invalid-opcode crashes (the assertions were the detectors).
+func TestAblationAssertionEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	ws := unixbench.Suite(1)
+	base, err := NewRunner(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := NewRunnerWithOptions(ws, RunnerOptions{DisableAssertions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Campaign C over assertion-bearing hot functions.
+	fns := []string{
+		"getblk", "iput", "brelse", "ext2_find_entry", "pipe_read",
+		"do_generic_file_read", "zap_page_range", "wake_up_process",
+		"schedule", "__generic_copy_to_user", "free_pages_ok",
+	}
+	count := func(r *Runner) (invalid, crashes, detected int) {
+		rng := rand.New(rand.NewSource(21))
+		for _, name := range fns {
+			fn, ok := r.M.Prog.FuncByName(name)
+			if !ok {
+				t.Fatalf("no function %s", name)
+			}
+			targets, err := EnumerateTargets(r.M.Prog, fn, CampaignC, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tg := range targets {
+				res := r.RunTarget(CampaignC, tg)
+				if res.Outcome == OutcomeCrash {
+					crashes++
+					if res.Crash.Cause == dump.CauseInvalidOpcode {
+						invalid++
+					}
+				}
+				if res.Outcome == OutcomeCrash || res.Outcome == OutcomeHang {
+					detected++
+				}
+			}
+		}
+		return
+	}
+
+	invBase, crashBase, _ := count(base)
+	invAbl, crashAbl, _ := count(ablated)
+	t.Logf("with assertions: %d invalid-opcode of %d crashes", invBase, crashBase)
+	t.Logf("without assertions: %d invalid-opcode of %d crashes", invAbl, crashAbl)
+	if invBase == 0 {
+		t.Fatal("baseline produced no assertion-triggered crashes")
+	}
+	if invAbl >= invBase {
+		t.Fatalf("stripping assertions did not reduce invalid-opcode crashes: %d -> %d",
+			invBase, invAbl)
+	}
+}
+
+// TestSeverityGrading manufactures on-disk damage and checks the
+// grading against the paper's scale.
+func TestSeverityGrading(t *testing.T) {
+	r := newRunnerT(t)
+
+	// Undamaged (post-boot) image: normal.
+	if sev, boot := r.severity(); sev != SeverityNormal || boot {
+		t.Fatalf("pristine: %v boot=%v", sev, boot)
+	}
+
+	// A flipped block-bitmap bit: fixable by fsck -> severe.
+	snap := r.M.TakeSnapshot()
+	bitmapAddr := kernel.RamdiskBase + uint32(r.M.ReadGlobal("sb_block_bitmap"))*4096
+	b, _ := r.M.Mem.ReadRaw(bitmapAddr+3, 1)
+	_ = r.M.Mem.WriteRaw(bitmapAddr+3, []byte{b[0] ^ 0xFF})
+	if sev, _ := r.severity(); sev != SeveritySevere {
+		t.Fatalf("bitmap damage: %v, want severe", sev)
+	}
+	r.M.Restore(snap)
+
+	// Smashed superblock magic: most severe.
+	_ = r.M.Mem.WriteRaw(kernel.RamdiskBase, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	if sev, boot := r.severity(); sev != SeverityMost || !boot {
+		t.Fatalf("superblock damage: %v boot=%v, want most severe", sev, boot)
+	}
+	r.M.Restore(snap)
+
+	// Truncated boot-critical file: fsck-clean but unbootable -> most
+	// severe (the paper's case 1).
+	img, _ := r.M.DiskImage()
+	dev, _ := disk.FromImage(img)
+	fs, err := ext2.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino, err := fs.Lookup("/bin/sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := fs.ReadInode(ino)
+	in.Size = 3
+	if err := fs.WriteInode(ino, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.M.Mem.WriteRaw(kernel.RamdiskBase, dev.Image()); err != nil {
+		t.Fatal(err)
+	}
+	if sev, boot := r.severity(); sev != SeverityMost || !boot {
+		t.Fatalf("truncated /bin/sh: %v boot=%v, want most severe", sev, boot)
+	}
+	r.M.Restore(snap)
+}

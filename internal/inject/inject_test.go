@@ -1,0 +1,171 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dump"
+	"repro/internal/kernel"
+	"repro/internal/unixbench"
+)
+
+func newRunnerT(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(unixbench.Suite(1))
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	return r
+}
+
+func TestEnumerateTargets(t *testing.T) {
+	prog, err := kernel.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	fn, ok := prog.FuncByName("do_generic_file_read")
+	if !ok {
+		t.Fatal("no do_generic_file_read")
+	}
+	ta, err := EnumerateTargets(prog, fn, CampaignA, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := EnumerateTargets(prog, fn, CampaignB, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := EnumerateTargets(prog, fn, CampaignC, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta) == 0 || len(tb) == 0 || len(tc) == 0 {
+		t.Fatalf("target counts: A=%d B=%d C=%d", len(ta), len(tb), len(tc))
+	}
+	// A targets more bytes than B (non-branch >> branches); C has one
+	// target per conditional branch, so fewer than B's per-byte set.
+	if len(ta) <= len(tb) || len(tc) >= len(tb) {
+		t.Fatalf("unexpected proportions: A=%d B=%d C=%d", len(ta), len(tb), len(tc))
+	}
+	// All targets lie within the function.
+	for _, x := range append(append(ta, tb...), tc...) {
+		if x.Addr() < fn.Addr || x.Addr() >= fn.Addr+fn.Size {
+			t.Fatalf("target %+v outside %s", x, fn.Name)
+		}
+		if x.Bit > 7 {
+			t.Fatalf("bad bit %d", x.Bit)
+		}
+	}
+}
+
+func TestGoldenRunReproducible(t *testing.T) {
+	r := newRunnerT(t)
+	// A second fault-free run from the snapshot must match the golden.
+	res := r.M.RunWorkloads(r.Workloads, r.Budget)
+	if res.Err != nil {
+		t.Fatalf("re-run: %v", res.Err)
+	}
+	if res.Fingerprint() != r.goldenFP {
+		t.Fatal("snapshot re-run diverges from golden")
+	}
+}
+
+// TestNotActivatedTarget injects into cpu_idle, which the workloads
+// never execute.
+func TestNotActivatedTarget(t *testing.T) {
+	r := newRunnerT(t)
+	fn, _ := r.M.Prog.FuncByName("cpu_idle")
+	res := r.RunTarget(CampaignA, Target{Func: fn, InstAddr: fn.Addr, InstLen: 1, ByteOff: 0, Bit: 0})
+	if res.Outcome != OutcomeNotActivated {
+		t.Fatalf("outcome = %v, want not activated", res.Outcome)
+	}
+}
+
+// TestCampaignCOnScheduler reverses branch conditions in schedule();
+// each run must terminate with a definite outcome.
+func TestCampaignCOnScheduler(t *testing.T) {
+	r := newRunnerT(t)
+	fn, _ := r.M.Prog.FuncByName("schedule")
+	rng := rand.New(rand.NewSource(7))
+	targets, err := EnumerateTargets(r.M.Prog, fn, CampaignC, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) < 3 {
+		t.Fatalf("schedule has only %d conditional branches", len(targets))
+	}
+	counts := map[Outcome]int{}
+	for _, tg := range targets {
+		res := r.RunTarget(CampaignC, tg)
+		counts[res.Outcome]++
+		if res.Outcome == OutcomeCrash && res.Crash == nil {
+			t.Fatal("crash without record")
+		}
+	}
+	t.Logf("schedule campaign C outcomes: %v", counts)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(targets) {
+		t.Fatalf("outcomes %d != targets %d", total, len(targets))
+	}
+}
+
+// TestInjectionProducesCrashes drives campaign A over a hot function
+// and expects a healthy mix of outcomes including crashes with the
+// paper's major causes.
+func TestInjectionProducesCrashes(t *testing.T) {
+	r := newRunnerT(t)
+	fn, _ := r.M.Prog.FuncByName("do_generic_file_read")
+	rng := rand.New(rand.NewSource(3))
+	targets, err := EnumerateTargets(r.M.Prog, fn, CampaignA, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) > 80 {
+		targets = targets[:80]
+	}
+	var crashes, activated int
+	causes := map[dump.Cause]int{}
+	for _, tg := range targets {
+		res := r.RunTarget(CampaignA, tg)
+		if res.Activated {
+			activated++
+		}
+		if res.Outcome == OutcomeCrash {
+			crashes++
+			causes[res.Crash.Cause]++
+			if res.CrashSub == "" && res.Crash.Cause != dump.CauseKernelPanic {
+				// wild crashes outside text are possible but rare;
+				// count them silently
+				_ = res
+			}
+		}
+	}
+	t.Logf("activated=%d/%d crashes=%d causes=%v", activated, len(targets), crashes, causes)
+	if activated == 0 {
+		t.Fatal("nothing activated in a hot function")
+	}
+	if crashes == 0 {
+		t.Fatal("no crashes from 80 random corruptions of a hot function")
+	}
+}
+
+// TestResultDeterminism: the same target yields the same outcome.
+func TestResultDeterminism(t *testing.T) {
+	r := newRunnerT(t)
+	fn, _ := r.M.Prog.FuncByName("sys_read")
+	rng := rand.New(rand.NewSource(11))
+	targets, err := EnumerateTargets(r.M.Prog, fn, CampaignA, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := targets[2]
+	a := r.RunTarget(CampaignA, tg)
+	b := r.RunTarget(CampaignA, tg)
+	if a.Outcome != b.Outcome || a.ActivationCycle != b.ActivationCycle || a.Latency != b.Latency {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

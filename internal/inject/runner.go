@@ -1,0 +1,258 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/disk"
+	"repro/internal/dump"
+	"repro/internal/ext2"
+	"repro/internal/kernel"
+)
+
+// Result is the record of a single injection experiment.
+type Result struct {
+	Campaign Campaign
+	Target   Target
+	Outcome  Outcome
+
+	Activated       bool
+	ActivationCycle uint64
+
+	// Crash details (Outcome == OutcomeCrash).
+	Crash    *dump.Record
+	Latency  uint64 // cycles from corrupted-instruction execution to crash
+	CrashSub string // subsystem where the crash occurred ("" = outside kernel text)
+
+	// Severity of the damage (crashes, hangs, and completed runs with
+	// on-disk damage).
+	Severity Severity
+
+	// Hang diagnostics: where the CPU was when the watchdog fired.
+	HangEIP uint32
+	HangSub string
+
+	// Fail-silence evidence for completed runs.
+	TraceMismatch bool
+	DiskMismatch  bool
+	// BootBroken records that the boot-critical files were damaged
+	// (the decisive test for most-severe outcomes).
+	BootBroken bool
+
+	// Case-study material: a window of text at the injection point
+	// before and after the flip.
+	OrigWindow    []byte
+	CorruptWindow []byte
+}
+
+// InjectedSub is the subsystem the error was injected into.
+func (r *Result) InjectedSub() string { return r.Target.Func.Section }
+
+// Propagated reports whether a crash happened outside the injected
+// subsystem.
+func (r *Result) Propagated() bool {
+	return r.Outcome == OutcomeCrash && r.CrashSub != "" && r.CrashSub != r.Target.Func.Section
+}
+
+// Runner executes injection experiments against a booted machine,
+// restoring pristine state between runs (the paper rebooted the
+// machine after every activated injection).
+type Runner struct {
+	M         *kernel.Machine
+	Workloads []kernel.Workload
+
+	// Budget is the watchdog cycle budget per run.
+	Budget uint64
+	// GoldenCycles is the cycle cost of the fault-free run.
+	GoldenCycles uint64
+
+	snap       *kernel.Snapshot
+	goldenFP   string
+	goldenDisk [32]byte
+}
+
+// windowSize is how much text each result snapshots around the
+// injection point for case studies.
+const windowSize = 16
+
+// NewRunner boots a machine, performs the golden (fault-free) run to
+// record the reference trace and disk image, and prepares the pristine
+// snapshot used between experiments.
+func NewRunner(ws []kernel.Workload) (*Runner, error) {
+	m, err := kernel.Boot()
+	if err != nil {
+		return nil, err
+	}
+	return newRunnerFromMachine(m, ws)
+}
+
+func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload) (*Runner, error) {
+	r := &Runner{M: m, Workloads: ws}
+	r.snap = m.TakeSnapshot()
+
+	res := m.RunWorkloads(ws, 1<<40)
+	if res.Err != nil {
+		return nil, fmt.Errorf("inject: golden run failed: %w", res.Err)
+	}
+	r.goldenFP = res.Fingerprint()
+	img, err := m.DiskImage()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := disk.FromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	r.goldenDisk = dev.Hash()
+	r.GoldenCycles = m.CPU.Cycles
+	// Watchdog: generous multiple of the golden run (the paper's
+	// hardware watchdog rebooted hung systems).
+	r.Budget = r.GoldenCycles*5 + 2_000_000
+	m.Restore(r.snap)
+	return r, nil
+}
+
+// RunTarget executes one injection experiment and classifies it.
+func (r *Runner) RunTarget(c Campaign, t Target) Result {
+	m := r.M
+	m.Restore(r.snap)
+
+	res := Result{Campaign: c, Target: t, Severity: SeverityNone}
+	if w, err := m.Mem.ReadRaw(t.InstAddr, windowSize); err == nil {
+		res.OrigWindow = w
+	}
+
+	m.CPU.OnBreakpoint = func(cp *cpu.CPU, dr int) {
+		b, err := m.Mem.ReadRaw(t.Addr(), 1)
+		if err != nil {
+			cp.ClearBreakpoint(dr)
+			return
+		}
+		if err := m.Mem.WriteRaw(t.Addr(), []byte{b[0] ^ (1 << t.Bit)}); err != nil {
+			cp.ClearBreakpoint(dr)
+			return
+		}
+		cp.ClearBreakpoint(dr)
+		res.Activated = true
+		res.ActivationCycle = cp.Cycles
+	}
+	m.CPU.SetBreakpoint(0, t.InstAddr)
+
+	run := m.RunWorkloads(r.Workloads, r.Budget)
+	m.CPU.OnBreakpoint = nil
+	m.CPU.ClearBreakpoint(0)
+
+	if w, err := m.Mem.ReadRaw(t.InstAddr, windowSize); err == nil {
+		res.CorruptWindow = w
+	}
+
+	if !res.Activated {
+		res.Outcome = OutcomeNotActivated
+		return res
+	}
+
+	switch {
+	case run.Err == nil:
+		r.classifyCompleted(&res, run)
+	case errors.Is(run.Err, kernel.ErrHang):
+		res.Outcome = OutcomeHang
+		res.HangEIP = m.CPU.EIP
+		res.HangSub = m.Prog.SectionAt(res.HangEIP)
+		res.Severity, res.BootBroken = r.severity()
+	default:
+		rec, ok := dump.Classify(run.Err)
+		if !ok {
+			// Host-level failure treated as a hang/unknown crash.
+			res.Outcome = OutcomeHang
+			res.Severity, res.BootBroken = r.severity()
+			break
+		}
+		res.Outcome = OutcomeCrash
+		res.Crash = &rec
+		if rec.Cycles >= res.ActivationCycle {
+			res.Latency = rec.Cycles - res.ActivationCycle
+		}
+		if rec.Cause == dump.CauseKernelPanic {
+			// panic() lives in the core kernel.
+			res.CrashSub = "kernel"
+		} else {
+			res.CrashSub = r.M.Prog.SectionAt(rec.EIP)
+			if !isTextSub(res.CrashSub) {
+				// The oops EIP is outside kernel text (a wild jump):
+				// the error never reached another subsystem, so the
+				// crash belongs to the faulted one.
+				res.CrashSub = t.Func.Section
+			}
+		}
+		res.Severity, res.BootBroken = r.severity()
+	}
+	return res
+}
+
+// classifyCompleted separates Not Manifested from Fail Silence
+// Violation for runs that finished: any divergence in the user-visible
+// trace or the on-disk state means incorrect data propagated out.
+func (r *Runner) classifyCompleted(res *Result, run *kernel.RunResult) {
+	res.TraceMismatch = run.Fingerprint() != r.goldenFP
+	img, err := r.M.DiskImage()
+	if err == nil {
+		if dev, derr := disk.FromImage(img); derr == nil {
+			res.DiskMismatch = dev.Hash() != r.goldenDisk
+		}
+	}
+	if res.TraceMismatch || res.DiskMismatch {
+		res.Outcome = OutcomeFailSilence
+		res.Severity, res.BootBroken = r.severity()
+		return
+	}
+	res.Outcome = OutcomeNotManifested
+}
+
+// severity grades the post-run damage on the paper's three-level
+// scale by checking the file system and the boot-critical files. The
+// second result reports that the system would not boot (reinstall
+// required).
+func (r *Runner) severity() (Severity, bool) {
+	img, err := r.M.DiskImage()
+	if err != nil {
+		return SeverityMost, true
+	}
+	cp := make([]byte, len(img))
+	copy(cp, img)
+	dev, err := disk.FromImage(cp)
+	if err != nil {
+		return SeverityMost, true
+	}
+	rep := ext2.Check(dev)
+	if rep.Status == ext2.StatusUnrecoverable {
+		return SeverityMost, true
+	}
+	wasFixable := rep.Status == ext2.StatusFixable
+	if wasFixable {
+		if err := ext2.Repair(dev); err != nil {
+			return SeverityMost, true
+		}
+	}
+	fs, err := ext2.Open(dev)
+	if err != nil {
+		return SeverityMost, true
+	}
+	if err := fs.VerifyBoot(r.M.BootManifest); err != nil {
+		// The system cannot come back up without reinstalling.
+		return SeverityMost, true
+	}
+	if wasFixable {
+		return SeveritySevere, false
+	}
+	return SeverityNormal, false
+}
+
+func isTextSub(s string) bool {
+	switch s {
+	case "arch", "fs", "kernel", "mm":
+		return true
+	}
+	return false
+}
+

@@ -1,0 +1,388 @@
+package kernel
+
+// archSource is the architecture-dependent subsystem: early
+// initialization, the system-call entry path, the page-fault handler,
+// user-memory accessors, semaphores, the timer interrupt, and the
+// assembly string routines — the i386 arch/ directory of the
+// mini-kernel.
+const archSource = `
+.section arch
+
+; void kernel_init(void)
+; Early initialization: build the allocator pools, set up the init
+; task and the run queue, then mount the root file system.
+kernel_init:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+
+	; physical frame stack
+	xor ecx, ecx
+	mov edx, PAGE_AREA
+.Lframes:
+	cmp ecx, NFRAMES
+	jae .Lframes_done
+	mov [frame_stack+ecx*4], edx
+	add edx, PAGE_SIZE
+	inc ecx
+	jmp .Lframes
+.Lframes_done:
+	mov dword [frame_top], NFRAMES
+
+	; page descriptor freelist
+	xor ecx, ecx
+	mov edx, pagedescs
+	mov dword [pg_free], 0
+.Lpgpool:
+	cmp ecx, NPAGEDESC
+	jae .Lpg_done
+	mov eax, [pg_free]
+	mov [edx+PG_NEXT], eax
+	mov [pg_free], edx
+	add edx, PG_SIZE
+	inc ecx
+	jmp .Lpgpool
+.Lpg_done:
+
+	; buffer head freelist
+	xor ecx, ecx
+	mov edx, bufheads
+	mov dword [bh_free], 0
+.Lbhpool:
+	cmp ecx, NBUFHEAD
+	jae .Lbh_done
+	mov eax, [bh_free]
+	mov [edx+BH_NEXT], eax
+	mov [bh_free], edx
+	add edx, BH_SIZE
+	inc ecx
+	jmp .Lbhpool
+.Lbh_done:
+
+	; empty run queue: head points at itself
+	mov eax, runqueue
+	mov [eax+TASK_NEXT], eax
+	mov [eax+TASK_PREV], eax
+
+	; init task occupies slot 0
+	mov ebx, tasks
+	mov dword [ebx+TASK_STATE], TASK_RUNNING
+	mov dword [ebx+TASK_PID], 1
+	mov dword [ebx+TASK_PRIORITY], DEF_PRIORITY
+	mov dword [ebx+TASK_COUNTER], DEF_PRIORITY
+	mov dword [ebx+TASK_ARENA], USER_BASE
+	mov eax, USER_BASE + 0x10000
+	mov [ebx+TASK_BRK], eax
+	; init's address space: data+heap region and a stack region
+	mov dword [ebx+TASK_VMAS+VMA_START], USER_BASE
+	mov eax, USER_BASE + 0x80000
+	mov [ebx+TASK_VMAS+VMA_END], eax
+	mov dword [ebx+TASK_VMAS+VMA_FLAGS], VM_READ + VM_WRITE
+	mov eax, USER_BASE + ARENA_SIZE - 0x20000
+	mov [ebx+TASK_VMAS+VMA_SIZE+VMA_START], eax
+	mov eax, USER_BASE + ARENA_SIZE
+	mov [ebx+TASK_VMAS+VMA_SIZE+VMA_END], eax
+	mov dword [ebx+TASK_VMAS+VMA_SIZE+VMA_FLAGS], VM_READ + VM_WRITE
+	mov [current], ebx
+	push ebx
+	call add_to_runqueue
+	add esp, 4
+
+	call mount_root
+
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int system_call(int nr, int a, int b, int c, int d)
+; The syscall entry: bounds-check the number and dispatch through
+; sys_call_table. Hottest function in the kernel.
+system_call:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	cmp eax, NR_SYSCALLS
+	jae .Lbadsys
+	push dword [ebp+24]
+	push dword [ebp+20]
+	push dword [ebp+16]
+	push dword [ebp+12]
+	call [sys_call_table+eax*4]
+	add esp, 16
+	pop ebp
+	ret
+.Lbadsys:
+	mov eax, -ENOSYS
+	pop ebp
+	ret
+
+; int sys_ni(void) — unimplemented system call
+sys_ni:
+	mov eax, -ENOSYS
+	ret
+
+; int do_page_fault(unsigned long addr, unsigned long error_code)
+; Returns 1 when the fault was a legitimate demand-paging or
+; write-protect fault that has been handled, 0 for a bad access (the
+; host then raises the oops).
+do_page_fault:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov eax, [ebp+8]
+	mov ebx, [current]
+	test ebx, ebx
+	jz .Lbad
+	; find the vma containing addr
+	lea esi, [ebx+TASK_VMAS]
+	xor ecx, ecx
+.Lvma_loop:
+	cmp ecx, NVMAS
+	jae .Lbad
+	mov edx, [esi+VMA_FLAGS]
+	test edx, edx
+	jz .Lnext_vma
+	cmp eax, [esi+VMA_START]
+	jb .Lnext_vma
+	cmp eax, [esi+VMA_END]
+	jae .Lnext_vma
+	; write faults need a writable vma
+	mov edx, [ebp+12]
+	test edx, 2
+	jz .Lgood_area
+	mov edx, [esi+VMA_FLAGS]
+	test edx, VM_WRITE
+	jz .Lbad
+.Lgood_area:
+	push dword [ebp+12]
+	push eax
+	push ebx
+	call handle_mm_fault
+	add esp, 12
+	jmp .Lout
+.Lnext_vma:
+	add esi, VMA_SIZE
+	inc ecx
+	jmp .Lvma_loop
+.Lbad:
+	xor eax, eax
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int verify_area(void *addr, long n)
+; 0 when [addr, addr+n) lies inside one vma of current, -EFAULT
+; otherwise.
+verify_area:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov eax, [ebp+8]
+	mov edx, [ebp+12]
+	add edx, eax          ; end
+	mov ebx, [current]
+	test ebx, ebx
+	jz .Lbad
+	lea esi, [ebx+TASK_VMAS]
+	xor ecx, ecx
+.Lloop:
+	cmp ecx, NVMAS
+	jae .Lbad
+	cmp dword [esi+VMA_FLAGS], 0
+	je .Lnext
+	cmp eax, [esi+VMA_START]
+	jb .Lnext
+	cmp edx, [esi+VMA_END]
+	ja .Lnext
+	xor eax, eax
+	jmp .Lout
+.Lnext:
+	add esi, VMA_SIZE
+	inc ecx
+	jmp .Lloop
+.Lbad:
+	mov eax, -EFAULT
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; long __generic_copy_to_user(void *to, const void *from, long n)
+; Returns 0 on success, n on an invalid destination.
+__generic_copy_to_user:
+	push ebp
+	mov ebp, esp
+	push esi
+	push edi
+	; if (to >= TASK_SIZE_MAX) BUG();  kernel address as "user" target
+	cmp dword [ebp+8], USER_TOP
+	jb .Laddr_ok
+	ud2
+.Laddr_ok:
+	push dword [ebp+16]
+	push dword [ebp+8]
+	call verify_area
+	add esp, 8
+	test eax, eax
+	jnz .Lfault
+	mov edi, [ebp+8]
+	mov esi, [ebp+12]
+	mov ecx, [ebp+16]
+	cld
+	rep movsb
+	xor eax, eax
+	jmp .Lout
+.Lfault:
+	mov eax, [ebp+16]
+.Lout:
+	pop edi
+	pop esi
+	pop ebp
+	ret
+
+; long __generic_copy_from_user(void *to, const void *from, long n)
+; Returns 0 on success, n on an invalid source.
+__generic_copy_from_user:
+	push ebp
+	mov ebp, esp
+	push esi
+	push edi
+	push dword [ebp+16]
+	push dword [ebp+12]
+	call verify_area
+	add esp, 8
+	test eax, eax
+	jnz .Lfault
+	mov edi, [ebp+8]
+	mov esi, [ebp+12]
+	mov ecx, [ebp+16]
+	cld
+	rep movsb
+	xor eax, eax
+	jmp .Lout
+.Lfault:
+	mov eax, [ebp+16]
+.Lout:
+	pop edi
+	pop esi
+	pop ebp
+	ret
+
+; long strncpy_from_user(char *dst, const char *src, long max)
+; Returns the length copied (excluding NUL) or -EFAULT.
+strncpy_from_user:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	mov edi, [ebp+8]
+	mov esi, [ebp+12]
+	xor ebx, ebx
+.Lloop:
+	cmp ebx, [ebp+16]
+	jae .Ldone
+	push 1
+	push esi
+	call verify_area
+	add esp, 8
+	test eax, eax
+	jnz .Lfault
+	mov al, [esi]
+	mov [edi], al
+	inc esi
+	inc edi
+	test al, al
+	jz .Ldone
+	inc ebx
+	jmp .Lloop
+.Lfault:
+	mov eax, -EFAULT
+	jmp .Lout
+.Ldone:
+	mov eax, ebx
+.Lout:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void timer_interrupt(void)
+timer_interrupt:
+	push ebp
+	mov ebp, esp
+	call do_timer
+	call update_process_times
+	pop ebp
+	ret
+
+; void __down(int *sem)
+; Cooperative uniprocessor semaphore: contention is a kernel bug.
+__down:
+	mov eax, [esp+4]
+	dec dword [eax]
+	cmp dword [eax], 0
+	jl .Lcontended
+	ret
+.Lcontended:
+	ud2
+
+; void __up(int *sem)
+__up:
+	mov eax, [esp+4]
+	inc dword [eax]
+	ret
+
+; void *__memcpy(void *dst, const void *src, long n)
+__memcpy:
+	push ebp
+	mov ebp, esp
+	push esi
+	push edi
+	mov edi, [ebp+8]
+	mov esi, [ebp+12]
+	mov ecx, [ebp+16]
+	cld
+	mov edx, ecx
+	shr ecx, 2
+	rep movsd
+	mov ecx, edx
+	and ecx, 3
+	rep movsb
+	mov eax, [ebp+8]
+	pop edi
+	pop esi
+	pop ebp
+	ret
+
+; void *__memset(void *s, int c, long n)
+__memset:
+	push ebp
+	mov ebp, esp
+	push edi
+	mov edi, [ebp+8]
+	mov eax, [ebp+12]
+	mov ecx, [ebp+16]
+	cld
+	rep stosb
+	mov eax, [ebp+8]
+	pop edi
+	pop ebp
+	ret
+
+; void cpu_idle(void) — the idle loop (never entered by the engine,
+; but a jump target for wild branches).
+cpu_idle:
+	hlt
+	jmp cpu_idle
+`

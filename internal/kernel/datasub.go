@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dataSource generates the kernel data section: scheduler state, the
+// task table, file/inode/pipe/page/buffer pools, the cached superblock,
+// the nameidata scratch area, and the system call table.
+func dataSource() string {
+	var b strings.Builder
+	b.WriteString(`
+.section kdata
+
+; ---- scheduler state ----
+current:       .long 0
+jiffies:       .long 0
+need_resched:  .long 0
+next_pid:      .long 2
+umask_val:     .long 0x12
+
+; runqueue head: a bare list node addressed with TASK_NEXT/TASK_PREV
+; offsets, like the init_task anchoring the 2.4 run queue.
+runqueue:      .skip 24
+
+; ---- task table ----
+.align 16
+tasks:         .skip NTASKS * TASK_SIZE
+
+; ---- file table, inode cache, pipes ----
+.align 16
+filps:         .skip NFILPS * F_SIZE
+.align 16
+icache:        .skip NICACHE * I_STRUCT
+.align 16
+pipes:         .skip NPIPES * PIPE_STRUCT
+
+; ---- page cache ----
+.align 16
+pagedescs:     .skip NPAGEDESC * PG_SIZE
+page_hash:     .skip PAGE_HASH * 4
+pg_free:       .long 0
+
+; ---- buffer cache ----
+.align 16
+bufheads:      .skip NBUFHEAD * BH_SIZE
+buf_hash:      .skip BUF_HASH * 4
+bh_free:       .long 0
+
+; ---- physical page allocator ----
+.align 16
+frame_stack:   .skip NFRAMES * 4
+frame_top:     .long 0
+
+; ---- cached superblock (filled by mount_root) ----
+sb_nblocks:      .long 0
+sb_ninodes:      .long 0
+sb_inode_table:  .long 0
+sb_inode_blocks: .long 0
+sb_first_data:   .long 0
+sb_block_bitmap: .long 0
+sb_inode_bitmap: .long 0
+
+; ---- name lookup scratch (nameidata) ----
+namebuf:       .skip 64
+namebuf2:      .skip 64
+nd_dir:        .long 0   ; in-core inode of the parent directory
+nd_last:       .long 0   ; pointer to the final component in namebuf
+nd_last_len:   .long 0
+nd_entry:      .long 0   ; address of the on-disk dirent found
+
+; ---- messages ----
+msg_oops:      .asciz "kernel: oops"
+msg_oom:       .asciz "kernel: out of memory"
+msg_badsb:     .asciz "kernel: bad root file system"
+`)
+
+	// System call table.
+	entries := make([]string, NRSyscalls)
+	for i := range entries {
+		entries[i] = "sys_ni"
+	}
+	wired := map[int]string{
+		SysExit:       "sys_exit",
+		SysFork:       "sys_fork",
+		SysRead:       "sys_read",
+		SysWrite:      "sys_write",
+		SysOpen:       "sys_open",
+		SysClose:      "sys_close",
+		SysWaitpid:    "sys_waitpid",
+		SysCreat:      "sys_creat",
+		SysUnlink:     "sys_unlink",
+		SysLink:       "sys_link",
+		SysTime:       "sys_time",
+		SysAlarm:      "sys_alarm",
+		SysPause:      "sys_pause",
+		SysRename:     "sys_rename",
+		SysMkdir:      "sys_mkdir",
+		SysRmdir:      "sys_rmdir",
+		SysSignal:     "sys_signal",
+		SysGetppid:    "sys_getppid",
+		SysMmap:       "sys_mmap",
+		SysMunmap:     "sys_munmap",
+		SysStat:       "sys_stat",
+		SysFstat:      "sys_fstat",
+		SysExecve:     "sys_execve",
+		SysLseek:      "sys_lseek",
+		SysGetpid:     "sys_getpid",
+		SysKill:       "sys_kill",
+		SysDup:        "sys_dup",
+		SysPipe:       "sys_pipe",
+		SysBrk:        "sys_brk",
+		SysUmask:      "sys_umask",
+		SysSchedYield: "sys_sched_yield",
+		SysNanosleep:  "sys_nanosleep",
+	}
+	for nr, fn := range wired {
+		entries[nr] = fn
+	}
+	b.WriteString("\n.align 16\nsys_call_table:\n")
+	for i := 0; i < NRSyscalls; i += 8 {
+		end := i + 8
+		if end > NRSyscalls {
+			end = NRSyscalls
+		}
+		fmt.Fprintf(&b, "\t.long %s\n", strings.Join(entries[i:end], ", "))
+	}
+	return b.String()
+}

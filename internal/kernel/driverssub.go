@@ -1,0 +1,68 @@
+package kernel
+
+// driversSource is the device-driver subsystem: the console driver
+// behind printk and the ramdisk block driver behind the buffer cache.
+// Like the paper's drivers subsystem, it is profiled (Table 1) but not
+// an injection target.
+const driversSource = `
+.section drivers
+
+; void con_write(const char *s, int len)
+; The console driver: emit bytes to the debug port.
+con_write:
+	push ebp
+	mov ebp, esp
+	push esi
+	mov esi, [ebp+8]
+	mov ecx, [ebp+12]
+.Lloop:
+	test ecx, ecx
+	jz .Ldone
+	mov al, [esi]
+	out PORT_CONSOLE, al
+	inc esi
+	dec ecx
+	jmp .Lloop
+.Ldone:
+	pop esi
+	pop ebp
+	ret
+
+; void ll_rw_block(struct buffer_head *bh, int rw)
+; The block layer entry: validate the request and hand it to the
+; ramdisk driver. On the ramdisk "IO" completes immediately.
+ll_rw_block:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	test eax, eax
+	jnz .Lok
+	ud2
+.Lok:
+	push dword [ebp+12]
+	push eax
+	call rd_request
+	add esp, 8
+	pop ebp
+	ret
+
+; void rd_request(struct buffer_head *bh, int rw)
+; The ramdisk driver: the buffer must map the block it claims.
+rd_request:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	mov ecx, [eax+BH_BLOCK]
+	cmp ecx, [sb_nblocks]
+	jb .Lrange_ok
+	ud2
+.Lrange_ok:
+	shl ecx, BLOCK_SHIFT
+	add ecx, RAMDISK
+	cmp ecx, [eax+BH_DATA]
+	je .Ldata_ok
+	ud2
+.Ldata_ok:
+	pop ebp
+	ret
+`

@@ -1,0 +1,392 @@
+package kernel
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/ext2"
+)
+
+const testBudget = 200_000_000
+
+func bootT(t *testing.T) *Machine {
+	t.Helper()
+	m, err := Boot()
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	return m
+}
+
+func TestEngineSingleProcess(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "hello",
+		Main: func(u *User) {
+			pid := u.Syscall(SysGetpid)
+			u.Logf("my pid is %d", pid)
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run err: %v\ntrace: %v\nconsole: %s", res.Err, res.Trace, res.Console)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, "my pid is 2") {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+	// After a clean run the fs is unmounted clean.
+	rep, err := m.FSCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != ext2.StatusClean || rep.WasMounted {
+		t.Fatalf("fs after clean run: %v mounted=%v %v", rep.Status, rep.WasMounted, rep.Problems)
+	}
+}
+
+func TestEngineFileIO(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "fileio",
+		Main: func(u *User) {
+			arena := u.Arena()
+			path := arena + 0x20000
+			buf := arena + 0x21000
+			u.WriteString(path, "/work/readme.txt")
+			fd := u.Syscall(SysOpen, path, ORdonly)
+			if fd < 0 {
+				u.Logf("open failed %d", fd)
+				u.Exit(1)
+			}
+			n := u.Syscall(SysRead, uint32(fd), buf, 100)
+			got := string(u.ReadBuf(buf, uint32(n)))
+			u.Logf("read %d bytes: %q", n, got)
+			u.Syscall(SysClose, uint32(fd))
+
+			// Write a new file and read it back.
+			u.WriteString(path, "/work/new.txt")
+			fd = u.Syscall(SysCreat, path, 0o644)
+			if fd < 0 {
+				u.Logf("creat failed %d", fd)
+				u.Exit(1)
+			}
+			u.WriteBuf(buf, []byte("written by the engine test"))
+			if w := u.Syscall(SysWrite, uint32(fd), buf, 26); w != 26 {
+				u.Logf("write = %d", w)
+			}
+			u.Syscall(SysClose, uint32(fd))
+			fd = u.Syscall(SysOpen, path, ORdonly)
+			n = u.Syscall(SysRead, uint32(fd), buf, 64)
+			u.Logf("readback %d: %q", n, string(u.ReadBuf(buf, uint32(n))))
+			u.Syscall(SysClose, uint32(fd))
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run err: %v\ntrace: %v\nconsole: %s", res.Err, res.Trace, res.Console)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, `read 23 bytes: "unixbench working area\n"`) {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+	if !strings.Contains(joined, `readback 26: "written by the engine test"`) {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+	// The new file must be on disk and the image consistent.
+	img, _ := m.DiskImage()
+	fsv := mustFS(t, img)
+	content, err := fsv.ReadFile("/work/new.txt")
+	if err != nil || string(content) != "written by the engine test" {
+		t.Fatalf("on-disk content: %q, %v", content, err)
+	}
+}
+
+func TestEngineForkWait(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "parent",
+		Main: func(u *User) {
+			arena := u.Arena()
+			pid := u.Spawn("child", func(c *User) {
+				c.Logf("child alive")
+				c.Exit(7)
+			})
+			if pid < 0 {
+				u.Logf("fork: %d", pid)
+				u.Exit(1)
+			}
+			st := arena + 0x20000
+			got := u.Syscall(SysWaitpid, uint32(pid), st, 0)
+			u.Logf("reaped %d status %d", got, u.Peek(st))
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run err: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, "child alive") || !strings.Contains(joined, "status 7") {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+}
+
+func TestEnginePipeBlocking(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "piper",
+		Main: func(u *User) {
+			arena := u.Arena()
+			fds := arena + 0x20000
+			buf := arena + 0x21000
+			if r := u.Syscall(SysPipe, fds); r != 0 {
+				u.Logf("pipe: %d", r)
+				u.Exit(1)
+			}
+			rfd, wfd := u.Peek(fds), u.Peek(fds+4)
+			// Child blocks reading before the parent writes.
+			u.Spawn("reader", func(c *User) {
+				cb := c.Arena() + 0x21000
+				n := c.Syscall(SysRead, rfd, cb, 16)
+				c.Logf("reader got %d bytes: %q", n, string(c.ReadBuf(cb, uint32(n))))
+				c.Exit(0)
+			})
+			// Give the child a head start so it blocks.
+			u.Syscall(SysSchedYield)
+			u.WriteBuf(buf, []byte("ping-from-parent"))
+			if n := u.Syscall(SysWrite, wfd, buf, 16); n != 16 {
+				u.Logf("write: %d", n)
+			}
+			u.Syscall(SysClose, wfd)
+			u.Syscall(SysClose, rfd)
+			u.Syscall(SysWaitpid, 0, 0, 0)
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run err: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	if !strings.Contains(strings.Join(res.Trace, "\n"), `reader got 16 bytes: "ping-from-parent"`) {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+}
+
+func TestEngineNanosleepWake(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "sleeper",
+		Main: func(u *User) {
+			before := m.ReadGlobal("jiffies")
+			if r := u.Syscall(SysNanosleep, 5); r != 0 {
+				u.Logf("nanosleep: %d", r)
+			}
+			after := m.ReadGlobal("jiffies")
+			if after < before+5 {
+				u.Logf("woke too early: %d -> %d", before, after)
+			} else {
+				u.Logf("slept fine")
+			}
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run err: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	if !strings.Contains(strings.Join(res.Trace, "\n"), "slept fine") {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() *RunResult {
+		m := bootT(t)
+		return m.RunWorkloads([]Workload{
+			{Name: "a", Main: func(u *User) {
+				for i := 0; i < 5; i++ {
+					u.Syscall(SysGetpid)
+					u.Syscall(SysSchedYield)
+				}
+				u.Logf("a done")
+				u.Exit(0)
+			}},
+			{Name: "b", Main: func(u *User) {
+				for i := 0; i < 5; i++ {
+					u.Compute(1000)
+				}
+				u.Logf("b done")
+				u.Exit(0)
+			}},
+		}, testBudget)
+	}
+	r1, r2 := run(), run()
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("errs: %v, %v", r1.Err, r2.Err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatalf("nondeterministic traces:\n%v\nvs\n%v", r1.Trace, r2.Trace)
+	}
+}
+
+func TestEngineDemandPagingAndWP(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "pager",
+		Main: func(u *User) {
+			heap := uint32(u.Syscall(SysBrk, 0))
+			u.Syscall(SysBrk, heap+16*PageSize)
+			// Fault in pages, then write them repeatedly so the aging
+			// daemon's write-protection forces do_wp_page.
+			for round := 0; round < 8; round++ {
+				for pg := uint32(0); pg < 16; pg++ {
+					u.Poke(heap+pg*PageSize+uint32(round*4), uint32(round))
+				}
+				u.Compute(50_000) // let aging ticks pass
+			}
+			// Verify the last writes survived the WP dance.
+			ok := true
+			for pg := uint32(0); pg < 16; pg++ {
+				if u.Peek(heap+pg*PageSize+28) != 7 {
+					ok = false
+				}
+			}
+			u.Logf("wp ok=%v", ok)
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run err: %v\ntrace: %v\nconsole: %s", res.Err, res.Trace, res.Console)
+	}
+	if !strings.Contains(strings.Join(res.Trace, "\n"), "wp ok=true") {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+}
+
+func TestEngineSegfault(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "wild",
+		Main: func(u *User) {
+			u.Touch(0x00001000) // far outside any vma
+			u.Logf("should not get here")
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("a user segfault must not crash the kernel: %v", res.Err)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, "segmentation fault") || !strings.Contains(joined, "exit 139") {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+}
+
+func mustFS(t *testing.T, img []byte) *ext2fs {
+	t.Helper()
+	return newExt2FS(t, img)
+}
+
+// TestSchedulerFairness: two compute-bound processes must interleave —
+// neither finishes entirely before the other starts (timer preemption
+// through the assembled scheduler).
+func TestSchedulerFairness(t *testing.T) {
+	m := bootT(t)
+	var order []string
+	mk := func(name string) Workload {
+		return Workload{Name: name, Main: func(u *User) {
+			for i := 0; i < 6; i++ {
+				u.Compute(8000)
+				order = append(order, name)
+			}
+			u.Exit(0)
+		}}
+	}
+	res := m.RunWorkloads([]Workload{mk("p"), mk("q")}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	// The interleaving must switch at least twice.
+	switches := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1] {
+			switches++
+		}
+	}
+	if switches < 2 {
+		t.Fatalf("no preemptive interleaving: %v", order)
+	}
+}
+
+// TestCountersRechargeUnderLoad: the scheduler's recharge path runs
+// when slices exhaust; both tasks keep making progress.
+func TestCountersRecharge(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "burn",
+		Main: func(u *User) {
+			for i := 0; i < 40; i++ {
+				u.Compute(5000)
+			}
+			u.Logf("burned")
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if !strings.Contains(strings.Join(res.Trace, "\n"), "burned") {
+		t.Fatal("compute loop did not finish")
+	}
+}
+
+// TestInterruptsOffHangs: with IF cleared, timer wakeups stop and a
+// sleeper can never be woken — the run ends at the watchdog, not in a
+// livelock of the host.
+func TestInterruptsOffHangs(t *testing.T) {
+	m := bootT(t)
+	// Clear IF as a corrupted CLI would.
+	m.CPU.Eflags &^= 1 << 9
+	res := m.RunWorkloads([]Workload{{
+		Name: "sleeper",
+		Main: func(u *User) {
+			u.Syscall(SysNanosleep, 5)
+			u.Logf("woke") // unreachable: no timer, no wake
+			u.Exit(0)
+		},
+	}}, 30_000_000)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "hang") {
+		t.Fatalf("err = %v, want watchdog hang", res.Err)
+	}
+}
+
+// TestNoGoroutineLeaksOnCrash: runs that abort (crash mid-syscall)
+// must unwind every workload goroutine.
+func TestNoGoroutineLeaksOnCrash(t *testing.T) {
+	m := bootT(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		// Corrupt sys_getpid so the first syscall crashes.
+		f, _ := m.Prog.FuncByName("sys_getpid")
+		orig, _ := m.Mem.ReadRaw(f.Addr, 2)
+		_ = m.Mem.WriteRaw(f.Addr, []byte{0x0F, 0x0B}) // ud2
+		res := m.RunWorkloads([]Workload{
+			{Name: "a", Main: func(u *User) { u.Syscall(SysGetpid); u.Exit(0) }},
+			{Name: "b", Main: func(u *User) {
+				for {
+					u.Syscall(SysNanosleep, 2)
+				}
+			}},
+		}, testBudget)
+		if res.Err == nil {
+			t.Fatal("corrupted getpid did not crash")
+		}
+		_ = m.Mem.WriteRaw(f.Addr, orig)
+	}
+	// Give exiting goroutines a beat.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		runtime.Gosched()
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
+	}
+}

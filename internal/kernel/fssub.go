@@ -1,0 +1,2561 @@
+package kernel
+
+// fsSource is the virtual file system and ext2 subsystem: mount, the
+// buffer cache, the ext2-lite on-disk operations, path resolution, the
+// file-descriptor layer, pipes, and the read/write/open/close/unlink
+// system calls.
+//
+// Pointer-or-errno returns follow the kernel's IS_ERR convention: a
+// value >= (unsigned)-1000 is a negative errno, anything else is a
+// pointer.
+const fsSource = `
+.section fs
+
+; void mount_root(void)
+; Validate the superblock, cache its geometry, mark the fs mounted.
+mount_root:
+	push ebp
+	mov ebp, esp
+	mov eax, RAMDISK
+	mov ecx, [eax+SB_MAGIC]
+	cmp ecx, EXT2_MAGIC
+	jne .Lbad
+	mov ecx, [eax+SB_NBLOCKS]
+	cmp ecx, RAMDISK_BLOCKS
+	ja .Lbad
+	mov [sb_nblocks], ecx
+	mov ecx, [eax+SB_NINODES]
+	mov [sb_ninodes], ecx
+	mov ecx, [eax+SB_INODE_TABLE]
+	mov [sb_inode_table], ecx
+	mov ecx, [eax+SB_INODE_BLOCKS]
+	mov [sb_inode_blocks], ecx
+	mov ecx, [eax+SB_FIRST_DATA]
+	mov [sb_first_data], ecx
+	mov ecx, [eax+SB_BLOCK_BITMAP]
+	mov [sb_block_bitmap], ecx
+	mov ecx, [eax+SB_INODE_BITMAP]
+	mov [sb_inode_bitmap], ecx
+	mov dword [eax+SB_STATE], FS_MOUNTED
+	pop ebp
+	ret
+.Lbad:
+	push msg_badsb
+	call printk
+	add esp, 4
+	push PANIC_BAD_MOUNT
+	call panic
+	add esp, 4
+	pop ebp
+	ret
+
+; void sync_super(void)
+; Clean unmount: mark the on-disk superblock clean.
+sync_super:
+	mov eax, RAMDISK
+	mov dword [eax+SB_STATE], FS_CLEAN
+	ret
+
+; struct buffer_head *get_hash_table(int block)
+; Buffer-cache hash lookup (no allocation).
+get_hash_table:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	and eax, BUF_HASH - 1
+	mov eax, [buf_hash+eax*4]
+.Lchain:
+	test eax, eax
+	jz .Lout
+	mov ecx, [eax+BH_BLOCK]
+	cmp ecx, [ebp+8]
+	je .Lout
+	mov eax, [eax+BH_NEXT]
+	jmp .Lchain
+.Lout:
+	pop ebp
+	ret
+
+; void bh_evict(void)
+; Reclaim every unreferenced buffer head.
+bh_evict:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	xor esi, esi
+.Lbuckets:
+	cmp esi, BUF_HASH
+	jae .Ldone
+	lea edi, [buf_hash+esi*4]
+.Lchain:
+	mov ebx, [edi]
+	test ebx, ebx
+	jz .Lnext_bucket
+	cmp dword [ebx+BH_COUNT], 0
+	jne .Lkeep
+	mov eax, [ebx+BH_NEXT]
+	mov [edi], eax
+	mov eax, [bh_free]
+	mov [ebx+BH_NEXT], eax
+	mov [bh_free], ebx
+	jmp .Lchain
+.Lkeep:
+	lea edi, [ebx+BH_NEXT]
+	jmp .Lchain
+.Lnext_bucket:
+	inc esi
+	jmp .Lbuckets
+.Ldone:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; struct buffer_head *getblk(int block)
+getblk:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call get_hash_table
+	add esp, 4
+	test eax, eax
+	jz .Lmiss
+	inc dword [eax+BH_COUNT]
+	jmp .Lout
+.Lmiss:
+	mov ebx, [bh_free]
+	test ebx, ebx
+	jnz .Lhave
+	call bh_evict
+	mov ebx, [bh_free]
+	test ebx, ebx
+	jnz .Lhave
+	xor eax, eax
+	jmp .Lout
+.Lhave:
+	mov eax, [ebx+BH_NEXT]
+	mov [bh_free], eax
+	; if (block >= nblocks) BUG();
+	mov eax, [ebp+8]
+	cmp eax, [sb_nblocks]
+	jb .Lblk_ok
+	ud2
+.Lblk_ok:
+	mov eax, [ebp+8]
+	mov [ebx+BH_BLOCK], eax
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov [ebx+BH_DATA], eax
+	mov dword [ebx+BH_COUNT], 1
+	mov eax, [ebp+8]
+	and eax, BUF_HASH - 1
+	mov ecx, [buf_hash+eax*4]
+	mov [ebx+BH_NEXT], ecx
+	mov [buf_hash+eax*4], ebx
+	mov eax, ebx
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; struct buffer_head *bread(int block)
+; getblk plus the block-layer read; on the ramdisk the "IO" is a
+; validation pass.
+bread:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call getblk
+	add esp, 4
+	test eax, eax
+	jz .Lout
+	mov ebx, eax
+	push 0
+	push eax
+	call ll_rw_block
+	add esp, 8
+	mov eax, ebx
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; void brelse(struct buffer_head *bh)
+brelse:
+	mov eax, [esp+4]
+	test eax, eax
+	jz .Lout
+	; if (bh->b_count == 0) BUG();  "trying to free free buffer"
+	cmp dword [eax+BH_COUNT], 0
+	jne .Lok
+	ud2
+.Lok:
+	dec dword [eax+BH_COUNT]
+.Lout:
+	ret
+
+; int ext2_alloc_block(void)
+; Scan the on-disk block bitmap for a free block, claim and zero it.
+; Returns the block number or 0.
+ext2_alloc_block:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov esi, [sb_block_bitmap]
+	shl esi, BLOCK_SHIFT
+	add esi, RAMDISK
+	mov ecx, [sb_first_data]
+.Lscan:
+	cmp ecx, [sb_nblocks]
+	jae .Lfull
+	mov eax, ecx
+	shr eax, 3
+	movzx edx, byte [esi+eax]
+	mov ebx, ecx
+	and ebx, 7
+	mov eax, edx
+	push ecx
+	mov ecx, ebx
+	shr eax, cl
+	pop ecx
+	test eax, 1
+	jz .Lfound
+	inc ecx
+	jmp .Lscan
+.Lfound:
+	; set the bit
+	push ecx
+	mov eax, 1
+	mov ecx, ebx
+	shl eax, cl
+	pop ecx
+	mov edx, ecx
+	shr edx, 3
+	or [esi+edx], al
+	; account
+	mov eax, RAMDISK
+	dec dword [eax+SB_FREE_BLOCKS]
+	; zero the data block
+	mov eax, ecx
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	push ecx
+	push BLOCK_SIZE
+	push 0
+	push eax
+	call __memset
+	add esp, 12
+	pop ecx
+	mov eax, ecx
+	jmp .Lout
+.Lfull:
+	xor eax, eax
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void ext2_free_block(int block)
+ext2_free_block:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ecx, [ebp+8]
+	cmp ecx, [sb_first_data]
+	jb .Lout
+	cmp ecx, [sb_nblocks]
+	jae .Lout
+	mov esi, [sb_block_bitmap]
+	shl esi, BLOCK_SHIFT
+	add esi, RAMDISK
+	mov ebx, ecx
+	and ebx, 7
+	mov eax, 1
+	push ecx
+	mov ecx, ebx
+	shl eax, cl
+	pop ecx
+	not eax
+	shr ecx, 3
+	and [esi+ecx], al
+	mov eax, RAMDISK
+	inc dword [eax+SB_FREE_BLOCKS]
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int ext2_new_inode(int mode)
+; Allocate an on-disk inode; returns the inode number or 0.
+ext2_new_inode:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov esi, [sb_inode_bitmap]
+	shl esi, BLOCK_SHIFT
+	add esi, RAMDISK
+	mov ecx, ROOT_INO + 1
+.Lscan:
+	cmp ecx, [sb_ninodes]
+	jae .Lfull
+	mov eax, ecx
+	shr eax, 3
+	movzx edx, byte [esi+eax]
+	mov ebx, ecx
+	and ebx, 7
+	mov eax, edx
+	push ecx
+	mov ecx, ebx
+	shr eax, cl
+	pop ecx
+	test eax, 1
+	jz .Lfound
+	inc ecx
+	jmp .Lscan
+.Lfound:
+	push ecx
+	mov eax, 1
+	mov ecx, ebx
+	shl eax, cl
+	pop ecx
+	mov edx, ecx
+	shr edx, 3
+	or [esi+edx], al
+	mov eax, RAMDISK
+	dec dword [eax+SB_FREE_INODES]
+	; initialize the on-disk inode
+	mov eax, [sb_inode_table]
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov edx, ecx
+	shl edx, INODE_SHIFT
+	add eax, edx
+	push ecx
+	push D_INODE_SIZE
+	push 0
+	push eax
+	call __memset
+	add esp, 12
+	pop ecx
+	; eax = inode address again
+	mov eax, [sb_inode_table]
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov edx, ecx
+	shl edx, INODE_SHIFT
+	add eax, edx
+	mov edx, [ebp+8]
+	mov [eax+D_MODE], edx
+	mov dword [eax+D_LINKS], 1
+	mov eax, ecx
+	jmp .Lout
+.Lfull:
+	xor eax, eax
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void ext2_free_inode(int ino)
+ext2_free_inode:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ecx, [ebp+8]
+	cmp ecx, ROOT_INO
+	jbe .Lout
+	cmp ecx, [sb_ninodes]
+	jae .Lout
+	mov esi, [sb_inode_bitmap]
+	shl esi, BLOCK_SHIFT
+	add esi, RAMDISK
+	mov ebx, ecx
+	and ebx, 7
+	mov eax, 1
+	push ecx
+	mov ecx, ebx
+	shl eax, cl
+	pop ecx
+	not eax
+	mov edx, ecx
+	shr edx, 3
+	and [esi+edx], al
+	mov eax, RAMDISK
+	inc dword [eax+SB_FREE_INODES]
+	; clear the on-disk inode
+	mov eax, [sb_inode_table]
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	shl ecx, INODE_SHIFT
+	add eax, ecx
+	push D_INODE_SIZE
+	push 0
+	push eax
+	call __memset
+	add esp, 12
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; struct inode *iget(int ino)
+; Find or load an in-core inode; returns 0 when the cache is full.
+iget:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	; if (ino == 0 || ino >= ninodes) BUG();
+	mov eax, [ebp+8]
+	test eax, eax
+	jz .Lbad_ino
+	cmp eax, [sb_ninodes]
+	jb .Lino_ok
+.Lbad_ino:
+	ud2
+.Lino_ok:
+	mov ebx, icache
+	xor ecx, ecx
+.Lscan:
+	cmp ecx, NICACHE
+	jae .Lload
+	cmp dword [ebx+I_COUNT], 0
+	je .Lnext
+	mov eax, [ebx+I_INO]
+	cmp eax, [ebp+8]
+	je .Lhit
+.Lnext:
+	add ebx, I_STRUCT
+	inc ecx
+	jmp .Lscan
+.Lhit:
+	inc dword [ebx+I_COUNT]
+	mov eax, ebx
+	jmp .Lout
+.Lload:
+	mov ebx, icache
+	xor ecx, ecx
+.Lfind:
+	cmp ecx, NICACHE
+	jae .Lnone
+	cmp dword [ebx+I_COUNT], 0
+	je .Lfree
+	add ebx, I_STRUCT
+	inc ecx
+	jmp .Lfind
+.Lnone:
+	xor eax, eax
+	jmp .Lout
+.Lfree:
+	; src = inode table + ino*64
+	mov esi, [sb_inode_table]
+	shl esi, BLOCK_SHIFT
+	add esi, RAMDISK
+	mov eax, [ebp+8]
+	shl eax, INODE_SHIFT
+	add esi, eax
+	mov eax, [ebp+8]
+	mov [ebx+I_INO], eax
+	mov eax, [esi+D_MODE]
+	mov [ebx+I_MODE], eax
+	mov eax, [esi+D_FILESIZE]
+	mov [ebx+I_SIZE], eax
+	xor ecx, ecx
+.Lblocks:
+	cmp ecx, NDIRECT
+	jae .Lblocks_done
+	mov eax, [esi+D_BLOCK0+ecx*4]
+	mov [ebx+I_BLOCKS+ecx*4], eax
+	inc ecx
+	jmp .Lblocks
+.Lblocks_done:
+	mov eax, [esi+D_INDIRECT]
+	mov [ebx+I_INDIRECT], eax
+	mov dword [ebx+I_COUNT], 1
+	mov dword [ebx+I_SEM], 1
+	mov dword [ebx+I_DIRTY], 0
+	mov eax, ebx
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void ext2_update_inode(struct inode *inode)
+; Write the in-core inode back to the inode table.
+ext2_update_inode:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [ebp+8]
+	mov esi, [sb_inode_table]
+	shl esi, BLOCK_SHIFT
+	add esi, RAMDISK
+	mov eax, [ebx+I_INO]
+	shl eax, INODE_SHIFT
+	add esi, eax
+	mov eax, [ebx+I_MODE]
+	mov [esi+D_MODE], eax
+	mov eax, [ebx+I_SIZE]
+	mov [esi+D_FILESIZE], eax
+	xor ecx, ecx
+.Lblocks:
+	cmp ecx, NDIRECT
+	jae .Lblocks_done
+	mov eax, [ebx+I_BLOCKS+ecx*4]
+	mov [esi+D_BLOCK0+ecx*4], eax
+	inc ecx
+	jmp .Lblocks
+.Lblocks_done:
+	mov eax, [ebx+I_INDIRECT]
+	mov [esi+D_INDIRECT], eax
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void iput(struct inode *inode)
+iput:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	test eax, eax
+	jz .Lout
+	; if (inode->i_count == 0) BUG();
+	cmp dword [eax+I_COUNT], 0
+	jne .Lcnt_ok
+	ud2
+.Lcnt_ok:
+	dec dword [eax+I_COUNT]
+	cmp dword [eax+I_COUNT], 0
+	jg .Lout
+	cmp dword [eax+I_DIRTY], 0
+	je .Lout
+	push eax
+	call ext2_update_inode
+	add esp, 4
+	mov eax, [ebp+8]
+	mov dword [eax+I_DIRTY], 0
+.Lout:
+	pop ebp
+	ret
+
+; int ext2_get_block(struct inode *inode, int index, int create)
+; Map a file block index to a device block; optionally allocate.
+; Returns the block number or 0.
+ext2_get_block:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [ebp+8]
+	mov ecx, [ebp+12]
+	cmp ecx, NDIRECT
+	jae .Lindirect
+	mov eax, [ebx+I_BLOCKS+ecx*4]
+	test eax, eax
+	jnz .Lout
+	cmp dword [ebp+16], 0
+	je .Lout
+	push ecx
+	call ext2_alloc_block
+	pop ecx
+	test eax, eax
+	jz .Lout
+	mov [ebx+I_BLOCKS+ecx*4], eax
+	mov dword [ebx+I_DIRTY], 1
+	jmp .Lout
+.Lindirect:
+	sub ecx, NDIRECT
+	cmp ecx, PTRS_PER_BLOCK
+	jae .Lzero
+	mov esi, [ebx+I_INDIRECT]
+	test esi, esi
+	jnz .Lhave_ind
+	cmp dword [ebp+16], 0
+	je .Lzero
+	push ecx
+	call ext2_alloc_block
+	pop ecx
+	test eax, eax
+	jz .Lzero
+	mov esi, eax
+	mov [ebx+I_INDIRECT], esi
+	mov dword [ebx+I_DIRTY], 1
+.Lhave_ind:
+	mov eax, esi
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov edx, [eax+ecx*4]
+	test edx, edx
+	jnz .Lgot
+	cmp dword [ebp+16], 0
+	je .Lgot
+	push eax
+	push ecx
+	call ext2_alloc_block
+	pop ecx
+	pop esi
+	test eax, eax
+	jz .Lzero
+	mov [esi+ecx*4], eax
+	mov edx, eax
+.Lgot:
+	mov eax, edx
+	jmp .Lout
+.Lzero:
+	xor eax, eax
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int ext2_readpage(struct inode *inode, int index, unsigned long frame)
+; Fill a page-cache frame from the device (zero-fill holes).
+ext2_readpage:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push 0
+	push dword [ebp+12]
+	push dword [ebp+8]
+	call ext2_get_block
+	add esp, 12
+	test eax, eax
+	jnz .Lhave
+	push dword [ebp+16]
+	call clear_page
+	add esp, 4
+	xor eax, eax
+	jmp .Lout
+.Lhave:
+	push eax
+	call bread
+	add esp, 4
+	test eax, eax
+	jz .Lioerr
+	mov ebx, eax
+	push BLOCK_SIZE
+	push dword [ebx+BH_DATA]
+	push dword [ebp+16]
+	call __memcpy
+	add esp, 12
+	push ebx
+	call brelse
+	add esp, 4
+	xor eax, eax
+	jmp .Lout
+.Lioerr:
+	mov eax, -ENOMEM
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int generic_commit_write(struct inode *inode, unsigned long frame,
+;                          int index, int offset, int nr, int endpos)
+; Extend the size when the write grew the file, then write the page
+; extent through to the device and sync the inode.
+generic_commit_write:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [ebp+8]
+	; if (offset + nr > BLOCK_SIZE) BUG();
+	mov eax, [ebp+20]
+	add eax, [ebp+24]
+	cmp eax, BLOCK_SIZE
+	jbe .Lbounds_ok
+	ud2
+.Lbounds_ok:
+	mov eax, [ebp+28]
+	cmp eax, [ebx+I_SIZE]
+	jbe .Lnoext
+	mov [ebx+I_SIZE], eax
+	mov dword [ebx+I_DIRTY], 1
+.Lnoext:
+	push 1
+	push dword [ebp+16]
+	push ebx
+	call ext2_get_block
+	add esp, 12
+	test eax, eax
+	jz .Lnospc
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	add eax, [ebp+20]
+	mov esi, [ebp+12]
+	add esi, [ebp+20]
+	push dword [ebp+24]
+	push esi
+	push eax
+	call __memcpy
+	add esp, 12
+	cmp dword [ebx+I_DIRTY], 0
+	je .Lok
+	push ebx
+	call ext2_update_inode
+	add esp, 4
+	mov dword [ebx+I_DIRTY], 0
+.Lok:
+	xor eax, eax
+	jmp .Lout
+.Lnospc:
+	mov eax, -ENOSPC
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void ext2_truncate(struct inode *inode)
+; Free every data block, reset the size, write back, and drop stale
+; cached pages.
+ext2_truncate:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [ebp+8]
+	xor esi, esi
+.Ldirect:
+	cmp esi, NDIRECT
+	jae .Lindirect
+	mov eax, [ebx+I_BLOCKS+esi*4]
+	test eax, eax
+	jz .Ldnext
+	push eax
+	call ext2_free_block
+	add esp, 4
+	mov dword [ebx+I_BLOCKS+esi*4], 0
+.Ldnext:
+	inc esi
+	jmp .Ldirect
+.Lindirect:
+	mov eax, [ebx+I_INDIRECT]
+	test eax, eax
+	jz .Lfinish
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov esi, eax
+	xor ecx, ecx
+.Liloop:
+	cmp ecx, PTRS_PER_BLOCK
+	jae .Lifree
+	mov eax, [esi+ecx*4]
+	test eax, eax
+	jz .Linext
+	push ecx
+	push eax
+	call ext2_free_block
+	add esp, 4
+	pop ecx
+.Linext:
+	inc ecx
+	jmp .Liloop
+.Lifree:
+	push dword [ebx+I_INDIRECT]
+	call ext2_free_block
+	add esp, 4
+	mov dword [ebx+I_INDIRECT], 0
+.Lfinish:
+	mov dword [ebx+I_SIZE], 0
+	mov dword [ebx+I_DIRTY], 1
+	push ebx
+	call ext2_update_inode
+	add esp, 4
+	mov dword [ebx+I_DIRTY], 0
+	push ebx
+	call invalidate_inode_pages
+	add esp, 4
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; struct dirent *ext2_find_entry(struct inode *dir, const char *name,
+;                                int namelen)
+; Scan a directory for a name; returns the on-disk entry address or 0.
+ext2_find_entry:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	sub esp, 8            ; -16 slot, -20 nslots (below saved regs)
+	mov ebx, [ebp+8]
+	; if (dir->i_mode != DIR) BUG();
+	cmp dword [ebx+I_MODE], MODE_DIR
+	je .Lis_dir
+	ud2
+.Lis_dir:
+	mov eax, [ebx+I_SIZE]
+	shr eax, DIRENT_SHIFT
+	mov [ebp-20], eax
+	mov dword [ebp-16], 0
+.Lloop:
+	mov eax, [ebp-16]
+	cmp eax, [ebp-20]
+	jae .Lnotfound
+	mov ecx, eax
+	shr ecx, DPB_SHIFT
+	push 0
+	push ecx
+	push ebx
+	call ext2_get_block
+	add esp, 12
+	test eax, eax
+	jz .Lnotfound
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov ecx, [ebp-16]
+	and ecx, DIRENTS_PER_BLOCK - 1
+	shl ecx, DIRENT_SHIFT
+	add eax, ecx
+	mov esi, eax
+	cmp dword [esi+DE_INO], 0
+	je .Lnext
+	mov eax, [esi+DE_NAMELEN]
+	cmp eax, [ebp+16]
+	jne .Lnext
+	push dword [ebp+16]
+	push dword [ebp+12]
+	lea eax, [esi+DE_NAME]
+	push eax
+	call strncmp_lib
+	add esp, 12
+	test eax, eax
+	jnz .Lnext
+	mov eax, esi
+	jmp .Lout
+.Lnext:
+	inc dword [ebp-16]
+	jmp .Lloop
+.Lnotfound:
+	xor eax, eax
+.Lout:
+	add esp, 8
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int ext2_add_entry(struct inode *dir, const char *name, int namelen,
+;                    int ino)
+ext2_add_entry:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [ebp+8]
+	mov eax, [ebp+16]
+	test eax, eax
+	jz .Leinval
+	cmp eax, MAX_NAMELEN
+	ja .Leinval
+	; slot and its block
+	mov esi, [ebx+I_SIZE]
+	shr esi, DIRENT_SHIFT
+	mov ecx, esi
+	shr ecx, DPB_SHIFT
+	push 1
+	push ecx
+	push ebx
+	call ext2_get_block
+	add esp, 12
+	test eax, eax
+	jz .Lnospc
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov ecx, esi
+	and ecx, DIRENTS_PER_BLOCK - 1
+	shl ecx, DIRENT_SHIFT
+	add eax, ecx
+	mov esi, eax          ; entry address
+	mov eax, [ebp+20]
+	mov [esi+DE_INO], eax
+	mov eax, [ebp+16]
+	mov [esi+DE_NAMELEN], eax
+	push dword [ebp+16]
+	push dword [ebp+12]
+	lea eax, [esi+DE_NAME]
+	push eax
+	call __memcpy
+	add esp, 12
+	mov eax, [ebx+I_SIZE]
+	add eax, DIRENT_SIZE
+	mov [ebx+I_SIZE], eax
+	mov dword [ebx+I_DIRTY], 1
+	push ebx
+	call ext2_update_inode
+	add esp, 4
+	mov dword [ebx+I_DIRTY], 0
+	xor eax, eax
+	jmp .Lout
+.Leinval:
+	mov eax, -EINVAL
+	jmp .Lout
+.Lnospc:
+	mov eax, -ENOSPC
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int link_path_walk(const char *path)
+; Resolve a kernel-space path. Returns the final component's inode
+; number (> 0), 0 when only the final component is missing, or a
+; negative errno. On a non-negative return, nd_dir holds a counted
+; reference to the parent directory and nd_last/nd_last_len name the
+; final component; nd_entry points at the on-disk entry when found.
+link_path_walk:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	push ROOT_INO
+	call iget
+	add esp, 4
+	test eax, eax
+	jz .Lenfile
+	mov ebx, eax          ; current directory (counted)
+	mov esi, [ebp+8]
+.Lskip:
+	cmp byte [esi], '/'
+	jne .Lcomponent
+	inc esi
+	jmp .Lskip
+.Lcomponent:
+	cmp byte [esi], 0
+	je .Lroot_only
+	mov edi, esi
+.Lscanc:
+	cmp byte [edi], 0
+	je .Lend
+	cmp byte [edi], '/'
+	je .Lend
+	inc edi
+	jmp .Lscanc
+.Lend:
+	mov ecx, edi
+	sub ecx, esi
+	mov [nd_last], esi
+	mov [nd_last_len], ecx
+	; final when only slashes and NUL remain
+	mov edx, edi
+.Lskip2:
+	cmp byte [edx], '/'
+	jne .Lcheck_final
+	inc edx
+	jmp .Lskip2
+.Lcheck_final:
+	cmp byte [edx], 0
+	je .Lfinal
+	; intermediate component: must resolve to a directory
+	push dword [nd_last_len]
+	push dword [nd_last]
+	push ebx
+	call ext2_find_entry
+	add esp, 12
+	test eax, eax
+	jz .Lnoent
+	mov eax, [eax+DE_INO]
+	push eax
+	push ebx
+	call iput
+	add esp, 4
+	pop eax
+	push eax
+	call iget
+	add esp, 4
+	test eax, eax
+	jz .Lenfile_norel
+	mov ebx, eax
+	cmp dword [ebx+I_MODE], MODE_DIR
+	jne .Lnoent
+	; advance past the component and its slashes
+	mov esi, edi
+.Lskip3:
+	cmp byte [esi], '/'
+	jne .Lcomponent
+	inc esi
+	jmp .Lskip3
+.Lfinal:
+	mov [nd_dir], ebx
+	push dword [nd_last_len]
+	push dword [nd_last]
+	push ebx
+	call ext2_find_entry
+	add esp, 12
+	mov [nd_entry], eax
+	test eax, eax
+	jz .Lmissing
+	mov eax, [eax+DE_INO]
+	jmp .Lout
+.Lmissing:
+	xor eax, eax
+	jmp .Lout
+.Lroot_only:
+	mov [nd_dir], ebx
+	mov dword [nd_last_len], 0
+	mov dword [nd_entry], 0
+	mov eax, ROOT_INO
+	jmp .Lout
+.Lnoent:
+	push ebx
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	mov eax, -ENOENT
+	jmp .Lout
+.Lenfile_norel:
+.Lenfile:
+	mov dword [nd_dir], 0
+	mov eax, -ENFILE
+.Lout:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int path_walk(const char *path)
+; link_path_walk plus parent release: just the inode number.
+path_walk:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call link_path_walk
+	add esp, 4
+	mov ebx, eax
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lno_ref
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lno_ref:
+	mov eax, ebx
+	pop ebx
+	pop ebp
+	ret
+
+; struct inode *open_namei(const char *path, int flags)
+; Resolve (and with O_CREAT, create) the file; returns a counted
+; in-core inode or a negative errno (IS_ERR convention).
+open_namei:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push dword [ebp+8]
+	call link_path_walk
+	add esp, 4
+	cmp eax, 0
+	jl .Lout               ; errno; nd_dir already released
+	jz .Lcreate_maybe
+	mov esi, eax           ; inode number found
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lno_parent
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lno_parent:
+	push esi
+	call iget
+	add esp, 4
+	test eax, eax
+	jz .Lenfile
+	mov ebx, eax
+	mov ecx, [ebp+12]
+	test ecx, O_TRUNC
+	jz .Lret_inode
+	cmp dword [ebx+I_MODE], MODE_FILE
+	jne .Lret_inode
+	push ebx
+	call ext2_truncate
+	add esp, 4
+.Lret_inode:
+	mov eax, ebx
+	jmp .Lout
+.Lcreate_maybe:
+	mov ecx, [ebp+12]
+	test ecx, O_CREAT
+	jnz .Lcreate
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lnoent
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lcreate:
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lnoent
+	cmp dword [nd_last_len], 0
+	je .Lrel_noent
+	push MODE_FILE
+	call ext2_new_inode
+	add esp, 4
+	test eax, eax
+	jz .Lrel_nospc
+	mov esi, eax
+	push eax
+	push dword [nd_last_len]
+	push dword [nd_last]
+	push dword [nd_dir]
+	call ext2_add_entry
+	add esp, 16
+	cmp eax, 0
+	jl .Ladd_fail
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	push esi
+	call iget
+	add esp, 4
+	test eax, eax
+	jz .Lenfile
+	jmp .Lout
+.Ladd_fail:
+	mov ebx, eax
+	push esi
+	call ext2_free_inode
+	add esp, 4
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	mov eax, ebx
+	jmp .Lout
+.Lrel_noent:
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	mov eax, -ENOENT
+	jmp .Lout
+.Lrel_nospc:
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	mov eax, -ENOSPC
+	jmp .Lout
+.Lenfile:
+	mov eax, -ENFILE
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int get_unused_fd(void)
+get_unused_fd:
+	mov edx, [current]
+	xor ecx, ecx
+.Lloop:
+	cmp ecx, NFDS
+	jae .Lfull
+	cmp dword [edx+TASK_FILES+ecx*4], 0
+	je .Lfound
+	inc ecx
+	jmp .Lloop
+.Lfound:
+	mov eax, ecx
+	ret
+.Lfull:
+	mov eax, -EMFILE
+	ret
+
+; struct file *get_empty_filp(void)
+get_empty_filp:
+	mov eax, filps
+	xor ecx, ecx
+.Lloop:
+	cmp ecx, NFILPS
+	jae .Lfull
+	cmp dword [eax+F_COUNT], 0
+	je .Lfound
+	add eax, F_SIZE
+	inc ecx
+	jmp .Lloop
+.Lfound:
+	mov dword [eax+F_COUNT], 1
+	ret
+.Lfull:
+	xor eax, eax
+	ret
+
+; struct file *fget(int fd)
+fget:
+	mov ecx, [esp+4]
+	cmp ecx, NFDS
+	jae .Lbad
+	mov eax, [current]
+	mov eax, [eax+TASK_FILES+ecx*4]
+	ret
+.Lbad:
+	xor eax, eax
+	ret
+
+; void fput(struct file *filp)
+; Drop a file reference; on last put, release the inode or pipe end
+; and wake a peer blocked on the pipe.
+fput:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov ebx, [ebp+8]
+	test ebx, ebx
+	jz .Lout
+	dec dword [ebx+F_COUNT]
+	cmp dword [ebx+F_COUNT], 0
+	jg .Lout
+	cmp dword [ebx+F_TYPE], FTYPE_REG
+	jne .Lpipe
+	push dword [ebx+F_INODE]
+	call iput
+	add esp, 4
+	jmp .Lclear
+.Lpipe:
+	mov eax, [ebx+F_INODE]
+	test eax, eax
+	jz .Lclear
+	cmp dword [ebx+F_TYPE], FTYPE_PIPE_R
+	jne .Lwriter
+	dec dword [eax+P_READERS]
+	jmp .Lwake
+.Lwriter:
+	cmp dword [ebx+F_TYPE], FTYPE_PIPE_W
+	jne .Lclear
+	dec dword [eax+P_WRITERS]
+.Lwake:
+	mov ecx, [eax+P_WAIT]
+	test ecx, ecx
+	jz .Lclear
+	mov dword [eax+P_WAIT], 0
+	push ecx
+	call wake_up_process
+	add esp, 4
+.Lclear:
+	mov dword [ebx+F_TYPE], 0
+	mov dword [ebx+F_INODE], 0
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_open(const char *path, int flags)
+sys_open:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	; an empty path is ENOENT
+	push 64
+	push namebuf
+	call strnlen
+	add esp, 8
+	test eax, eax
+	jz .Lempty
+	push dword [ebp+12]
+	push namebuf
+	call open_namei
+	add esp, 8
+	cmp eax, -1000
+	jae .Lout              ; IS_ERR: eax already the errno
+	mov ebx, eax
+	call get_unused_fd
+	cmp eax, 0
+	jl .Lput_err
+	mov esi, eax
+	call get_empty_filp
+	test eax, eax
+	jz .Lput_enfile
+	mov [eax+F_INODE], ebx
+	mov dword [eax+F_POS], 0
+	mov ecx, [ebp+12]
+	mov [eax+F_FLAGS], ecx
+	mov dword [eax+F_TYPE], FTYPE_REG
+	mov ecx, [current]
+	mov [ecx+TASK_FILES+esi*4], eax
+	mov eax, esi
+	jmp .Lout
+.Lput_enfile:
+	push ebx
+	call iput
+	add esp, 4
+	mov eax, -ENFILE
+	jmp .Lout
+.Lput_err:
+	mov esi, eax
+	push ebx
+	call iput
+	add esp, 4
+	mov eax, esi
+	jmp .Lout
+.Lempty:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_creat(const char *path, int mode)
+sys_creat:
+	push ebp
+	mov ebp, esp
+	push O_CREAT + O_WRONLY + O_TRUNC
+	push dword [ebp+8]
+	call sys_open
+	add esp, 8
+	pop ebp
+	ret
+
+; int sys_close(int fd)
+sys_close:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call fget
+	add esp, 4
+	test eax, eax
+	jz .Lbadf
+	mov ebx, eax
+	mov eax, [current]
+	mov ecx, [ebp+8]
+	mov dword [eax+TASK_FILES+ecx*4], 0
+	push ebx
+	call fput
+	add esp, 4
+	xor eax, eax
+	jmp .Lout
+.Lbadf:
+	mov eax, -EBADF
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_read(int fd, void *buf, long count)
+sys_read:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call fget
+	add esp, 4
+	test eax, eax
+	jz .Lbadf
+	mov ebx, eax
+	cmp dword [ebx+F_TYPE], FTYPE_REG
+	je .Lreg
+	cmp dword [ebx+F_TYPE], FTYPE_PIPE_R
+	je .Lpipe
+	jmp .Lbadf
+.Lreg:
+	mov ecx, [ebx+F_FLAGS]
+	and ecx, 3
+	cmp ecx, O_WRONLY
+	je .Lbadf
+	push dword [ebp+16]
+	push dword [ebp+12]
+	push ebx
+	call do_generic_file_read
+	add esp, 12
+	jmp .Lout
+.Lpipe:
+	push dword [ebp+16]
+	push dword [ebp+12]
+	push ebx
+	call pipe_read
+	add esp, 12
+	jmp .Lout
+.Lbadf:
+	mov eax, -EBADF
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_write(int fd, const void *buf, long count)
+sys_write:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call fget
+	add esp, 4
+	test eax, eax
+	jz .Lbadf
+	mov ebx, eax
+	cmp dword [ebx+F_TYPE], FTYPE_REG
+	je .Lreg
+	cmp dword [ebx+F_TYPE], FTYPE_PIPE_W
+	je .Lpipe
+	jmp .Lbadf
+.Lreg:
+	mov ecx, [ebx+F_FLAGS]
+	and ecx, 3
+	cmp ecx, O_RDONLY
+	je .Lbadf
+	push dword [ebp+16]
+	push dword [ebp+12]
+	push ebx
+	call generic_file_write
+	add esp, 12
+	jmp .Lout
+.Lpipe:
+	push dword [ebp+16]
+	push dword [ebp+12]
+	push ebx
+	call pipe_write
+	add esp, 12
+	jmp .Lout
+.Lbadf:
+	mov eax, -EBADF
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_lseek(int fd, int offset, int whence)
+sys_lseek:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call fget
+	add esp, 4
+	test eax, eax
+	jz .Lbadf
+	mov ebx, eax
+	cmp dword [ebx+F_TYPE], FTYPE_REG
+	jne .Lespipe
+	mov eax, [ebp+12]
+	mov ecx, [ebp+16]
+	cmp ecx, 1
+	je .Lcur
+	cmp ecx, 2
+	je .Lend
+	jmp .Lset
+.Lcur:
+	add eax, [ebx+F_POS]
+	jmp .Lset
+.Lend:
+	mov ecx, [ebx+F_INODE]
+	add eax, [ecx+I_SIZE]
+.Lset:
+	cmp eax, 0
+	jl .Leinval
+	mov [ebx+F_POS], eax
+	jmp .Lout
+.Leinval:
+	mov eax, -EINVAL
+	jmp .Lout
+.Lespipe:
+	mov eax, -ESPIPE
+	jmp .Lout
+.Lbadf:
+	mov eax, -EBADF
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_dup(int fd)
+sys_dup:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call fget
+	add esp, 4
+	test eax, eax
+	jz .Lbadf
+	mov ebx, eax
+	call get_unused_fd
+	cmp eax, 0
+	jl .Lout
+	mov ecx, [current]
+	mov [ecx+TASK_FILES+eax*4], ebx
+	inc dword [ebx+F_COUNT]
+	jmp .Lout
+.Lbadf:
+	mov eax, -EBADF
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_pipe(int *fds)
+sys_pipe:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	sub esp, 8             ; -8 read fd, -4 write fd
+	mov ebx, pipes
+	xor ecx, ecx
+.Lfind:
+	cmp ecx, NPIPES
+	jae .Lbusy
+	mov eax, [ebx+P_READERS]
+	add eax, [ebx+P_WRITERS]
+	test eax, eax
+	jz .Lfound
+	add ebx, PIPE_STRUCT
+	inc ecx
+	jmp .Lfind
+.Lbusy:
+	mov eax, -ENFILE
+	jmp .Lout
+.Lfound:
+	mov dword [ebx+P_HEAD], 0
+	mov dword [ebx+P_TAIL], 0
+	mov dword [ebx+P_LEN], 0
+	mov dword [ebx+P_WAIT], 0
+	mov dword [ebx+P_READERS], 1
+	mov dword [ebx+P_WRITERS], 1
+	call get_empty_filp
+	test eax, eax
+	jz .Lfail_pipe
+	mov esi, eax
+	call get_empty_filp
+	test eax, eax
+	jz .Lfail_filp1
+	mov edi, eax
+	mov [esi+F_INODE], ebx
+	mov dword [esi+F_POS], 0
+	mov dword [esi+F_FLAGS], O_RDONLY
+	mov dword [esi+F_TYPE], FTYPE_PIPE_R
+	mov [edi+F_INODE], ebx
+	mov dword [edi+F_POS], 0
+	mov dword [edi+F_FLAGS], O_WRONLY
+	mov dword [edi+F_TYPE], FTYPE_PIPE_W
+	call get_unused_fd
+	cmp eax, 0
+	jl .Lfail_filps
+	mov [ebp-8], eax
+	mov ecx, [current]
+	mov [ecx+TASK_FILES+eax*4], esi
+	call get_unused_fd
+	cmp eax, 0
+	jl .Lfail_fd1
+	mov [ebp-4], eax
+	mov ecx, [current]
+	mov [ecx+TASK_FILES+eax*4], edi
+	push 8
+	lea eax, [ebp-8]
+	push eax
+	push dword [ebp+8]
+	call __generic_copy_to_user
+	add esp, 12
+	test eax, eax
+	jnz .Lfail_copy
+	xor eax, eax
+	jmp .Lout
+.Lfail_copy:
+	; roll back the second fd
+	mov ecx, [current]
+	mov eax, [ebp-4]
+	mov dword [ecx+TASK_FILES+eax*4], 0
+.Lfail_fd1:
+	mov ecx, [current]
+	mov eax, [ebp-8]
+	mov dword [ecx+TASK_FILES+eax*4], 0
+.Lfail_filps:
+	mov dword [edi+F_COUNT], 0
+	mov dword [edi+F_TYPE], 0
+.Lfail_filp1:
+	mov dword [esi+F_COUNT], 0
+	mov dword [esi+F_TYPE], 0
+.Lfail_pipe:
+	mov dword [ebx+P_READERS], 0
+	mov dword [ebx+P_WRITERS], 0
+	mov eax, -ENFILE
+.Lout:
+	add esp, 8
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int pipe_read(struct file *filp, void *buf, long count)
+; Copy out of the ring buffer; EOF at 0 writers; sleep when empty
+; (the engine retries, as the scheduler would). The leading checks
+; mirror 2.4's pipe_read prologue (the paper's fail-silence example).
+pipe_read:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	sub esp, 4             ; -4 total copied
+	mov dword [ebp-16], 0
+	mov ebx, [ebp+8]
+	; seeks are not allowed on pipes
+	cmp dword [ebx+F_POS], 0
+	jne .Lespipe
+	cmp dword [ebx+F_TYPE], FTYPE_PIPE_R
+	jne .Lespipe
+	mov esi, [ebx+F_INODE]
+	; if (pipe->len > PIPE_BUF) BUG();
+	cmp dword [esi+P_LEN], PIPE_BUF
+	jbe .Llen_ok
+	ud2
+.Llen_ok:
+	mov eax, [esi+P_LEN]
+	test eax, eax
+	jnz .Lcopy
+	cmp dword [esi+P_WRITERS], 0
+	je .Leof
+	mov eax, [current]
+	mov dword [eax+TASK_STATE], TASK_INTERRUPTIBLE
+	mov [esi+P_WAIT], eax
+	mov eax, -ERESTARTSYS
+	jmp .Lout
+.Leof:
+	xor eax, eax
+	jmp .Lout
+.Lcopy:
+	mov edi, [ebp+16]
+	cmp edi, eax
+	jbe .Lchunk
+	mov edi, eax           ; n = min(count, len)
+.Lchunk:
+	test edi, edi
+	jz .Lwake
+	mov eax, [esi+P_TAIL]
+	mov ecx, PIPE_BUF
+	sub ecx, eax
+	cmp ecx, edi
+	jbe .Lc1
+	mov ecx, edi
+.Lc1:
+	push ecx
+	push ecx
+	lea edx, [esi+P_BUF]
+	add edx, eax
+	push edx
+	push dword [ebp+12]
+	call __generic_copy_to_user
+	add esp, 12
+	pop ecx
+	test eax, eax
+	jnz .Lefault
+	add [ebp+12], ecx
+	mov eax, [esi+P_TAIL]
+	add eax, ecx
+	and eax, PIPE_BUF - 1
+	mov [esi+P_TAIL], eax
+	sub [esi+P_LEN], ecx
+	sub edi, ecx
+	add [ebp-16], ecx
+	jmp .Lchunk
+.Lwake:
+	mov eax, [esi+P_WAIT]
+	test eax, eax
+	jz .Lret
+	mov dword [esi+P_WAIT], 0
+	push eax
+	call wake_up_process
+	add esp, 4
+.Lret:
+	mov eax, [ebp-16]
+	jmp .Lout
+.Lefault:
+	cmp dword [ebp-16], 0
+	jne .Lwake
+	mov eax, -EFAULT
+	jmp .Lout
+.Lespipe:
+	mov eax, -ESPIPE
+.Lout:
+	add esp, 4
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int pipe_write(struct file *filp, const void *buf, long count)
+pipe_write:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	sub esp, 4             ; -4 total copied
+	mov dword [ebp-16], 0
+	mov ebx, [ebp+8]
+	cmp dword [ebx+F_TYPE], FTYPE_PIPE_W
+	jne .Lespipe
+	mov esi, [ebx+F_INODE]
+	cmp dword [esi+P_READERS], 0
+	je .Lepipe
+	mov eax, PIPE_BUF
+	sub eax, [esi+P_LEN]   ; space
+	test eax, eax
+	jnz .Lcopy
+	mov eax, [current]
+	mov dword [eax+TASK_STATE], TASK_INTERRUPTIBLE
+	mov [esi+P_WAIT], eax
+	mov eax, -ERESTARTSYS
+	jmp .Lout
+.Lepipe:
+	mov eax, -EPIPE
+	jmp .Lout
+.Lcopy:
+	mov edi, [ebp+16]
+	cmp edi, eax
+	jbe .Lchunk
+	mov edi, eax           ; n = min(count, space)
+.Lchunk:
+	test edi, edi
+	jz .Lwake
+	mov eax, [esi+P_HEAD]
+	mov ecx, PIPE_BUF
+	sub ecx, eax
+	cmp ecx, edi
+	jbe .Lc1
+	mov ecx, edi
+.Lc1:
+	push ecx
+	push ecx
+	push dword [ebp+12]
+	lea edx, [esi+P_BUF]
+	add edx, eax
+	push edx
+	call __generic_copy_from_user
+	add esp, 12
+	pop ecx
+	test eax, eax
+	jnz .Lefault
+	add [ebp+12], ecx
+	mov eax, [esi+P_HEAD]
+	add eax, ecx
+	and eax, PIPE_BUF - 1
+	mov [esi+P_HEAD], eax
+	add [esi+P_LEN], ecx
+	sub edi, ecx
+	add [ebp-16], ecx
+	jmp .Lchunk
+.Lwake:
+	mov eax, [esi+P_WAIT]
+	test eax, eax
+	jz .Lret
+	mov dword [esi+P_WAIT], 0
+	push eax
+	call wake_up_process
+	add esp, 4
+.Lret:
+	mov eax, [ebp-16]
+	jmp .Lout
+.Lefault:
+	cmp dword [ebp-16], 0
+	jne .Lwake
+	mov eax, -EFAULT
+	jmp .Lout
+.Lespipe:
+	mov eax, -ESPIPE
+.Lout:
+	add esp, 4
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_unlink(const char *path)
+sys_unlink:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	push namebuf
+	call link_path_walk
+	add esp, 4
+	cmp eax, 0
+	jl .Lout               ; errno; nd_dir released by the walk
+	jz .Lrel_noent
+	mov esi, eax           ; ino
+	push esi
+	call iget
+	add esp, 4
+	test eax, eax
+	jz .Lrel_enfile
+	mov ebx, eax
+	cmp dword [ebx+I_MODE], MODE_FILE
+	jne .Lrel_eperm
+	; clear the directory entry found during the walk
+	mov eax, [nd_entry]
+	test eax, eax
+	jz .Lrel_eperm
+	mov dword [eax+DE_INO], 0
+	; drop one link; free the data and inode only at zero links
+	push esi
+	call ext2_inode_addr
+	add esp, 4
+	mov ecx, [eax+D_LINKS]
+	cmp ecx, 1
+	ja .Llinked
+	; last link: release everything
+	push ebx
+	call ext2_truncate
+	add esp, 4
+	push esi
+	call ext2_free_inode
+	add esp, 4
+	jmp .Lrelease
+.Llinked:
+	dec ecx
+	mov [eax+D_LINKS], ecx
+.Lrelease:
+	mov dword [ebx+I_DIRTY], 0
+	push ebx
+	call iput
+	add esp, 4
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lok
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lok:
+	xor eax, eax
+	jmp .Lout
+.Lrel_eperm:
+	push ebx
+	call iput
+	add esp, 4
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	mov eax, -EPERM
+	jmp .Lout
+.Lrel_enfile:
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	mov eax, -ENFILE
+	jmp .Lout
+.Lrel_noent:
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lnoent
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_execve(const char *path)
+; "Load" a new image: resolve the binary, pull its first page through
+; the page cache, then tear down and rebuild the address space.
+sys_execve:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	push 0
+	push namebuf
+	call open_namei
+	add esp, 8
+	cmp eax, -1000
+	jae .Lnoent
+	mov ebx, eax
+	call __alloc_pages
+	test eax, eax
+	jz .Lskip_read
+	mov esi, eax
+	push eax
+	push 0
+	push ebx
+	call ext2_readpage
+	add esp, 12
+	push esi
+	call free_pages_ok
+	add esp, 4
+.Lskip_read:
+	push ebx
+	call iput
+	add esp, 4
+	; replace the address space
+	mov ebx, [current]
+	push ARENA_SIZE
+	push dword [ebx+TASK_ARENA]
+	push ebx
+	call zap_page_range
+	add esp, 12
+	mov eax, [ebx+TASK_ARENA]
+	mov [ebx+TASK_VMAS+VMA_START], eax
+	mov ecx, eax
+	add ecx, 0x80000
+	mov [ebx+TASK_VMAS+VMA_END], ecx
+	mov dword [ebx+TASK_VMAS+VMA_FLAGS], VM_READ + VM_WRITE
+	mov ecx, eax
+	add ecx, ARENA_SIZE - 0x20000
+	mov [ebx+TASK_VMAS+VMA_SIZE+VMA_START], ecx
+	mov ecx, eax
+	add ecx, ARENA_SIZE
+	mov [ebx+TASK_VMAS+VMA_SIZE+VMA_END], ecx
+	mov dword [ebx+TASK_VMAS+VMA_SIZE+VMA_FLAGS], VM_READ + VM_WRITE
+	mov dword [ebx+TASK_VMAS+2*VMA_SIZE+VMA_FLAGS], 0
+	mov dword [ebx+TASK_VMAS+3*VMA_SIZE+VMA_FLAGS], 0
+	add eax, 0x10000
+	mov [ebx+TASK_BRK], eax
+	xor eax, eax
+	jmp .Lout
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; unsigned long ext2_inode_addr(int ino)
+; Address of the on-disk inode in the mapped ramdisk.
+ext2_inode_addr:
+	mov eax, [sb_inode_table]
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov ecx, [esp+4]
+	shl ecx, INODE_SHIFT
+	add eax, ecx
+	ret
+
+; int sys_stat(const char *path, struct stat *buf)
+sys_stat:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	push namebuf
+	call path_walk
+	add esp, 4
+	cmp eax, 0
+	jl .Lout
+	jz .Lnoent
+	mov esi, eax
+	push eax
+	call ext2_inode_addr
+	add esp, 4
+	mov ebx, eax
+	; assemble the stat record in kernel scratch, then copy out
+	mov ecx, namebuf2
+	mov [ecx+ST_INO], esi
+	mov eax, [ebx+D_MODE]
+	mov [ecx+ST_MODE], eax
+	mov eax, [ebx+D_FILESIZE]
+	mov [ecx+ST_SIZE], eax
+	mov eax, [ebx+D_LINKS]
+	mov [ecx+ST_NLINK], eax
+	push 16
+	push namebuf2
+	push dword [ebp+12]
+	call __generic_copy_to_user
+	add esp, 12
+	test eax, eax
+	jnz .Lefault
+	xor eax, eax
+	jmp .Lout
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_fstat(int fd, struct stat *buf)
+sys_fstat:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push dword [ebp+8]
+	call fget
+	add esp, 4
+	test eax, eax
+	jz .Lbadf
+	cmp dword [eax+F_TYPE], FTYPE_REG
+	jne .Lbadf
+	mov ebx, [eax+F_INODE]
+	mov ecx, namebuf2
+	mov eax, [ebx+I_INO]
+	mov [ecx+ST_INO], eax
+	mov eax, [ebx+I_MODE]
+	mov [ecx+ST_MODE], eax
+	mov eax, [ebx+I_SIZE]
+	mov [ecx+ST_SIZE], eax
+	push dword [ebx+I_INO]
+	call ext2_inode_addr
+	add esp, 4
+	mov eax, [eax+D_LINKS]
+	mov ecx, namebuf2
+	mov [ecx+ST_NLINK], eax
+	push 16
+	push namebuf2
+	push dword [ebp+12]
+	call __generic_copy_to_user
+	add esp, 12
+	test eax, eax
+	jnz .Lefault
+	xor eax, eax
+	jmp .Lout
+.Lbadf:
+	mov eax, -EBADF
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_link(const char *oldpath, const char *newpath)
+; Create a hard link: a second directory entry for the same inode,
+; bumping the on-disk link count.
+sys_link:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	push 60
+	push dword [ebp+12]
+	push namebuf2
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	mov ecx, namebuf2
+	mov byte [ecx+63], 0
+	; the source must exist and be a regular file
+	push namebuf
+	call path_walk
+	add esp, 4
+	cmp eax, 0
+	jl .Lout
+	jz .Lnoent
+	mov esi, eax
+	push eax
+	call ext2_inode_addr
+	add esp, 4
+	cmp dword [eax+D_MODE], MODE_FILE
+	jne .Leperm
+	; the destination must not exist; its parent is held on return 0
+	push namebuf2
+	call link_path_walk
+	add esp, 4
+	cmp eax, 0
+	jl .Lout
+	jnz .Lexist_rel
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lnoent
+	cmp dword [nd_last_len], 0
+	je .Lrel_noent
+	push esi
+	push dword [nd_last_len]
+	push dword [nd_last]
+	push dword [nd_dir]
+	call ext2_add_entry
+	add esp, 16
+	mov ebx, eax
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	cmp ebx, 0
+	jl .Lret_err
+	push esi
+	call ext2_inode_addr
+	add esp, 4
+	inc dword [eax+D_LINKS]
+	xor eax, eax
+	jmp .Lout
+.Lret_err:
+	mov eax, ebx
+	jmp .Lout
+.Lexist_rel:
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lexist
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lexist:
+	mov eax, -EEXIST
+	jmp .Lout
+.Lrel_noent:
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Leperm:
+	mov eax, -EPERM
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_rename(const char *oldpath, const char *newpath)
+; Move a directory entry: add the inode under the new name, then
+; clear the old entry. The destination must not already exist.
+sys_rename:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	push 60
+	push dword [ebp+12]
+	push namebuf2
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	mov ecx, namebuf2
+	mov byte [ecx+63], 0
+	; resolve the source; keep its entry address in edi
+	push namebuf
+	call link_path_walk
+	add esp, 4
+	mov esi, eax
+	mov edi, [nd_entry]
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lsrc_checked
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lsrc_checked:
+	cmp esi, 0
+	jl .Lret_esi
+	jz .Lnoent
+	test edi, edi
+	jz .Lnoent
+	; destination must be absent; parent held
+	push namebuf2
+	call link_path_walk
+	add esp, 4
+	cmp eax, 0
+	jl .Lout
+	jnz .Lexist_rel
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lnoent
+	cmp dword [nd_last_len], 0
+	je .Lrel_noent
+	push esi
+	push dword [nd_last_len]
+	push dword [nd_last]
+	push dword [nd_dir]
+	call ext2_add_entry
+	add esp, 16
+	mov ebx, eax
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	cmp ebx, 0
+	jl .Lret_ebx
+	; remove the old name
+	mov dword [edi+DE_INO], 0
+	xor eax, eax
+	jmp .Lout
+.Lret_ebx:
+	mov eax, ebx
+	jmp .Lout
+.Lret_esi:
+	mov eax, esi
+	jmp .Lout
+.Lexist_rel:
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lexist
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lexist:
+	mov eax, -EEXIST
+	jmp .Lout
+.Lrel_noent:
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_mkdir(const char *path, int mode)
+sys_mkdir:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	push namebuf
+	call link_path_walk
+	add esp, 4
+	cmp eax, 0
+	jl .Lout
+	jnz .Lexist_rel
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lnoent
+	cmp dword [nd_last_len], 0
+	je .Lrel_noent
+	push MODE_DIR
+	call ext2_new_inode
+	add esp, 4
+	test eax, eax
+	jz .Lrel_nospc
+	mov esi, eax
+	push esi
+	push dword [nd_last_len]
+	push dword [nd_last]
+	push dword [nd_dir]
+	call ext2_add_entry
+	add esp, 16
+	mov ebx, eax
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	cmp ebx, 0
+	jl .Lfail_free
+	xor eax, eax
+	jmp .Lout
+.Lfail_free:
+	push esi
+	call ext2_free_inode
+	add esp, 4
+	mov eax, ebx
+	jmp .Lout
+.Lexist_rel:
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lexist
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lexist:
+	mov eax, -EEXIST
+	jmp .Lout
+.Lrel_noent:
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lrel_nospc:
+	mov eax, [nd_dir]
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+	mov eax, -ENOSPC
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_rmdir(const char *path)
+; Remove an empty directory.
+sys_rmdir:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	push 60
+	push dword [ebp+8]
+	push namebuf
+	call strncpy_from_user
+	add esp, 12
+	cmp eax, 0
+	jl .Lefault
+	mov ecx, namebuf
+	mov byte [ecx+63], 0
+	push namebuf
+	call link_path_walk
+	add esp, 4
+	mov esi, eax
+	mov edi, [nd_entry]
+	mov eax, [nd_dir]
+	test eax, eax
+	jz .Lwalked
+	push eax
+	call iput
+	add esp, 4
+	mov dword [nd_dir], 0
+.Lwalked:
+	cmp esi, 0
+	jl .Lret_esi
+	jz .Lnoent
+	cmp esi, ROOT_INO
+	je .Leperm
+	test edi, edi
+	jz .Lnoent
+	push esi
+	call iget
+	add esp, 4
+	test eax, eax
+	jz .Lenfile
+	mov ebx, eax
+	cmp dword [ebx+I_MODE], MODE_DIR
+	jne .Lnotdir
+	; must be empty: every slot cleared
+	push ebx
+	call dir_is_empty
+	add esp, 4
+	test eax, eax
+	jz .Lnotempty
+	; remove: clear entry, free blocks + inode
+	mov dword [edi+DE_INO], 0
+	push ebx
+	call ext2_truncate
+	add esp, 4
+	push esi
+	call ext2_free_inode
+	add esp, 4
+	mov dword [ebx+I_DIRTY], 0
+	push ebx
+	call iput
+	add esp, 4
+	xor eax, eax
+	jmp .Lout
+.Lnotempty:
+	push ebx
+	call iput
+	add esp, 4
+	mov eax, -ENOTEMPTY
+	jmp .Lout
+.Lnotdir:
+	push ebx
+	call iput
+	add esp, 4
+.Leperm:
+	mov eax, -EPERM
+	jmp .Lout
+.Lenfile:
+	mov eax, -ENFILE
+	jmp .Lout
+.Lret_esi:
+	mov eax, esi
+	jmp .Lout
+.Lnoent:
+	mov eax, -ENOENT
+	jmp .Lout
+.Lefault:
+	mov eax, -EFAULT
+.Lout:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int dir_is_empty(struct inode *dir)
+; 1 when every directory slot is cleared, 0 otherwise.
+dir_is_empty:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [ebp+8]
+	mov esi, [ebx+I_SIZE]
+	shr esi, DIRENT_SHIFT
+	xor ecx, ecx
+.Lloop:
+	cmp ecx, esi
+	jae .Lempty
+	mov eax, ecx
+	shr eax, DPB_SHIFT
+	push ecx
+	push 0
+	push eax
+	push ebx
+	call ext2_get_block
+	add esp, 12
+	pop ecx
+	test eax, eax
+	jz .Lnext          ; hole: nothing here
+	shl eax, BLOCK_SHIFT
+	add eax, RAMDISK
+	mov edx, ecx
+	and edx, DIRENTS_PER_BLOCK - 1
+	shl edx, DIRENT_SHIFT
+	add eax, edx
+	cmp dword [eax+DE_INO], 0
+	jne .Lfull
+.Lnext:
+	inc ecx
+	jmp .Lloop
+.Lfull:
+	xor eax, eax
+	jmp .Lout
+.Lempty:
+	mov eax, 1
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+`

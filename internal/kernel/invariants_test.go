@@ -1,0 +1,231 @@
+package kernel
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ia32"
+)
+
+// TestKernelTextDecodesCleanly: every byte of every kernel function is
+// part of a decodable instruction — the injector's target enumeration
+// depends on it.
+func TestKernelTextDecodesCleanly(t *testing.T) {
+	prog, err := Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range prog.Funcs {
+		sec := prog.Sections[fn.Section]
+		code := sec.Code[fn.Addr-sec.Base : fn.Addr-sec.Base+fn.Size]
+		off := 0
+		for off < len(code) {
+			in, err := ia32.Decode(code[off:])
+			if err != nil {
+				t.Fatalf("%s+%#x: %v (bytes % x)", fn.Name, off, err, code[off:min(off+8, len(code))])
+			}
+			off += int(in.Len)
+		}
+		if off != len(code) {
+			t.Fatalf("%s: instruction overruns function end (%d != %d)", fn.Name, off, len(code))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestAssembleDeterministic: assembling twice produces identical
+// images (snapshot/restore and target addressing rely on it).
+func TestAssembleDeterministic(t *testing.T) {
+	p1, err := Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s1 := range p1.Sections {
+		s2 := p2.Sections[name]
+		if s2 == nil || !bytes.Equal(s1.Code, s2.Code) {
+			t.Fatalf("section %s differs between assemblies", name)
+		}
+	}
+}
+
+// TestPaperFunctionsPresent: every kernel function the paper names is
+// assembled into the paper's subsystem.
+func TestPaperFunctionsPresent(t *testing.T) {
+	prog, err := Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperFuncs := map[string]string{
+		// Table 5 / Figure 5 functions.
+		"open_namei":           "fs",
+		"do_wp_page":           "mm",
+		"link_path_walk":       "fs",
+		"sys_read":             "fs",
+		"get_hash_table":       "fs",
+		"generic_commit_write": "fs",
+		"do_generic_file_read": "mm",
+		// Crash-share leaders from §6.1.
+		"do_page_fault":  "arch",
+		"schedule":       "kernel",
+		"zap_page_range": "mm",
+		// §8 examples.
+		"reschedule_idle": "kernel",
+		"pipe_read":       "fs",
+	}
+	for name, sec := range paperFuncs {
+		fn, ok := prog.FuncByName(name)
+		if !ok {
+			t.Errorf("paper function %s missing", name)
+			continue
+		}
+		if fn.Section != sec {
+			t.Errorf("%s in %s, want %s", name, fn.Section, sec)
+		}
+	}
+}
+
+// TestPipeModel drives a pipe through a random (seeded) sequence of
+// reads and writes inside one process and cross-checks every byte
+// against a Go FIFO model.
+func TestPipeModel(t *testing.T) {
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{
+		Name: "model",
+		Main: func(u *User) {
+			a := u.Arena()
+			fds, wbuf, rbuf := a+0x20000, a+0x21000, a+0x22000
+			if r := u.Syscall(SysPipe, fds); r != 0 {
+				u.Logf("pipe: %d", r)
+				u.Exit(1)
+			}
+			rfd, wfd := u.Peek(fds), u.Peek(fds+4)
+
+			rng := rand.New(rand.NewSource(99))
+			var model []byte
+			next := byte(0)
+			mismatches := 0
+			for step := 0; step < 300; step++ {
+				if rng.Intn(2) == 0 && len(model) < PipeBufSize {
+					// write up to the free space (never blocks)
+					n := rng.Intn(PipeBufSize-len(model)) + 1
+					chunk := make([]byte, n)
+					for i := range chunk {
+						chunk[i] = next
+						next++
+					}
+					u.WriteBuf(wbuf, chunk)
+					got := u.Syscall(SysWrite, wfd, wbuf, uint32(n))
+					if int(got) != n {
+						u.Logf("short write %d/%d at step %d", got, n, step)
+						mismatches++
+						break
+					}
+					model = append(model, chunk...)
+				} else if len(model) > 0 {
+					n := rng.Intn(len(model)) + 1
+					got := u.Syscall(SysRead, rfd, rbuf, uint32(n))
+					if int(got) != n {
+						u.Logf("short read %d/%d at step %d", got, n, step)
+						mismatches++
+						break
+					}
+					data := u.ReadBuf(rbuf, uint32(got))
+					for i, b := range data {
+						if b != model[i] {
+							mismatches++
+						}
+					}
+					model = model[n:]
+				}
+			}
+			u.Logf("pipe model mismatches=%d remaining=%d", mismatches, len(model))
+			u.Syscall(SysClose, rfd)
+			u.Syscall(SysClose, wfd)
+			u.Exit(0)
+		},
+	}}, testBudget)
+	if res.Err != nil {
+		t.Fatalf("run: %v\n%v", res.Err, res.Trace)
+	}
+	if !strings.Contains(strings.Join(res.Trace, "\n"), "mismatches=0") {
+		t.Fatalf("pipe data corrupted: %v", res.Trace)
+	}
+}
+
+// TestFileModel writes files of many sizes through the kernel and
+// verifies each against the host-side ext2 reader.
+func TestFileModel(t *testing.T) {
+	m := bootT(t)
+	sizes := []int{0, 1, 511, 512, 4095, 4096, 4097, 12288, 50000}
+	res := m.RunWorkloads([]Workload{{
+		Name: "files",
+		Main: func(u *User) {
+			a := u.Arena()
+			path, buf := a+0x20000, a+0x24000
+			for i, size := range sizes {
+				name := "/work/model" + string(rune('a'+i))
+				u.WriteString(path, name)
+				fd := u.Syscall(SysCreat, path, 0o644)
+				if fd < 0 {
+					u.Logf("creat %s: %d", name, fd)
+					u.Exit(1)
+				}
+				written := 0
+				for written < size {
+					n := size - written
+					if n > 8192 {
+						n = 8192
+					}
+					chunk := make([]byte, n)
+					for k := range chunk {
+						chunk[k] = byte((written + k) * (i + 3))
+					}
+					u.WriteBuf(buf, chunk)
+					if w := u.Syscall(SysWrite, uint32(fd), buf, uint32(n)); int(w) != n {
+						u.Logf("short write %d/%d on %s", w, n, name)
+						u.Exit(1)
+					}
+					written += n
+				}
+				u.Syscall(SysClose, uint32(fd))
+			}
+			u.Logf("wrote %d files", len(sizes))
+			u.Exit(0)
+		},
+	}}, 1<<34)
+	if res.Err != nil {
+		t.Fatalf("run: %v\n%v\n%s", res.Err, res.Trace, res.Console)
+	}
+	img, err := m.DiskImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsv := newExt2FS(t, img)
+	for i, size := range sizes {
+		name := "/work/model" + string(rune('a'+i))
+		content, err := fsv.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(content) != size {
+			t.Fatalf("%s: size %d, want %d", name, len(content), size)
+		}
+		for k, b := range content {
+			if b != byte(k*(i+3)) {
+				t.Fatalf("%s: byte %d = %#x, want %#x", name, k, b, byte(k*(i+3)))
+			}
+		}
+	}
+}

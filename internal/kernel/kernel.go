@@ -1,0 +1,433 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/disk"
+	"repro/internal/ext2"
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
+
+// ErrHang reports a watchdog timeout: the run exceeded its cycle budget
+// without completing (the study's Hang outcome).
+var ErrHang = errors.New("kernel: watchdog: system hang")
+
+// CrashError reports that the kernel crashed: either a CPU exception
+// escaped to the (host-side) crash handler, or the kernel panicked.
+// Like an LKCD dump, it carries the register file and the top of the
+// kernel stack at crash time.
+type CrashError struct {
+	Exc    *cpu.Exception // nil for a pure panic
+	Panic  int            // panic code (0 when none)
+	Cycles uint64         // cycle counter at crash time
+	Regs   [8]uint32      // EAX..EDI at the crash
+	Stack  []uint32       // top words of the kernel stack
+	Code   []byte         // bytes at the crash EIP (the oops "Code:" line)
+}
+
+func (e *CrashError) Error() string {
+	if e.Exc != nil {
+		return e.Exc.Error()
+	}
+	return fmt.Sprintf("kernel panic (code %d)", e.Panic)
+}
+
+// Machine is the booted simulated system: CPU, memory, the assembled
+// kernel image and the ramdisk with the root file system.
+type Machine struct {
+	Mem  *mem.Memory
+	CPU  *cpu.CPU
+	Prog *asm.Program
+
+	// Console accumulates printk output (port 0xE9).
+	Console bytes.Buffer
+
+	// PanicCode is set when the kernel writes the panic port.
+	PanicCode int
+
+	// CycleLimit is the watchdog: kernel execution stops with ErrHang
+	// when the CPU cycle counter reaches it.
+	CycleLimit uint64
+
+	// BootFiles is the tree the root file system was populated with.
+	BootFiles map[string][]byte
+	// BootManifest snapshots the boot-critical files for severity
+	// analysis.
+	BootManifest ext2.Manifest
+
+	faultDepth int
+	doPFAddr   uint32
+	syscallFn  uint32
+}
+
+// DefaultTree returns the root file system contents used at boot: the
+// boot-critical files plus the working files the benchmark programs
+// use.
+func DefaultTree() map[string][]byte {
+	libc := bytes.Repeat([]byte("\x7fELF libc.so.6 segment "), 700) // ~16 KiB
+	return map[string][]byte{
+		"/sbin/init":          []byte("\x7fELF init " + repeat("i", 600)),
+		"/etc/inittab":        []byte("id:3:initdefault:\nsi::sysinit:/etc/rc\n"),
+		"/etc/rc":             []byte("#!/bin/sh\nmount -a\n"),
+		"/etc/passwd":         []byte("root:x:0:0:root:/root:/bin/sh\n"),
+		"/lib/i686/libc.so.6": libc,
+		"/bin/sh":             []byte("\x7fELF sh " + repeat("s", 900)),
+		"/bin/looper":         []byte("\x7fELF looper " + repeat("l", 300)),
+		"/work/fstime.dat":    bytes.Repeat([]byte("0123456789abcdef"), 2048), // 32 KiB
+		"/work/readme.txt":    []byte("unixbench working area\n"),
+	}
+}
+
+func repeat(s string, n int) string {
+	b := make([]byte, 0, len(s)*n)
+	for i := 0; i < n; i++ {
+		b = append(b, s...)
+	}
+	return string(b)
+}
+
+// bootCritical lists the files whose damage makes the system
+// unbootable (most severe crash).
+var bootCritical = []string{"/sbin/init", "/etc/inittab", "/lib/i686/libc.so.6", "/bin/sh"}
+
+// Boot assembles the kernel, lays out memory, builds the root file
+// system and runs kernel_init on the simulated CPU.
+func Boot() (*Machine, error) {
+	return BootWithTree(DefaultTree())
+}
+
+// BootWithTree boots with a specific root file system tree.
+func BootWithTree(files map[string][]byte) (*Machine, error) {
+	prog, err := Assemble()
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		Mem:        mem.New(),
+		Prog:       prog,
+		CycleLimit: 1 << 62,
+		BootFiles:  files,
+	}
+	// Linux direct-maps low physical memory at PAGE_OFFSET, so most
+	// wild kernel-space reads land in mapped memory rather than
+	// faulting immediately (which is why the paper's campaign C sees so
+	// few paging requests). Map the whole lowmem window RW first, then
+	// overlay the text sections read-execute.
+	m.Mem.Map(LowmemBase, LowmemSize, mem.PermRW)
+	m.Mem.Map(TextArch, TextSize, mem.PermRX)
+	m.Mem.Map(TextKernel, TextSize, mem.PermRX)
+	m.Mem.Map(TextMM, TextSize, mem.PermRX)
+	m.Mem.Map(TextFS, TextSize, mem.PermRX)
+	m.Mem.Map(TextDrivers, TextSize, mem.PermRX)
+	m.Mem.Map(TextLib, TextSize, mem.PermRX)
+	for _, s := range prog.Sections {
+		if len(s.Code) == 0 {
+			continue
+		}
+		if err := m.Mem.WriteRaw(s.Base, s.Code); err != nil {
+			return nil, fmt.Errorf("kernel: load section %s: %w", s.Name, err)
+		}
+	}
+
+	// Build the root file system and place it on the ramdisk.
+	dev := disk.New(RamdiskBlocks)
+	fs, err := ext2.Mkfs(dev, 256)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: mkfs: %w", err)
+	}
+	if err := fs.PopulateTree(files); err != nil {
+		return nil, fmt.Errorf("kernel: populate: %w", err)
+	}
+	man, err := fs.BuildManifest(bootCritical)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: manifest: %w", err)
+	}
+	m.BootManifest = man
+	if err := m.Mem.WriteRaw(RamdiskBase, dev.Image()); err != nil {
+		return nil, fmt.Errorf("kernel: load ramdisk: %w", err)
+	}
+
+	m.CPU = cpu.New(m.Mem)
+	m.CPU.OnOut = m.portOut
+	m.CPU.OnIn = func(uint16, bool) uint32 { return 0xFFFFFFFF }
+
+	var ok bool
+	m.doPFAddr, ok = prog.Symbols["do_page_fault"]
+	if !ok {
+		return nil, errors.New("kernel: do_page_fault not assembled")
+	}
+	m.syscallFn, ok = prog.Symbols["system_call"]
+	if !ok {
+		return nil, errors.New("kernel: system_call not assembled")
+	}
+
+	if _, err := m.Call("kernel_init"); err != nil {
+		return nil, fmt.Errorf("kernel: init: %w", err)
+	}
+	return m, nil
+}
+
+// Assemble builds the kernel program image (usable standalone by the
+// profiler and the injector for static analysis).
+func Assemble() (*asm.Program, error) {
+	a := asm.New(BuildConsts())
+	sources := []struct{ name, src string }{
+		{"arch.s", archSource},
+		{"kernel.s", kernSource},
+		{"mm.s", mmSource},
+		{"fs.s", fsSource},
+		{"drivers.s", driversSource},
+		{"lib.s", libSource},
+		{"data.s", dataSource()},
+	}
+	for _, s := range sources {
+		if err := a.AddSource(s.name, s.src); err != nil {
+			return nil, err
+		}
+	}
+	return a.Link(map[string]uint32{
+		"arch":    TextArch,
+		"kernel":  TextKernel,
+		"mm":      TextMM,
+		"fs":      TextFS,
+		"drivers": TextDrivers,
+		"lib":     TextLib,
+		"kdata":   DataBase,
+	}, []string{"arch", "kernel", "mm", "fs", "drivers", "lib"})
+}
+
+func (m *Machine) portOut(port uint16, _ bool, val uint32) {
+	switch port {
+	case PortConsole:
+		m.Console.WriteByte(byte(val))
+	case PortPanic:
+		m.PanicCode = int(val)
+	case PortMMUMap:
+		m.Mem.Map(val&^uint32(PageSize-1), PageSize, mem.PermRW)
+	case PortMMUWP:
+		page := val &^ uint32(PageSize-1)
+		if val&1 != 0 {
+			m.Mem.Protect(page, PageSize, mem.PermRW)
+		} else {
+			m.Mem.Unmap(page, PageSize)
+		}
+	}
+}
+
+// Symbol returns the address of a kernel symbol.
+func (m *Machine) Symbol(name string) uint32 { return m.Prog.Symbols[name] }
+
+// ReadGlobal reads a 32-bit kernel variable by symbol name.
+func (m *Machine) ReadGlobal(name string) uint32 {
+	addr, ok := m.Prog.Symbols[name]
+	if !ok {
+		return 0
+	}
+	v, err := m.Mem.Read32(addr)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// WriteGlobal writes a 32-bit kernel variable by symbol name.
+func (m *Machine) WriteGlobal(name string, v uint32) error {
+	addr, ok := m.Prog.Symbols[name]
+	if !ok {
+		return fmt.Errorf("kernel: no symbol %q", name)
+	}
+	return m.Mem.Write32(addr, v)
+}
+
+// TaskAddr returns the address of task slot i.
+func (m *Machine) TaskAddr(slot int) uint32 {
+	return m.Symbol("tasks") + uint32(slot)*TaskSize
+}
+
+// CurrentSlot returns the task-table slot of the kernel's `current`
+// pointer, or -1 when it points outside the task table.
+func (m *Machine) CurrentSlot() int {
+	cur := m.ReadGlobal("current")
+	base := m.Symbol("tasks")
+	if cur < base || cur >= base+NTasks*TaskSize || (cur-base)%TaskSize != 0 {
+		return -1
+	}
+	return int((cur - base) / TaskSize)
+}
+
+// TaskField reads a 32-bit field of a task.
+func (m *Machine) TaskField(slot int, off uint32) uint32 {
+	v, _ := m.Mem.Read32(m.TaskAddr(slot) + off)
+	return v
+}
+
+// DiskImage copies the ramdisk out of simulated memory.
+func (m *Machine) DiskImage() ([]byte, error) {
+	return m.Mem.ReadRaw(RamdiskBase, RamdiskSize)
+}
+
+// FSCheck runs fsck against the current ramdisk contents.
+func (m *Machine) FSCheck() (*ext2.Report, error) {
+	img, err := m.DiskImage()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := disk.FromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	return ext2.Check(dev), nil
+}
+
+// crashErr builds a crash record with the LKCD-style machine snapshot.
+func (m *Machine) crashErr(exc *cpu.Exception, panicCode int) *CrashError {
+	ce := &CrashError{Exc: exc, Panic: panicCode, Cycles: m.CPU.Cycles, Regs: m.CPU.Regs}
+	esp := m.CPU.Regs[ia32.ESP]
+	for i := uint32(0); i < 8; i++ {
+		v, err := m.Mem.Read32(esp + 4*i)
+		if err != nil {
+			break
+		}
+		ce.Stack = append(ce.Stack, v)
+	}
+	if exc != nil {
+		if code, err := m.Mem.ReadRaw(exc.EIP, 12); err == nil {
+			ce.Code = code
+		}
+	}
+	return ce
+}
+
+func (m *Machine) remainingBudget() uint64 {
+	if m.CPU.Cycles >= m.CycleLimit {
+		return 0
+	}
+	return m.CycleLimit - m.CPU.Cycles
+}
+
+// Call invokes a kernel function by name with cdecl arguments and runs
+// it to completion, servicing legitimate user-space page faults by
+// re-entering do_page_fault (as the hardware fault path would). It
+// returns EAX, or ErrHang / *CrashError.
+func (m *Machine) Call(fn string, args ...uint32) (uint32, error) {
+	addr, ok := m.Prog.Symbols[fn]
+	if !ok {
+		return 0, fmt.Errorf("kernel: no function %q", fn)
+	}
+	return m.CallAddr(addr, args...)
+}
+
+// CallAddr is Call by address. At top level the kernel stack is reset;
+// nested calls (fault handling) run on the live stack like exception
+// frames.
+func (m *Machine) CallAddr(addr uint32, args ...uint32) (uint32, error) {
+	if m.faultDepth == 0 {
+		m.CPU.Regs[ia32.ESP] = StackTop
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		m.CPU.Regs[ia32.ESP] -= 4
+		if err := m.Mem.Write32(m.CPU.Regs[ia32.ESP], args[i]); err != nil {
+			return 0, fmt.Errorf("kernel: push arg: %w", err)
+		}
+	}
+	m.CPU.Regs[ia32.ESP] -= 4
+	if err := m.Mem.Write32(m.CPU.Regs[ia32.ESP], cpu.HostReturn); err != nil {
+		return 0, fmt.Errorf("kernel: push return: %w", err)
+	}
+	m.CPU.EIP = addr
+
+	for {
+		reason, exc := m.CPU.Run(m.remainingBudget())
+		switch reason {
+		case cpu.StopReturned:
+			return m.CPU.Regs[ia32.EAX], nil
+		case cpu.StopBudget:
+			return 0, ErrHang
+		case cpu.StopHalted:
+			if m.PanicCode != 0 {
+				return 0, m.crashErr(nil, m.PanicCode)
+			}
+			// A stray HLT leaves the system non-operational.
+			return 0, ErrHang
+		case cpu.StopException:
+			if exc.Vector == cpu.VecPF && m.isUserAddr(exc.Addr) && m.faultDepth < 2 {
+				handled, err := m.handleUserFault(exc)
+				if err != nil {
+					return 0, err
+				}
+				if handled {
+					continue // restart the faulting instruction
+				}
+			}
+			return 0, m.crashErr(exc, 0)
+		}
+	}
+}
+
+func (m *Machine) isUserAddr(addr uint32) bool {
+	return addr >= UserBase && addr < UserTop
+}
+
+// handleUserFault re-enters the kernel's do_page_fault for a user-space
+// fault, preserving the interrupted register state (the role of the
+// exception stub). A crash inside the handler propagates as the crash.
+func (m *Machine) handleUserFault(exc *cpu.Exception) (bool, error) {
+	savedRegs := m.CPU.Regs
+	savedEIP := m.CPU.EIP
+	savedFlags := m.CPU.Eflags
+
+	var code uint32
+	if exc.Write {
+		code = 2
+	}
+	m.faultDepth++
+	ret, err := m.CallAddr(m.doPFAddr, exc.Addr, code)
+	m.faultDepth--
+	if err != nil {
+		return false, err
+	}
+	m.CPU.Regs = savedRegs
+	m.CPU.EIP = savedEIP
+	m.CPU.Eflags = savedFlags
+	return ret != 0, nil
+}
+
+// Syscall executes a system call through the kernel's system_call
+// entry. It returns the raw EAX as a signed value.
+func (m *Machine) Syscall(nr int, args ...uint32) (int32, error) {
+	var a [4]uint32
+	copy(a[:], args)
+	ret, err := m.CallAddr(m.syscallFn, uint32(nr), a[0], a[1], a[2], a[3])
+	if err != nil {
+		return 0, err
+	}
+	return int32(ret), nil
+}
+
+// Snapshot captures the machine state for later restore (the study's
+// "reboot between runs", without the reboot).
+type Snapshot struct {
+	mem    *mem.Snapshot
+	cycles uint64
+}
+
+// TakeSnapshot snapshots memory and the cycle counter.
+func (m *Machine) TakeSnapshot() *Snapshot {
+	return &Snapshot{mem: m.Mem.TakeSnapshot(), cycles: m.CPU.Cycles}
+}
+
+// Restore rolls the machine back to the snapshot.
+func (m *Machine) Restore(s *Snapshot) {
+	m.Mem.Restore(s.mem)
+	m.CPU.Reset()
+	m.CPU.Cycles = s.cycles
+	m.PanicCode = 0
+	m.faultDepth = 0
+	m.Console.Reset()
+}

@@ -1,0 +1,732 @@
+package kernel
+
+// kernSource is the architecture-independent core kernel: scheduler,
+// fork/exit/wait, signals, timers and printk/panic.
+const kernSource = `
+.section kernel
+
+; void add_to_runqueue(struct task *p)
+add_to_runqueue:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	cmp dword [eax+TASK_NEXT], 0
+	jne .Lout
+	mov ecx, runqueue
+	mov edx, [ecx+TASK_NEXT]
+	mov [eax+TASK_NEXT], edx
+	mov [eax+TASK_PREV], ecx
+	mov [ecx+TASK_NEXT], eax
+	mov [edx+TASK_PREV], eax
+.Lout:
+	pop ebp
+	ret
+
+; void del_from_runqueue(struct task *p)
+del_from_runqueue:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	mov ecx, [eax+TASK_NEXT]
+	test ecx, ecx
+	jz .Lout
+	mov edx, [eax+TASK_PREV]
+	mov [edx+TASK_NEXT], ecx
+	mov [ecx+TASK_PREV], edx
+	mov dword [eax+TASK_NEXT], 0
+	mov dword [eax+TASK_PREV], 0
+.Lout:
+	pop ebp
+	ret
+
+; int goodness(struct task *p)
+; 2.4-style scheduling weight: remaining timeslice plus static
+; priority.
+goodness:
+	mov eax, [esp+4]
+	mov ecx, [eax+TASK_COUNTER]
+	add ecx, [eax+TASK_PRIORITY]
+	mov eax, ecx
+	ret
+
+; void recharge_counters(void)
+; counter = counter/2 + priority for every task, as schedule() does
+; when all runnable tasks have exhausted their slices.
+recharge_counters:
+	push ebx
+	mov ebx, tasks
+	xor ecx, ecx
+.Lloop:
+	cmp ecx, NTASKS
+	jae .Ldone
+	mov eax, [ebx+TASK_COUNTER]
+	sar eax, 1
+	add eax, [ebx+TASK_PRIORITY]
+	mov [ebx+TASK_COUNTER], eax
+	add ebx, TASK_SIZE
+	inc ecx
+	jmp .Lloop
+.Ldone:
+	pop ebx
+	ret
+
+; void schedule(void)
+; Pick the runnable task with the best goodness; recharge and retry
+; when every runnable slice is exhausted; fall back to the init task
+; when nothing is runnable.
+schedule:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	; if (!current) BUG();  "scheduling with no current task"
+	cmp dword [current], 0
+	jne .Lcur_ok
+	ud2
+.Lcur_ok:
+.Lrepeat:
+	mov esi, runqueue
+	mov esi, [esi+TASK_NEXT]
+	xor ebx, ebx
+	mov edi, -1
+.Lscan:
+	cmp esi, runqueue
+	je .Lpicked
+	cmp dword [esi+TASK_STATE], TASK_RUNNING
+	jne .Lnext
+	push esi
+	call goodness
+	add esp, 4
+	cmp eax, edi
+	jle .Lnext
+	mov edi, eax
+	mov ebx, esi
+.Lnext:
+	mov esi, [esi+TASK_NEXT]
+	jmp .Lscan
+.Lpicked:
+	test ebx, ebx
+	jnz .Lcheck_slice
+	mov ebx, tasks        ; idle: fall back to init
+	jmp .Lswitch
+.Lcheck_slice:
+	cmp dword [ebx+TASK_COUNTER], 0
+	jne .Lswitch
+	call recharge_counters
+	jmp .Lrepeat
+.Lswitch:
+	mov [current], ebx
+	mov dword [need_resched], 0
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void reschedule_idle(struct task *p)
+; If the woken task beats the current one, ask for a reschedule. On a
+; uniprocessor the can_schedule() shortcut is always true (the branch
+; the paper's campaign C reversed without visible effect).
+reschedule_idle:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov eax, [ebp+8]
+	test eax, eax
+	jz .Lout
+	push eax
+	call goodness
+	add esp, 4
+	mov ebx, eax
+	mov eax, [current]
+	test eax, eax
+	jz .Lpreempt
+	push eax
+	call goodness
+	add esp, 4
+	cmp ebx, eax
+	jle .Lout
+.Lpreempt:
+	mov dword [need_resched], 1
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; void wake_up_process(struct task *p)
+wake_up_process:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	; if (p->state == TASK_UNUSED) BUG();
+	cmp dword [eax+TASK_STATE], TASK_UNUSED
+	jne .Lstate_ok
+	ud2
+.Lstate_ok:
+	mov dword [eax+TASK_STATE], TASK_RUNNING
+	mov dword [eax+TASK_WAKETIME], 0
+	push eax
+	call add_to_runqueue
+	add esp, 4
+	push dword [ebp+8]
+	call reschedule_idle
+	add esp, 4
+	pop ebp
+	ret
+
+; void do_timer(void)
+; Advance jiffies and wake expired sleepers.
+do_timer:
+	push ebx
+	inc dword [jiffies]
+	mov ebx, tasks
+	xor ecx, ecx
+.Lloop:
+	cmp ecx, NTASKS
+	jae .Ldone
+	mov eax, [ebx+TASK_WAKETIME]
+	test eax, eax
+	jz .Lnext
+	cmp eax, [jiffies]
+	ja .Lnext
+	cmp dword [ebx+TASK_STATE], TASK_INTERRUPTIBLE
+	jne .Lnext
+	push ecx
+	push ebx
+	call wake_up_process
+	add esp, 4
+	pop ecx
+.Lnext:
+	; expired alarm? deliver SIGALRM
+	mov eax, [ebx+TASK_ALARM]
+	test eax, eax
+	jz .Lno_alarm
+	cmp eax, [jiffies]
+	ja .Lno_alarm
+	mov dword [ebx+TASK_ALARM], 0
+	push ecx
+	push ebx
+	push SIGALRM
+	call send_sig_info
+	add esp, 8
+	pop ecx
+.Lno_alarm:
+	add ebx, TASK_SIZE
+	inc ecx
+	jmp .Lloop
+.Ldone:
+	pop ebx
+	ret
+
+; void update_process_times(void)
+update_process_times:
+	mov eax, [current]
+	test eax, eax
+	jz .Lout
+	mov ecx, [eax+TASK_COUNTER]
+	dec ecx
+	mov [eax+TASK_COUNTER], ecx
+	cmp ecx, 0
+	jg .Lout
+	mov dword [eax+TASK_COUNTER], 0
+	mov dword [need_resched], 1
+.Lout:
+	ret
+
+; int sys_getpid(void)
+sys_getpid:
+	mov eax, [current]
+	mov eax, [eax+TASK_PID]
+	ret
+
+; int sys_umask(int mask)
+sys_umask:
+	mov eax, [esp+4]
+	mov ecx, [umask_val]
+	mov [umask_val], eax
+	mov eax, ecx
+	ret
+
+; int sys_sched_yield(void)
+sys_sched_yield:
+	mov eax, [current]
+	mov dword [eax+TASK_COUNTER], 0
+	mov dword [need_resched], 1
+	xor eax, eax
+	ret
+
+; int sys_fork(void)
+sys_fork:
+	push ebp
+	mov ebp, esp
+	call do_fork
+	pop ebp
+	ret
+
+; int do_fork(void)
+; Clone current into a free task slot: split the timeslice, duplicate
+; the file table (bumping reference and pipe end counts), copy the
+; vmas relocated into the child's arena, clear the child's page
+; table, and wake the child. Returns the child pid or -EAGAIN.
+do_fork:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	; find a free slot
+	mov ebx, tasks
+	xor ecx, ecx
+.Lfind:
+	cmp ecx, NTASKS
+	jae .Lagain
+	cmp dword [ebx+TASK_STATE], TASK_UNUSED
+	je .Lfound
+	add ebx, TASK_SIZE
+	inc ecx
+	jmp .Lfind
+.Lagain:
+	mov eax, -EAGAIN
+	jmp .Lout
+.Lfound:
+	mov esi, [current]
+	; identity
+	mov eax, [next_pid]
+	mov [ebx+TASK_PID], eax
+	inc eax
+	mov [next_pid], eax
+	mov eax, [esi+TASK_PID]
+	mov [ebx+TASK_PPID], eax
+	mov eax, [esi+TASK_PRIORITY]
+	mov [ebx+TASK_PRIORITY], eax
+	mov dword [ebx+TASK_SIGPENDING], 0
+	mov dword [ebx+TASK_EXITCODE], 0
+	mov dword [ebx+TASK_WAKETIME], 0
+	mov dword [ebx+TASK_SLEEPING], 0
+	mov dword [ebx+TASK_ALARM], 0
+	mov dword [ebx+TASK_SIGCAUGHT], 0
+	mov dword [ebx+TASK_PAUSED], 0
+	; split the timeslice with the parent (2.4 semantics)
+	mov eax, [esi+TASK_COUNTER]
+	shr eax, 1
+	mov [ebx+TASK_COUNTER], eax
+	mov [esi+TASK_COUNTER], eax
+	; child arena from its slot index
+	mov eax, ecx
+	imul eax, eax, ARENA_SIZE
+	add eax, USER_BASE
+	mov [ebx+TASK_ARENA], eax
+	; brk at the same arena-relative offset as the parent
+	mov edx, [esi+TASK_BRK]
+	sub edx, [esi+TASK_ARENA]
+	add edx, eax
+	mov [ebx+TASK_BRK], edx
+	; duplicate file descriptors
+	xor ecx, ecx
+.Lfds:
+	cmp ecx, NFDS
+	jae .Lfds_done
+	mov eax, [esi+TASK_FILES+ecx*4]
+	mov [ebx+TASK_FILES+ecx*4], eax
+	test eax, eax
+	jz .Lfd_next
+	; shared filp: pipe reader/writer counts track filps, not fds
+	inc dword [eax+F_COUNT]
+.Lfd_next:
+	inc ecx
+	jmp .Lfds
+.Lfds_done:
+	; copy vmas, relocated from the parent arena to the child arena
+	xor ecx, ecx
+.Lvmas:
+	cmp ecx, NVMAS
+	jae .Lvmas_done
+	mov eax, ecx
+	imul eax, eax, VMA_SIZE
+	lea edi, [ebx+TASK_VMAS]
+	add edi, eax
+	lea edx, [esi+TASK_VMAS]
+	add edx, eax
+	mov eax, [edx+VMA_FLAGS]
+	mov [edi+VMA_FLAGS], eax
+	test eax, eax
+	jz .Lvma_next
+	mov eax, [edx+VMA_START]
+	sub eax, [esi+TASK_ARENA]
+	add eax, [ebx+TASK_ARENA]
+	mov [edi+VMA_START], eax
+	mov eax, [edx+VMA_END]
+	sub eax, [esi+TASK_ARENA]
+	add eax, [ebx+TASK_ARENA]
+	mov [edi+VMA_END], eax
+.Lvma_next:
+	inc ecx
+	jmp .Lvmas
+.Lvmas_done:
+	; fresh page table for the child
+	lea edi, [ebx+TASK_PTES]
+	mov ecx, NPTES
+	xor eax, eax
+	cld
+	rep stosd
+	; make it runnable
+	mov dword [ebx+TASK_STATE], TASK_RUNNING
+	push ebx
+	call wake_up_process
+	add esp, 4
+	mov eax, [ebx+TASK_PID]
+.Lout:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void do_exit(int code)
+; Release files, tear down the address space, become a zombie and
+; wake the parent.
+do_exit:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [current]
+	; close all file descriptors
+	xor esi, esi
+.Lfds:
+	cmp esi, NFDS
+	jae .Lfds_done
+	mov eax, [ebx+TASK_FILES+esi*4]
+	test eax, eax
+	jz .Lfd_next
+	mov dword [ebx+TASK_FILES+esi*4], 0
+	push eax
+	call fput
+	add esp, 4
+.Lfd_next:
+	inc esi
+	jmp .Lfds
+.Lfds_done:
+	; free the whole arena
+	push ARENA_SIZE
+	push dword [ebx+TASK_ARENA]
+	push ebx
+	call zap_page_range
+	add esp, 12
+	; record exit and go zombie
+	mov eax, [ebp+8]
+	mov [ebx+TASK_EXITCODE], eax
+	mov dword [ebx+TASK_STATE], TASK_ZOMBIE
+	push ebx
+	call del_from_runqueue
+	add esp, 4
+	; wake a sleeping parent
+	mov edx, [ebx+TASK_PPID]
+	mov ecx, tasks
+	xor esi, esi
+.Lparent:
+	cmp esi, NTASKS
+	jae .Lparent_done
+	cmp [ecx+TASK_PID], edx
+	jne .Lparent_next
+	cmp dword [ecx+TASK_STATE], TASK_INTERRUPTIBLE
+	jne .Lparent_done
+	push ecx
+	call wake_up_process
+	add esp, 4
+	jmp .Lparent_done
+.Lparent_next:
+	add ecx, TASK_SIZE
+	inc esi
+	jmp .Lparent
+.Lparent_done:
+	mov dword [need_resched], 1
+	xor eax, eax
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_exit(int code)
+sys_exit:
+	push ebp
+	mov ebp, esp
+	push dword [ebp+8]
+	call do_exit
+	add esp, 4
+	pop ebp
+	ret
+
+; int sys_waitpid(int pid, int *status, int options)
+; Reap a zombie child; block while children are alive; -ECHILD when
+; there are none.
+sys_waitpid:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	mov esi, [current]
+	mov edi, [esi+TASK_PID]
+	xor edx, edx          ; have-children flag
+	mov ebx, tasks
+	xor ecx, ecx
+.Lscan:
+	cmp ecx, NTASKS
+	jae .Lnone
+	cmp dword [ebx+TASK_STATE], TASK_UNUSED
+	je .Lnext
+	cmp [ebx+TASK_PPID], edi
+	jne .Lnext
+	; pid filter: pid <= 0 means any child
+	mov eax, [ebp+8]
+	cmp eax, 0
+	jle .Lmatches
+	cmp [ebx+TASK_PID], eax
+	jne .Lnext
+.Lmatches:
+	mov edx, 1
+	cmp dword [ebx+TASK_STATE], TASK_ZOMBIE
+	je .Lreap
+.Lnext:
+	add ebx, TASK_SIZE
+	inc ecx
+	jmp .Lscan
+.Lnone:
+	test edx, edx
+	jz .Lnochild
+	; children alive but none dead: sleep until do_exit wakes us
+	mov dword [esi+TASK_STATE], TASK_INTERRUPTIBLE
+	mov eax, -ERESTARTSYS
+	jmp .Lout
+.Lnochild:
+	mov eax, -ECHILD
+	jmp .Lout
+.Lreap:
+	; deliver the status
+	mov eax, [ebp+12]
+	test eax, eax
+	jz .Lno_status
+	push 4
+	lea ecx, [ebx+TASK_EXITCODE]
+	push ecx
+	push eax
+	call __generic_copy_to_user
+	add esp, 12
+.Lno_status:
+	mov edi, [ebx+TASK_PID]
+	mov dword [ebx+TASK_STATE], TASK_UNUSED
+	mov dword [ebx+TASK_PID], 0
+	mov dword [ebx+TASK_PPID], 0
+	mov eax, edi
+.Lout:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void send_sig_info(int sig, struct task *p)
+send_sig_info:
+	push ebp
+	mov ebp, esp
+	mov edx, [ebp+12]
+	mov ecx, [ebp+8]
+	and ecx, 31
+	mov eax, 1
+	shl eax, cl
+	or [edx+TASK_SIGPENDING], eax
+	cmp dword [edx+TASK_STATE], TASK_INTERRUPTIBLE
+	jne .Lout
+	push dword [ebp+12]
+	call wake_up_process
+	add esp, 4
+.Lout:
+	pop ebp
+	ret
+
+; int sys_kill(int pid, int sig)
+sys_kill:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov edx, [ebp+8]
+	mov ebx, tasks
+	xor ecx, ecx
+.Lscan:
+	cmp ecx, NTASKS
+	jae .Lnotfound
+	cmp dword [ebx+TASK_STATE], TASK_UNUSED
+	je .Lnext
+	cmp [ebx+TASK_PID], edx
+	je .Lfound
+.Lnext:
+	add ebx, TASK_SIZE
+	inc ecx
+	jmp .Lscan
+.Lnotfound:
+	mov eax, -ESRCH
+	jmp .Lout
+.Lfound:
+	push ebx
+	push dword [ebp+12]
+	call send_sig_info
+	add esp, 8
+	xor eax, eax
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_nanosleep(int ticks)
+; Sleep for ticks jiffies. The first call arms the per-task wake time
+; and blocks; the engine retries after do_timer wakes the task, and
+; the cleared sleeping flag completes the call.
+sys_nanosleep:
+	push ebp
+	mov ebp, esp
+	mov eax, [current]
+	mov ecx, [ebp+8]
+	cmp ecx, 0
+	jle .Ldone
+	cmp dword [eax+TASK_SLEEPING], 0
+	jne .Lretry
+	; arm the sleep
+	mov dword [eax+TASK_SLEEPING], 1
+	mov edx, [jiffies]
+	add edx, ecx
+	mov [eax+TASK_WAKETIME], edx
+	mov dword [eax+TASK_STATE], TASK_INTERRUPTIBLE
+	mov eax, -ERESTARTSYS
+	jmp .Lout
+.Lretry:
+	cmp dword [eax+TASK_WAKETIME], 0
+	jne .Lstill           ; spurious wake: keep sleeping
+	mov dword [eax+TASK_SLEEPING], 0
+	jmp .Ldone
+.Lstill:
+	mov dword [eax+TASK_STATE], TASK_INTERRUPTIBLE
+	mov eax, -ERESTARTSYS
+	jmp .Lout
+.Ldone:
+	xor eax, eax
+.Lout:
+	pop ebp
+	ret
+
+; void printk(const char *msg)
+; Emit a NUL-terminated kernel-space string through the console
+; driver.
+printk:
+	push ebp
+	mov ebp, esp
+	push dword [ebp+8]
+	call strlen
+	add esp, 4
+	push eax
+	push dword [ebp+8]
+	call con_write
+	add esp, 8
+	pop ebp
+	ret
+
+; void panic(int code)
+; Report the panic to the host and halt.
+panic:
+	push ebp
+	mov ebp, esp
+	push msg_oops
+	call printk
+	add esp, 4
+	mov eax, [ebp+8]
+	out PORT_PANIC, eax
+.Lforever:
+	hlt
+	jmp .Lforever
+
+; int sys_getppid(void)
+sys_getppid:
+	mov eax, [current]
+	mov eax, [eax+TASK_PPID]
+	ret
+
+; int sys_time(void) — jiffies as the clock
+sys_time:
+	mov eax, [jiffies]
+	ret
+
+; unsigned sys_alarm(unsigned ticks)
+; Arm (or with 0, cancel) the SIGALRM timer; returns the ticks that
+; remained on the previous alarm.
+sys_alarm:
+	push ebp
+	mov ebp, esp
+	mov eax, [current]
+	mov ecx, [eax+TASK_ALARM]
+	xor edx, edx
+	test ecx, ecx
+	jz .Lno_prev
+	mov edx, ecx
+	sub edx, [jiffies]
+	cmp edx, 0
+	jg .Lno_prev
+	xor edx, edx
+.Lno_prev:
+	mov ecx, [ebp+8]
+	test ecx, ecx
+	jz .Lcancel
+	add ecx, [jiffies]
+	mov [eax+TASK_ALARM], ecx
+	jmp .Lret
+.Lcancel:
+	mov dword [eax+TASK_ALARM], 0
+.Lret:
+	mov eax, edx
+	pop ebp
+	ret
+
+; int sys_signal(int sig, int catch)
+; Register (catch != 0) or reset the handler for a signal; returns
+; whether a handler was previously registered.
+sys_signal:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov ebx, [current]
+	mov ecx, [ebp+8]
+	and ecx, 31
+	mov edx, 1
+	shl edx, cl
+	mov eax, [ebx+TASK_SIGCAUGHT]
+	and eax, edx
+	setne al
+	movzx eax, al
+	mov ecx, [ebp+12]
+	test ecx, ecx
+	jz .Lreset
+	or [ebx+TASK_SIGCAUGHT], edx
+	jmp .Lout
+.Lreset:
+	not edx
+	and [ebx+TASK_SIGCAUGHT], edx
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int sys_pause(void)
+; Sleep until a signal arrives; returns -EINTR on wake.
+sys_pause:
+	mov eax, [current]
+	cmp dword [eax+TASK_PAUSED], 0
+	jne .Lwoken
+	mov dword [eax+TASK_PAUSED], 1
+	mov dword [eax+TASK_STATE], TASK_INTERRUPTIBLE
+	mov eax, -ERESTARTSYS
+	ret
+.Lwoken:
+	mov dword [eax+TASK_PAUSED], 0
+	mov eax, -EINTR
+	ret
+`

@@ -1,0 +1,382 @@
+// Package kernel implements the simulated Linux-like kernel that the
+// error-injection study targets. Its four subsystems — arch, fs, kernel
+// and mm — are written in IA-32 assembly (see arch.go, fssub.go,
+// kernsub.go, mmsub.go), assembled into separate text sections, and
+// executed on the simulated CPU. The Go side implements the machine:
+// boot, the syscall trampoline, the cooperative user-process engine,
+// page-fault re-entry, the timer, and crash detection.
+package kernel
+
+import "repro/internal/ext2"
+
+// Virtual-memory layout (mirrors the classic i386 Linux split: user
+// space low, kernel at 0xC0000000).
+const (
+	// UserBase is the bottom of user space; each task owns a 1 MiB
+	// arena at UserBase + slot*ArenaSize.
+	UserBase  = 0x08000000
+	ArenaSize = 0x00100000
+	UserTop   = UserBase + NTasks*ArenaSize
+
+	// Kernel text sections, one per subsystem so that error
+	// propagation between subsystems is measurable by crash address.
+	TextArch   = 0xC0100000
+	TextKernel = 0xC0110000
+	TextMM     = 0xC0120000
+	TextFS     = 0xC0130000
+	// Drivers and lib are profiled (they appear in Table 1, as in the
+	// paper) but are not injection targets (the paper lists them
+	// "n/a").
+	TextDrivers = 0xC0140000
+	TextLib     = 0xC0148000
+	TextSize    = 0x00008000
+
+	// DataBase holds all kernel data structures (defined as assembler
+	// data in datasub.go).
+	DataBase = 0xC0200000
+	DataSize = 0x00060000
+
+	// Kernel stack (syscalls run on it; host-injected fault handlers
+	// nest on the live ESP, like exception frames).
+	StackBase = 0xC0300000
+	StackSize = 0x00008000
+	StackTop  = StackBase + StackSize
+
+	// PageArea provides the physical page frames handed out by
+	// rmqueue (page cache pages, copied-on-write pages).
+	PageArea     = 0xC0400000
+	NFrames      = 256
+	PageAreaSize = NFrames * PageSize
+
+	// RamdiskBase maps the ext2-lite block device.
+	RamdiskBase   = 0xC0900000
+	RamdiskBlocks = 512
+	RamdiskSize   = RamdiskBlocks * ext2.BlockSize
+
+	// PageSize and PageShift match the MMU.
+	PageSize  = 4096
+	PageShift = 12
+
+	// LowmemBase/LowmemSize is the direct-mapped physical-memory
+	// window (Linux's PAGE_OFFSET lowmem). Everything the kernel owns
+	// lives inside it; the gaps between sections are plain mapped RAM,
+	// so stray kernel-space loads and stores usually succeed — crashes
+	// come later and for other reasons, as on the real machine.
+	LowmemBase = 0xC0000000
+	LowmemSize = 0x00C00000 // 12 MiB, past the ramdisk end
+)
+
+// Task struct layout. Tasks live in the kernel data section as a fixed
+// table of NTasks slots.
+const (
+	NTasks = 16
+
+	TaskState      = 0
+	TaskCounter    = 4
+	TaskPriority   = 8
+	TaskPid        = 12
+	TaskNext       = 16 // runqueue forward link (points at a task/queue head)
+	TaskPrev       = 20
+	TaskSigPending = 24
+	TaskExitCode   = 28
+	TaskPpid       = 32
+	TaskArena      = 36 // user arena base VA
+	TaskBrk        = 40 // heap top VA
+	TaskWaketime   = 44 // jiffies at which a sleeping task wakes (0 = none)
+	TaskSleeping   = 48 // nanosleep in progress (cleared when the sleep completes)
+	TaskAlarm      = 52 // jiffies at which SIGALRM fires (0 = none)
+	TaskSigCaught  = 56 // mask of signals with a registered handler
+	TaskPaused     = 60 // pause() in progress
+	TaskFiles      = 64 // NFds file pointers
+	TaskVMAs       = 128
+	TaskPTEs       = 256
+	TaskSize       = 2048
+
+	NFds  = 16
+	NVMAs = 4
+
+	VMAStart = 0
+	VMAEnd   = 4
+	VMAFlags = 8
+	VMASize  = 12
+
+	// VMA flags.
+	VMRead  = 1
+	VMWrite = 2
+
+	// PTE bits (low bits of the frame address, which is page-aligned).
+	PTEPresent = 1
+	PTEWrite   = 2
+	PTEShared  = 4
+
+	NPTEs = ArenaSize / PageSize // 256
+
+	// Task states.
+	TaskUnused        = 0
+	TaskRunning       = 1
+	TaskInterruptible = 2
+	TaskZombie        = 3
+
+	DefaultPriority = 6
+)
+
+// File, inode, pipe, page-cache and buffer-cache structures.
+const (
+	// struct file.
+	FInode = 0 // in-core inode pointer, or pipe pointer for pipes
+	FPos   = 4
+	FFlags = 8
+	FCount = 12
+	FType  = 16
+	FSize  = 32
+	NFilps = 32
+
+	// File types.
+	FTypeRegular   = 1
+	FTypePipeRead  = 2
+	FTypePipeWrite = 3
+
+	// In-core inode.
+	IIno      = 0
+	IMode     = 4
+	ISizeOff  = 8
+	ICount    = 12
+	ISem      = 16
+	IDirty    = 20
+	IBlocks   = 24 // 10 direct pointers
+	IIndirect = 64
+	IStruct   = 96
+	NICache   = 32
+
+	// Pipe.
+	PHead       = 0
+	PTail       = 4
+	PLen        = 8
+	PReaders    = 12
+	PWriters    = 16
+	PWait       = 20 // task sleeping on this pipe (0 = none)
+	PBuf        = 24
+	PipeBufSize = 512
+	PipeStruct  = 544
+	NPipes      = 4
+
+	// Page descriptor (page cache).
+	PgInode   = 0
+	PgIndex   = 4
+	PgFrame   = 8
+	PgNext    = 12
+	PgSize    = 16
+	NPageDesc = 192
+	PageHash  = 32 // buckets
+
+	// Buffer head.
+	BhBlock  = 0
+	BhData   = 4
+	BhCount  = 8
+	BhNext   = 12
+	BhSize   = 16
+	NBufHead = 64
+	BufHash  = 32 // buckets
+)
+
+// Syscall numbers (Linux i386 ABI where applicable).
+const (
+	SysExit       = 1
+	SysFork       = 2
+	SysRead       = 3
+	SysWrite      = 4
+	SysOpen       = 5
+	SysClose      = 6
+	SysWaitpid    = 7
+	SysCreat      = 8
+	SysLink       = 9
+	SysUnlink     = 10
+	SysExecve     = 11
+	SysTime       = 13
+	SysLseek      = 19
+	SysGetpid     = 20
+	SysAlarm      = 27
+	SysPause      = 29
+	SysKill       = 37
+	SysRename     = 38
+	SysMkdir      = 39
+	SysRmdir      = 40
+	SysDup        = 41
+	SysPipe       = 42
+	SysBrk        = 45
+	SysSignal     = 48
+	SysUmask      = 60
+	SysGetppid    = 64
+	SysMmap       = 90
+	SysMunmap     = 91
+	SysStat       = 106
+	SysFstat      = 108
+	SysSchedYield = 158
+	SysNanosleep  = 162
+	NRSyscalls    = 170
+)
+
+// Errno values (returned as -errno in EAX).
+const (
+	EPERM     = 1
+	ENOENT    = 2
+	ESRCH     = 3
+	EBADF     = 9
+	ECHILD    = 10
+	EAGAIN    = 11
+	ENOMEM    = 12
+	EFAULT    = 14
+	EEXIST    = 17
+	EINVAL    = 22
+	ENFILE    = 23
+	EMFILE    = 24
+	ENOSPC    = 28
+	ESPIPE    = 29
+	EPIPE     = 32
+	ENOSYS    = 38
+	ENOTEMPTY = 39
+	EINTR     = 4
+	// ERestartSys is the internal "would block" sentinel: the engine
+	// puts the process to sleep and retries, as the scheduler would.
+	ERestartSys = 512
+)
+
+// SigAlarm is the SIGALRM signal number delivered by alarm().
+const SigAlarm = 14
+
+// Stat buffer layout written by sys_stat/sys_fstat.
+const (
+	StatIno     = 0
+	StatMode    = 4
+	StatSize    = 8
+	StatNlink   = 12
+	StatBufSize = 16
+)
+
+// Open flags.
+const (
+	ORdonly = 0
+	OWronly = 1
+	ORdwr   = 2
+	OCreat  = 0x40
+	OTrunc  = 0x200
+)
+
+// I/O ports wired to host hooks.
+const (
+	PortConsole = 0xE9 // printk bytes (the classic debug console port)
+	PortPanic   = 0xF4 // kernel panic notification (value = panic code)
+	PortMMUMap  = 0xA0 // kernel asks host MMU to map the user page in EAX
+	PortMMUWP   = 0xA1 // write-protect toggle for a user page
+)
+
+// Panic codes written to PortPanic.
+const (
+	PanicGeneric     = 1
+	PanicOOM         = 2
+	PanicBadMount    = 3
+	PanicSchedError  = 4
+	PanicFSCorrupted = 5
+)
+
+// BuildConsts exports every layout constant to the assembler, plus the
+// ext2 on-disk format constants and the file-system geometry in use.
+func BuildConsts() map[string]int64 {
+	return map[string]int64{
+		"USER_BASE": UserBase, "ARENA_SIZE": ArenaSize, "USER_TOP": UserTop,
+		"PAGE_SIZE": PageSize, "PAGE_SHIFT": PageShift,
+		"PAGE_AREA": PageArea, "NFRAMES": NFrames,
+		"RAMDISK": RamdiskBase, "RAMDISK_BLOCKS": RamdiskBlocks,
+		"STACK_TOP": StackTop,
+
+		"NTASKS": NTasks, "TASK_SIZE": TaskSize,
+		"TASK_STATE": TaskState, "TASK_COUNTER": TaskCounter,
+		"TASK_PRIORITY": TaskPriority, "TASK_PID": TaskPid,
+		"TASK_NEXT": TaskNext, "TASK_PREV": TaskPrev,
+		"TASK_SIGPENDING": TaskSigPending, "TASK_EXITCODE": TaskExitCode,
+		"TASK_PPID": TaskPpid, "TASK_ARENA": TaskArena, "TASK_BRK": TaskBrk,
+		"TASK_WAKETIME": TaskWaketime, "TASK_SLEEPING": TaskSleeping,
+		"TASK_ALARM": TaskAlarm, "TASK_SIGCAUGHT": TaskSigCaught,
+		"TASK_PAUSED": TaskPaused,
+		"TASK_FILES":  TaskFiles, "TASK_VMAS": TaskVMAs, "TASK_PTES": TaskPTEs,
+		"NFDS": NFds, "NVMAS": NVMAs,
+		"VMA_START": VMAStart, "VMA_END": VMAEnd, "VMA_FLAGS": VMAFlags,
+		"VMA_SIZE": VMASize, "VM_READ": VMRead, "VM_WRITE": VMWrite,
+		"PTE_P": PTEPresent, "PTE_W": PTEWrite, "PTE_SHARED": PTEShared,
+		"NPTES":       NPTEs,
+		"TASK_UNUSED": TaskUnused, "TASK_RUNNING": TaskRunning,
+		"TASK_INTERRUPTIBLE": TaskInterruptible, "TASK_ZOMBIE": TaskZombie,
+		"DEF_PRIORITY": DefaultPriority,
+
+		"F_INODE": FInode, "F_POS": FPos, "F_FLAGS": FFlags,
+		"F_COUNT": FCount, "F_TYPE": FType, "F_SIZE": FSize, "NFILPS": NFilps,
+		"FTYPE_REG": FTypeRegular, "FTYPE_PIPE_R": FTypePipeRead,
+		"FTYPE_PIPE_W": FTypePipeWrite,
+
+		"I_INO": IIno, "I_MODE": IMode, "I_SIZE": ISizeOff, "I_COUNT": ICount,
+		"I_SEM": ISem, "I_DIRTY": IDirty, "I_BLOCKS": IBlocks,
+		"I_INDIRECT": IIndirect, "I_STRUCT": IStruct, "NICACHE": NICache,
+
+		"P_HEAD": PHead, "P_TAIL": PTail, "P_LEN": PLen,
+		"P_READERS": PReaders, "P_WRITERS": PWriters, "P_WAIT": PWait,
+		"P_BUF": PBuf, "PIPE_BUF": PipeBufSize, "PIPE_STRUCT": PipeStruct,
+		"NPIPES": NPipes,
+
+		"PG_INODE": PgInode, "PG_INDEX": PgIndex, "PG_FRAME": PgFrame,
+		"PG_NEXT": PgNext, "PG_SIZE": PgSize, "NPAGEDESC": NPageDesc,
+		"PAGE_HASH": PageHash,
+
+		"BH_BLOCK": BhBlock, "BH_DATA": BhData, "BH_COUNT": BhCount,
+		"BH_NEXT": BhNext, "BH_SIZE": BhSize, "NBUFHEAD": NBufHead,
+		"BUF_HASH": BufHash,
+
+		// ext2-lite on-disk format.
+		"EXT2_MAGIC": int64(uint32(ext2.Magic)), "BLOCK_SIZE": ext2.BlockSize,
+		"SB_MAGIC": ext2.SBMagic, "SB_NBLOCKS": ext2.SBNBlocks,
+		"SB_NINODES": ext2.SBNInodes, "SB_BLOCK_BITMAP": ext2.SBBlockBitmap,
+		"SB_INODE_BITMAP": ext2.SBInodeBitmap, "SB_INODE_TABLE": ext2.SBInodeTable,
+		"SB_INODE_BLOCKS": ext2.SBInodeBlocks, "SB_FIRST_DATA": ext2.SBFirstData,
+		"SB_ROOT_INO": ext2.SBRootIno, "SB_STATE": ext2.SBState,
+		"SB_FREE_BLOCKS": ext2.SBFreeBlocks, "SB_FREE_INODES": ext2.SBFreeInodes,
+		"FS_CLEAN": ext2.StateClean, "FS_MOUNTED": ext2.StateMounted,
+		"D_INODE_SIZE": ext2.InodeSize, "D_MODE": ext2.InodeMode,
+		"D_FILESIZE": ext2.InodeFileSize, "D_LINKS": ext2.InodeLinks,
+		"D_BLOCK0": ext2.InodeBlock0, "NDIRECT": ext2.NDirect,
+		"D_INDIRECT": ext2.InodeIndirect,
+		"MODE_FREE":  ext2.ModeFree, "MODE_FILE": ext2.ModeFile,
+		"MODE_DIR":    ext2.ModeDir,
+		"DIRENT_SIZE": ext2.DirentSize, "DE_INO": ext2.DirentIno,
+		"DE_NAMELEN": ext2.DirentNameLen, "DE_NAME": ext2.DirentName,
+		"MAX_NAMELEN":       ext2.MaxNameLen,
+		"BLOCK_SHIFT":       12, // log2(ext2.BlockSize)
+		"INODE_SHIFT":       6,  // log2(ext2.InodeSize)
+		"DIRENT_SHIFT":      5,  // log2(ext2.DirentSize)
+		"DPB_SHIFT":         7,  // log2(ext2.DirentsPerBlock)
+		"INODES_PER_BLOCK":  ext2.InodesPerBlock,
+		"DIRENTS_PER_BLOCK": ext2.DirentsPerBlock,
+		"PTRS_PER_BLOCK":    ext2.PointersPerBlock,
+		"ROOT_INO":          ext2.RootIno,
+
+		// Syscalls, errnos, flags.
+		"NR_SYSCALLS": NRSyscalls,
+		"EPERM":       EPERM, "ENOENT": ENOENT, "ESRCH": ESRCH,
+		"EBADF": EBADF, "ECHILD": ECHILD, "EAGAIN": EAGAIN,
+		"ENOMEM": ENOMEM, "EFAULT": EFAULT, "EEXIST": EEXIST,
+		"EINVAL": EINVAL, "ENFILE": ENFILE, "EMFILE": EMFILE,
+		"ENOSPC": ENOSPC, "ESPIPE": ESPIPE, "EPIPE": EPIPE,
+		"ENOSYS": ENOSYS, "ENOTEMPTY": ENOTEMPTY, "EINTR": EINTR,
+		"ERESTARTSYS": ERestartSys,
+		"SIGALRM":     SigAlarm,
+		"ST_INO":      StatIno, "ST_MODE": StatMode, "ST_SIZE": StatSize,
+		"ST_NLINK": StatNlink,
+		"O_RDONLY": ORdonly, "O_WRONLY": OWronly, "O_RDWR": ORdwr,
+		"O_CREAT": OCreat, "O_TRUNC": OTrunc,
+
+		// Ports and panic codes.
+		"PORT_CONSOLE": PortConsole, "PORT_PANIC": PortPanic,
+		"PORT_MMU_MAP": PortMMUMap, "PORT_MMU_WP": PortMMUWP,
+		"PANIC_GENERIC": PanicGeneric, "PANIC_OOM": PanicOOM,
+		"PANIC_BAD_MOUNT": PanicBadMount, "PANIC_SCHED": PanicSchedError,
+		"PANIC_FS": PanicFSCorrupted,
+	}
+}

@@ -1,0 +1,72 @@
+package kernel
+
+// libSource holds the generic library routines (the paper's lib
+// subsystem: profiled, not injected).
+const libSource = `
+.section lib
+
+; int strlen(const char *s)
+strlen:
+	push ebp
+	mov ebp, esp
+	mov ecx, [ebp+8]
+	xor eax, eax
+.Lloop:
+	cmp byte [ecx], 0
+	je .Ldone
+	inc eax
+	inc ecx
+	jmp .Lloop
+.Ldone:
+	pop ebp
+	ret
+
+; int strnlen(const char *s, int max)
+strnlen:
+	push ebp
+	mov ebp, esp
+	mov ecx, [ebp+8]
+	mov edx, [ebp+12]
+	xor eax, eax
+.Lloop:
+	cmp eax, edx
+	jae .Ldone
+	cmp byte [ecx], 0
+	je .Ldone
+	inc eax
+	inc ecx
+	jmp .Lloop
+.Ldone:
+	pop ebp
+	ret
+
+; int strncmp_lib(const char *a, const char *b, int n)
+strncmp_lib:
+	push ebp
+	mov ebp, esp
+	push esi
+	push edi
+	mov esi, [ebp+8]
+	mov edi, [ebp+12]
+	mov ecx, [ebp+16]
+.Lloop:
+	test ecx, ecx
+	jz .Lequal
+	movzx eax, byte [esi]
+	movzx edx, byte [edi]
+	sub eax, edx
+	jne .Ldone
+	cmp byte [esi], 0
+	je .Lequal
+	inc esi
+	inc edi
+	dec ecx
+	jmp .Lloop
+.Lequal:
+	xor eax, eax
+.Ldone:
+	pop edi
+	pop esi
+	pop ebp
+	ret
+`

@@ -1,0 +1,848 @@
+package kernel
+
+// mmSource is the memory-management subsystem: the physical page
+// allocator, the page cache, demand paging / write-protect fault
+// handling, address-space teardown, brk, and the generic file read and
+// write paths (mm/filemap.c in 2.4).
+const mmSource = `
+.section mm
+
+; unsigned long rmqueue(void)
+; Pop a free physical frame (0 when exhausted).
+rmqueue:
+	mov eax, [frame_top]
+	test eax, eax
+	jz .Lempty
+	dec eax
+	mov [frame_top], eax
+	mov eax, [frame_stack+eax*4]
+	ret
+.Lempty:
+	xor eax, eax
+	ret
+
+; void free_pages_ok(unsigned long frame)
+; Return a frame to the allocator. A frame address outside the page
+; area is a kernel bug.
+free_pages_ok:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	cmp eax, PAGE_AREA
+	jb .Lbug
+	cmp eax, PAGE_AREA + NFRAMES * PAGE_SIZE
+	jae .Lbug
+	mov ecx, [frame_top]
+	cmp ecx, NFRAMES
+	jae .Lbug
+	mov [frame_stack+ecx*4], eax
+	inc ecx
+	mov [frame_top], ecx
+	pop ebp
+	ret
+.Lbug:
+	ud2
+
+; unsigned long __alloc_pages(void)
+; rmqueue with page-cache reclaim on pressure.
+__alloc_pages:
+	push ebp
+	mov ebp, esp
+	call rmqueue
+	test eax, eax
+	jnz .Lout
+	call shrink_page_cache
+	call rmqueue
+.Lout:
+	pop ebp
+	ret
+
+; void clear_page(void *page)
+clear_page:
+	push ebp
+	mov ebp, esp
+	push edi
+	mov edi, [ebp+8]
+	xor eax, eax
+	mov ecx, PAGE_SIZE / 4
+	cld
+	rep stosd
+	pop edi
+	pop ebp
+	ret
+
+; void copy_page(void *dst, void *src)
+copy_page:
+	push ebp
+	mov ebp, esp
+	push esi
+	push edi
+	mov edi, [ebp+8]
+	mov esi, [ebp+12]
+	mov ecx, PAGE_SIZE / 4
+	cld
+	rep movsd
+	pop edi
+	pop esi
+	pop ebp
+	ret
+
+; void shrink_page_cache(void)
+; Brutal reclaim: drop the whole page cache, freeing every frame and
+; descriptor (2.4's shrink_cache, simplified).
+shrink_page_cache:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	xor esi, esi           ; bucket index
+.Lbuckets:
+	cmp esi, PAGE_HASH
+	jae .Ldone
+	mov ebx, [page_hash+esi*4]
+.Lchain:
+	test ebx, ebx
+	jz .Lnext_bucket
+	push dword [ebx+PG_FRAME]
+	call free_pages_ok
+	add esp, 4
+	mov eax, [ebx+PG_NEXT]
+	mov ecx, [pg_free]
+	mov [ebx+PG_NEXT], ecx
+	mov [pg_free], ebx
+	mov ebx, eax
+	jmp .Lchain
+.Lnext_bucket:
+	mov dword [page_hash+esi*4], 0
+	inc esi
+	jmp .Lbuckets
+.Ldone:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void invalidate_inode_pages(struct inode *inode)
+; Drop every cached page of one inode (truncate/unlink path).
+invalidate_inode_pages:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	xor esi, esi
+.Lbuckets:
+	cmp esi, PAGE_HASH
+	jae .Ldone
+	lea edi, [page_hash+esi*4]
+.Lchain:
+	mov ebx, [edi]
+	test ebx, ebx
+	jz .Lnext_bucket
+	mov eax, [ebx+PG_INODE]
+	cmp eax, [ebp+8]
+	jne .Lkeep
+	mov eax, [ebx+PG_NEXT]
+	mov [edi], eax
+	push dword [ebx+PG_FRAME]
+	call free_pages_ok
+	add esp, 4
+	mov eax, [pg_free]
+	mov [ebx+PG_NEXT], eax
+	mov [pg_free], ebx
+	jmp .Lchain
+.Lkeep:
+	lea edi, [ebx+PG_NEXT]
+	jmp .Lchain
+.Lnext_bucket:
+	inc esi
+	jmp .Lbuckets
+.Ldone:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; struct page *find_get_page(struct inode *inode, unsigned long index)
+; Page-cache hash lookup.
+find_get_page:
+	push ebp
+	mov ebp, esp
+	mov eax, [ebp+8]
+	shr eax, 5
+	add eax, [ebp+12]
+	and eax, PAGE_HASH - 1
+	mov eax, [page_hash+eax*4]
+.Lchain:
+	test eax, eax
+	jz .Lout
+	mov ecx, [eax+PG_INODE]
+	cmp ecx, [ebp+8]
+	jne .Lnext
+	mov ecx, [eax+PG_INDEX]
+	cmp ecx, [ebp+12]
+	je .Lout
+.Lnext:
+	mov eax, [eax+PG_NEXT]
+	jmp .Lchain
+.Lout:
+	pop ebp
+	ret
+
+; struct page *add_to_page_cache(struct inode *inode, unsigned long index,
+;                                unsigned long frame)
+; Insert a new page descriptor (0 when the pool is exhausted even
+; after reclaim — callers free the frame and fail with -ENOMEM).
+add_to_page_cache:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov ebx, [pg_free]
+	test ebx, ebx
+	jnz .Lhave
+	xor eax, eax
+	jmp .Lout
+.Lhave:
+	mov eax, [ebx+PG_NEXT]
+	mov [pg_free], eax
+	mov eax, [ebp+8]
+	mov [ebx+PG_INODE], eax
+	mov eax, [ebp+12]
+	mov [ebx+PG_INDEX], eax
+	mov eax, [ebp+16]
+	mov [ebx+PG_FRAME], eax
+	; insert at the bucket head
+	mov eax, [ebp+8]
+	shr eax, 5
+	add eax, [ebp+12]
+	and eax, PAGE_HASH - 1
+	mov ecx, [page_hash+eax*4]
+	mov [ebx+PG_NEXT], ecx
+	mov [page_hash+eax*4], ebx
+	mov eax, ebx
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int handle_mm_fault(struct task *p, unsigned long addr, int error_code)
+; Dispatch a good-area fault: not-present -> do_no_page, write to a
+; read-only present page -> do_wp_page.
+handle_mm_fault:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov ebx, [ebp+8]
+	mov eax, [ebp+12]
+	and eax, 0xFFFFF000
+	sub eax, [ebx+TASK_ARENA]
+	shr eax, PAGE_SHIFT
+	cmp eax, NPTES
+	jae .Lbad
+	mov ecx, [ebx+TASK_PTES+eax*4]
+	test ecx, PTE_P
+	jz .Lno_page
+	mov edx, [ebp+16]
+	test edx, 2
+	jz .Lspurious
+	test ecx, PTE_W
+	jnz .Lspurious
+	push dword [ebp+12]
+	push ebx
+	call do_wp_page
+	add esp, 8
+	jmp .Lout
+.Lno_page:
+	push dword [ebp+12]
+	push ebx
+	call do_no_page
+	add esp, 8
+	jmp .Lout
+.Lspurious:
+	mov eax, 1
+	jmp .Lout
+.Lbad:
+	xor eax, eax
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int do_no_page(struct task *p, unsigned long addr)
+; All mini-kernel mappings are anonymous.
+do_no_page:
+	push ebp
+	mov ebp, esp
+	push dword [ebp+12]
+	push dword [ebp+8]
+	call do_anonymous_page
+	add esp, 8
+	pop ebp
+	ret
+
+; int do_anonymous_page(struct task *p, unsigned long addr)
+; Demand-zero a page: tell the MMU to map it and record the PTE.
+do_anonymous_page:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov ebx, [ebp+8]
+	mov eax, [ebp+12]
+	and eax, 0xFFFFF000
+	mov ecx, eax
+	sub ecx, [ebx+TASK_ARENA]
+	shr ecx, PAGE_SHIFT
+	cmp ecx, NPTES
+	jae .Lbad
+	mov edx, eax
+	or edx, PTE_P + PTE_W
+	mov [ebx+TASK_PTES+ecx*4], edx
+	out PORT_MMU_MAP, eax
+	mov eax, 1
+	jmp .Lout
+.Lbad:
+	xor eax, eax
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+
+; int do_wp_page(struct task *p, unsigned long addr)
+; Write to a present read-only page. For a shared page, break the
+; share: allocate a private frame, copy the data, retire the shared
+; mapping. For an exclusive page, just re-enable the write bit.
+do_wp_page:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [ebp+8]
+	mov esi, [ebp+12]
+	and esi, 0xFFFFF000
+	mov ecx, esi
+	sub ecx, [ebx+TASK_ARENA]
+	shr ecx, PAGE_SHIFT
+	cmp ecx, NPTES
+	jae .Lbad
+	mov edx, [ebx+TASK_PTES+ecx*4]
+	test edx, PTE_SHARED
+	jz .Lexclusive
+	; break the share: new frame, copy, swap it in
+	push ecx
+	call __alloc_pages
+	pop ecx
+	test eax, eax
+	jz .Lbad
+	push ecx
+	push esi
+	push eax
+	call copy_page
+	add esp, 8
+	pop ecx
+	mov edx, esi
+	or edx, PTE_P + PTE_W
+	mov [ebx+TASK_PTES+ecx*4], edx
+	; the private copy replaces the shared original; the frame that
+	; carried the copy is transient in this flat-memory model
+	push eax
+	call free_pages_ok
+	add esp, 4
+	jmp .Lenable
+.Lexclusive:
+	or edx, PTE_W
+	mov [ebx+TASK_PTES+ecx*4], edx
+.Lenable:
+	mov eax, esi
+	or eax, 1
+	out PORT_MMU_WP, eax
+	mov eax, 1
+	jmp .Lout
+.Lbad:
+	xor eax, eax
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; void zap_page_range(struct task *p, unsigned long start, unsigned long len)
+; Unmap every present page in [start, start+len).
+zap_page_range:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	mov ebx, [ebp+8]
+	; if (len > ARENA_SIZE) BUG();
+	cmp dword [ebp+16], ARENA_SIZE
+	jbe .Llen_ok
+	ud2
+.Llen_ok:
+	mov esi, [ebp+12]
+	and esi, 0xFFFFF000
+	mov edi, [ebp+12]
+	add edi, [ebp+16]     ; end
+.Lloop:
+	cmp esi, edi
+	jae .Ldone
+	mov ecx, esi
+	sub ecx, [ebx+TASK_ARENA]
+	shr ecx, PAGE_SHIFT
+	cmp ecx, NPTES
+	jae .Ldone
+	mov edx, [ebx+TASK_PTES+ecx*4]
+	test edx, PTE_P
+	jz .Lnext
+	mov dword [ebx+TASK_PTES+ecx*4], 0
+	mov eax, esi
+	out PORT_MMU_WP, eax  ; low bit clear: write-protect/unmap notice
+.Lnext:
+	add esi, PAGE_SIZE
+	jmp .Lloop
+.Ldone:
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; unsigned long sys_brk(unsigned long newbrk)
+; Grow or shrink the heap inside the data vma; returns the new (or on
+; failure, current) brk.
+sys_brk:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov ebx, [current]
+	mov eax, [ebp+8]
+	test eax, eax
+	jz .Lquery
+	; must stay inside the data vma (vma 0)
+	cmp eax, [ebx+TASK_VMAS+VMA_START]
+	jb .Lquery
+	cmp eax, [ebx+TASK_VMAS+VMA_END]
+	ja .Lquery
+	mov ecx, [ebx+TASK_BRK]
+	cmp eax, ecx
+	jae .Lset
+	; shrinking: release the dropped pages
+	push ecx
+	sub ecx, eax
+	push ecx
+	push eax
+	push ebx
+	call zap_page_range
+	add esp, 12
+	pop ecx
+	mov eax, [ebp+8]
+.Lset:
+	mov [ebx+TASK_BRK], eax
+.Lquery:
+	mov eax, [ebx+TASK_BRK]
+	pop ebx
+	pop ebp
+	ret
+
+; int file_read_actor(unsigned long frame, void *ubuf,
+;                     unsigned long offset, unsigned long nr)
+; Copy one page-cache extent out to user space.
+file_read_actor:
+	push ebp
+	mov ebp, esp
+	push dword [ebp+20]
+	mov eax, [ebp+8]
+	add eax, [ebp+16]
+	push eax
+	push dword [ebp+12]
+	call __generic_copy_to_user
+	add esp, 12
+	pop ebp
+	ret
+
+; int do_generic_file_read(struct file *filp, void *ubuf, long count)
+; The generic page-cache read path (the paper's Figure 5 function):
+; compute end_index from the inode size, then for each page: look it
+; up in the page cache, read it in from the file system on a miss,
+; and copy the extent to user space.
+do_generic_file_read:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	sub esp, 16            ; -16 total, -20 end_index, -24 isize, -28 pos
+	mov ebx, [ebp+8]       ; filp
+	mov ebx, [ebx+F_INODE] ; inode (ebx throughout)
+	mov eax, [ebx+I_SIZE]
+	mov [ebp-24], eax
+	; end_index = i_size >> PAGE_SHIFT (the mov/shrd pair of Fig. 5)
+	xor edx, edx
+	shrd eax, edx, PAGE_SHIFT
+	mov [ebp-20], eax
+	mov eax, [ebp+8]
+	mov eax, [eax+F_POS]
+	mov [ebp-28], eax
+	mov dword [ebp-16], 0   ; total
+.Lloop:
+	mov ecx, [ebp+16]      ; remaining count
+	test ecx, ecx
+	jz .Ldone
+	mov eax, [ebp-28]
+	cmp eax, [ebp-24]      ; pos >= i_size?
+	jae .Ldone
+	mov esi, eax
+	shr esi, PAGE_SHIFT    ; index
+	cmp esi, [ebp-20]
+	ja .Ldone
+	; page cache lookup
+	push esi
+	push ebx
+	call find_get_page
+	add esp, 8
+	test eax, eax
+	jnz .Lhave_page
+	; miss: allocate a frame and read it in
+	call __alloc_pages
+	test eax, eax
+	jz .Lnomem
+	mov edi, eax           ; frame
+	push eax
+	push esi
+	push ebx
+	call ext2_readpage
+	add esp, 12
+	cmp eax, 0
+	jl .Lreadfail
+	push edi
+	push esi
+	push ebx
+	call add_to_page_cache
+	add esp, 12
+	test eax, eax
+	jz .Lcachefail
+.Lhave_page:
+	mov edi, [eax+PG_FRAME]
+	; if (page_outside_mem_map(page)) BUG();
+	cmp edi, PAGE_AREA
+	jae .Lframe_ok
+	ud2
+.Lframe_ok:
+	; nr = min(PAGE_SIZE - (pos & (PAGE_SIZE-1)), i_size - pos, count)
+	mov ecx, [ebp-28]
+	and ecx, PAGE_SIZE - 1 ; offset in page
+	mov edx, PAGE_SIZE
+	sub edx, ecx           ; nr
+	mov eax, [ebp-24]
+	sub eax, [ebp-28]      ; bytes left in file
+	cmp edx, eax
+	jbe .Lnr1
+	mov edx, eax
+.Lnr1:
+	cmp edx, [ebp+16]
+	jbe .Lnr2
+	mov edx, [ebp+16]
+.Lnr2:
+	test edx, edx
+	jz .Ldone
+	; file_read_actor(frame, ubuf, offset, nr)
+	push edx
+	push ecx
+	push dword [ebp+12]
+	push edi
+	call file_read_actor
+	add esp, 16
+	test eax, eax
+	jnz .Lefault
+	; advance (edx = nr survives the call? no — recompute safely)
+	mov ecx, [ebp-28]
+	and ecx, PAGE_SIZE - 1
+	mov edx, PAGE_SIZE
+	sub edx, ecx
+	mov eax, [ebp-24]
+	sub eax, [ebp-28]
+	cmp edx, eax
+	jbe .Ladv1
+	mov edx, eax
+.Ladv1:
+	cmp edx, [ebp+16]
+	jbe .Ladv2
+	mov edx, [ebp+16]
+.Ladv2:
+	add [ebp-28], edx      ; pos += nr
+	add [ebp+12], edx      ; ubuf += nr
+	sub [ebp+16], edx      ; count -= nr
+	add [ebp-16], edx       ; total += nr
+	jmp .Lloop
+.Lreadfail:
+	push edi
+	call free_pages_ok
+	add esp, 4
+	jmp .Ldone
+.Lcachefail:
+	push edi
+	call free_pages_ok
+	add esp, 4
+.Lnomem:
+	cmp dword [ebp-16], 0
+	jne .Ldone
+	mov dword [ebp-16], -ENOMEM
+	jmp .Lret
+.Lefault:
+	cmp dword [ebp-16], 0
+	jne .Ldone
+	mov dword [ebp-16], -EFAULT
+	jmp .Lret
+.Ldone:
+	; write back the file position
+	mov eax, [ebp+8]
+	mov ecx, [ebp-28]
+	mov [eax+F_POS], ecx
+.Lret:
+	mov eax, [ebp-16]
+	add esp, 16
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; int generic_file_write(struct file *filp, const void *ubuf, long count)
+; The page-cache write path: for each page, pull it into the cache
+; (reading existing data for partial writes), copy the user bytes in,
+; and commit through the file system (which extends the size and
+; writes back).
+generic_file_write:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	push edi
+	sub esp, 16            ; -16 total, -20 inode, -24 scratch nr, -28 pos
+	mov eax, [ebp+8]
+	mov eax, [eax+F_INODE]
+	mov [ebp-20], eax
+	mov ebx, eax
+	lea eax, [ebx+I_SEM]
+	push eax
+	call __down
+	add esp, 4
+	mov eax, [ebp+8]
+	mov eax, [eax+F_POS]
+	mov [ebp-28], eax
+	mov dword [ebp-16], 0
+.Lloop:
+	mov ecx, [ebp+16]
+	test ecx, ecx
+	jz .Ldone
+	mov eax, [ebp-28]
+	mov esi, eax
+	shr esi, PAGE_SHIFT    ; index
+	; nr = min(PAGE_SIZE - offset, count)
+	mov ecx, [ebp-28]
+	and ecx, PAGE_SIZE - 1
+	mov edx, PAGE_SIZE
+	sub edx, ecx
+	cmp edx, [ebp+16]
+	jbe .Lnr_ok
+	mov edx, [ebp+16]
+.Lnr_ok:
+	mov [ebp-24], edx
+	; find or create the cache page
+	push esi
+	push ebx
+	call find_get_page
+	add esp, 8
+	test eax, eax
+	jnz .Lhave
+	call __alloc_pages
+	test eax, eax
+	jz .Lnomem
+	mov edi, eax
+	; partial page of existing data? read it first
+	push eax
+	push esi
+	push ebx
+	call ext2_readpage
+	add esp, 12
+	cmp eax, 0
+	jl .Lfail_free
+	push edi
+	push esi
+	push ebx
+	call add_to_page_cache
+	add esp, 12
+	test eax, eax
+	jz .Lfail_free
+.Lhave:
+	mov edi, [eax+PG_FRAME]
+	; copy user data into the page
+	push dword [ebp-24]
+	push dword [ebp+12]
+	mov eax, [ebp-28]
+	and eax, PAGE_SIZE - 1
+	add eax, edi
+	push eax
+	call __generic_copy_from_user
+	add esp, 12
+	test eax, eax
+	jnz .Lefault
+	; commit: endpos = pos + nr
+	mov eax, [ebp-28]
+	add eax, [ebp-24]
+	push eax
+	push dword [ebp-24]
+	mov eax, [ebp-28]
+	and eax, PAGE_SIZE - 1
+	push eax
+	push esi
+	push edi
+	push ebx
+	call generic_commit_write
+	add esp, 24
+	cmp eax, 0
+	jl .Lcommitfail
+	; advance
+	mov edx, [ebp-24]
+	add [ebp-28], edx
+	add [ebp+12], edx
+	sub [ebp+16], edx
+	add [ebp-16], edx
+	jmp .Lloop
+.Lfail_free:
+	push edi
+	call free_pages_ok
+	add esp, 4
+.Lnomem:
+	cmp dword [ebp-16], 0
+	jne .Ldone
+	mov dword [ebp-16], -ENOMEM
+	jmp .Ldone
+.Lefault:
+	cmp dword [ebp-16], 0
+	jne .Ldone
+	mov dword [ebp-16], -EFAULT
+	jmp .Ldone
+.Lcommitfail:
+	cmp dword [ebp-16], 0
+	jne .Ldone
+	mov [ebp-16], eax
+.Ldone:
+	lea eax, [ebx+I_SEM]
+	push eax
+	call __up
+	add esp, 4
+	; write back the position when we made progress
+	cmp dword [ebp-16], 0
+	jle .Lret
+	mov eax, [ebp+8]
+	mov ecx, [ebp-28]
+	mov [eax+F_POS], ecx
+.Lret:
+	mov eax, [ebp-16]
+	add esp, 16
+	pop edi
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+
+; unsigned long sys_mmap(unsigned long len)
+; Anonymous mapping: claim a free vma slot in the arena's mmap
+; region. Returns the mapping address or -errno.
+sys_mmap:
+	push ebp
+	mov ebp, esp
+	push ebx
+	mov ebx, [current]
+	mov eax, [ebp+8]
+	test eax, eax
+	jz .Leinval
+	cmp eax, 0x10000
+	ja .Leinval
+	mov ecx, 2
+.Lscan:
+	cmp ecx, NVMAS
+	jae .Lnomem
+	mov eax, ecx
+	imul eax, eax, VMA_SIZE
+	lea edx, [ebx+TASK_VMAS]
+	add edx, eax
+	cmp dword [edx+VMA_FLAGS], 0
+	je .Lfound
+	inc ecx
+	jmp .Lscan
+.Lnomem:
+	mov eax, -ENOMEM
+	jmp .Lout
+.Lfound:
+	; region base = arena + 0x90000 + (slot-2)*0x10000
+	mov eax, ecx
+	sub eax, 2
+	shl eax, 16
+	add eax, 0x90000
+	add eax, [ebx+TASK_ARENA]
+	mov [edx+VMA_START], eax
+	mov ecx, eax
+	add ecx, [ebp+8]
+	add ecx, PAGE_SIZE - 1
+	and ecx, 0xFFFFF000
+	mov [edx+VMA_END], ecx
+	mov dword [edx+VMA_FLAGS], VM_READ + VM_WRITE
+	mov eax, [edx+VMA_START]
+.Lout:
+	pop ebx
+	pop ebp
+	ret
+.Leinval:
+	mov eax, -EINVAL
+	jmp .Lout
+
+; int sys_munmap(unsigned long addr)
+; Tear down the mmap vma containing addr.
+sys_munmap:
+	push ebp
+	mov ebp, esp
+	push ebx
+	push esi
+	mov ebx, [current]
+	mov eax, [ebp+8]
+	mov ecx, 2
+.Lscan:
+	cmp ecx, NVMAS
+	jae .Leinval
+	mov edx, ecx
+	imul edx, edx, VMA_SIZE
+	lea esi, [ebx+TASK_VMAS]
+	add esi, edx
+	cmp dword [esi+VMA_FLAGS], 0
+	je .Lnext
+	cmp eax, [esi+VMA_START]
+	jb .Lnext
+	cmp eax, [esi+VMA_END]
+	jae .Lnext
+	; found: release the pages and the slot
+	mov eax, [esi+VMA_END]
+	sub eax, [esi+VMA_START]
+	push eax
+	push dword [esi+VMA_START]
+	push ebx
+	call zap_page_range
+	add esp, 12
+	mov dword [esi+VMA_FLAGS], 0
+	mov dword [esi+VMA_START], 0
+	mov dword [esi+VMA_END], 0
+	xor eax, eax
+	jmp .Lout
+.Lnext:
+	inc ecx
+	jmp .Lscan
+.Leinval:
+	mov eax, -EINVAL
+.Lout:
+	pop esi
+	pop ebx
+	pop ebp
+	ret
+`

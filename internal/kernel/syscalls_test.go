@@ -1,0 +1,655 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ext2"
+)
+
+// runOne runs a single workload to completion and returns the result.
+func runOne(t *testing.T, main func(u *User)) (*Machine, *RunResult) {
+	t.Helper()
+	m := bootT(t)
+	res := m.RunWorkloads([]Workload{{Name: "t", Main: main}}, testBudget)
+	return m, res
+}
+
+func wantTrace(t *testing.T, res *RunResult, parts ...string) {
+	t.Helper()
+	if res.Err != nil {
+		t.Fatalf("run err: %v\ntrace: %v\nconsole: %s", res.Err, res.Trace, res.Console)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	for _, p := range parts {
+		if !strings.Contains(joined, p) {
+			t.Errorf("trace missing %q:\n%s", p, joined)
+		}
+	}
+}
+
+func TestSysStatAndFstat(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path, buf := a+0x20000, a+0x21000
+		u.WriteString(path, "/work/readme.txt")
+		if r := u.Syscall(SysStat, path, buf); r != 0 {
+			u.Logf("stat: %d", r)
+			u.Exit(1)
+		}
+		u.Logf("stat mode=%d size=%d nlink=%d",
+			u.Peek(buf+StatMode), u.Peek(buf+StatSize), u.Peek(buf+StatNlink))
+
+		fd := u.Syscall(SysOpen, path, ORdonly)
+		if r := u.Syscall(SysFstat, uint32(fd), buf); r != 0 {
+			u.Logf("fstat: %d", r)
+			u.Exit(1)
+		}
+		u.Logf("fstat size=%d", u.Peek(buf+StatSize))
+		u.Syscall(SysClose, uint32(fd))
+
+		// stat of a directory reports dir mode.
+		u.WriteString(path, "/work")
+		u.Syscall(SysStat, path, buf)
+		u.Logf("dirmode=%d", u.Peek(buf+StatMode))
+
+		// missing file
+		u.WriteString(path, "/nope")
+		u.Logf("missing=%d", u.Syscall(SysStat, path, buf))
+		u.Exit(0)
+	})
+	wantTrace(t, res,
+		"stat mode=1 size=23 nlink=1",
+		"fstat size=23",
+		"dirmode=2",
+		"missing=-2")
+}
+
+func TestSysLinkAndUnlink(t *testing.T) {
+	m, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		oldp, newp, buf := a+0x20000, a+0x20100, a+0x21000
+		u.WriteString(oldp, "/work/readme.txt")
+		u.WriteString(newp, "/work/alias.txt")
+		if r := u.Syscall(SysLink, oldp, newp); r != 0 {
+			u.Logf("link: %d", r)
+			u.Exit(1)
+		}
+		// nlink is now 2.
+		u.Syscall(SysStat, oldp, buf)
+		u.Logf("nlink=%d", u.Peek(buf+StatNlink))
+		// Content readable through the new name.
+		fd := u.Syscall(SysOpen, newp, ORdonly)
+		n := u.Syscall(SysRead, uint32(fd), buf, 64)
+		u.Logf("via-link %d bytes", n)
+		u.Syscall(SysClose, uint32(fd))
+		// Unlink the original: the alias must survive.
+		u.Syscall(SysUnlink, oldp)
+		u.Syscall(SysStat, newp, buf)
+		u.Logf("after-unlink nlink=%d", u.Peek(buf+StatNlink))
+		u.Logf("orig=%d", u.Syscall(SysStat, oldp, buf))
+		// linking to an existing name fails
+		u.WriteString(oldp, "/etc/passwd")
+		u.Logf("dup=%d", u.Syscall(SysLink, oldp, newp))
+		u.Exit(0)
+	})
+	wantTrace(t, res,
+		"nlink=2",
+		"via-link 23 bytes",
+		"after-unlink nlink=1",
+		"orig=-2",
+		"dup=-17")
+	// fsck must be happy with the hard-link arrangement.
+	rep, err := m.FSCheck()
+	if err != nil || rep.Status != ext2.StatusClean {
+		t.Fatalf("fsck after links: %v %v", rep, err)
+	}
+	img, _ := m.DiskImage()
+	fsv := mustFS(t, img)
+	content, err := fsv.ReadFile("/work/alias.txt")
+	if err != nil || string(content) != "unixbench working area\n" {
+		t.Fatalf("alias content: %q %v", content, err)
+	}
+}
+
+func TestSysMkdirRmdir(t *testing.T) {
+	m, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path, buf := a+0x20000, a+0x21000
+		u.WriteString(path, "/work/sub")
+		u.Logf("mkdir=%d", u.Syscall(SysMkdir, path, 0o755))
+		u.Logf("mkdir-again=%d", u.Syscall(SysMkdir, path, 0o755))
+		// Create a file inside, rmdir must refuse, then succeed.
+		u.WriteString(path, "/work/sub/file")
+		fd := u.Syscall(SysCreat, path, 0o644)
+		u.WriteBuf(buf, []byte("x"))
+		u.Syscall(SysWrite, uint32(fd), buf, 1)
+		u.Syscall(SysClose, uint32(fd))
+		u.WriteString(path, "/work/sub")
+		u.Logf("rmdir-nonempty=%d", u.Syscall(SysRmdir, path))
+		u.WriteString(path, "/work/sub/file")
+		u.Syscall(SysUnlink, path)
+		u.WriteString(path, "/work/sub")
+		u.Logf("rmdir=%d", u.Syscall(SysRmdir, path))
+		u.Logf("stat-gone=%d", u.Syscall(SysStat, path, buf))
+		// rmdir on a file is EPERM; on root is EPERM.
+		u.WriteString(path, "/etc/passwd")
+		u.Logf("rmdir-file=%d", u.Syscall(SysRmdir, path))
+		u.WriteString(path, "/")
+		u.Logf("rmdir-root=%d", u.Syscall(SysRmdir, path))
+		u.Exit(0)
+	})
+	wantTrace(t, res,
+		"mkdir=0",
+		"mkdir-again=-17",
+		"rmdir-nonempty=-39",
+		"rmdir=0",
+		"stat-gone=-2",
+		"rmdir-file=-1",
+		"rmdir-root=-1")
+	rep, err := m.FSCheck()
+	if err != nil || rep.Status != ext2.StatusClean {
+		t.Fatalf("fsck after mkdir/rmdir: %+v %v", rep, err)
+	}
+}
+
+func TestSysRename(t *testing.T) {
+	m, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		oldp, newp, buf := a+0x20000, a+0x20100, a+0x21000
+		u.WriteString(oldp, "/work/readme.txt")
+		u.WriteString(newp, "/work/renamed.txt")
+		u.Logf("rename=%d", u.Syscall(SysRename, oldp, newp))
+		u.Logf("old=%d", u.Syscall(SysStat, oldp, buf))
+		u.Logf("new=%d", u.Syscall(SysStat, newp, buf))
+		// Rename to an existing name fails.
+		u.WriteString(oldp, "/etc/passwd")
+		u.Logf("clobber=%d", u.Syscall(SysRename, oldp, newp))
+		// Rename a missing source fails.
+		u.WriteString(oldp, "/missing")
+		u.WriteString(newp, "/work/other")
+		u.Logf("missing=%d", u.Syscall(SysRename, oldp, newp))
+		u.Exit(0)
+	})
+	wantTrace(t, res, "rename=0", "old=-2", "new=0", "clobber=-17", "missing=-2")
+	img, _ := m.DiskImage()
+	fsv := mustFS(t, img)
+	if _, err := fsv.ReadFile("/work/renamed.txt"); err != nil {
+		t.Fatalf("renamed file unreadable: %v", err)
+	}
+	rep, _ := m.FSCheck()
+	if rep.Status != ext2.StatusClean {
+		t.Fatalf("fsck after rename: %+v", rep)
+	}
+}
+
+func TestSysMmapMunmap(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		addr := u.Syscall(SysMmap, 3*PageSize)
+		if addr < 0 {
+			u.Logf("mmap: %d", addr)
+			u.Exit(1)
+		}
+		base := uint32(addr)
+		// Demand-page and use the mapping.
+		u.Poke(base, 0x1111)
+		u.Poke(base+2*PageSize, 0x2222)
+		u.Logf("mapped sum=%d", u.Peek(base)+u.Peek(base+2*PageSize))
+		// Second mapping lands elsewhere.
+		addr2 := u.Syscall(SysMmap, PageSize)
+		u.Logf("distinct=%v", uint32(addr2) != base)
+		// Unmap the first; access then segfaults (child checks).
+		u.Logf("munmap=%d", u.Syscall(SysMunmap, base))
+		u.Logf("munmap-again=%d", u.Syscall(SysMunmap, base))
+		u.Logf("mmap-zero=%d", u.Syscall(SysMmap, 0))
+		u.Exit(0)
+	})
+	wantTrace(t, res,
+		"mapped sum=13107", // 0x1111+0x2222
+		"distinct=true",
+		"munmap=0",
+		"munmap-again=-22",
+		"mmap-zero=-22")
+}
+
+func TestMunmappedAccessSegfaults(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		addr := uint32(u.Syscall(SysMmap, PageSize))
+		u.Poke(addr, 7)
+		u.Syscall(SysMunmap, addr)
+		u.Touch(addr) // must fault now
+		u.Logf("unreachable")
+		u.Exit(0)
+	})
+	if res.Err != nil {
+		t.Fatalf("kernel must survive user segfault: %v", res.Err)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, "segmentation fault") || strings.Contains(joined, "unreachable") {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+}
+
+func TestSysTimeGetppid(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		t1 := u.Syscall(SysTime)
+		u.Compute(20000)
+		t2 := u.Syscall(SysTime)
+		u.Logf("time-advances=%v", t2 > t1)
+		u.Logf("ppid=%d", u.Syscall(SysGetppid))
+		u.Exit(0)
+	})
+	wantTrace(t, res, "time-advances=true", "ppid=1")
+}
+
+func TestSysAlarmKillsWithoutHandler(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		u.Syscall(SysAlarm, 3)
+		for i := 0; i < 100; i++ {
+			u.Compute(5000)
+			u.Syscall(SysGetpid)
+		}
+		u.Logf("alarm never fired")
+		u.Exit(0)
+	})
+	if res.Err != nil {
+		t.Fatalf("err: %v", res.Err)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, "killed by signal mask 0x4000") { // 1<<14
+		t.Fatalf("trace: %v", res.Trace)
+	}
+}
+
+func TestSysAlarmWithHandler(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		fired := 0
+		u.OnSignal(func(sig int) {
+			fired++
+			u.Logf("caught signal %d", sig)
+		})
+		u.Syscall(SysSignal, SigAlarm, 1)
+		prev := u.Syscall(SysAlarm, 3)
+		u.Logf("prev=%d", prev)
+		for i := 0; i < 100 && fired == 0; i++ {
+			u.Compute(5000)
+			u.Syscall(SysGetpid)
+		}
+		u.Logf("fired=%d", fired)
+		// Re-arm and cancel: previous remaining comes back.
+		u.Syscall(SysAlarm, 50)
+		left := u.Syscall(SysAlarm, 0)
+		u.Logf("left-positive=%v", left > 0)
+		u.Exit(0)
+	})
+	wantTrace(t, res, "prev=0", "caught signal 14", "fired=1", "left-positive=true")
+}
+
+func TestSysPauseWokenBySignal(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		mypid := uint32(u.Syscall(SysGetpid))
+		u.Spawn("waker", func(c *User) {
+			c.Syscall(SysNanosleep, 3)
+			c.Syscall(SysKill, mypid, SigAlarm)
+			c.Exit(0)
+		})
+		u.OnSignal(func(sig int) { u.Logf("pause interrupted by %d", sig) })
+		u.Syscall(SysSignal, SigAlarm, 1)
+		r := u.Syscall(SysPause)
+		u.Logf("pause=%d", r)
+		u.Syscall(SysWaitpid, 0, 0, 0)
+		u.Exit(0)
+	})
+	wantTrace(t, res, "pause interrupted by 14", "pause=-4")
+}
+
+func TestSysKillDefaultAction(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		pid := u.Spawn("victim", func(c *User) {
+			for {
+				c.Syscall(SysNanosleep, 2)
+			}
+		})
+		u.Syscall(SysNanosleep, 1)
+		u.Logf("kill=%d", u.Syscall(SysKill, uint32(pid), 9))
+		reaped := u.Syscall(SysWaitpid, uint32(pid), 0, 0)
+		u.Logf("reaped=%v", reaped == pid)
+		u.Logf("kill-gone=%d", u.Syscall(SysKill, uint32(pid), 9))
+		u.Exit(0)
+	})
+	wantTrace(t, res, "kill=0", "reaped=true", "kill-gone=-3")
+}
+
+func TestFdExhaustion(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path := a + 0x20000
+		u.WriteString(path, "/etc/passwd")
+		opened := 0
+		for i := 0; i < NFds+2; i++ {
+			if fd := u.Syscall(SysOpen, path, ORdonly); fd >= 0 {
+				opened++
+			} else if fd == -EMFILE {
+				u.Logf("EMFILE after %d opens", opened)
+				break
+			} else {
+				u.Logf("unexpected errno %d", fd)
+				break
+			}
+		}
+		u.Exit(0)
+	})
+	wantTrace(t, res, "EMFILE after 16 opens")
+}
+
+func TestDupSharesOffset(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path, buf := a+0x20000, a+0x21000
+		u.WriteString(path, "/work/readme.txt")
+		fd := uint32(u.Syscall(SysOpen, path, ORdonly))
+		fd2 := uint32(u.Syscall(SysDup, fd))
+		u.Syscall(SysRead, fd, buf, 10)
+		n := u.Syscall(SysRead, fd2, buf, 100) // continues at offset 10
+		u.Logf("second read=%d", n)
+		u.Syscall(SysClose, fd)
+		// still open through fd2
+		u.Syscall(SysLseek, fd2, 0, 0)
+		n = u.Syscall(SysRead, fd2, buf, 100)
+		u.Logf("after close=%d", n)
+		u.Syscall(SysClose, fd2)
+		u.Exit(0)
+	})
+	wantTrace(t, res, "second read=13", "after close=23")
+}
+
+func TestLseekSemantics(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path := a + 0x20000
+		u.WriteString(path, "/work/readme.txt")
+		fd := uint32(u.Syscall(SysOpen, path, ORdonly))
+		u.Logf("set=%d", u.Syscall(SysLseek, fd, 10, 0))
+		u.Logf("cur=%d", u.Syscall(SysLseek, fd, 5, 1))
+		u.Logf("end=%d", u.Syscall(SysLseek, fd, 0, 2))
+		u.Logf("neg=%d", u.Syscall(SysLseek, fd, 0xFFFFFF00, 0))
+		u.Syscall(SysClose, fd)
+		// lseek on a pipe is ESPIPE.
+		fds := a + 0x22000
+		u.Syscall(SysPipe, fds)
+		u.Logf("pipe-seek=%d", u.Syscall(SysLseek, u.Peek(fds), 0, 0))
+		u.Exit(0)
+	})
+	wantTrace(t, res, "set=10", "cur=15", "end=23", "neg=-22", "pipe-seek=-29")
+}
+
+func TestPipeEPIPEAndEOF(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		fds, buf := a+0x20000, a+0x21000
+		u.Syscall(SysPipe, fds)
+		rfd, wfd := u.Peek(fds), u.Peek(fds+4)
+		// Close the read end: writes get EPIPE.
+		u.Syscall(SysClose, rfd)
+		u.WriteBuf(buf, []byte("data"))
+		u.Logf("epipe=%d", u.Syscall(SysWrite, wfd, buf, 4))
+		u.Syscall(SysClose, wfd)
+		// New pipe: write then close writer: reads drain then EOF.
+		u.Syscall(SysPipe, fds)
+		rfd, wfd = u.Peek(fds), u.Peek(fds+4)
+		u.Syscall(SysWrite, wfd, buf, 4)
+		u.Syscall(SysClose, wfd)
+		u.Logf("drain=%d", u.Syscall(SysRead, rfd, buf, 16))
+		u.Logf("eof=%d", u.Syscall(SysRead, rfd, buf, 16))
+		u.Syscall(SysClose, rfd)
+		u.Exit(0)
+	})
+	wantTrace(t, res, "epipe=-32", "drain=4", "eof=0")
+}
+
+func TestPipeFullBlocksUntilDrained(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		fds, buf := a+0x20000, a+0x21000
+		u.Syscall(SysPipe, fds)
+		rfd, wfd := u.Peek(fds), u.Peek(fds+4)
+		payload := make([]byte, PipeBufSize)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		u.WriteBuf(buf, payload)
+		// Fill the pipe completely.
+		n := u.Syscall(SysWrite, wfd, buf, PipeBufSize)
+		u.Logf("filled=%d", n)
+		// A drainer child unblocks our next write.
+		u.Spawn("drain", func(c *User) {
+			cb := c.Arena() + 0x21000
+			got := 0
+			for got < PipeBufSize+4 {
+				r := c.Syscall(SysRead, rfd, cb, 256)
+				if r <= 0 {
+					break
+				}
+				got += int(r)
+			}
+			c.Logf("drained=%d", got)
+			c.Exit(0)
+		})
+		u.Poke(buf, 0xAA55)
+		n = u.Syscall(SysWrite, wfd, buf, 4) // blocks until child drains
+		u.Logf("second write=%d", n)
+		u.Syscall(SysClose, wfd)
+		u.Syscall(SysClose, rfd)
+		u.Syscall(SysWaitpid, 0, 0, 0)
+		u.Exit(0)
+	})
+	wantTrace(t, res, "filled=512", "second write=4", "drained=516")
+}
+
+func TestBrkGrowShrink(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		base := uint32(u.Syscall(SysBrk, 0))
+		grown := uint32(u.Syscall(SysBrk, base+8*PageSize))
+		u.Logf("grew=%v", grown == base+8*PageSize)
+		u.Poke(base+7*PageSize, 99)
+		shrunk := uint32(u.Syscall(SysBrk, base+PageSize))
+		u.Logf("shrunk=%v", shrunk == base+PageSize)
+		// Out-of-vma brk is refused (returns current).
+		huge := uint32(u.Syscall(SysBrk, u.Arena()+0xF0000))
+		u.Logf("refused=%v", huge == base+PageSize)
+		u.Exit(0)
+	})
+	wantTrace(t, res, "grew=true", "shrunk=true", "refused=true")
+}
+
+func TestZombieSlotReuse(t *testing.T) {
+	// Spawning and reaping more children than task slots proves slots
+	// recycle.
+	_, res := runOne(t, func(u *User) {
+		ok := 0
+		for i := 0; i < NTasks*2; i++ {
+			pid := u.Spawn("c", func(c *User) { c.Exit(0) })
+			if pid < 0 {
+				u.Logf("fork %d failed: %d", i, pid)
+				break
+			}
+			if got := u.Syscall(SysWaitpid, uint32(pid), 0, 0); got == pid {
+				ok++
+			}
+		}
+		u.Logf("cycled=%d", ok)
+		u.Exit(0)
+	})
+	wantTrace(t, res, "cycled=32")
+}
+
+func TestWaitpidErrors(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		u.Logf("nochild=%d", u.Syscall(SysWaitpid, 0, 0, 0))
+		u.Exit(0)
+	})
+	wantTrace(t, res, "nochild=-10")
+}
+
+func TestOpenErrors(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path, buf := a+0x20000, a+0x21000
+		// Missing without O_CREAT.
+		u.WriteString(path, "/not/there")
+		u.Logf("noent=%d", u.Syscall(SysOpen, path, ORdonly))
+		// Path through a file (not a dir).
+		u.WriteString(path, "/etc/passwd/deeper")
+		u.Logf("notdir=%d", u.Syscall(SysOpen, path, ORdonly))
+		// Bad user pointer.
+		u.Logf("efault=%d", u.Syscall(SysOpen, 0x1000, ORdonly))
+		// O_TRUNC empties the file.
+		u.WriteString(path, "/work/trunc.me")
+		fd := u.Syscall(SysCreat, path, 0o644)
+		u.WriteBuf(buf, []byte("hello"))
+		u.Syscall(SysWrite, uint32(fd), buf, 5)
+		u.Syscall(SysClose, uint32(fd))
+		fd = u.Syscall(SysOpen, path, OWronly|OTrunc)
+		u.Syscall(SysClose, uint32(fd))
+		u.Syscall(SysStat, path, buf)
+		u.Logf("truncated=%d", u.Peek(buf+StatSize))
+		// Reading a write-only fd fails.
+		fd = u.Syscall(SysOpen, path, OWronly)
+		u.Logf("rdwr=%d", u.Syscall(SysRead, uint32(fd), buf, 4))
+		u.Syscall(SysClose, uint32(fd))
+		u.Exit(0)
+	})
+	wantTrace(t, res, "noent=-2", "notdir=-2", "efault=-14", "truncated=0", "rdwr=-9")
+}
+
+func TestExecveResetsAddressSpace(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path := a + 0x20000
+		heap := uint32(u.Syscall(SysBrk, 0))
+		u.Syscall(SysBrk, heap+PageSize)
+		u.Poke(heap, 42)
+		u.WriteString(path, "/bin/looper")
+		if r := u.Syscall(SysExecve, path); r != 0 {
+			u.Logf("execve: %d", r)
+			u.Exit(1)
+		}
+		// Post-exec, the heap page is gone; a fresh touch demand-zeroes.
+		u.Poke(a+0x30000, 1)
+		newBrk := uint32(u.Syscall(SysBrk, 0))
+		u.Logf("brk-reset=%v", newBrk == a+0x10000)
+		// Missing binary fails.
+		u.WriteString(path, "/bin/ghost")
+		u.Logf("noexec=%d", u.Syscall(SysExecve, path))
+		u.Exit(0)
+	})
+	wantTrace(t, res, "brk-reset=true", "noexec=-2")
+}
+
+// TestENOSPCThenCleanup fills the disk through the kernel until write
+// fails with -ENOSPC, then frees everything; the fs must stay
+// consistent throughout.
+func TestENOSPCThenCleanup(t *testing.T) {
+	m, res := runOne(t, func(u *User) {
+		a := u.Arena()
+		path, buf := a+0x20000, a+0x24000
+		chunk := make([]byte, 8192)
+		for i := range chunk {
+			chunk[i] = byte(i)
+		}
+		u.WriteBuf(buf, chunk)
+		created := 0
+		full := false
+		for i := 0; i < 100 && !full; i++ {
+			u.WriteString(path, "/work/fill"+string(rune('A'+i%26))+string(rune('a'+i/26)))
+			fd := u.Syscall(SysCreat, path, 0o644)
+			if fd < 0 {
+				if fd == -ENOSPC {
+					full = true
+					break
+				}
+				u.Logf("creat err %d", fd)
+				break
+			}
+			for k := 0; k < 8; k++ {
+				n := u.Syscall(SysWrite, uint32(fd), buf, 8192)
+				if n < 0 {
+					if n == -ENOSPC {
+						full = true
+					} else {
+						u.Logf("write err %d", n)
+					}
+					break
+				}
+				if n < 8192 {
+					full = true
+					break
+				}
+			}
+			u.Syscall(SysClose, uint32(fd))
+			created++
+		}
+		u.Logf("filled disk: full=%v files=%d", full, created)
+		// Clean up: unlink everything we made.
+		for i := 0; i < created; i++ {
+			u.WriteString(path, "/work/fill"+string(rune('A'+i%26))+string(rune('a'+i/26)))
+			if r := u.Syscall(SysUnlink, path); r != 0 {
+				u.Logf("unlink %d: %d", i, r)
+			}
+		}
+		u.Logf("cleaned")
+		u.Exit(0)
+	})
+	if res.Err != nil {
+		t.Fatalf("run: %v\n%v", res.Err, res.Trace)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, "full=true") {
+		t.Fatalf("disk never filled: %v", res.Trace)
+	}
+	if !strings.Contains(joined, "cleaned") {
+		t.Fatalf("cleanup missing: %v", res.Trace)
+	}
+	rep, err := m.FSCheck()
+	if err != nil || rep.Status != ext2.StatusClean {
+		t.Fatalf("fs after ENOSPC exercise: %v %v", rep, err)
+	}
+}
+
+// TestForkBombExhaustsSlots: forking without reaping hits -EAGAIN at
+// table exhaustion, then reaping recovers every slot.
+func TestForkBombExhaustsSlots(t *testing.T) {
+	_, res := runOne(t, func(u *User) {
+		var kids []int32
+		for i := 0; i < NTasks+2; i++ {
+			pid := u.Spawn("z", func(c *User) { c.Exit(0) })
+			if pid < 0 {
+				u.Logf("fork stopped at %d children: errno %d", len(kids), -pid)
+				break
+			}
+			kids = append(kids, pid)
+		}
+		reaped := 0
+		for range kids {
+			if got := u.Syscall(SysWaitpid, 0, 0, 0); got > 0 {
+				reaped++
+			}
+		}
+		u.Logf("reaped=%d", reaped)
+		// After reaping, forking works again.
+		pid := u.Spawn("again", func(c *User) { c.Exit(0) })
+		u.Logf("refork=%v", pid > 0)
+		u.Syscall(SysWaitpid, 0, 0, 0)
+		u.Exit(0)
+	})
+	if res.Err != nil {
+		t.Fatalf("run: %v\n%v", res.Err, res.Trace)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	if !strings.Contains(joined, "errno 11") {
+		t.Fatalf("fork bomb never hit EAGAIN:\n%s", joined)
+	}
+	if !strings.Contains(joined, "refork=true") {
+		t.Fatalf("slots not recovered:\n%s", joined)
+	}
+}

@@ -1,0 +1,24 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ext2"
+)
+
+// ext2fs is a host-side view of a ramdisk image for test assertions.
+type ext2fs = ext2.FS
+
+func newExt2FS(t *testing.T, img []byte) *ext2fs {
+	t.Helper()
+	dev, err := disk.FromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ext2.Open(dev)
+	if err != nil {
+		t.Fatalf("open fs image: %v", err)
+	}
+	return fs
+}

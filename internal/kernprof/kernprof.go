@@ -1,0 +1,175 @@
+// Package kernprof is the kernel profiler (the study's Kernprof v0.12
+// substitute): it samples the simulated program counter while the
+// benchmark workloads run and attributes samples to kernel functions.
+// The study used it to find the most frequently used functions — the
+// top functions covering 95% of samples became the injection targets.
+package kernprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+)
+
+// FuncProfile is one profiled function.
+type FuncProfile struct {
+	Name    string
+	Section string
+	Samples uint64
+	Pct     float64 // share of all samples
+	CumPct  float64 // cumulative share in rank order
+}
+
+// Profile is the result of a profiling run.
+type Profile struct {
+	// Funcs is every function that received at least one sample,
+	// sorted by sample count descending.
+	Funcs []FuncProfile
+	// Total is the total number of attributed samples.
+	Total uint64
+	// SectionTotals sums samples per subsystem.
+	SectionTotals map[string]uint64
+}
+
+// DefaultSampleEvery is the profiling sample period in cycles.
+const DefaultSampleEvery = 97 // prime, to avoid beating with loops
+
+// Collect profiles the kernel while the given workloads run on a
+// freshly booted machine.
+func Collect(ws []kernel.Workload, budget uint64, sampleEvery uint64) (*Profile, error) {
+	m, err := kernel.Boot()
+	if err != nil {
+		return nil, err
+	}
+	if sampleEvery == 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+
+	lookup := newFuncIndex(m.Prog)
+	counts := make(map[int]uint64)
+	m.CPU.SampleEvery = sampleEvery
+	m.CPU.OnSample = func(eip uint32) {
+		if idx := lookup.find(eip); idx >= 0 {
+			counts[idx]++
+		}
+	}
+	res := m.RunWorkloads(ws, budget)
+	if res.Err != nil {
+		return nil, fmt.Errorf("kernprof: workload run failed: %w", res.Err)
+	}
+	return buildProfile(lookup, counts), nil
+}
+
+func buildProfile(idx *funcIndex, counts map[int]uint64) *Profile {
+	p := &Profile{SectionTotals: make(map[string]uint64)}
+	for i, c := range counts {
+		f := idx.funcs[i]
+		p.Funcs = append(p.Funcs, FuncProfile{Name: f.Name, Section: f.Section, Samples: c})
+		p.Total += c
+		p.SectionTotals[f.Section] += c
+	}
+	sort.Slice(p.Funcs, func(i, j int) bool {
+		if p.Funcs[i].Samples != p.Funcs[j].Samples {
+			return p.Funcs[i].Samples > p.Funcs[j].Samples
+		}
+		return p.Funcs[i].Name < p.Funcs[j].Name
+	})
+	cum := uint64(0)
+	for i := range p.Funcs {
+		cum += p.Funcs[i].Samples
+		p.Funcs[i].Pct = 100 * float64(p.Funcs[i].Samples) / float64(p.Total)
+		p.Funcs[i].CumPct = 100 * float64(cum) / float64(p.Total)
+	}
+	return p
+}
+
+// TopCovering returns the smallest rank-ordered prefix of functions
+// whose samples cover at least frac (0..1) of the total.
+func (p *Profile) TopCovering(frac float64) []FuncProfile {
+	target := frac * 100
+	for i := range p.Funcs {
+		if p.Funcs[i].CumPct >= target {
+			return p.Funcs[:i+1]
+		}
+	}
+	return p.Funcs
+}
+
+// SectionRow is one row of the paper's Table 1.
+type SectionRow struct {
+	Section  string
+	Profiled int // functions within the subsystem that were sampled
+	InCore   int // contribution to the core (top-covering) set
+}
+
+// Table1 computes the function distribution among kernel subsystems
+// (paper Table 1): for each subsystem, how many functions were
+// profiled and how many made the core set covering the given fraction.
+func (p *Profile) Table1(frac float64) ([]SectionRow, []FuncProfile) {
+	core := p.TopCovering(frac)
+	coreBySec := make(map[string]int)
+	for _, f := range core {
+		coreBySec[f.Section]++
+	}
+	allBySec := make(map[string]int)
+	for _, f := range p.Funcs {
+		allBySec[f.Section]++
+	}
+	secs := make([]string, 0, len(allBySec))
+	for s := range allBySec {
+		secs = append(secs, s)
+	}
+	sort.Strings(secs)
+	rows := make([]SectionRow, 0, len(secs))
+	for _, s := range secs {
+		rows = append(rows, SectionRow{Section: s, Profiled: allBySec[s], InCore: coreBySec[s]})
+	}
+	return rows, core
+}
+
+// Render formats the profile as a text table.
+func (p *Profile) Render(max int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-8s %10s %7s %7s\n", "FUNCTION", "SUBSYS", "SAMPLES", "PCT", "CUM")
+	for i, f := range p.Funcs {
+		if max > 0 && i >= max {
+			break
+		}
+		fmt.Fprintf(&b, "%-28s %-8s %10d %6.2f%% %6.2f%%\n",
+			f.Name, f.Section, f.Samples, f.Pct, f.CumPct)
+	}
+	return b.String()
+}
+
+// funcIndex maps addresses to functions with binary search.
+type funcIndex struct {
+	funcs  []asm.Func
+	starts []uint32
+}
+
+func newFuncIndex(prog *asm.Program) *funcIndex {
+	funcs := make([]asm.Func, len(prog.Funcs))
+	copy(funcs, prog.Funcs)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+	idx := &funcIndex{funcs: funcs, starts: make([]uint32, len(funcs))}
+	for i, f := range funcs {
+		idx.starts[i] = f.Addr
+	}
+	return idx
+}
+
+// find returns the index of the function containing eip, or -1.
+func (ix *funcIndex) find(eip uint32) int {
+	i := sort.Search(len(ix.starts), func(k int) bool { return ix.starts[k] > eip }) - 1
+	if i < 0 {
+		return -1
+	}
+	f := ix.funcs[i]
+	if eip >= f.Addr && eip < f.Addr+f.Size {
+		return i
+	}
+	return -1
+}

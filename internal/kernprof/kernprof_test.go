@@ -1,0 +1,90 @@
+package kernprof
+
+import (
+	"testing"
+
+	"repro/internal/unixbench"
+)
+
+func TestCollectProfile(t *testing.T) {
+	p, err := Collect(unixbench.Suite(1), 500_000_000, 0)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if p.Total == 0 || len(p.Funcs) < 20 {
+		t.Fatalf("thin profile: total=%d funcs=%d", p.Total, len(p.Funcs))
+	}
+	t.Logf("profiled %d functions, %d samples\n%s", len(p.Funcs), p.Total, p.Render(20))
+
+	// All four target subsystems must appear.
+	for _, sec := range []string{"arch", "kernel", "mm", "fs"} {
+		if p.SectionTotals[sec] == 0 {
+			t.Errorf("no samples in subsystem %s", sec)
+		}
+	}
+
+	// Cumulative percentages are monotone and end at 100.
+	last := 0.0
+	for _, f := range p.Funcs {
+		if f.CumPct < last {
+			t.Fatalf("cum pct not monotone at %s", f.Name)
+		}
+		last = f.CumPct
+	}
+	if last < 99.99 {
+		t.Fatalf("cum pct ends at %f", last)
+	}
+}
+
+func TestTopCoveringAndTable1(t *testing.T) {
+	p, err := Collect(unixbench.Suite(1), 500_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := p.TopCovering(0.95)
+	if len(core) == 0 || len(core) >= len(p.Funcs) {
+		t.Fatalf("core set size %d of %d", len(core), len(p.Funcs))
+	}
+	// The core set must actually cover >= 95%.
+	if core[len(core)-1].CumPct < 95 {
+		t.Fatalf("core covers only %.2f%%", core[len(core)-1].CumPct)
+	}
+
+	rows, core2 := p.Table1(0.95)
+	if len(core2) != len(core) {
+		t.Fatalf("inconsistent core sets")
+	}
+	sumCore := 0
+	sumAll := 0
+	for _, r := range rows {
+		sumCore += r.InCore
+		sumAll += r.Profiled
+	}
+	if sumCore != len(core) {
+		t.Fatalf("core rows sum %d != %d", sumCore, len(core))
+	}
+	if sumAll != len(p.Funcs) {
+		t.Fatalf("profiled rows sum %d != %d", sumAll, len(p.Funcs))
+	}
+	t.Logf("Table 1: %+v (core %d functions)", rows, len(core))
+}
+
+func TestDeterministicProfile(t *testing.T) {
+	p1, err := Collect(unixbench.Suite(1), 500_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Collect(unixbench.Suite(1), 500_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Total != p2.Total || len(p1.Funcs) != len(p2.Funcs) {
+		t.Fatalf("profiles differ: %d/%d vs %d/%d",
+			p1.Total, len(p1.Funcs), p2.Total, len(p2.Funcs))
+	}
+	for i := range p1.Funcs {
+		if p1.Funcs[i] != p2.Funcs[i] {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, p1.Funcs[i], p2.Funcs[i])
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package mem provides the paged 32-bit physical/virtual memory used by
+// the simulated CPU. Pages carry read/write/execute permissions; access
+// violations and accesses to unmapped pages surface as *Fault errors,
+// which the CPU turns into page-fault exceptions exactly as the MMU
+// would.
+//
+// The package also supports cheap snapshot/restore: the injection harness
+// resets the machine to a pristine state between experiments (the paper
+// rebooted the physical machine instead).
+package mem
+
+import "fmt"
+
+// PageSize is the page size in bytes (matching IA-32 4 KiB paging).
+const PageSize = 4096
+
+const pageShift = 12
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+// Page permissions.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// PermRW and PermRX are the common permission combinations.
+const (
+	PermRW  = PermRead | PermWrite
+	PermRX  = PermRead | PermExec
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+// Access describes the kind of memory access that faulted.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota + 1
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "access?"
+}
+
+// Fault is a memory access fault; the CPU converts it into a page-fault
+// exception carrying the faulting address.
+type Fault struct {
+	Addr       uint32
+	Access     Access
+	NotPresent bool // true: page not mapped; false: permission violation
+}
+
+func (f *Fault) Error() string {
+	kind := "protection violation"
+	if f.NotPresent {
+		kind = "page not present"
+	}
+	return fmt.Sprintf("mem: %s fault at 0x%08x (%s)", f.Access, f.Addr, kind)
+}
+
+type page struct {
+	perm Perm
+	data []byte
+}
+
+// Memory is a sparse paged address space.
+type Memory struct {
+	pages      map[uint32]*page
+	dirty      map[uint32]struct{}
+	structural bool // pages were mapped/unmapped/protected since snapshot
+
+	// codeGen increments whenever executable bytes may have changed:
+	// raw writes (which bypass permissions), mapping changes, and
+	// snapshot restores. Ordinary data writes cannot touch executable
+	// pages (they are mapped R+X), so instruction-decode caches remain
+	// valid while codeGen is unchanged.
+	codeGen uint64
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{
+		pages: make(map[uint32]*page),
+		dirty: make(map[uint32]struct{}),
+	}
+}
+
+// Map creates pages covering [addr, addr+size) with the given
+// permissions. Both addr and size are rounded outward to page
+// boundaries. Existing pages in the range are replaced with zeroed
+// pages.
+func (m *Memory) Map(addr, size uint32, perm Perm) {
+	m.structural = true
+	m.codeGen++
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		m.pages[pn] = &page{perm: perm, data: make([]byte, PageSize)}
+	}
+}
+
+// Unmap removes pages covering [addr, addr+size).
+func (m *Memory) Unmap(addr, size uint32) {
+	m.structural = true
+	m.codeGen++
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		delete(m.pages, pn)
+	}
+}
+
+// Protect changes the permissions of already-mapped pages in the range.
+// Unmapped pages in the range are skipped.
+func (m *Memory) Protect(addr, size uint32, perm Perm) {
+	m.structural = true
+	m.codeGen++
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		if p, ok := m.pages[pn]; ok {
+			p.perm = perm
+		}
+	}
+}
+
+// IsMapped reports whether the page containing addr is mapped.
+func (m *Memory) IsMapped(addr uint32) bool {
+	_, ok := m.pages[addr>>pageShift]
+	return ok
+}
+
+// PermAt returns the permissions of the page containing addr (0 if
+// unmapped).
+func (m *Memory) PermAt(addr uint32) Perm {
+	if p, ok := m.pages[addr>>pageShift]; ok {
+		return p.perm
+	}
+	return 0
+}
+
+func (m *Memory) pageFor(addr uint32, acc Access) (*page, error) {
+	p, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return nil, &Fault{Addr: addr, Access: acc, NotPresent: true}
+	}
+	var need Perm
+	switch acc {
+	case AccessRead:
+		need = PermRead
+	case AccessWrite:
+		need = PermWrite
+	case AccessExec:
+		need = PermExec
+	}
+	if p.perm&need == 0 {
+		return nil, &Fault{Addr: addr, Access: acc}
+	}
+	return p, nil
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint32) (byte, error) {
+	p, err := m.pageFor(addr, AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	return p.data[addr&(PageSize-1)], nil
+}
+
+// Read16 reads a little-endian 16-bit value.
+func (m *Memory) Read16(addr uint32) (uint16, error) {
+	lo, err := m.Read8(addr)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.Read8(addr + 1)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(lo) | uint16(hi)<<8, nil
+}
+
+// Read32 reads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint32) (uint32, error) {
+	// Fast path: within one page.
+	off := addr & (PageSize - 1)
+	if off <= PageSize-4 {
+		p, err := m.pageFor(addr, AccessRead)
+		if err != nil {
+			return 0, err
+		}
+		d := p.data[off:]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		b, err := m.Read8(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint32, v byte) error {
+	p, err := m.pageFor(addr, AccessWrite)
+	if err != nil {
+		return err
+	}
+	m.dirty[addr>>pageShift] = struct{}{}
+	p.data[addr&(PageSize-1)] = v
+	return nil
+}
+
+// Write16 writes a little-endian 16-bit value.
+func (m *Memory) Write16(addr uint32, v uint16) error {
+	if err := m.Write8(addr, byte(v)); err != nil {
+		return err
+	}
+	return m.Write8(addr+1, byte(v>>8))
+}
+
+// Write32 writes a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint32, v uint32) error {
+	off := addr & (PageSize - 1)
+	if off <= PageSize-4 {
+		p, err := m.pageFor(addr, AccessWrite)
+		if err != nil {
+			return err
+		}
+		m.dirty[addr>>pageShift] = struct{}{}
+		d := p.data[off:]
+		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return nil
+	}
+	for i := uint32(0); i < 4; i++ {
+		if err := m.Write8(addr+i, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fetch copies up to len(buf) instruction bytes starting at addr into
+// buf, requiring execute permission. It returns the number of bytes
+// copied; if the first byte faults, it returns the fault. A fault after
+// the first byte is not an error here (the decoder reports ErrTruncated
+// and the CPU re-faults precisely if the instruction really extends into
+// the unfetchable page).
+func (m *Memory) Fetch(addr uint32, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		p, err := m.pageFor(addr+uint32(n), AccessExec)
+		if err != nil {
+			if n == 0 {
+				return 0, err
+			}
+			return n, nil
+		}
+		off := (addr + uint32(n)) & (PageSize - 1)
+		c := copy(buf[n:], p.data[off:])
+		n += c
+	}
+	return n, nil
+}
+
+// ReadBytes copies size bytes at addr into a new slice (read access
+// checked per page).
+func (m *Memory) ReadBytes(addr, size uint32) ([]byte, error) {
+	out := make([]byte, size)
+	for i := uint32(0); i < size; {
+		p, err := m.pageFor(addr+i, AccessRead)
+		if err != nil {
+			return nil, err
+		}
+		off := (addr + i) & (PageSize - 1)
+		c := copy(out[i:], p.data[off:])
+		i += uint32(c)
+	}
+	return out, nil
+}
+
+// WriteBytes copies b to addr (write access checked per page).
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	for i := 0; i < len(b); {
+		a := addr + uint32(i)
+		p, err := m.pageFor(a, AccessWrite)
+		if err != nil {
+			return err
+		}
+		m.dirty[a>>pageShift] = struct{}{}
+		off := a & (PageSize - 1)
+		c := copy(p.data[off:], b[i:])
+		i += c
+	}
+	return nil
+}
+
+// WriteRaw writes ignoring permissions (host-side setup and error
+// injection into read-only text). The pages must be mapped.
+func (m *Memory) WriteRaw(addr uint32, b []byte) error {
+	m.codeGen++
+	for i := 0; i < len(b); {
+		a := addr + uint32(i)
+		p, ok := m.pages[a>>pageShift]
+		if !ok {
+			return &Fault{Addr: a, Access: AccessWrite, NotPresent: true}
+		}
+		m.dirty[a>>pageShift] = struct{}{}
+		off := a & (PageSize - 1)
+		c := copy(p.data[off:], b[i:])
+		i += c
+	}
+	return nil
+}
+
+// ReadRaw reads ignoring permissions. The pages must be mapped.
+func (m *Memory) ReadRaw(addr, size uint32) ([]byte, error) {
+	out := make([]byte, size)
+	for i := uint32(0); i < size; {
+		a := addr + i
+		p, ok := m.pages[a>>pageShift]
+		if !ok {
+			return nil, &Fault{Addr: a, Access: AccessRead, NotPresent: true}
+		}
+		off := a & (PageSize - 1)
+		c := copy(out[i:], p.data[off:])
+		i += uint32(c)
+	}
+	return out, nil
+}
+
+// Snapshot is a point-in-time copy of the address space.
+type Snapshot struct {
+	pages map[uint32]*page
+}
+
+// TakeSnapshot deep-copies the current state and resets dirty tracking,
+// so a later Restore touches only pages modified since this call.
+func (m *Memory) TakeSnapshot() *Snapshot {
+	s := &Snapshot{pages: make(map[uint32]*page, len(m.pages))}
+	for pn, p := range m.pages {
+		cp := &page{perm: p.perm, data: make([]byte, PageSize)}
+		copy(cp.data, p.data)
+		s.pages[pn] = cp
+	}
+	m.dirty = make(map[uint32]struct{})
+	m.structural = false
+	return s
+}
+
+// Restore returns the address space to the snapshot state. When only
+// data writes happened since TakeSnapshot, the cost is proportional to
+// the number of dirtied pages.
+func (m *Memory) Restore(s *Snapshot) {
+	m.codeGen++
+	if m.structural {
+		m.pages = make(map[uint32]*page, len(s.pages))
+		for pn, p := range s.pages {
+			cp := &page{perm: p.perm, data: make([]byte, PageSize)}
+			copy(cp.data, p.data)
+			m.pages[pn] = cp
+		}
+	} else {
+		for pn := range m.dirty {
+			if orig, ok := s.pages[pn]; ok {
+				cur := m.pages[pn]
+				cur.perm = orig.perm
+				copy(cur.data, orig.data)
+			} else {
+				delete(m.pages, pn)
+			}
+		}
+	}
+	m.dirty = make(map[uint32]struct{})
+	m.structural = false
+}
+
+// PageCount returns the number of mapped pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// CodeGen returns the executable-content generation counter (see the
+// Memory doc comment); instruction caches are valid while it is
+// unchanged.
+func (m *Memory) CodeGen() uint64 { return m.codeGen }

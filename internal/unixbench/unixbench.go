@@ -1,0 +1,382 @@
+// Package unixbench implements the eight benchmark programs the study
+// selected from the UnixBench suite (context1.c, dhry, fstime.c,
+// hanoi.c, looper.c, pipe.c, spawn.c, syscall.c) as user programs for
+// the simulated kernel. They serve the same two purposes as in the
+// paper: profiling kernel usage to pick injection targets, and
+// generating kernel activity during injection so errors activate.
+package unixbench
+
+import "repro/internal/kernel"
+
+// Scale controls how much work each program does (1 = quick golden
+// run; larger values exercise more kernel code per run).
+type Scale int
+
+// Suite returns the eight workloads at the given scale.
+func Suite(s Scale) []kernel.Workload {
+	if s < 1 {
+		s = 1
+	}
+	n := int(s)
+	return []kernel.Workload{
+		{Name: "syscall", Main: syscallProg(20 * n)},
+		{Name: "pipe", Main: pipeProg(8 * n)},
+		{Name: "context1", Main: context1Prog(6 * n)},
+		{Name: "spawn", Main: spawnProg(3 * n)},
+		{Name: "fstime", Main: fstimeProg(n)},
+		{Name: "hanoi", Main: hanoiProg(4 + min(n, 4))},
+		{Name: "dhry", Main: dhryProg(5 * n)},
+		{Name: "looper", Main: looperProg(2 * n)},
+	}
+}
+
+// Workload indices by name, for single-workload experiments.
+func ByName(s Scale, name string) (kernel.Workload, bool) {
+	for _, w := range Suite(s) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return kernel.Workload{}, false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// syscallProg mirrors syscall.c: a tight loop of cheap system calls.
+func syscallProg(iters int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		sum := int32(0)
+		for i := 0; i < iters; i++ {
+			pid := u.Syscall(kernel.SysGetpid)
+			if pid <= 0 {
+				u.Logf("getpid returned %d", pid)
+			}
+			old := u.Syscall(kernel.SysUmask, 0o22)
+			u.Syscall(kernel.SysUmask, uint32(old))
+			sum += pid
+			if i%8 == 7 {
+				u.Syscall(kernel.SysSchedYield)
+			}
+		}
+		u.Logf("syscall sum=%d iters=%d", sum, iters)
+	}
+}
+
+// pipeProg mirrors pipe.c: write/read 512-byte messages through a
+// pipe in one process.
+func pipeProg(iters int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		arena := u.Arena()
+		fdsPtr := arena + 0x20000
+		buf := arena + 0x21000
+		rbuf := arena + 0x22000
+
+		if ret := u.Syscall(kernel.SysPipe, fdsPtr); ret != 0 {
+			u.Logf("pipe failed: %d", ret)
+			u.Exit(1)
+		}
+		rfd := u.Peek(fdsPtr)
+		wfd := u.Peek(fdsPtr + 4)
+
+		msg := make([]byte, 512)
+		for i := range msg {
+			msg[i] = byte('A' + i%26)
+		}
+		u.WriteBuf(buf, msg)
+
+		check := uint32(0)
+		for i := 0; i < iters; i++ {
+			n := u.Syscall(kernel.SysWrite, wfd, buf, 512)
+			if n != 512 {
+				u.Logf("short pipe write: %d", n)
+			}
+			n = u.Syscall(kernel.SysRead, rfd, rbuf, 512)
+			if n != 512 {
+				u.Logf("short pipe read: %d", n)
+			}
+			got := u.ReadBuf(rbuf, 512)
+			for _, b := range got {
+				check += uint32(b)
+			}
+		}
+		u.Syscall(kernel.SysClose, rfd)
+		u.Syscall(kernel.SysClose, wfd)
+		u.Logf("pipe check=%d iters=%d", check, iters)
+	}
+}
+
+// context1Prog mirrors context1.c: two processes ping-pong a counter
+// through a pair of pipes, forcing context switches.
+func context1Prog(iters int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		arena := u.Arena()
+		fdsPtr := arena + 0x20000
+		buf := arena + 0x21000
+
+		if ret := u.Syscall(kernel.SysPipe, fdsPtr); ret != 0 {
+			u.Logf("pipe1 failed: %d", ret)
+			u.Exit(1)
+		}
+		p1r, p1w := uint32(u.Syscall(kernel.SysGetpid)), uint32(0) // placeholders
+		p1r = u.Peek(fdsPtr)
+		p1w = u.Peek(fdsPtr + 4)
+		if ret := u.Syscall(kernel.SysPipe, fdsPtr); ret != 0 {
+			u.Logf("pipe2 failed: %d", ret)
+			u.Exit(1)
+		}
+		p2r := u.Peek(fdsPtr)
+		p2w := u.Peek(fdsPtr + 4)
+
+		// Child: read from pipe1, echo +1 into pipe2, until EOF.
+		childPid := u.Spawn("context1c", func(c *kernel.User) {
+			carena := c.Arena()
+			cbuf := carena + 0x21000
+			// Close the ends the child does not use, or EOF never
+			// arrives (as in the real context1.c).
+			c.Syscall(kernel.SysClose, p1w)
+			c.Syscall(kernel.SysClose, p2r)
+			echoes := 0
+			for {
+				n := c.Syscall(kernel.SysRead, p1r, cbuf, 4)
+				if n == 0 {
+					break
+				}
+				if n != 4 {
+					c.Logf("child bad read: %d", n)
+					break
+				}
+				v := c.Peek(cbuf)
+				c.Poke(cbuf, v+1)
+				if c.Syscall(kernel.SysWrite, p2w, cbuf, 4) != 4 {
+					c.Logf("child bad write")
+					break
+				}
+				echoes++
+			}
+			c.Logf("context1 child echoes=%d", echoes)
+			c.Exit(0)
+		})
+		if childPid < 0 {
+			u.Logf("fork failed: %d", childPid)
+			u.Exit(1)
+		}
+		// Parent keeps p1w and p2r only.
+		u.Syscall(kernel.SysClose, p1r)
+		u.Syscall(kernel.SysClose, p2w)
+
+		val := uint32(100)
+		for i := 0; i < iters; i++ {
+			u.Poke(buf, val)
+			if u.Syscall(kernel.SysWrite, p1w, buf, 4) != 4 {
+				u.Logf("parent bad write")
+				break
+			}
+			if u.Syscall(kernel.SysRead, p2r, buf, 4) != 4 {
+				u.Logf("parent bad read")
+				break
+			}
+			got := u.Peek(buf)
+			if got != val+1 {
+				u.Logf("bad echo: sent %d got %d", val, got)
+			}
+			val = got
+		}
+		// Close the write end so the child sees EOF, then reap it.
+		u.Syscall(kernel.SysClose, p1w)
+		u.Syscall(kernel.SysClose, p2r)
+		status := u.Syscall(kernel.SysWaitpid, uint32(childPid), 0, 0)
+		u.Logf("context1 final=%d reaped=%d", val, status)
+	}
+}
+
+// spawnProg mirrors spawn.c: fork children that exit immediately and
+// wait for each.
+func spawnProg(iters int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		arena := u.Arena()
+		statusPtr := arena + 0x20000
+		ok := 0
+		for i := 0; i < iters; i++ {
+			pid := u.Spawn("spawnc", func(c *kernel.User) {
+				c.Exit(42)
+			})
+			if pid < 0 {
+				u.Logf("fork %d failed: %d", i, pid)
+				continue
+			}
+			got := u.Syscall(kernel.SysWaitpid, uint32(pid), statusPtr, 0)
+			if got != pid {
+				u.Logf("waitpid = %d, want %d", got, pid)
+				continue
+			}
+			if st := u.Peek(statusPtr); st != 42 {
+				u.Logf("child status = %d, want 42", st)
+				continue
+			}
+			ok++
+		}
+		u.Logf("spawn ok=%d of %d", ok, iters)
+	}
+}
+
+// fstimeProg mirrors fstime.c: sequential file read, write, copy and
+// verification through the ext2 file system.
+func fstimeProg(rounds int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		arena := u.Arena()
+		pathPtr := arena + 0x20000
+		outPtr := arena + 0x20100
+		buf := arena + 0x24000
+
+		u.WriteString(pathPtr, "/work/fstime.dat")
+		u.WriteString(outPtr, "/work/fstime.out")
+
+		total := uint32(0)
+		for r := 0; r < rounds; r++ {
+			// Read the source file in 4 KiB chunks, summing bytes.
+			fd := u.Syscall(kernel.SysOpen, pathPtr, kernel.ORdonly)
+			if fd < 0 {
+				u.Logf("open fstime.dat: %d", fd)
+				u.Exit(1)
+			}
+			sum := uint32(0)
+			for {
+				n := u.Syscall(kernel.SysRead, uint32(fd), buf, 4096)
+				if n < 0 {
+					u.Logf("read error: %d", n)
+					break
+				}
+				if n == 0 {
+					break
+				}
+				for _, b := range u.ReadBuf(buf, uint32(n)) {
+					sum += uint32(b)
+				}
+			}
+			u.Syscall(kernel.SysClose, uint32(fd))
+
+			// Write a derived file and verify it round-trips.
+			fd = u.Syscall(kernel.SysCreat, outPtr, 0o644)
+			if fd < 0 {
+				u.Logf("creat fstime.out: %d", fd)
+				u.Exit(1)
+			}
+			chunk := make([]byte, 2048)
+			for i := range chunk {
+				chunk[i] = byte(sum>>uint(i%24) + uint32(i))
+			}
+			u.WriteBuf(buf, chunk)
+			for i := 0; i < 3; i++ {
+				if n := u.Syscall(kernel.SysWrite, uint32(fd), buf, 2048); n != 2048 {
+					u.Logf("short write: %d", n)
+				}
+			}
+			u.Syscall(kernel.SysClose, uint32(fd))
+
+			fd = u.Syscall(kernel.SysOpen, outPtr, kernel.ORdonly)
+			if fd < 0 {
+				u.Logf("reopen fstime.out: %d", fd)
+				u.Exit(1)
+			}
+			vsum := uint32(0)
+			for {
+				n := u.Syscall(kernel.SysRead, uint32(fd), buf, 4096)
+				if n <= 0 {
+					break
+				}
+				for _, b := range u.ReadBuf(buf, uint32(n)) {
+					vsum += uint32(b)
+				}
+			}
+			u.Syscall(kernel.SysClose, uint32(fd))
+			total += sum + vsum
+
+			if n := u.Syscall(kernel.SysUnlink, outPtr); n != 0 {
+				u.Logf("unlink: %d", n)
+			}
+		}
+		u.Logf("fstime total=%d rounds=%d", total, rounds)
+	}
+}
+
+// hanoiProg mirrors hanoi.c: a recursive CPU workload with heap
+// traffic (brk + page faults) and little file system use.
+func hanoiProg(disks int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		arena := u.Arena()
+		heap := u.Syscall(kernel.SysBrk, 0)
+		newBrk := uint32(heap) + 4*kernel.PageSize
+		if got := u.Syscall(kernel.SysBrk, newBrk); uint32(got) != newBrk {
+			u.Logf("brk failed: %d", got)
+		}
+		base := uint32(heap)
+		_ = arena
+
+		moves := 0
+		var rec func(n int, from, to, via uint32)
+		rec = func(n int, from, to, via uint32) {
+			if n == 0 {
+				return
+			}
+			rec(n-1, from, via, to)
+			// "Move" the disk: write the move count into the heap.
+			u.Poke(base+uint32(moves%4000)*4, uint32(n)<<16|uint32(moves))
+			moves++
+			u.Compute(400)
+			rec(n-1, via, to, from)
+		}
+		rec(disks, 1, 3, 2)
+		u.Logf("hanoi disks=%d moves=%d", disks, moves)
+	}
+}
+
+// dhryProg mirrors dhry: integer/string compute with periodic heap
+// access and rare syscalls.
+func dhryProg(loops int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		heap := uint32(u.Syscall(kernel.SysBrk, 0))
+		newBrk := heap + 8*kernel.PageSize
+		u.Syscall(kernel.SysBrk, newBrk)
+
+		v := uint32(12345)
+		for i := 0; i < loops; i++ {
+			u.Compute(3000)
+			// Record 50 values across the heap (page faults + wp
+			// faults after aging).
+			for k := uint32(0); k < 50; k++ {
+				v = v*1103515245 + 12345
+				u.Poke(heap+(v%uint32(8*kernel.PageSize-4))&^3, v)
+			}
+			if i%4 == 3 {
+				u.Syscall(kernel.SysGetpid)
+			}
+		}
+		u.Logf("dhry v=%d loops=%d", v, loops)
+	}
+}
+
+// looperProg mirrors looper.c: repeated execve of a small binary.
+func looperProg(iters int) func(*kernel.User) {
+	return func(u *kernel.User) {
+		count := 0
+		for i := 0; i < iters; i++ {
+			arena := u.Arena()
+			pathPtr := arena + 0x20000
+			u.WriteString(pathPtr, "/bin/looper")
+			if ret := u.Syscall(kernel.SysExecve, pathPtr); ret != 0 {
+				u.Logf("execve: %d", ret)
+				break
+			}
+			// The exec tore down the address space; touch fresh pages.
+			u.Poke(arena+0x30000, uint32(i))
+			count++
+		}
+		u.Logf("looper execs=%d", count)
+	}
+}
+

@@ -1,0 +1,114 @@
+package unixbench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ext2"
+	"repro/internal/kernel"
+)
+
+func TestSuiteGoldenRun(t *testing.T) {
+	m, err := kernel.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.RunWorkloads(Suite(1), 500_000_000)
+	if res.Err != nil {
+		t.Fatalf("golden run failed: %v\ntrace:\n%s\nconsole: %s",
+			res.Err, strings.Join(res.Trace, "\n"), res.Console)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	t.Logf("cycles: %d, trace lines: %d", m.CPU.Cycles, len(res.Trace))
+	for _, want := range []string{
+		"syscall sum=", "pipe check=", "context1 final=", "spawn ok=3 of 3",
+		"fstime total=", "hanoi disks=", "dhry v=", "looper execs=2",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q\ntrace:\n%s", want, joined)
+		}
+	}
+	// No unexpected errors should appear.
+	for _, bad := range []string{"failed", "short", "bad", "error", "segmentation"} {
+		if strings.Contains(joined, bad) {
+			t.Errorf("trace contains %q:\n%s", bad, joined)
+		}
+	}
+	rep, err := m.FSCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != ext2.StatusClean || rep.WasMounted {
+		t.Fatalf("fs after golden run: %v mounted=%v %v", rep.Status, rep.WasMounted, rep.Problems)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	run := func() string {
+		m, err := kernel.Boot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.RunWorkloads(Suite(1), 500_000_000)
+		if res.Err != nil {
+			t.Fatalf("run failed: %v", res.Err)
+		}
+		return res.Fingerprint()
+	}
+	if run() != run() {
+		t.Fatal("golden run is not deterministic")
+	}
+}
+
+// TestEachWorkloadAlone runs every benchmark program in isolation.
+func TestEachWorkloadAlone(t *testing.T) {
+	for _, w := range Suite(1) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m, err := kernel.Boot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.RunWorkloads([]kernel.Workload{w}, 200_000_000)
+			if res.Err != nil {
+				t.Fatalf("%s failed: %v\n%s", w.Name, res.Err, strings.Join(res.Trace, "\n"))
+			}
+			joined := strings.Join(res.Trace, "\n")
+			for _, bad := range []string{"failed", "short", "bad", "error", "segmentation"} {
+				if strings.Contains(joined, bad) {
+					t.Errorf("%s trace contains %q:\n%s", w.Name, bad, joined)
+				}
+			}
+			rep, err := m.FSCheck()
+			if err != nil || rep.Status != ext2.StatusClean {
+				t.Fatalf("%s left the fs dirty: %v %v", w.Name, rep, err)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName(1, "fstime"); !ok {
+		t.Fatal("fstime not found")
+	}
+	if _, ok := ByName(1, "nope"); ok {
+		t.Fatal("bogus workload found")
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	run := func(s Scale) uint64 {
+		m, err := kernel.Boot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.RunWorkloads(Suite(s), 1<<40)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return m.CPU.Cycles
+	}
+	if c1, c2 := run(1), run(3); c2 <= c1 {
+		t.Fatalf("scale 3 (%d cycles) not larger than scale 1 (%d)", c2, c1)
+	}
+}
