@@ -4,23 +4,43 @@
 // Usage:
 //
 //	kinject [-campaigns ABC] [-scale N] [-seed N]
-//	        [-max-targets N] [-max-funcs N] [-out results.json.gz] [-q]
+//	        [-max-targets N] [-max-funcs N] [-workers N]
+//	        [-no-assertions] [-journal path] [-resume path]
+//	        [-out results.json.gz] [-q]
 //
 // A full run (no -max-targets) performs every injection of all three
 // campaigns — several thousand experiments — and takes minutes; use
-// -max-targets for a quick subsampled study.
+// -max-targets for a quick subsampled study, or -workers to spread the
+// injections over parallel simulated machines (identical results).
+// -no-assertions runs the study against the assertion-stripped kernel
+// build (the paper's §8 ablation).
+//
+// -journal streams every completed injection to an append-only,
+// crash-safe journal while the campaigns run. An interrupted study
+// (SIGINT/SIGTERM are trapped and drain gracefully; a crash or OOM
+// loses at most the unflushed batch) is continued with -resume, which
+// restores the original flags from the journal header, re-derives the
+// same deterministic target list, skips everything already journaled,
+// and produces a result set identical to an uninterrupted run.
+// kreport accepts a journal wherever a results file is accepted.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/inject"
+	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,6 +48,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kinject:", err)
 		os.Exit(1)
 	}
+}
+
+// resumeRestoredFlags are result-affecting flags stored in the journal
+// header; giving them alongside -resume would silently disagree with
+// the restored configuration.
+var resumeRestoredFlags = map[string]bool{
+	"campaigns":     true,
+	"scale":         true,
+	"seed":          true,
+	"max-targets":   true,
+	"max-funcs":     true,
+	"no-assertions": true,
+	"journal":       true,
 }
 
 func run(args []string) error {
@@ -41,6 +74,8 @@ func run(args []string) error {
 	quiet := fs.Bool("q", false, "suppress progress output")
 	noAsserts := fs.Bool("no-assertions", false, "strip kernel BUG() assertions (ablation build)")
 	workers := fs.Int("workers", 1, "parallel injection machines")
+	journalPath := fs.String("journal", "", "stream results to this append-only journal")
+	resumePath := fs.String("resume", "", "resume an interrupted study from this journal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,8 +87,39 @@ func run(args []string) error {
 	cfg.MaxFuncsPerCampaign = *maxFuncs
 	cfg.DisableAssertions = *noAsserts
 	cfg.Workers = *workers
+
+	var (
+		jw          *journal.Writer
+		prior       *journal.Journal
+		campaignStr = *campaigns
+	)
+	if *resumePath != "" {
+		var conflict error
+		fs.Visit(func(f *flag.Flag) {
+			if resumeRestoredFlags[f.Name] && conflict == nil {
+				conflict = fmt.Errorf("-%s conflicts with -resume (the value is restored from the journal)", f.Name)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+		w, j, err := journal.OpenAppend(*resumePath)
+		if err != nil {
+			return err
+		}
+		jw, prior = w, j
+		h := j.Header
+		cfg.Seed = h.Seed
+		cfg.Scale = h.Scale
+		cfg.MaxTargetsPerFunc = h.MaxTargetsPerFunc
+		cfg.MaxFuncsPerCampaign = h.MaxFuncsPerCampaign
+		cfg.DisableAssertions = h.DisableAssertions
+		campaignStr = h.Campaigns
+		cfg.SkipCompleted = j.Completed()
+	}
+
 	cfg.Campaigns = nil
-	for _, ch := range strings.ToUpper(*campaigns) {
+	for _, ch := range strings.ToUpper(campaignStr) {
 		switch ch {
 		case 'A':
 			cfg.Campaigns = append(cfg.Campaigns, inject.CampaignA)
@@ -65,24 +131,79 @@ func run(args []string) error {
 			return fmt.Errorf("unknown campaign %q", string(ch))
 		}
 	}
+
+	if *journalPath != "" {
+		w, err := journal.Create(*journalPath, journal.Header{
+			Version:             journal.Version,
+			Seed:                cfg.Seed,
+			Scale:               cfg.Scale,
+			Campaigns:           strings.ToUpper(campaignStr),
+			MaxTargetsPerFunc:   cfg.MaxTargetsPerFunc,
+			MaxFuncsPerCampaign: cfg.MaxFuncsPerCampaign,
+			DisableAssertions:   cfg.DisableAssertions,
+		})
+		if err != nil {
+			return err
+		}
+		jw = w
+	}
+
+	metrics := obs.New(cfg.Workers)
+	cfg.Metrics = metrics
+	if jw != nil {
+		jw.Metrics = metrics
+		cfg.Sink = jw
+	}
+
+	var cancel atomic.Bool
+	cfg.Cancel = &cancel
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() { signal.Stop(sigc); close(sigc) }()
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		cancel.Store(true)
+		fmt.Fprintf(os.Stderr, "\ninterrupt: finishing in-flight runs and draining the journal...\n")
+	}()
+
+	// Live status line, cleared before any report output.
+	statusLen := 0
+	clearStatus := func() {
+		if statusLen > 0 {
+			fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", statusLen))
+			statusLen = 0
+		}
+	}
 	if !*quiet {
 		last := time.Now()
 		cfg.Progress = func(c inject.Campaign, fn string, done, total int) {
-			if done == total || time.Since(last) > 2*time.Second {
-				last = time.Now()
-				fmt.Fprintf(os.Stderr, "\rcampaign %v: %d/%d (%s)        ",
-					c, done, total, fn)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
+			if done != total && time.Since(last) < 2*time.Second {
+				return
 			}
+			last = time.Now()
+			line := fmt.Sprintf("campaign %v: %d/%d (%s) | %s",
+				c, done, total, fn, metrics.Snapshot().OneLine())
+			if pad := statusLen - len(line); pad > 0 {
+				line += strings.Repeat(" ", pad)
+			}
+			statusLen = len(line)
+			fmt.Fprintf(os.Stderr, "\r%s", line)
 		}
 	}
 
 	start := time.Now()
 	s, err := core.New(cfg)
 	if err != nil {
+		if jw != nil {
+			jw.Close(nil)
+		}
 		return err
+	}
+	if prior != nil {
+		fmt.Printf("resuming from %s: %d injections already journaled\n",
+			*resumePath, prior.CompletedCount())
 	}
 	fmt.Printf("golden run: %d cycles; watchdog budget: %d cycles\n",
 		s.Runner.GoldenCycles, s.Runner.Budget)
@@ -91,8 +212,26 @@ func run(args []string) error {
 	}
 	fmt.Println()
 
-	if err := s.RunAll(); err != nil {
-		return err
+	runErr := s.RunAll()
+	clearStatus()
+	snap := metrics.Snapshot()
+	if runErr != nil {
+		if jw != nil {
+			// Drain everything already completed before reporting.
+			jw.Close(&snap)
+		}
+		if errors.Is(runErr, core.ErrCancelled) {
+			if p := firstNonEmpty(*journalPath, *resumePath); p != "" {
+				return fmt.Errorf("interrupted — completed runs are journaled; resume with: kinject -resume %s", p)
+			}
+			return fmt.Errorf("interrupted — no journal was kept; rerun with -journal to make the study resumable")
+		}
+		return runErr
+	}
+	if jw != nil {
+		if err := jw.Close(&snap); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("completed in %s\n\n", time.Since(start).Round(time.Millisecond))
 
@@ -100,6 +239,7 @@ func run(args []string) error {
 	fmt.Println(s.ReportTable1())
 	fmt.Println(s.ReportFigure1())
 	fmt.Println(analysis.RenderAll(s.Set))
+	fmt.Println(snap.Render())
 
 	if *out != "" {
 		if err := s.Set.Save(*out); err != nil {
@@ -107,5 +247,15 @@ func run(args []string) error {
 		}
 		fmt.Printf("\nresults saved to %s\n", *out)
 	}
+	if p := firstNonEmpty(*journalPath, *resumePath); p != "" {
+		fmt.Printf("\njournal written to %s\n", p)
+	}
 	return nil
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }

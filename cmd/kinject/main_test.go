@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/journal"
 )
 
 func TestBadFlags(t *testing.T) {
@@ -12,6 +16,23 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestResumeFlagHandling(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-resume", "j", "-seed", "7"},
+		{"-resume", "j", "-campaigns", "A"},
+		{"-resume", "j", "-journal", "k"},
+		{"-resume", "j", "-no-assertions"},
+	} {
+		if err := run(bad); err == nil || !strings.Contains(err.Error(), "conflicts with -resume") {
+			t.Fatalf("run(%v) = %v, want conflict error", bad, err)
+		}
+	}
+	// Missing journal file.
+	if err := run([]string{"-resume", filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Fatal("missing journal accepted")
 	}
 }
 
@@ -26,5 +47,54 @@ func TestTinyStudyEndToEnd(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("tiny study: %v", err)
+	}
+}
+
+// TestJournalAndResumeEndToEnd: a journaled study and a -resume of
+// that (already complete) journal save byte-identical result sets —
+// the resume path restores every flag from the journal header and
+// reuses every journaled result.
+func TestJournalAndResumeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal")
+	out1 := filepath.Join(dir, "r1.json.gz")
+	out2 := filepath.Join(dir, "r2.json.gz")
+
+	err := run([]string{
+		"-q", "-campaigns", "C", "-max-funcs", "3", "-max-targets", "2",
+		"-journal", jpath, "-out", out1,
+	})
+	if err != nil {
+		t.Fatalf("journaled study: %v", err)
+	}
+	j, err := journal.Read(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Complete() || j.Trailer == nil {
+		t.Fatalf("journal incomplete (complete=%v trailer=%v)", j.Complete(), j.Trailer != nil)
+	}
+	if j.Header.Campaigns != "C" || j.Header.MaxFuncsPerCampaign != 3 {
+		t.Fatalf("header = %+v", j.Header)
+	}
+
+	// Resume the complete journal (with a different worker count —
+	// workers never change results). Everything is skipped.
+	if err := run([]string{"-q", "-resume", jpath, "-workers", "2", "-out", out2}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("resumed result set differs from the original run")
 	}
 }

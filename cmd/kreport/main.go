@@ -1,9 +1,12 @@
 // Command kreport re-analyzes a saved injection result set (produced
-// by kinject -out) and prints the evaluation tables and figures.
+// by kinject -out) or a result journal (produced by kinject -journal)
+// and prints the evaluation tables and figures. A partial journal —
+// from an interrupted or still-running study — renders the report over
+// the injections completed so far.
 //
 // Usage:
 //
-//	kreport results.json.gz
+//	kreport <results.json.gz | journal>
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/journal"
 )
 
 func main() {
@@ -23,12 +27,28 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: kreport <results.json.gz>")
+		return fmt.Errorf("usage: kreport <results.json.gz | journal>")
 	}
-	rs, err := analysis.Load(args[0])
-	if err != nil {
-		return err
+	path := args[0]
+	var rs *analysis.ResultSet
+	if journal.Sniff(path) {
+		j, err := journal.Read(path)
+		if err != nil {
+			return err
+		}
+		rs = j.ResultSet()
+		state := "complete"
+		if !j.Complete() {
+			state = "partial"
+		}
+		fmt.Fprintf(w, "journal %s: %d injections journaled (%s)\n\n", path, j.CompletedCount(), state)
+	} else {
+		var err error
+		rs, err = analysis.Load(path)
+		if err != nil {
+			return err
+		}
 	}
-	_, err = fmt.Fprintln(w, analysis.RenderAll(rs))
+	_, err := fmt.Fprintln(w, analysis.RenderAll(rs))
 	return err
 }

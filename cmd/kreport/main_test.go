@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/inject"
+	"repro/internal/journal"
 )
 
 func TestRunReport(t *testing.T) {
@@ -42,5 +43,42 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"/does/not/exist"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// kreport accepts a result journal wherever a results file is
+// accepted, including a partial journal from an interrupted study.
+func TestRunReportFromJournal(t *testing.T) {
+	path := t.TempDir() + "/journal"
+	w, err := journal.Create(path, journal.Header{Seed: 1, Scale: 1, Campaigns: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginCampaign(inject.CampaignA, 2); err != nil {
+		t.Fatal(err)
+	}
+	res := inject.Result{
+		Campaign:  inject.CampaignA,
+		Target:    inject.Target{Func: asm.Func{Name: "sys_read", Section: "fs", Addr: 0x1000, Size: 32}},
+		Outcome:   inject.OutcomeNotManifested,
+		Activated: true,
+	}
+	if err := w.Put(inject.CampaignA, 0, 0, 2, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 injections journaled (partial)") {
+		t.Fatalf("missing partial-journal note:\n%s", got)
+	}
+	if !strings.Contains(got, "Figure 4 — campaign A") {
+		t.Fatalf("missing report:\n%s", got)
 	}
 }

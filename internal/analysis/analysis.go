@@ -215,12 +215,15 @@ func (d *LatencyDist) Share(i int) float64 {
 }
 
 // Latency histograms crash latencies per injected subsystem plus an
-// "all" aggregate (Figure 7).
+// "all" aggregate (Figure 7). Crashes whose latency is not meaningful
+// (Result.LatencyValid false: the dump's cycle counter predated the
+// activation point) are excluded rather than binned as fake
+// zero-latency crashes.
 func Latency(results []inject.Result) map[string]*LatencyDist {
 	out := map[string]*LatencyDist{"all": {}}
 	for i := range results {
 		res := &results[i]
-		if res.Outcome != inject.OutcomeCrash {
+		if res.Outcome != inject.OutcomeCrash || !res.LatencyValid {
 			continue
 		}
 		sub := res.InjectedSub()

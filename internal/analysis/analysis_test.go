@@ -20,6 +20,7 @@ func mkResult(sub, fn string, c inject.Campaign, o inject.Outcome, cause dump.Ca
 	}
 	if o == inject.OutcomeCrash {
 		r.Crash = &dump.Record{Cause: cause}
+		r.LatencyValid = true
 	}
 	return r
 }
@@ -95,6 +96,24 @@ func TestLatencyBuckets(t *testing.T) {
 		t.Fatalf("all total = %d", dists["all"].Total)
 	}
 	if dists["fs"].Buckets[0] != 1 || dists["fs"].Buckets[4] != 1 {
+		t.Fatalf("fs buckets = %v", dists["fs"].Buckets)
+	}
+}
+
+// A crash whose dump cycle counter predated activation must be
+// excluded from the latency histogram instead of binned as a fake
+// zero-latency crash.
+func TestLatencyExcludesInvalid(t *testing.T) {
+	results := []inject.Result{
+		mkResult("fs", "sys_read", inject.CampaignA, inject.OutcomeCrash, dump.CauseNullPointer, 0, "fs"),
+		mkResult("fs", "sys_read", inject.CampaignA, inject.OutcomeCrash, dump.CauseNullPointer, 0, "fs"),
+	}
+	results[1].LatencyValid = false
+	dists := Latency(results)
+	if dists["all"].Total != 1 {
+		t.Fatalf("all total = %d, want 1 (invalid-latency crash must be excluded)", dists["all"].Total)
+	}
+	if dists["fs"].Buckets[0] != 1 {
 		t.Fatalf("fs buckets = %v", dists["fs"].Buckets)
 	}
 }

@@ -9,9 +9,15 @@ import (
 	"repro/internal/inject"
 )
 
+// SchemaVersion is the current on-disk result-set schema. Version 2
+// added Result.LatencyValid; files without a Version field predate it
+// and are upgraded on load.
+const SchemaVersion = 2
+
 // ResultSet is a persisted collection of injection results, keyed by
 // campaign, with the metadata needed to re-analyze later.
 type ResultSet struct {
+	Version int
 	Seed    int64
 	Scale   int
 	Results map[string][]inject.Result // "A", "B", "C"
@@ -39,8 +45,10 @@ func (rs *ResultSet) All() []inject.Result {
 	return out
 }
 
-// Save writes the result set as gzipped JSON.
+// Save writes the result set as gzipped JSON at the current schema
+// version.
 func (rs *ResultSet) Save(path string) error {
+	rs.Version = SchemaVersion
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("analysis: save: %w", err)
@@ -73,5 +81,23 @@ func Load(path string) (*ResultSet, error) {
 	if err := json.NewDecoder(zr).Decode(&rs); err != nil {
 		return nil, fmt.Errorf("analysis: decode: %w", err)
 	}
+	if rs.Version < SchemaVersion {
+		rs.upgrade()
+	}
 	return &rs, nil
+}
+
+// upgrade migrates a pre-versioning result set in place. Old files
+// predate Result.LatencyValid; their crash records were only stored
+// when the latency subtraction was well-defined, so every crash's
+// latency is trusted.
+func (rs *ResultSet) upgrade() {
+	for _, results := range rs.Results {
+		for i := range results {
+			if results[i].Outcome == inject.OutcomeCrash {
+				results[i].LatencyValid = true
+			}
+		}
+	}
+	rs.Version = SchemaVersion
 }

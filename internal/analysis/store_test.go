@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/dump"
+	"repro/internal/inject"
+)
+
+func TestSaveLoadRoundTripLatencyValid(t *testing.T) {
+	rs := &ResultSet{
+		Seed:  7,
+		Scale: 1,
+		Results: map[string][]inject.Result{
+			"A": {
+				mkResult("fs", "sys_read", inject.CampaignA, inject.OutcomeCrash, dump.CauseNullPointer, 12, "fs"),
+				mkResult("fs", "sys_read", inject.CampaignA, inject.OutcomeCrash, dump.CauseGPF, 0, "fs"),
+			},
+		},
+	}
+	rs.Results["A"][1].LatencyValid = false
+
+	path := t.TempDir() + "/r.json.gz"
+	if err := rs.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Version != SchemaVersion {
+		t.Fatalf("Save left Version = %d", rs.Version)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != SchemaVersion {
+		t.Fatalf("loaded Version = %d", got.Version)
+	}
+	// Current-schema files keep their LatencyValid flags verbatim.
+	if !got.Results["A"][0].LatencyValid || got.Results["A"][1].LatencyValid {
+		t.Fatalf("LatencyValid not preserved: %+v", got.Results["A"])
+	}
+}
+
+// Files written before schema version 2 have no Version or
+// LatencyValid fields; their crash latencies were always trusted, so
+// loading must mark every crash LatencyValid.
+func TestLoadOldSchema(t *testing.T) {
+	// Old schema: same shape minus Version (and results without
+	// LatencyValid, which json simply leaves absent).
+	old := struct {
+		Seed    int64
+		Scale   int
+		Results map[string][]inject.Result
+	}{
+		Seed:  2003,
+		Scale: 1,
+		Results: map[string][]inject.Result{
+			"C": {
+				mkResult("mm", "rmqueue", inject.CampaignC, inject.OutcomeCrash, dump.CauseInvalidOpcode, 3, "mm"),
+				mkResult("mm", "rmqueue", inject.CampaignC, inject.OutcomeNotManifested, 0, 0, ""),
+			},
+		},
+	}
+	old.Results["C"][0].LatencyValid = false // field absent in old files
+
+	path := t.TempDir() + "/old.json.gz"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := json.NewEncoder(zw).Encode(&old); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Version != SchemaVersion {
+		t.Fatalf("upgraded Version = %d", rs.Version)
+	}
+	if !rs.Results["C"][0].LatencyValid {
+		t.Fatal("old-schema crash not marked LatencyValid on load")
+	}
+	if rs.Results["C"][1].LatencyValid {
+		t.Fatal("non-crash result marked LatencyValid")
+	}
+	if d := Latency(rs.Results["C"]); d["all"].Total != 1 {
+		t.Fatalf("latency total = %d", d["all"].Total)
+	}
+}

@@ -6,20 +6,44 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/inject"
 	"repro/internal/kernel"
 	"repro/internal/kernprof"
+	"repro/internal/obs"
 	"repro/internal/unixbench"
 )
+
+// ErrCancelled is returned by RunCampaign/RunAll when Config.Cancel
+// was raised: the campaign stopped between runs, every completed
+// result was delivered to the sink, and the study can be resumed.
+var ErrCancelled = errors.New("core: campaign cancelled")
+
+// newRunner boots an injection runner for a parallel worker
+// (indirection point for worker-failure tests).
+var newRunner = inject.NewRunnerWithOptions
+
+// ResultSink receives every completed injection result as soon as it
+// finishes, in claim order (not target order). Implementations must be
+// safe for concurrent use by parallel workers; journal.Writer is the
+// canonical sink.
+type ResultSink interface {
+	// BeginCampaign announces a campaign and its total target count.
+	BeginCampaign(c inject.Campaign, total int) error
+	// Put delivers the result of target ordinal (an index into the
+	// deterministic target list) completed by the given worker.
+	Put(c inject.Campaign, worker, ordinal, total int, res inject.Result) error
+}
 
 // Config controls a study run.
 type Config struct {
@@ -45,8 +69,22 @@ type Config struct {
 	// an isolated simulated system; results are deterministic and
 	// identical to a single-worker run). 0 or 1 = serial.
 	Workers int
-	// Progress, when set, receives per-run progress.
+	// Progress, when set, receives per-run progress. It always fires
+	// with done == total when a campaign finishes.
 	Progress func(c inject.Campaign, fn string, done, total int)
+	// Sink, when set, receives every completed result as soon as it
+	// finishes (the durability layer; see ResultSink).
+	Sink ResultSink
+	// SkipCompleted maps campaign key ("A"/"B"/"C") -> target ordinal
+	// -> previously completed result. Those targets are not re-run;
+	// the journaled result is reused verbatim (resume support).
+	SkipCompleted map[string]map[int]inject.Result
+	// Cancel, when set, is polled between runs by the serial loop and
+	// by every parallel worker; once true the campaign stops and
+	// RunCampaign returns ErrCancelled (graceful shutdown).
+	Cancel *atomic.Bool
+	// Metrics, when set, is updated live during campaigns.
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig is the full-study configuration.
@@ -102,6 +140,7 @@ func New(cfg Config) (*Study, error) {
 		Core:    prof.TopCovering(cfg.CoverFrac),
 		Runner:  runner,
 		Set: &analysis.ResultSet{
+			Version: analysis.SchemaVersion,
 			Seed:    cfg.Seed,
 			Scale:   cfg.Scale,
 			Results: make(map[string][]inject.Result),
@@ -183,75 +222,157 @@ func (s *Study) Targets(c inject.Campaign) ([]inject.Target, error) {
 	return out, nil
 }
 
+// cancelled reports whether a graceful shutdown was requested.
+func (s *Study) cancelled() bool {
+	return s.Cfg.Cancel != nil && s.Cfg.Cancel.Load()
+}
+
+// runTimed executes one target on the given runner, feeding metrics.
+func (s *Study) runTimed(runner *inject.Runner, worker int, c inject.Campaign, t inject.Target) inject.Result {
+	m := s.Cfg.Metrics
+	if m != nil {
+		m.RunStarted(worker)
+	}
+	start := time.Now()
+	res := runner.RunTarget(c, t)
+	if m != nil {
+		m.RunFinished(worker, &res, time.Since(start))
+	}
+	return res
+}
+
 // RunCampaign executes one campaign and stores the results. With
 // Cfg.Workers > 1, targets are spread across independent simulated
 // machines; the result slice is ordered by target, so the output is
-// identical to a serial run.
+// identical to a serial run. Targets listed in Cfg.SkipCompleted are
+// restored from their journaled results instead of re-run, and every
+// freshly completed result is streamed to Cfg.Sink, so an interrupted
+// campaign resumes to an identical result set.
 func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 	targets, err := s.Targets(c)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]inject.Result, len(targets))
+	key := analysis.CampaignKey(c)
+	total := len(targets)
+	skip := s.Cfg.SkipCompleted[key]
+	results := make([]inject.Result, total)
+	nskip := 0
+	for i := range targets {
+		if res, ok := skip[i]; ok {
+			results[i] = res
+			nskip++
+		}
+	}
+	if s.Cfg.Metrics != nil && nskip > 0 {
+		s.Cfg.Metrics.Skip(nskip)
+	}
+	if s.Cfg.Sink != nil {
+		if err := s.Cfg.Sink.BeginCampaign(c, total); err != nil {
+			return nil, err
+		}
+	}
+	if nskip == total {
+		if s.Cfg.Progress != nil && total > 0 {
+			s.Cfg.Progress(c, "", total, total)
+		}
+		s.Set.Results[key] = results
+		return results, nil
+	}
+
 	workers := s.Cfg.Workers
 	if workers <= 1 {
+		done := nskip
 		for i, t := range targets {
-			results[i] = s.Runner.RunTarget(c, t)
+			if _, ok := skip[i]; ok {
+				continue
+			}
+			if s.cancelled() {
+				return nil, ErrCancelled
+			}
+			results[i] = s.runTimed(s.Runner, 0, c, t)
+			if s.Cfg.Sink != nil {
+				if err := s.Cfg.Sink.Put(c, 0, i, total, results[i]); err != nil {
+					return nil, err
+				}
+			}
+			done++
 			if s.Cfg.Progress != nil {
-				s.Cfg.Progress(c, t.Func.Name, i+1, len(targets))
+				s.Cfg.Progress(c, t.Func.Name, done, total)
 			}
 		}
-		s.Set.Results[analysis.CampaignKey(c)] = results
+		s.Set.Results[key] = results
 		return results, nil
 	}
 
 	var (
-		next int32 = -1
-		done int32
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		rerr error
+		next  int32 = -1
+		done  int32 = int32(nskip)
+		abort atomic.Bool
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		rerr  error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if rerr == nil {
+			rerr = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
 	ws := unixbench.Suite(unixbench.Scale(s.Cfg.Scale))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(useShared bool) {
+		go func(w int) {
 			defer wg.Done()
 			runner := s.Runner
-			if !useShared {
-				r, err := inject.NewRunnerWithOptions(ws, inject.RunnerOptions{
+			if w != 0 {
+				// A worker that cannot boot aborts its siblings right
+				// away: without the abort flag they would execute the
+				// whole doomed campaign before the error discarded it.
+				r, err := newRunner(ws, inject.RunnerOptions{
 					DisableAssertions: s.Cfg.DisableAssertions,
 				})
 				if err != nil {
-					mu.Lock()
-					if rerr == nil {
-						rerr = err
-					}
-					mu.Unlock()
+					fail(err)
 					return
 				}
 				runner = r
 			}
-			for {
+			for !abort.Load() && !s.cancelled() {
 				i := int(atomic.AddInt32(&next, 1))
-				if i >= len(targets) {
+				if i >= total {
 					return
 				}
-				results[i] = runner.RunTarget(c, targets[i])
+				if _, ok := skip[i]; ok {
+					continue
+				}
+				res := s.runTimed(runner, w, c, targets[i])
+				results[i] = res
+				if s.Cfg.Sink != nil {
+					if err := s.Cfg.Sink.Put(c, w, i, total, res); err != nil {
+						fail(err)
+						return
+					}
+				}
 				n := int(atomic.AddInt32(&done, 1))
-				if s.Cfg.Progress != nil && n%64 == 0 {
+				if s.Cfg.Progress != nil && (n%64 == 0 || n == total) {
 					mu.Lock()
-					s.Cfg.Progress(c, targets[i].Func.Name, n, len(targets))
+					s.Cfg.Progress(c, targets[i].Func.Name, n, total)
 					mu.Unlock()
 				}
 			}
-		}(w == 0)
+		}(w)
 	}
 	wg.Wait()
 	if rerr != nil {
 		return nil, rerr
 	}
-	s.Set.Results[analysis.CampaignKey(c)] = results
+	if s.cancelled() {
+		return nil, ErrCancelled
+	}
+	s.Set.Results[key] = results
 	return results, nil
 }
 

@@ -21,9 +21,15 @@ type Result struct {
 	ActivationCycle uint64
 
 	// Crash details (Outcome == OutcomeCrash).
-	Crash    *dump.Record
-	Latency  uint64 // cycles from corrupted-instruction execution to crash
-	CrashSub string // subsystem where the crash occurred ("" = outside kernel text)
+	Crash   *dump.Record
+	Latency uint64 // cycles from corrupted-instruction execution to crash
+	// LatencyValid reports that Latency is meaningful: the crash
+	// dump's cycle counter was at or after the activation point. A
+	// crash record whose counter predates activation would otherwise
+	// masquerade as a genuine zero-latency crash in the Figure 7
+	// histogram; such records are excluded from the latency buckets.
+	LatencyValid bool
+	CrashSub     string // subsystem where the crash occurred ("" = outside kernel text)
 
 	// Severity of the damage (crashes, hangs, and completed runs with
 	// on-disk damage).
@@ -172,6 +178,7 @@ func (r *Runner) RunTarget(c Campaign, t Target) Result {
 		res.Crash = &rec
 		if rec.Cycles >= res.ActivationCycle {
 			res.Latency = rec.Cycles - res.ActivationCycle
+			res.LatencyValid = true
 		}
 		if rec.Cause == dump.CauseKernelPanic {
 			// panic() lives in the core kernel.
@@ -255,4 +262,3 @@ func isTextSub(s string) bool {
 	}
 	return false
 }
-

@@ -1,0 +1,516 @@
+// Package journal is the durability layer for injection campaigns: an
+// append-only, crash-safe result journal that records every completed
+// injection as it happens, so an interrupted study (SIGINT, OOM,
+// worker failure) loses at most the unflushed tail instead of hours of
+// finished experiments.
+//
+// On disk a journal is a magic string followed by framed records; each
+// frame is a 4-byte little-endian length and one gzip member holding a
+// single JSON record. Record kinds:
+//
+//	header    study configuration (seed, scale, campaigns, caps)
+//	campaign  campaign start: key and total target count
+//	result    one completed injection: {campaign, ordinal, result}
+//	index     fsync'd high-water marks of {campaign, ordinal} per
+//	          worker shard, written with every flushed batch
+//	trailer   final metrics snapshot on clean close
+//
+// The reader tolerates a truncated or corrupt tail — every intact
+// record prefix is recovered — and OpenAppend resumes writing after
+// the last intact record. An analysis.ResultSet reconstructed from a
+// complete journal is identical to the set the live study assembled.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/inject"
+	"repro/internal/obs"
+)
+
+// magic identifies a journal file.
+const magic = "kjnl1\n"
+
+// Version is the journal format version.
+const Version = 1
+
+// maxRecord bounds a single record frame; larger lengths mean a
+// corrupt frame header.
+const maxRecord = 64 << 20
+
+// DefaultFlushEvery is the default number of buffered result records
+// per fsync'd batch.
+const DefaultFlushEvery = 32
+
+// Header records the study configuration the journal belongs to; a
+// resumed run restores these knobs so the deterministic target list
+// re-derives identically.
+type Header struct {
+	Version             int
+	Seed                int64
+	Scale               int
+	Campaigns           string // e.g. "ABC"
+	MaxTargetsPerFunc   int
+	MaxFuncsPerCampaign int
+	DisableAssertions   bool
+}
+
+// ShardMark is one {campaign, target-ordinal} high-water mark of a
+// worker shard.
+type ShardMark struct {
+	Shard    int
+	Campaign string
+	Ordinal  int
+}
+
+// record is the on-disk union of all record kinds.
+type record struct {
+	Kind     string         `json:"kind"`
+	Header   *Header        `json:"header,omitempty"`
+	Campaign string         `json:"campaign,omitempty"`
+	Total    int            `json:"total,omitempty"`
+	Worker   int            `json:"worker,omitempty"`
+	Ordinal  int            `json:"ordinal,omitempty"`
+	Result   *inject.Result `json:"result,omitempty"`
+	Index    []ShardMark    `json:"index,omitempty"`
+	Metrics  *obs.Snapshot  `json:"metrics,omitempty"`
+}
+
+const (
+	kindHeader   = "header"
+	kindCampaign = "campaign"
+	kindResult   = "result"
+	kindIndex    = "index"
+	kindTrailer  = "trailer"
+)
+
+// encodeFrame renders one record as a length-prefixed gzip frame.
+func encodeFrame(rec *record) ([]byte, error) {
+	var payload bytes.Buffer
+	zw := gzip.NewWriter(&payload)
+	if err := json.NewEncoder(zw).Encode(rec); err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("journal: gzip: %w", err)
+	}
+	frame := make([]byte, 4+payload.Len())
+	binary.LittleEndian.PutUint32(frame, uint32(payload.Len()))
+	copy(frame[4:], payload.Bytes())
+	return frame, nil
+}
+
+// decodePayload parses one gzip+JSON record payload.
+func decodePayload(p []byte) (*record, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(p))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	var rec record
+	if err := json.NewDecoder(zr).Decode(&rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// Writer appends records to a journal. It is safe for concurrent use
+// by parallel workers: results are buffered and flushed in batches,
+// each batch followed by an index record and an fsync.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	pending  bytes.Buffer
+	pendingN int
+	marks    map[int]map[string]int // shard -> campaign -> high-water ordinal
+	closed   bool
+
+	// FlushEvery is the number of buffered result records that forces
+	// a flush (default DefaultFlushEvery).
+	FlushEvery int
+	// Metrics, when set, receives flush counters.
+	Metrics *obs.Metrics
+}
+
+// Create starts a new journal at path, truncating any existing file,
+// and durably writes the magic and header.
+func Create(path string, h Header) (*Writer, error) {
+	if h.Version == 0 {
+		h.Version = Version
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	w := &Writer{f: f, FlushEvery: DefaultFlushEvery, marks: make(map[int]map[string]int)}
+	frame, err := encodeFrame(&record{Kind: kindHeader, Header: &h})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append([]byte(magic), frame...)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync: %w", err)
+	}
+	return w, nil
+}
+
+// OpenAppend reopens an existing journal for resumption: it scans the
+// intact record prefix, truncates any partial tail, and positions the
+// writer after the last intact record. The returned Journal holds
+// everything already recorded (feed Completed() to the resumed study).
+func OpenAppend(path string) (*Writer, *Journal, error) {
+	j, good, err := scan(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: truncate partial tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &Writer{f: f, FlushEvery: DefaultFlushEvery, marks: make(map[int]map[string]int)}
+	for key, entries := range j.Entries {
+		for _, e := range entries {
+			w.mark(e.Worker, key, e.Ordinal)
+		}
+	}
+	return w, j, nil
+}
+
+func (w *Writer) mark(shard int, campaign string, ordinal int) {
+	if w.marks[shard] == nil {
+		w.marks[shard] = make(map[string]int)
+	}
+	if cur, ok := w.marks[shard][campaign]; !ok || ordinal > cur {
+		w.marks[shard][campaign] = ordinal
+	}
+}
+
+// BeginCampaign records the start of a campaign and its total target
+// count, flushed immediately.
+func (w *Writer) BeginCampaign(c inject.Campaign, total int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: write after close")
+	}
+	frame, err := encodeFrame(&record{Kind: kindCampaign, Campaign: analysis.CampaignKey(c), Total: total})
+	if err != nil {
+		return err
+	}
+	w.pending.Write(frame)
+	return w.flushLocked()
+}
+
+// Put appends one completed injection result. Batches of FlushEvery
+// results are flushed together with an index record and fsync'd.
+func (w *Writer) Put(c inject.Campaign, worker, ordinal, total int, res inject.Result) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: write after close")
+	}
+	key := analysis.CampaignKey(c)
+	frame, err := encodeFrame(&record{
+		Kind: kindResult, Campaign: key, Worker: worker, Ordinal: ordinal, Result: &res,
+	})
+	if err != nil {
+		return err
+	}
+	w.pending.Write(frame)
+	w.pendingN++
+	w.mark(worker, key, ordinal)
+	every := w.FlushEvery
+	if every <= 0 {
+		every = DefaultFlushEvery
+	}
+	if w.pendingN >= every {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces the buffered batch (plus an index record) to disk.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: flush after close")
+	}
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if w.pending.Len() == 0 {
+		return nil
+	}
+	idx, err := encodeFrame(&record{Kind: kindIndex, Index: w.indexLocked()})
+	if err != nil {
+		return err
+	}
+	n := w.pending.Len() + len(idx)
+	if _, err := w.f.Write(w.pending.Bytes()); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	if _, err := w.f.Write(idx); err != nil {
+		return fmt.Errorf("journal: write index: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	w.pending.Reset()
+	w.pendingN = 0
+	if w.Metrics != nil {
+		w.Metrics.JournalFlush(n)
+	}
+	return nil
+}
+
+// indexLocked renders the high-water marks deterministically ordered.
+func (w *Writer) indexLocked() []ShardMark {
+	var out []ShardMark
+	for shard, per := range w.marks {
+		for key, ord := range per {
+			out = append(out, ShardMark{Shard: shard, Campaign: key, Ordinal: ord})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Campaign < out[j].Campaign
+	})
+	return out
+}
+
+// Close drains the buffered batch, appends the trailing metrics
+// snapshot (when given) and closes the file.
+func (w *Writer) Close(trailer *obs.Snapshot) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var firstErr error
+	if err := w.flushLocked(); err != nil {
+		firstErr = err
+	}
+	if trailer != nil && firstErr == nil {
+		frame, err := encodeFrame(&record{Kind: kindTrailer, Metrics: trailer})
+		if err == nil {
+			if _, werr := w.f.Write(frame); werr != nil {
+				err = werr
+			} else {
+				err = w.f.Sync()
+			}
+		}
+		if err != nil {
+			firstErr = err
+		}
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Entry is one journaled result.
+type Entry struct {
+	Worker  int
+	Ordinal int
+	Result  inject.Result
+}
+
+// Journal is the decoded content of a journal file.
+type Journal struct {
+	Header  Header
+	Totals  map[string]int // campaign key -> target count
+	Entries map[string][]Entry
+	Marks   []ShardMark   // last flushed index
+	Trailer *obs.Snapshot // last trailer, if cleanly closed
+	// Truncated reports that the file ended mid-record (the intact
+	// prefix was recovered).
+	Truncated bool
+}
+
+// Read decodes a journal, tolerating a truncated or corrupt tail.
+func Read(path string) (*Journal, error) {
+	j, _, err := scan(path)
+	return j, err
+}
+
+// Sniff reports whether path starts with the journal magic.
+func Sniff(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return false
+	}
+	return string(buf) == magic
+}
+
+// scan reads the intact record prefix and returns its end offset.
+func scan(path string) (*Journal, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: open: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
+		return nil, 0, fmt.Errorf("journal: %s is not a journal file", path)
+	}
+	j := &Journal{
+		Totals:  make(map[string]int),
+		Entries: make(map[string][]Entry),
+	}
+	good := int64(len(magic))
+	sawHeader := false
+	for {
+		var lenbuf [4]byte
+		if _, err := io.ReadFull(br, lenbuf[:]); err != nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(lenbuf[:])
+		if n == 0 || n > maxRecord {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		if !sawHeader {
+			if rec.Kind != kindHeader || rec.Header == nil {
+				return nil, 0, fmt.Errorf("journal: %s: missing header record", path)
+			}
+			j.Header = *rec.Header
+			sawHeader = true
+		} else {
+			j.apply(rec)
+		}
+		good += 4 + int64(n)
+	}
+	if !sawHeader {
+		return nil, 0, fmt.Errorf("journal: %s: missing header record", path)
+	}
+	j.Truncated = good != st.Size()
+	return j, good, nil
+}
+
+func (j *Journal) apply(rec *record) {
+	switch rec.Kind {
+	case kindCampaign:
+		if rec.Total > j.Totals[rec.Campaign] {
+			j.Totals[rec.Campaign] = rec.Total
+		}
+	case kindResult:
+		if rec.Result != nil {
+			j.Entries[rec.Campaign] = append(j.Entries[rec.Campaign], Entry{
+				Worker: rec.Worker, Ordinal: rec.Ordinal, Result: *rec.Result,
+			})
+		}
+	case kindIndex:
+		j.Marks = rec.Index
+	case kindTrailer:
+		j.Trailer = rec.Metrics
+	}
+}
+
+// Completed maps campaign key -> ordinal -> journaled result (the
+// resumed study's skip set). Duplicate ordinals keep the last record.
+func (j *Journal) Completed() map[string]map[int]inject.Result {
+	out := make(map[string]map[int]inject.Result)
+	for key, entries := range j.Entries {
+		m := make(map[int]inject.Result, len(entries))
+		for _, e := range entries {
+			m[e.Ordinal] = e.Result
+		}
+		out[key] = m
+	}
+	return out
+}
+
+// CompletedCount is the number of distinct journaled injections.
+func (j *Journal) CompletedCount() int {
+	n := 0
+	for _, m := range j.Completed() {
+		n += len(m)
+	}
+	return n
+}
+
+// Complete reports whether every announced campaign has all of its
+// targets journaled.
+func (j *Journal) Complete() bool {
+	if len(j.Totals) == 0 {
+		return false
+	}
+	done := j.Completed()
+	for key, total := range j.Totals {
+		if len(done[key]) < total {
+			return false
+		}
+	}
+	return true
+}
+
+// ResultSet reconstructs an analysis result set from the journal:
+// completed results only, ordered by target ordinal. For a complete
+// journal this is identical to the set the live study assembled.
+func (j *Journal) ResultSet() *analysis.ResultSet {
+	rs := &analysis.ResultSet{
+		Version: analysis.SchemaVersion,
+		Seed:    j.Header.Seed,
+		Scale:   j.Header.Scale,
+		Results: make(map[string][]inject.Result),
+	}
+	for key, m := range j.Completed() {
+		ords := make([]int, 0, len(m))
+		for ord := range m {
+			ords = append(ords, ord)
+		}
+		sort.Ints(ords)
+		results := make([]inject.Result, 0, len(ords))
+		for _, ord := range ords {
+			results = append(results, m[ord])
+		}
+		rs.Results[key] = results
+	}
+	return rs
+}

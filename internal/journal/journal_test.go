@@ -1,0 +1,327 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/dump"
+	"repro/internal/inject"
+	"repro/internal/obs"
+)
+
+func mkResult(ordinal int) inject.Result {
+	r := inject.Result{
+		Campaign: inject.CampaignC,
+		Target: inject.Target{
+			Func:     asm.Func{Name: fmt.Sprintf("fn_%d", ordinal), Section: "fs", Addr: 0x1000, Size: 64},
+			InstAddr: uint32(0x1000 + ordinal),
+			InstLen:  2,
+			Bit:      3,
+		},
+		Outcome:         inject.OutcomeCrash,
+		Activated:       true,
+		ActivationCycle: uint64(100 + ordinal),
+		Latency:         uint64(ordinal),
+		LatencyValid:    true,
+		CrashSub:        "fs",
+		Crash:           &dump.Record{Cause: dump.CauseNullPointer, EIP: 0x1234, Cycles: uint64(100 + 2*ordinal)},
+		OrigWindow:      []byte{1, 2, 3},
+		CorruptWindow:   []byte{1, 2, 7},
+	}
+	return r
+}
+
+func testHeader() Header {
+	return Header{
+		Version: Version, Seed: 2003, Scale: 1, Campaigns: "C",
+		MaxTargetsPerFunc: 2, MaxFuncsPerCampaign: 3,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginCampaign(inject.CampaignC, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Put(inject.CampaignC, i%2, i, 5, mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trailer := obs.New(2).Snapshot()
+	if err := w.Close(&trailer); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Header != testHeader() {
+		t.Fatalf("header = %+v", j.Header)
+	}
+	if j.Truncated {
+		t.Fatal("clean journal reported truncated")
+	}
+	if j.Totals["C"] != 5 || len(j.Entries["C"]) != 5 {
+		t.Fatalf("totals=%v entries=%d", j.Totals, len(j.Entries["C"]))
+	}
+	if !j.Complete() {
+		t.Fatal("journal not complete")
+	}
+	if j.Trailer == nil {
+		t.Fatal("missing trailer")
+	}
+	if len(j.Marks) == 0 {
+		t.Fatal("missing index marks")
+	}
+	done := j.Completed()
+	if len(done["C"]) != 5 {
+		t.Fatalf("completed = %d", len(done["C"]))
+	}
+	if got := done["C"][3]; got.Target.InstAddr != 0x1003 || !got.LatencyValid || got.Crash == nil {
+		t.Fatalf("result 3 mangled: %+v", got)
+	}
+	rs := j.ResultSet()
+	if rs.Seed != 2003 || rs.Scale != 1 || len(rs.Results["C"]) != 5 {
+		t.Fatalf("result set = %+v", rs)
+	}
+	for i, r := range rs.Results["C"] {
+		if r.Target.InstAddr != uint32(0x1000+i) {
+			t.Fatalf("result %d out of ordinal order: %#x", i, r.Target.InstAddr)
+		}
+	}
+}
+
+// A journal whose final record was cut mid-write (crash, full disk)
+// must reopen with every preceding record intact.
+func TestTruncatedTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.FlushEvery = 1 // every Put lands on disk immediately
+	if err := w.BeginCampaign(inject.CampaignC, 5); err != nil {
+		t.Fatal(err)
+	}
+	var sizeAfter3 int64
+	for i := 0; i < 4; i++ {
+		if err := w.Put(inject.CampaignC, 0, i, 5, mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizeAfter3 = st.Size()
+		}
+	}
+	if err := w.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut into the middle of the 4th result record.
+	if err := os.Truncate(path, sizeAfter3+10); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Truncated {
+		t.Fatal("truncated journal not flagged")
+	}
+	if len(j.Entries["C"]) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(j.Entries["C"]))
+	}
+
+	// Resume appending after the intact prefix.
+	w2, j2, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.CompletedCount(); got != 3 {
+		t.Fatalf("resumed journal has %d results", got)
+	}
+	for i := 3; i < 5; i++ {
+		if err := w2.Put(inject.CampaignC, 0, i, 5, mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Truncated || len(j3.Entries["C"]) != 5 || !j3.Complete() {
+		t.Fatalf("after resume: truncated=%v entries=%d", j3.Truncated, len(j3.Entries["C"]))
+	}
+}
+
+func TestOpenAppendAfterCleanClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginCampaign(inject.CampaignC, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.Put(inject.CampaignC, 0, i, 3, mkResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trailer := obs.New(1).Snapshot()
+	if err := w.Close(&trailer); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, j, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.CompletedCount() != 2 || j.Complete() {
+		t.Fatalf("prior journal: completed=%d complete=%v", j.CompletedCount(), j.Complete())
+	}
+	if err := w2.Put(inject.CampaignC, 0, 2, 3, mkResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.CompletedCount() != 3 || !j2.Complete() {
+		t.Fatalf("final journal: completed=%d complete=%v", j2.CompletedCount(), j2.Complete())
+	}
+}
+
+// Duplicate ordinals (a record flushed right before an interrupt and
+// re-run after an over-eager resume) collapse to the last record.
+func TestDuplicateOrdinals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(inject.CampaignC, 0, 0, 1, mkResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(inject.CampaignC, 1, 0, 1, mkResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Entries["C"]) != 2 || len(j.Completed()["C"]) != 1 {
+		t.Fatalf("entries=%d completed=%d", len(j.Entries["C"]), len(j.Completed()["C"]))
+	}
+	if len(j.ResultSet().Results["C"]) != 1 {
+		t.Fatal("result set did not dedupe ordinals")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Metrics = obs.New(4)
+	const n = 100
+	var wg sync.WaitGroup
+	for shard := 0; shard < 4; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < n; i += 4 {
+				if err := w.Put(inject.CampaignC, shard, i, n, mkResult(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	if err := w.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j.Completed()["C"]); got != n {
+		t.Fatalf("completed = %d, want %d", got, n)
+	}
+	if w.Metrics.Snapshot().JournalFlushes == 0 {
+		t.Fatal("no flushes recorded in metrics")
+	}
+}
+
+func TestSniffAndNotJournal(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "j")
+	w, err := Create(jpath, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !Sniff(jpath) {
+		t.Fatal("journal not sniffed")
+	}
+	other := filepath.Join(dir, "x")
+	if err := os.WriteFile(other, bytes.Repeat([]byte{0x1f, 0x8b}, 8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if Sniff(other) {
+		t.Fatal("gzip file sniffed as journal")
+	}
+	if Sniff(filepath.Join(dir, "missing")) {
+		t.Fatal("missing file sniffed as journal")
+	}
+	if _, err := Read(other); err == nil {
+		t.Fatal("Read accepted a non-journal")
+	}
+	if _, _, err := OpenAppend(other); err == nil {
+		t.Fatal("OpenAppend accepted a non-journal")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(inject.CampaignC, 0, 0, 1, mkResult(0)); err == nil {
+		t.Fatal("Put after Close accepted")
+	}
+	if err := w.Close(nil); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

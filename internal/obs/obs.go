@@ -1,0 +1,204 @@
+// Package obs collects live observability metrics for injection
+// campaigns: run counters per outcome, activation rate, throughput,
+// per-worker utilization and journal flush statistics. All counters
+// are atomic so the serial loop and every parallel worker can update
+// them without coordination; Snapshot freezes a consistent-enough view
+// for the progress line, the final report and the journal trailer.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/inject"
+)
+
+// Metrics is the set of live counters for one study. Create it with
+// New and share the pointer between the driver and the workers; the
+// zero value is not usable.
+type Metrics struct {
+	start time.Time
+	now   func() time.Time
+
+	runsStarted atomic.Int64
+	runsDone    atomic.Int64
+	skipped     atomic.Int64
+	activated   atomic.Int64
+	// outcomes is indexed by inject.Outcome (1..5).
+	outcomes [6]atomic.Int64
+
+	flushes      atomic.Int64
+	flushedBytes atomic.Int64
+
+	workers []workerStats
+}
+
+type workerStats struct {
+	runs atomic.Int64
+	busy atomic.Int64 // nanoseconds spent inside RunTarget
+}
+
+// New returns metrics sized for the given number of workers (a serial
+// study is worker 0 of 1).
+func New(workers int) *Metrics {
+	if workers < 1 {
+		workers = 1
+	}
+	m := &Metrics{now: time.Now, workers: make([]workerStats, workers)}
+	m.start = m.now()
+	return m
+}
+
+// RunStarted records that a worker claimed a target.
+func (m *Metrics) RunStarted(worker int) {
+	m.runsStarted.Add(1)
+}
+
+// RunFinished records one completed injection run and the time the
+// worker spent executing it.
+func (m *Metrics) RunFinished(worker int, res *inject.Result, busy time.Duration) {
+	m.runsDone.Add(1)
+	if res.Activated {
+		m.activated.Add(1)
+	}
+	if o := int(res.Outcome); o >= 1 && o < len(m.outcomes) {
+		m.outcomes[o].Add(1)
+	}
+	if worker >= 0 && worker < len(m.workers) {
+		m.workers[worker].runs.Add(1)
+		m.workers[worker].busy.Add(int64(busy))
+	}
+}
+
+// Skip records n targets restored from a journal instead of re-run.
+func (m *Metrics) Skip(n int) {
+	m.skipped.Add(int64(n))
+}
+
+// JournalFlush records one batch flushed to the result journal.
+func (m *Metrics) JournalFlush(bytes int) {
+	m.flushes.Add(1)
+	m.flushedBytes.Add(int64(bytes))
+}
+
+// WorkerStat is the per-worker slice of a Snapshot.
+type WorkerStat struct {
+	Runs        int64
+	Busy        time.Duration
+	Utilization float64 // Busy / Elapsed
+}
+
+// Snapshot is a frozen view of the metrics, serializable into the
+// journal trailer and renderable as the live status line or the final
+// metrics block.
+type Snapshot struct {
+	Elapsed        time.Duration
+	RunsStarted    int64
+	RunsCompleted  int64
+	Skipped        int64
+	Activated      int64
+	Outcomes       map[string]int64
+	ActivationRate float64 // activated / completed
+	RunsPerSec     float64
+	Workers        []WorkerStat
+	JournalFlushes int64
+	JournalBytes   int64
+}
+
+// Snapshot freezes the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Elapsed:        m.now().Sub(m.start),
+		RunsStarted:    m.runsStarted.Load(),
+		RunsCompleted:  m.runsDone.Load(),
+		Skipped:        m.skipped.Load(),
+		Activated:      m.activated.Load(),
+		Outcomes:       make(map[string]int64),
+		JournalFlushes: m.flushes.Load(),
+		JournalBytes:   m.flushedBytes.Load(),
+	}
+	for o := 1; o < len(m.outcomes); o++ {
+		if n := m.outcomes[o].Load(); n > 0 {
+			s.Outcomes[inject.Outcome(o).String()] = n
+		}
+	}
+	if s.RunsCompleted > 0 {
+		s.ActivationRate = float64(s.Activated) / float64(s.RunsCompleted)
+	}
+	if sec := s.Elapsed.Seconds(); sec > 0 {
+		s.RunsPerSec = float64(s.RunsCompleted) / sec
+	}
+	for i := range m.workers {
+		w := WorkerStat{
+			Runs: m.workers[i].runs.Load(),
+			Busy: time.Duration(m.workers[i].busy.Load()),
+		}
+		if s.Elapsed > 0 {
+			w.Utilization = float64(w.Busy) / float64(s.Elapsed)
+		}
+		s.Workers = append(s.Workers, w)
+	}
+	return s
+}
+
+// OneLine renders the compact live-status form.
+func (s Snapshot) OneLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.1f runs/s, act %.0f%%", s.RunsPerSec, 100*s.ActivationRate)
+	if s.Skipped > 0 {
+		fmt.Fprintf(&b, ", skipped %d", s.Skipped)
+	}
+	if n := len(s.Workers); n > 1 {
+		var util float64
+		for _, w := range s.Workers {
+			util += w.Utilization
+		}
+		fmt.Fprintf(&b, ", %dw util %.0f%%", n, 100*util/float64(n))
+	}
+	if s.JournalFlushes > 0 {
+		fmt.Fprintf(&b, ", jrnl %s", fmtBytes(s.JournalBytes))
+	}
+	return b.String()
+}
+
+// Render formats the full metrics block for the end of a report.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	b.WriteString("metrics:\n")
+	fmt.Fprintf(&b, "  elapsed            %s\n", s.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  runs started       %d\n", s.RunsStarted)
+	fmt.Fprintf(&b, "  runs completed     %d (%.1f/s)\n", s.RunsCompleted, s.RunsPerSec)
+	if s.Skipped > 0 {
+		fmt.Fprintf(&b, "  skipped (resumed)  %d\n", s.Skipped)
+	}
+	fmt.Fprintf(&b, "  activated          %d (%.1f%%)\n", s.Activated, 100*s.ActivationRate)
+	keys := make([]string, 0, len(s.Outcomes))
+	for k := range s.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  outcome %-22s %d\n", k, s.Outcomes[k])
+	}
+	for i, w := range s.Workers {
+		fmt.Fprintf(&b, "  worker %-2d          %d runs, busy %s (%.0f%% utilization)\n",
+			i, w.Runs, w.Busy.Round(time.Millisecond), 100*w.Utilization)
+	}
+	if s.JournalFlushes > 0 {
+		fmt.Fprintf(&b, "  journal            %d flushes, %s\n", s.JournalFlushes, fmtBytes(s.JournalBytes))
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

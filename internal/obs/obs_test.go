@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	m := New(2)
+	// Freeze the clock so the rate math is checkable.
+	base := m.start
+	m.now = func() time.Time { return base.Add(2 * time.Second) }
+
+	crash := &inject.Result{Outcome: inject.OutcomeCrash, Activated: true}
+	nm := &inject.Result{Outcome: inject.OutcomeNotManifested, Activated: true}
+	na := &inject.Result{Outcome: inject.OutcomeNotActivated}
+
+	m.RunStarted(0)
+	m.RunFinished(0, crash, time.Second)
+	m.RunStarted(1)
+	m.RunFinished(1, nm, 500*time.Millisecond)
+	m.RunStarted(0)
+	m.RunFinished(0, na, 250*time.Millisecond)
+	m.Skip(3)
+	m.JournalFlush(100)
+	m.JournalFlush(50)
+
+	s := m.Snapshot()
+	if s.RunsStarted != 3 || s.RunsCompleted != 3 {
+		t.Fatalf("runs = %d/%d", s.RunsStarted, s.RunsCompleted)
+	}
+	if s.Skipped != 3 || s.Activated != 2 {
+		t.Fatalf("skipped=%d activated=%d", s.Skipped, s.Activated)
+	}
+	if s.Outcomes["crash"] != 1 || s.Outcomes["not manifested"] != 1 || s.Outcomes["not activated"] != 1 {
+		t.Fatalf("outcomes = %v", s.Outcomes)
+	}
+	if s.JournalFlushes != 2 || s.JournalBytes != 150 {
+		t.Fatalf("journal = %d/%d", s.JournalFlushes, s.JournalBytes)
+	}
+	if got := s.RunsPerSec; got < 1.49 || got > 1.51 {
+		t.Fatalf("runs/sec = %v", got)
+	}
+	if got := s.ActivationRate; got < 0.66 || got > 0.67 {
+		t.Fatalf("activation rate = %v", got)
+	}
+	if len(s.Workers) != 2 {
+		t.Fatalf("workers = %d", len(s.Workers))
+	}
+	if s.Workers[0].Runs != 2 || s.Workers[0].Busy != 1250*time.Millisecond {
+		t.Fatalf("worker 0 = %+v", s.Workers[0])
+	}
+	if u := s.Workers[0].Utilization; u < 0.62 || u > 0.63 {
+		t.Fatalf("worker 0 utilization = %v", u)
+	}
+
+	if line := s.OneLine(); !strings.Contains(line, "runs/s") || !strings.Contains(line, "skipped 3") {
+		t.Fatalf("one-line = %q", line)
+	}
+	block := s.Render()
+	for _, want := range []string{"runs completed", "skipped (resumed)", "outcome crash", "worker 1", "journal"} {
+		if !strings.Contains(block, want) {
+			t.Fatalf("metrics block missing %q:\n%s", want, block)
+		}
+	}
+}
+
+// The counters must be safe for concurrent workers (exercised with
+// -race in CI).
+func TestConcurrentUpdates(t *testing.T) {
+	m := New(4)
+	var wg sync.WaitGroup
+	res := &inject.Result{Outcome: inject.OutcomeHang, Activated: true}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.RunStarted(w)
+				m.RunFinished(w, res, time.Microsecond)
+				m.JournalFlush(10)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.RunsCompleted != 400 || s.Outcomes["hang"] != 400 || s.JournalBytes != 4000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestNewClampsWorkers(t *testing.T) {
+	if got := len(New(0).Snapshot().Workers); got != 1 {
+		t.Fatalf("workers = %d", got)
+	}
+}

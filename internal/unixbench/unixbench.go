@@ -379,4 +379,3 @@ func looperProg(iters int) func(*kernel.User) {
 		u.Logf("looper execs=%d", count)
 	}
 }
-
