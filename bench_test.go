@@ -153,7 +153,7 @@ func BenchmarkFigure5CaseStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		manifested = 0
 		for k := 0; k < 24 && k < len(targets); k++ {
-			res := runner.RunTarget(inject.CampaignA, targets[k])
+			res, _ := runner.RunTarget(inject.CampaignA, targets[k])
 			if res.Activated && res.Outcome != inject.OutcomeNotManifested {
 				manifested++
 			}
@@ -287,7 +287,7 @@ func BenchmarkGoldenRun(b *testing.B) {
 	t := inject.Target{Func: fn, InstAddr: fn.Addr, InstLen: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := runner.RunTarget(inject.CampaignA, t)
+		res, _ := runner.RunTarget(inject.CampaignA, t)
 		if res.Outcome != inject.OutcomeNotActivated {
 			b.Fatal("unexpected activation")
 		}
@@ -322,7 +322,7 @@ func BenchmarkAblationAssertions(b *testing.B) {
 				b.Fatal(err)
 			}
 			for _, tg := range targets {
-				res := runner.RunTarget(inject.CampaignC, tg)
+				res, _ := runner.RunTarget(inject.CampaignC, tg)
 				if res.Outcome == inject.OutcomeCrash && res.Crash.Cause == dump.CauseInvalidOpcode {
 					invalid++
 				}
@@ -365,7 +365,7 @@ func BenchmarkAblationWorkloadScale(b *testing.B) {
 				b.Fatal(err)
 			}
 			for _, tg := range targets {
-				res := runner.RunTarget(inject.CampaignC, tg)
+				res, _ := runner.RunTarget(inject.CampaignC, tg)
 				total++
 				if res.Activated {
 					activated++

@@ -6,6 +6,7 @@
 //	kinject [-campaigns ABC] [-scale N] [-seed N]
 //	        [-max-targets N] [-max-funcs N] [-workers N]
 //	        [-no-assertions] [-journal path] [-resume path]
+//	        [-run-timeout D] [-max-retries N]
 //	        [-out results.json.gz] [-q]
 //
 // A full run (no -max-targets) performs every injection of all three
@@ -23,6 +24,14 @@
 // same deterministic target list, skips everything already journaled,
 // and produces a result set identical to an uninterrupted run.
 // kreport accepts a journal wherever a results file is accepted.
+//
+// The harness tolerates its own faults: a Go panic or wall-clock stall
+// (-run-timeout, default derived from the golden run) during one
+// injection is recovered, the target is retried on freshly booted
+// machines up to -max-retries times, and then quarantined — journaled,
+// skipped on resume, and reported as excluded rather than polluting
+// the outcome tables. Parallel workers cross-validate their golden
+// (fault-free) runs against worker 0's before injecting.
 package main
 
 import (
@@ -76,6 +85,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 1, "parallel injection machines")
 	journalPath := fs.String("journal", "", "stream results to this append-only journal")
 	resumePath := fs.String("resume", "", "resume an interrupted study from this journal")
+	runTimeout := fs.Duration("run-timeout", 0, "wall-clock watchdog per injection run (0 = derive from the golden run)")
+	maxRetries := fs.Int("max-retries", core.DefaultMaxRetries, "harness-fault retries before a target is quarantined")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +98,11 @@ func run(args []string) error {
 	cfg.MaxFuncsPerCampaign = *maxFuncs
 	cfg.DisableAssertions = *noAsserts
 	cfg.Workers = *workers
+	cfg.RunTimeout = *runTimeout
+	cfg.MaxRetries = *maxRetries
+	if *maxRetries <= 0 {
+		cfg.MaxRetries = -1 // quarantine on the first fault
+	}
 
 	var (
 		jw          *journal.Writer
@@ -116,6 +132,7 @@ func run(args []string) error {
 		cfg.DisableAssertions = h.DisableAssertions
 		campaignStr = h.Campaigns
 		cfg.SkipCompleted = j.Completed()
+		cfg.Quarantined = j.QuarantinedOrdinals()
 	}
 
 	cfg.Campaigns = nil
@@ -204,6 +221,9 @@ func run(args []string) error {
 	if prior != nil {
 		fmt.Printf("resuming from %s: %d injections already journaled\n",
 			*resumePath, prior.CompletedCount())
+		if n := prior.QuarantinedCount(); n > 0 {
+			fmt.Printf("%d quarantined targets stay excluded\n", n)
+		}
 	}
 	fmt.Printf("golden run: %d cycles; watchdog budget: %d cycles\n",
 		s.Runner.GoldenCycles, s.Runner.Budget)

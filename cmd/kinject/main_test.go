@@ -36,6 +36,25 @@ func TestResumeFlagHandling(t *testing.T) {
 	}
 }
 
+func TestFaultToleranceFlags(t *testing.T) {
+	if err := run([]string{"-run-timeout", "bogus"}); err == nil {
+		t.Fatal("bad -run-timeout accepted")
+	}
+	// -run-timeout and -max-retries are operational knobs, not
+	// result-affecting ones: they must be allowed alongside -resume
+	// (the only failure here is the missing journal).
+	err := run([]string{
+		"-resume", filepath.Join(t.TempDir(), "nope"),
+		"-run-timeout", "30s", "-max-retries", "0",
+	})
+	if err == nil {
+		t.Fatal("missing journal accepted")
+	}
+	if strings.Contains(err.Error(), "conflicts with -resume") {
+		t.Fatalf("err = %v; -run-timeout/-max-retries must not conflict with -resume", err)
+	}
+}
+
 func TestTinyStudyEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs injections")

@@ -41,7 +41,11 @@ func run(args []string, w io.Writer) error {
 		if !j.Complete() {
 			state = "partial"
 		}
-		fmt.Fprintf(w, "journal %s: %d injections journaled (%s)\n\n", path, j.CompletedCount(), state)
+		fmt.Fprintf(w, "journal %s: %d injections journaled (%s)", path, j.CompletedCount(), state)
+		if n := j.QuarantinedCount(); n > 0 {
+			fmt.Fprintf(w, ", %d quarantined", n)
+		}
+		fmt.Fprint(w, "\n\n")
 	} else {
 		var err error
 		rs, err = analysis.Load(path)

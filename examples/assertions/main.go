@@ -45,7 +45,7 @@ func sweep(runner *inject.Runner, fns []string) (tally, error) {
 			return t, err
 		}
 		for _, tg := range targets {
-			res := runner.RunTarget(inject.CampaignC, tg)
+			res, _ := runner.RunTarget(inject.CampaignC, tg)
 			switch res.Outcome {
 			case inject.OutcomeCrash:
 				if res.Crash.Cause == dump.CauseInvalidOpcode {

@@ -70,7 +70,7 @@ func run() error {
 				Func: fn, InstAddr: movAddr, InstLen: 3,
 				ByteOff: byteOff, Bit: bit,
 			}
-			res := runner.RunTarget(inject.CampaignA, t)
+			res, _ := runner.RunTarget(inject.CampaignA, t)
 			if !res.Activated || res.Outcome == inject.OutcomeNotManifested {
 				continue
 			}

@@ -41,7 +41,7 @@ func run() error {
 		}
 		// A light subsample keeps this example quick.
 		for i := 0; i < len(targets); i += 4 {
-			res := runner.RunTarget(inject.CampaignA, targets[i])
+			res, _ := runner.RunTarget(inject.CampaignA, targets[i])
 			results = append(results, res)
 			if res.Propagated() {
 				fmt.Printf("  propagation: %s (fs) -> crash in %s at %s+%#x (%s)\n",

@@ -51,7 +51,7 @@ func run() error {
 	fmt.Printf("campaign A enumerates %d single-bit injections in this function\n\n", len(targets))
 
 	for _, t := range targets {
-		res := runner.RunTarget(inject.CampaignA, t)
+		res, _ := runner.RunTarget(inject.CampaignA, t)
 		if res.Outcome != inject.OutcomeCrash {
 			continue
 		}

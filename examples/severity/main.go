@@ -51,7 +51,7 @@ func run() error {
 			return err
 		}
 		for _, t := range targets {
-			res := runner.RunTarget(inject.CampaignC, t)
+			res, _ := runner.RunTarget(inject.CampaignC, t)
 			if !res.Activated {
 				continue
 			}

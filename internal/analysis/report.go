@@ -26,7 +26,17 @@ func campaignOf(key string) inject.Campaign {
 func RenderAll(rs *ResultSet) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Injection study (seed %d, workload scale %d)\n", rs.Seed, rs.Scale)
-	fmt.Fprintf(&b, "total injections: %d\n\n", len(rs.All()))
+	fmt.Fprintf(&b, "total injections: %d\n", len(rs.All()))
+	if n := rs.QuarantinedCount(); n > 0 {
+		fmt.Fprintf(&b, "quarantined (harness faults, excluded from all tables): %d —", n)
+		for _, key := range []string{"A", "B", "C"} {
+			if ords := rs.Quarantined[key]; len(ords) > 0 {
+				fmt.Fprintf(&b, " %s:%v", key, ords)
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
 
 	for _, key := range []string{"A", "B", "C"} {
 		results := rs.Results[key]

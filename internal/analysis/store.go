@@ -11,8 +11,9 @@ import (
 
 // SchemaVersion is the current on-disk result-set schema. Version 2
 // added Result.LatencyValid; files without a Version field predate it
-// and are upgraded on load.
-const SchemaVersion = 2
+// and are upgraded on load. Version 3 added Quarantined (absent in
+// older files, meaning no targets were quarantined).
+const SchemaVersion = 3
 
 // ResultSet is a persisted collection of injection results, keyed by
 // campaign, with the metadata needed to re-analyze later.
@@ -21,6 +22,21 @@ type ResultSet struct {
 	Seed    int64
 	Scale   int
 	Results map[string][]inject.Result // "A", "B", "C"
+	// Quarantined lists, per campaign key, the target ordinals
+	// abandoned after exhausted harness-fault retries. Those targets
+	// have no entry in Results and are excluded from every table and
+	// figure; reports state the count explicitly.
+	Quarantined map[string][]int `json:",omitempty"`
+}
+
+// QuarantinedCount is the number of quarantined targets across
+// campaigns.
+func (rs *ResultSet) QuarantinedCount() int {
+	n := 0
+	for _, ords := range rs.Quarantined {
+		n += len(ords)
+	}
+	return n
 }
 
 // CampaignKey renders a campaign as a stable map key.
@@ -87,15 +103,18 @@ func Load(path string) (*ResultSet, error) {
 	return &rs, nil
 }
 
-// upgrade migrates a pre-versioning result set in place. Old files
+// upgrade migrates an older result set in place. Pre-version-2 files
 // predate Result.LatencyValid; their crash records were only stored
 // when the latency subtraction was well-defined, so every crash's
-// latency is trusted.
+// latency is trusted. Version 2 -> 3 needs no data change: a missing
+// Quarantined field means nothing was quarantined.
 func (rs *ResultSet) upgrade() {
-	for _, results := range rs.Results {
-		for i := range results {
-			if results[i].Outcome == inject.OutcomeCrash {
-				results[i].LatencyValid = true
+	if rs.Version < 2 {
+		for _, results := range rs.Results {
+			for i := range results {
+				if results[i].Outcome == inject.OutcomeCrash {
+					results[i].LatencyValid = true
+				}
 			}
 		}
 	}

@@ -33,6 +33,10 @@ var ErrCancelled = errors.New("core: campaign cancelled")
 // (indirection point for worker-failure tests).
 var newRunner = inject.NewRunnerWithOptions
 
+// DefaultMaxRetries is how many times a target that harness-faulted is
+// retried on a freshly booted runner before being quarantined.
+const DefaultMaxRetries = 2
+
 // ResultSink receives every completed injection result as soon as it
 // finishes, in claim order (not target order). Implementations must be
 // safe for concurrent use by parallel workers; journal.Writer is the
@@ -43,6 +47,9 @@ type ResultSink interface {
 	// Put delivers the result of target ordinal (an index into the
 	// deterministic target list) completed by the given worker.
 	Put(c inject.Campaign, worker, ordinal, total int, res inject.Result) error
+	// Quarantine records a target abandoned after exhausted
+	// harness-fault retries; resumed runs must skip it.
+	Quarantine(c inject.Campaign, worker, ordinal int, hf inject.HarnessFault) error
 }
 
 // Config controls a study run.
@@ -79,6 +86,19 @@ type Config struct {
 	// -> previously completed result. Those targets are not re-run;
 	// the journaled result is reused verbatim (resume support).
 	SkipCompleted map[string]map[int]inject.Result
+	// Quarantined maps campaign key -> target ordinal -> true for
+	// targets a previous run abandoned after exhausted harness-fault
+	// retries. They are skipped (not re-run) and stay excluded from
+	// the result set.
+	Quarantined map[string]map[int]bool
+	// MaxRetries is how many times a harness-faulted target is retried
+	// on a freshly booted runner before quarantine. 0 means
+	// DefaultMaxRetries; negative means no retries (quarantine on the
+	// first fault).
+	MaxRetries int
+	// RunTimeout overrides the per-run wall-clock watchdog deadline
+	// (0 = derive from the golden run's wall time).
+	RunTimeout time.Duration
 	// Cancel, when set, is polled between runs by the serial loop and
 	// by every parallel worker; once true the campaign stops and
 	// RunCampaign returns ErrCancelled (graceful shutdown).
@@ -129,6 +149,7 @@ func New(cfg Config) (*Study, error) {
 	}
 	runner, err := inject.NewRunnerWithOptions(ws, inject.RunnerOptions{
 		DisableAssertions: cfg.DisableAssertions,
+		RunTimeout:        cfg.RunTimeout,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: runner: %w", err)
@@ -227,27 +248,152 @@ func (s *Study) cancelled() bool {
 	return s.Cfg.Cancel != nil && s.Cfg.Cancel.Load()
 }
 
-// runTimed executes one target on the given runner, feeding metrics.
-func (s *Study) runTimed(runner *inject.Runner, worker int, c inject.Campaign, t inject.Target) inject.Result {
+// runTimed executes one target on the given runner with full harness
+// fault isolation, feeding metrics. A non-nil fault means the run
+// produced no usable result and the runner's machine state is suspect.
+func (s *Study) runTimed(runner *inject.Runner, worker int, c inject.Campaign, t inject.Target) (inject.Result, *inject.HarnessFault) {
 	m := s.Cfg.Metrics
 	if m != nil {
 		m.RunStarted(worker)
 	}
 	start := time.Now()
-	res := runner.RunTarget(c, t)
+	res, hf := runner.SafeRunTarget(c, t)
 	if m != nil {
-		m.RunFinished(worker, &res, time.Since(start))
+		if hf != nil {
+			m.HarnessFault(worker, hf.Kind, time.Since(start))
+		} else {
+			m.RunFinished(worker, &res, time.Since(start))
+		}
 	}
-	return res
+	return res, hf
+}
+
+// maxRetries resolves Config.MaxRetries (0 = DefaultMaxRetries,
+// negative = no retries).
+func (s *Study) maxRetries() int {
+	switch {
+	case s.Cfg.MaxRetries == 0:
+		return DefaultMaxRetries
+	case s.Cfg.MaxRetries < 0:
+		return 0
+	}
+	return s.Cfg.MaxRetries
+}
+
+func (s *Study) runnerOptions() inject.RunnerOptions {
+	return inject.RunnerOptions{
+		DisableAssertions: s.Cfg.DisableAssertions,
+		RunTimeout:        s.Cfg.RunTimeout,
+	}
+}
+
+// bootValidatedRunner boots a fresh runner (for a parallel worker or
+// to replace one whose machine state a harness fault left suspect) and
+// cross-validates its golden run against the study runner's: the trace
+// fingerprint and the disk hash must match exactly, otherwise the
+// simulated machines have diverged and every fail-silence verdict the
+// new runner produced would be incomparable. The study's harness
+// fault-injection hook is carried over so retries see the same hook.
+func (s *Study) bootValidatedRunner(ws []kernel.Workload) (*inject.Runner, error) {
+	r, err := newRunner(ws, s.runnerOptions())
+	if err != nil {
+		return nil, err
+	}
+	r.HookBeforeRun = s.Runner.HookBeforeRun
+	if got, want := r.GoldenFingerprint(), s.Runner.GoldenFingerprint(); got != want {
+		return nil, fmt.Errorf("core: golden cross-validation failed: trace fingerprint %q != reference %q (diverged simulated machine; refusing to inject)", got, want)
+	}
+	if got, want := r.GoldenDiskHash(), s.Runner.GoldenDiskHash(); got != want {
+		return nil, fmt.Errorf("core: golden cross-validation failed: disk hash %x != reference %x (diverged simulated machine; refusing to inject)", got, want)
+	}
+	return r, nil
+}
+
+// runReliable executes one target under the retry-and-quarantine
+// policy: every harness fault discards the current runner (its machine
+// state is suspect) and boots a validated replacement; the target is
+// retried up to maxRetries times and quarantined when retries are
+// exhausted. It returns the result (hf == nil), the quarantining fault
+// (hf != nil), and the runner the worker should continue with. A
+// non-nil error means the harness could not recover (replacement boot
+// or validation failed) and the campaign must abort.
+func (s *Study) runReliable(runner *inject.Runner, worker int, c inject.Campaign, t inject.Target, ws []kernel.Workload) (res inject.Result, hf *inject.HarnessFault, out *inject.Runner, err error) {
+	out = runner
+	m := s.Cfg.Metrics
+	for attempt := 0; ; attempt++ {
+		res, hf = s.runTimed(out, worker, c, t)
+		if hf == nil {
+			return res, nil, out, nil
+		}
+		fresh, berr := s.bootValidatedRunner(ws)
+		if berr != nil {
+			return res, hf, out, fmt.Errorf("core: worker %d: reboot after harness fault (%v): %w", worker, hf, berr)
+		}
+		out = fresh
+		if m != nil {
+			m.RunnerReboot()
+		}
+		if attempt >= s.maxRetries() {
+			if m != nil {
+				m.Quarantined()
+			}
+			return res, hf, out, nil
+		}
+		if m != nil {
+			m.Retry()
+		}
+	}
+}
+
+// storeCampaign compacts the per-ordinal result slice into the stored
+// set: quarantined ordinals (prior and new) are removed from the
+// results and recorded in Set.Quarantined, so the analysis layer never
+// sees a zero-valued placeholder and reports can state what was
+// excluded. It returns the compacted slice.
+func (s *Study) storeCampaign(key string, results []inject.Result, prior map[int]bool, fresh map[int]bool) []inject.Result {
+	quar := make([]int, 0, len(prior)+len(fresh))
+	for ord := range prior {
+		quar = append(quar, ord)
+	}
+	for ord := range fresh {
+		if !prior[ord] {
+			quar = append(quar, ord)
+		}
+	}
+	sort.Ints(quar)
+	if len(quar) == 0 {
+		s.Set.Results[key] = results
+		return results
+	}
+	drop := make(map[int]bool, len(quar))
+	for _, ord := range quar {
+		drop[ord] = true
+	}
+	kept := make([]inject.Result, 0, len(results)-len(quar))
+	for i := range results {
+		if !drop[i] {
+			kept = append(kept, results[i])
+		}
+	}
+	s.Set.Results[key] = kept
+	if s.Set.Quarantined == nil {
+		s.Set.Quarantined = make(map[string][]int)
+	}
+	s.Set.Quarantined[key] = quar
+	return kept
 }
 
 // RunCampaign executes one campaign and stores the results. With
 // Cfg.Workers > 1, targets are spread across independent simulated
 // machines; the result slice is ordered by target, so the output is
 // identical to a serial run. Targets listed in Cfg.SkipCompleted are
-// restored from their journaled results instead of re-run, and every
-// freshly completed result is streamed to Cfg.Sink, so an interrupted
-// campaign resumes to an identical result set.
+// restored from their journaled results instead of re-run, targets in
+// Cfg.Quarantined stay excluded, and every freshly completed result is
+// streamed to Cfg.Sink, so an interrupted campaign resumes to an
+// identical result set. Harness faults (Go panics, wall-clock
+// timeouts, breakpoint I/O errors, unclassifiable host errors) never
+// kill the campaign: the target is retried on freshly booted runners
+// and quarantined when retries are exhausted.
 func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 	targets, err := s.Targets(c)
 	if err != nil {
@@ -256,9 +402,14 @@ func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 	key := analysis.CampaignKey(c)
 	total := len(targets)
 	skip := s.Cfg.SkipCompleted[key]
+	prior := s.Cfg.Quarantined[key]
 	results := make([]inject.Result, total)
-	nskip := 0
+	nskip, nprior := 0, 0
 	for i := range targets {
+		if prior[i] {
+			nprior++
+			continue
+		}
 		if res, ok := skip[i]; ok {
 			results[i] = res
 			nskip++
@@ -272,28 +423,46 @@ func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 			return nil, err
 		}
 	}
-	if nskip == total {
+	ws := unixbench.Suite(unixbench.Scale(s.Cfg.Scale))
+	if nskip+nprior == total {
 		if s.Cfg.Progress != nil && total > 0 {
 			s.Cfg.Progress(c, "", total, total)
 		}
-		s.Set.Results[key] = results
-		return results, nil
+		return s.storeCampaign(key, results, prior, nil), nil
 	}
 
 	workers := s.Cfg.Workers
 	if workers <= 1 {
-		done := nskip
+		fresh := make(map[int]bool)
+		done := nskip + nprior
 		for i, t := range targets {
+			if prior[i] {
+				continue
+			}
 			if _, ok := skip[i]; ok {
 				continue
 			}
 			if s.cancelled() {
 				return nil, ErrCancelled
 			}
-			results[i] = s.runTimed(s.Runner, 0, c, t)
-			if s.Cfg.Sink != nil {
-				if err := s.Cfg.Sink.Put(c, 0, i, total, results[i]); err != nil {
-					return nil, err
+			res, hf, runner, err := s.runReliable(s.Runner, 0, c, t, ws)
+			s.Runner = runner
+			if err != nil {
+				return nil, err
+			}
+			if hf != nil {
+				fresh[i] = true
+				if s.Cfg.Sink != nil {
+					if err := s.Cfg.Sink.Quarantine(c, 0, i, *hf); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				results[i] = res
+				if s.Cfg.Sink != nil {
+					if err := s.Cfg.Sink.Put(c, 0, i, total, res); err != nil {
+						return nil, err
+					}
 				}
 			}
 			done++
@@ -301,18 +470,18 @@ func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 				s.Cfg.Progress(c, t.Func.Name, done, total)
 			}
 		}
-		s.Set.Results[key] = results
-		return results, nil
+		return s.storeCampaign(key, results, prior, fresh), nil
 	}
 
 	var (
 		next  int32 = -1
-		done  int32 = int32(nskip)
+		done  int32 = int32(nskip + nprior)
 		abort atomic.Bool
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		rerr  error
 	)
+	fresh := make(map[int]bool)
 	fail := func(err error) {
 		mu.Lock()
 		if rerr == nil {
@@ -321,39 +490,72 @@ func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 		mu.Unlock()
 		abort.Store(true)
 	}
-	ws := unixbench.Suite(unixbench.Scale(s.Cfg.Scale))
+	// Boot every extra worker before any injection runs. Each boot
+	// cross-validates the worker's golden fingerprint and disk hash
+	// against worker 0's, so a diverged simulated machine aborts the
+	// campaign with a diagnostic before a single result is journaled
+	// (and a worker that cannot boot aborts its siblings right away:
+	// without that they would execute the whole doomed campaign before
+	// the error discarded it).
+	runners := make([]*inject.Runner, workers)
+	runners[0] = s.Runner
+	var boot sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		boot.Add(1)
+		go func(w int) {
+			defer boot.Done()
+			r, err := s.bootValidatedRunner(ws)
+			if err != nil {
+				fail(fmt.Errorf("core: worker %d: %w", w, err))
+				return
+			}
+			runners[w] = r
+		}(w)
+	}
+	boot.Wait()
+	if rerr != nil {
+		return nil, rerr
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runner := s.Runner
-			if w != 0 {
-				// A worker that cannot boot aborts its siblings right
-				// away: without the abort flag they would execute the
-				// whole doomed campaign before the error discarded it.
-				r, err := newRunner(ws, inject.RunnerOptions{
-					DisableAssertions: s.Cfg.DisableAssertions,
-				})
-				if err != nil {
-					fail(err)
-					return
-				}
-				runner = r
-			}
+			runner := runners[w]
+			defer func() { runners[w] = runner }()
 			for !abort.Load() && !s.cancelled() {
 				i := int(atomic.AddInt32(&next, 1))
 				if i >= total {
 					return
 				}
+				if prior[i] {
+					continue
+				}
 				if _, ok := skip[i]; ok {
 					continue
 				}
-				res := s.runTimed(runner, w, c, targets[i])
-				results[i] = res
-				if s.Cfg.Sink != nil {
-					if err := s.Cfg.Sink.Put(c, w, i, total, res); err != nil {
-						fail(err)
-						return
+				res, hf, r, err := s.runReliable(runner, w, c, targets[i], ws)
+				runner = r
+				if err != nil {
+					fail(err)
+					return
+				}
+				if hf != nil {
+					mu.Lock()
+					fresh[i] = true
+					mu.Unlock()
+					if s.Cfg.Sink != nil {
+						if err := s.Cfg.Sink.Quarantine(c, w, i, *hf); err != nil {
+							fail(err)
+							return
+						}
+					}
+				} else {
+					results[i] = res
+					if s.Cfg.Sink != nil {
+						if err := s.Cfg.Sink.Put(c, w, i, total, res); err != nil {
+							fail(err)
+							return
+						}
 					}
 				}
 				n := int(atomic.AddInt32(&done, 1))
@@ -366,14 +568,16 @@ func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	// Worker 0 may have rebooted its runner after a harness fault; keep
+	// the study pointed at the live one (wg.Wait orders the read).
+	s.Runner = runners[0]
 	if rerr != nil {
 		return nil, rerr
 	}
 	if s.cancelled() {
 		return nil, ErrCancelled
 	}
-	s.Set.Results[key] = results
-	return results, nil
+	return s.storeCampaign(key, results, prior, fresh), nil
 }
 
 // RunAll executes every configured campaign.

@@ -8,6 +8,7 @@ package cpu
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ia32"
 	"repro/internal/mem"
@@ -131,6 +132,15 @@ type CPU struct {
 	OnSample    func(eip uint32)
 	nextSample  uint64
 
+	// Stop, when set, is a cooperative stop flag: Run polls it at
+	// entry and every stopPollInterval instructions, returning
+	// StopInterrupted once it is true. The injection harness's
+	// wall-clock watchdog raises it to end Go-level livelocks that the
+	// simulated-cycle budget alone would never catch (the cycle
+	// counter is host state — a stuck interpreter loop that stops
+	// advancing it starves the StopBudget check forever).
+	Stop *atomic.Bool
+
 	fetch [ia32.MaxInstLen]byte
 
 	// Decode cache: executable bytes only change when Mem.CodeGen
@@ -172,10 +182,11 @@ type StopReason int
 
 // Stop reasons.
 const (
-	StopReturned  StopReason = iota + 1 // EIP reached the host return sentinel
-	StopException                       // unhandled CPU exception
-	StopBudget                          // cycle budget exhausted (watchdog)
-	StopHalted                          // HLT executed
+	StopReturned    StopReason = iota + 1 // EIP reached the host return sentinel
+	StopException                         // unhandled CPU exception
+	StopBudget                            // cycle budget exhausted (watchdog)
+	StopHalted                            // HLT executed
+	StopInterrupted                       // cooperative Stop flag raised (harness watchdog)
 )
 
 func (r StopReason) String() string {
@@ -188,9 +199,17 @@ func (r StopReason) String() string {
 		return "budget exhausted"
 	case StopHalted:
 		return "halted"
+	case StopInterrupted:
+		return "interrupted"
 	}
 	return "stop?"
 }
+
+// stopPollInterval is how many executed instructions pass between
+// polls of the cooperative Stop flag (cheap enough to keep the hot
+// interpreter loop atomic-free almost always, frequent enough that a
+// stop lands within microseconds).
+const stopPollInterval = 1024
 
 // HostReturn is the sentinel return address pushed by the host when
 // calling into simulated code; reaching it means the called function
@@ -249,10 +268,23 @@ func (c *CPU) pageFault(err error, _ uint32) error {
 // or halt occurs, or control returns to the host sentinel. It returns
 // the stop reason and, for StopException, the exception.
 func (c *CPU) Run(budget uint64) (StopReason, *Exception) {
+	// Poll the stop flag once per Run entry so even livelocks made of
+	// many short host calls (each executing fewer than
+	// stopPollInterval instructions) observe the stop promptly.
+	if c.Stop != nil && c.Stop.Load() {
+		return StopInterrupted, nil
+	}
 	limit := c.Cycles + budget
+	poll := 0
 	for c.Cycles < limit {
 		if c.EIP == HostReturn {
 			return StopReturned, nil
+		}
+		if poll++; poll >= stopPollInterval {
+			poll = 0
+			if c.Stop != nil && c.Stop.Load() {
+				return StopInterrupted, nil
+			}
 		}
 		if c.SampleEvery > 0 && c.Cycles >= c.nextSample {
 			c.OnSample(c.EIP)

@@ -1,0 +1,56 @@
+package cpu_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+// TestStopFlagInterruptsLoop: raising the cooperative stop flag from
+// another goroutine halts an otherwise-unbounded loop with
+// StopInterrupted — the mechanism the wall-clock watchdog uses to
+// surface Go-level livelocks that never exhaust the cycle budget.
+func TestStopFlagInterruptsLoop(t *testing.T) {
+	m := build(t, `
+spin:
+.Lagain:
+	jmp .Lagain
+`)
+	var stop atomic.Bool
+	m.cpu.Stop = &stop
+	tm := time.AfterFunc(10*time.Millisecond, func() { stop.Store(true) })
+	defer tm.Stop()
+	reason, exc := m.call(t, "spin", 1<<62)
+	if reason != cpu.StopInterrupted || exc != nil {
+		t.Fatalf("stop = %v, exc = %v, want StopInterrupted", reason, exc)
+	}
+}
+
+// TestStopFlagCheckedAtEntry: a livelock made of many short host calls
+// never reaches the in-loop poll interval, so Run must honor an
+// already-raised flag before executing a single instruction.
+func TestStopFlagCheckedAtEntry(t *testing.T) {
+	m := build(t, `
+nop_fn:
+	ret
+`)
+	var stop atomic.Bool
+	stop.Store(true)
+	m.cpu.Stop = &stop
+	cycles := m.cpu.Cycles
+	reason, exc := m.call(t, "nop_fn", 1<<62)
+	if reason != cpu.StopInterrupted || exc != nil {
+		t.Fatalf("stop = %v, exc = %v, want StopInterrupted", reason, exc)
+	}
+	if m.cpu.Cycles != cycles {
+		t.Fatalf("executed %d cycles with stop already raised", m.cpu.Cycles-cycles)
+	}
+
+	// Clearing the flag lets the same CPU run normally again.
+	stop.Store(false)
+	if reason, exc := m.call(t, "nop_fn", 1<<62); reason != cpu.StopReturned || exc != nil {
+		t.Fatalf("after clear: stop = %v, exc = %v, want StopReturned", reason, exc)
+	}
+}

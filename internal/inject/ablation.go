@@ -2,6 +2,7 @@ package inject
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ia32"
 	"repro/internal/kernel"
@@ -50,6 +51,10 @@ type RunnerOptions struct {
 	// DisableAssertions strips every kernel BUG()/ud2 assertion before
 	// the golden run (the ablation build).
 	DisableAssertions bool
+	// RunTimeout overrides the per-run wall-clock watchdog deadline
+	// used by SafeRunTarget (0 = derive a generous default from the
+	// golden run's wall time).
+	RunTimeout time.Duration
 }
 
 // NewRunnerWithOptions is NewRunner with build options applied to the
@@ -64,5 +69,5 @@ func NewRunnerWithOptions(ws []kernel.Workload, opts RunnerOptions) (*Runner, er
 			return nil, err
 		}
 	}
-	return newRunnerFromMachine(m, ws)
+	return newRunnerFromMachine(m, ws, opts)
 }

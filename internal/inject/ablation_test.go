@@ -74,7 +74,7 @@ func TestAblationAssertionEffect(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, tg := range targets {
-				res := r.RunTarget(CampaignC, tg)
+				res, _ := r.RunTarget(CampaignC, tg)
 				if res.Outcome == OutcomeCrash {
 					crashes++
 					if res.Crash.Cause == dump.CauseInvalidOpcode {

@@ -1,0 +1,69 @@
+package inject
+
+import "fmt"
+
+// FaultKind classifies a harness fault — a failure of the experiment
+// apparatus itself, as opposed to a paper outcome of the injected
+// system. The paper's apparatus (hardware watchdog, reboot, LKCD)
+// survived 35,000+ injections because harness failures were isolated
+// from the target; this type is the software analog.
+type FaultKind string
+
+// Harness fault kinds.
+const (
+	// FaultPanic — a Go panic escaped the run (interpreter, ext2
+	// checker, dump classifier); recovered by SafeRunTarget.
+	FaultPanic FaultKind = "panic"
+	// FaultTimeout — the wall-clock watchdog stopped a Go-level
+	// livelock that never tripped the simulated-cycle watchdog
+	// (distinct from the paper's simulated Hang outcome).
+	FaultTimeout FaultKind = "timeout"
+	// FaultHostError — the run ended with a host-level error that is
+	// neither a crash dump nor a hang (previously miscounted as a
+	// paper Hang, polluting Figure 4).
+	FaultHostError FaultKind = "host-error"
+	// FaultBreakpointIO — the breakpoint handler could not read or
+	// write the target byte (previously silently classified Not
+	// Activated).
+	FaultBreakpointIO FaultKind = "breakpoint-io"
+)
+
+// HarnessFault records one failure of the harness during an injection
+// run. It is not an outcome: the run produced no trustworthy result,
+// the machine state is suspect, and the caller must boot a fresh
+// runner before retrying the target. Exhausted retries quarantine the
+// target in the journal.
+type HarnessFault struct {
+	// Kind is the fault category.
+	Kind FaultKind
+	// Msg is the human-readable cause (panic value, error text).
+	Msg string
+	// Stack is the Go stack at recovery time (FaultPanic only).
+	Stack string `json:",omitempty"`
+	// Target identifies the injection being attempted.
+	Func     string `json:",omitempty"`
+	InstAddr uint32 `json:",omitempty"`
+	ByteOff  int    `json:",omitempty"`
+	Bit      uint8  `json:",omitempty"`
+}
+
+// Error renders the fault as an error string.
+func (f *HarnessFault) Error() string {
+	if f.Func != "" {
+		return fmt.Sprintf("inject: harness fault (%s) at %s+%#x byte %d bit %d: %s",
+			f.Kind, f.Func, f.InstAddr, f.ByteOff, f.Bit, f.Msg)
+	}
+	return fmt.Sprintf("inject: harness fault (%s): %s", f.Kind, f.Msg)
+}
+
+// newFault builds a fault tagged with the target being attempted.
+func newFault(kind FaultKind, t Target, format string, args ...interface{}) *HarnessFault {
+	return &HarnessFault{
+		Kind:     kind,
+		Msg:      fmt.Sprintf(format, args...),
+		Func:     t.Func.Name,
+		InstAddr: t.InstAddr,
+		ByteOff:  t.ByteOff,
+		Bit:      t.Bit,
+	}
+}

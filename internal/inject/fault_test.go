@@ -1,0 +1,100 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// activatedTarget returns a target the workloads execute (sys_read is
+// on every file-reading workload's path), so the breakpoint fires.
+func activatedTarget(t *testing.T, r *Runner) Target {
+	t.Helper()
+	fn, ok := r.M.Prog.FuncByName("sys_read")
+	if !ok {
+		t.Fatal("no sys_read")
+	}
+	return Target{Func: fn, InstAddr: fn.Addr, InstLen: 1, ByteOff: 0, Bit: 0}
+}
+
+// TestSafeRunTargetRecoversPanic: a Go panic during a run is recovered
+// into a FaultPanic with the target identity and a stack, and the same
+// runner keeps working once the faulty hook is gone.
+func TestSafeRunTargetRecoversPanic(t *testing.T) {
+	r := newRunnerT(t)
+	tg := activatedTarget(t, r)
+	r.HookBeforeRun = func(Campaign, Target) { panic("injected harness bug") }
+	_, hf := r.SafeRunTarget(CampaignA, tg)
+	if hf == nil {
+		t.Fatal("panic not recovered into a harness fault")
+	}
+	if hf.Kind != FaultPanic {
+		t.Fatalf("kind = %s, want %s", hf.Kind, FaultPanic)
+	}
+	if !strings.Contains(hf.Msg, "injected harness bug") {
+		t.Fatalf("msg = %q", hf.Msg)
+	}
+	if hf.Stack == "" {
+		t.Fatal("missing Go stack")
+	}
+	if hf.Func != "sys_read" || hf.InstAddr != tg.InstAddr {
+		t.Fatalf("fault lost target identity: %+v", hf)
+	}
+	if !strings.Contains(hf.Error(), "panic") || !strings.Contains(hf.Error(), "sys_read") {
+		t.Fatalf("Error() = %q", hf.Error())
+	}
+
+	r.HookBeforeRun = nil
+	res, hf2 := r.SafeRunTarget(CampaignA, tg)
+	if hf2 != nil {
+		t.Fatalf("clean run faulted: %v", hf2)
+	}
+	if res.Outcome == 0 {
+		t.Fatal("clean run has no outcome")
+	}
+}
+
+// TestSafeRunTargetWallClockTimeout: a stalled harness (hook sleeping
+// past RunTimeout, standing in for a Go-level livelock) is stopped by
+// the wall-clock watchdog and surfaces as FaultTimeout — not as the
+// paper's Hang outcome.
+func TestSafeRunTargetWallClockTimeout(t *testing.T) {
+	r := newRunnerT(t)
+	tg := activatedTarget(t, r)
+	r.RunTimeout = 5 * time.Millisecond
+	r.HookBeforeRun = func(Campaign, Target) { time.Sleep(100 * time.Millisecond) }
+	res, hf := r.SafeRunTarget(CampaignA, tg)
+	if hf == nil {
+		t.Fatalf("watchdog never fired; outcome = %v", res.Outcome)
+	}
+	if hf.Kind != FaultTimeout {
+		t.Fatalf("kind = %s, want %s", hf.Kind, FaultTimeout)
+	}
+
+	// With the stall gone and a sane deadline the runner recovers.
+	r.HookBeforeRun = nil
+	r.RunTimeout = time.Minute
+	if _, hf := r.SafeRunTarget(CampaignA, tg); hf != nil {
+		t.Fatalf("recovered run faulted: %v", hf)
+	}
+}
+
+// TestBreakpointIOFault: a target byte outside mapped memory makes the
+// breakpoint handler's read fail; that must surface as a harness fault
+// (the old code silently classified it Not Activated).
+func TestBreakpointIOFault(t *testing.T) {
+	r := newRunnerT(t)
+	tg := activatedTarget(t, r)
+	tg.ByteOff = 0x3000_0000 // way outside the mapped kernel image
+	res, hf := r.SafeRunTarget(CampaignA, tg)
+	if hf == nil {
+		t.Fatalf("unflippable byte not a fault; outcome = %v, activated = %v",
+			res.Outcome, res.Activated)
+	}
+	if hf.Kind != FaultBreakpointIO {
+		t.Fatalf("kind = %s, want %s", hf.Kind, FaultBreakpointIO)
+	}
+	if res.Activated {
+		t.Fatal("failed flip still counted as activated")
+	}
+}

@@ -76,7 +76,7 @@ func TestGoldenRunReproducible(t *testing.T) {
 func TestNotActivatedTarget(t *testing.T) {
 	r := newRunnerT(t)
 	fn, _ := r.M.Prog.FuncByName("cpu_idle")
-	res := r.RunTarget(CampaignA, Target{Func: fn, InstAddr: fn.Addr, InstLen: 1, ByteOff: 0, Bit: 0})
+	res, _ := r.RunTarget(CampaignA, Target{Func: fn, InstAddr: fn.Addr, InstLen: 1, ByteOff: 0, Bit: 0})
 	if res.Outcome != OutcomeNotActivated {
 		t.Fatalf("outcome = %v, want not activated", res.Outcome)
 	}
@@ -97,7 +97,7 @@ func TestCampaignCOnScheduler(t *testing.T) {
 	}
 	counts := map[Outcome]int{}
 	for _, tg := range targets {
-		res := r.RunTarget(CampaignC, tg)
+		res, _ := r.RunTarget(CampaignC, tg)
 		counts[res.Outcome]++
 		if res.Outcome == OutcomeCrash && res.Crash == nil {
 			t.Fatal("crash without record")
@@ -130,7 +130,7 @@ func TestInjectionProducesCrashes(t *testing.T) {
 	var crashes, activated int
 	causes := map[dump.Cause]int{}
 	for _, tg := range targets {
-		res := r.RunTarget(CampaignA, tg)
+		res, _ := r.RunTarget(CampaignA, tg)
 		if res.Activated {
 			activated++
 		}
@@ -163,8 +163,8 @@ func TestResultDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	tg := targets[2]
-	a := r.RunTarget(CampaignA, tg)
-	b := r.RunTarget(CampaignA, tg)
+	a, _ := r.RunTarget(CampaignA, tg)
+	b, _ := r.RunTarget(CampaignA, tg)
 	if a.Outcome != b.Outcome || a.ActivationCycle != b.ActivationCycle || a.Latency != b.Latency {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
 	}

@@ -3,6 +3,9 @@ package inject
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/disk"
@@ -72,11 +75,40 @@ type Runner struct {
 	Budget uint64
 	// GoldenCycles is the cycle cost of the fault-free run.
 	GoldenCycles uint64
+	// GoldenWall is the wall-clock time the golden run took.
+	GoldenWall time.Duration
+	// RunTimeout is the per-run wall-clock deadline enforced by
+	// SafeRunTarget (the harness watchdog, layered on top of the
+	// simulated-cycle Budget). Defaults to a generous multiple of
+	// GoldenWall; 0 disables the wall-clock watchdog.
+	RunTimeout time.Duration
+	// HookBeforeRun, when set, runs at the top of every SafeRunTarget
+	// call, after the watchdog is armed and before the machine runs.
+	// It is the harness fault-injection point used by the
+	// fault-tolerance tests (a panicking or stalling hook simulates a
+	// harness bug on a chosen target).
+	HookBeforeRun func(c Campaign, t Target)
 
 	snap       *kernel.Snapshot
 	goldenFP   string
 	goldenDisk [32]byte
+
+	// stop is the cooperative CPU stop flag; timedOut records that the
+	// wall-clock watchdog (not some other stop source) raised it.
+	stop     atomic.Bool
+	timedOut atomic.Bool
 }
+
+// GoldenFingerprint returns the trace fingerprint of the fault-free
+// run. Parallel workers cross-validate their fingerprints against
+// worker 0's before injecting: a divergent golden means divergent
+// simulated machines, which would silently misclassify Fail Silence
+// Violations.
+func (r *Runner) GoldenFingerprint() string { return r.goldenFP }
+
+// GoldenDiskHash returns the post-golden-run disk image hash (the
+// second half of the cross-validation oracle).
+func (r *Runner) GoldenDiskHash() [32]byte { return r.goldenDisk }
 
 // windowSize is how much text each result snapshots around the
 // injection point for case studies.
@@ -90,17 +122,20 @@ func NewRunner(ws []kernel.Workload) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newRunnerFromMachine(m, ws)
+	return newRunnerFromMachine(m, ws, RunnerOptions{})
 }
 
-func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload) (*Runner, error) {
+func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload, opts RunnerOptions) (*Runner, error) {
 	r := &Runner{M: m, Workloads: ws}
 	r.snap = m.TakeSnapshot()
+	m.CPU.Stop = &r.stop
 
+	wallStart := time.Now()
 	res := m.RunWorkloads(ws, 1<<40)
 	if res.Err != nil {
 		return nil, fmt.Errorf("inject: golden run failed: %w", res.Err)
 	}
+	r.GoldenWall = time.Since(wallStart)
 	r.goldenFP = res.Fingerprint()
 	img, err := m.DiskImage()
 	if err != nil {
@@ -115,12 +150,28 @@ func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload) (*Runner, err
 	// Watchdog: generous multiple of the golden run (the paper's
 	// hardware watchdog rebooted hung systems).
 	r.Budget = r.GoldenCycles*5 + 2_000_000
+	if opts.RunTimeout > 0 {
+		r.RunTimeout = opts.RunTimeout
+	} else {
+		// Wall-clock watchdog default: a legitimate simulated hang
+		// burns at most ~5x the golden cycles, so 20x the golden wall
+		// time plus slack only fires on Go-level livelocks, never on
+		// paper outcomes.
+		r.RunTimeout = 20*r.GoldenWall + 2*time.Second
+	}
 	m.Restore(r.snap)
 	return r, nil
 }
 
-// RunTarget executes one injection experiment and classifies it.
-func (r *Runner) RunTarget(c Campaign, t Target) Result {
+// RunTarget executes one injection experiment and classifies it. A
+// nil *HarnessFault means the Result carries a genuine paper outcome;
+// a non-nil fault means the harness itself failed (the target byte
+// could not be flipped, the wall-clock watchdog fired, or the run
+// ended with an unclassifiable host error) and the Result must be
+// discarded — the machine state is suspect, so the caller should boot
+// a fresh runner before retrying. Use SafeRunTarget to also isolate
+// Go panics and arm the wall-clock watchdog.
+func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
 	m := r.M
 	m.Restore(r.snap)
 
@@ -129,14 +180,17 @@ func (r *Runner) RunTarget(c Campaign, t Target) Result {
 		res.OrigWindow = w
 	}
 
+	var bpFault *HarnessFault
 	m.CPU.OnBreakpoint = func(cp *cpu.CPU, dr int) {
 		b, err := m.Mem.ReadRaw(t.Addr(), 1)
 		if err != nil {
 			cp.ClearBreakpoint(dr)
+			bpFault = newFault(FaultBreakpointIO, t, "read target byte %#x: %v", t.Addr(), err)
 			return
 		}
 		if err := m.Mem.WriteRaw(t.Addr(), []byte{b[0] ^ (1 << t.Bit)}); err != nil {
 			cp.ClearBreakpoint(dr)
+			bpFault = newFault(FaultBreakpointIO, t, "write target byte %#x: %v", t.Addr(), err)
 			return
 		}
 		cp.ClearBreakpoint(dr)
@@ -153,9 +207,21 @@ func (r *Runner) RunTarget(c Campaign, t Target) Result {
 		res.CorruptWindow = w
 	}
 
+	// Harness failures are surfaced before any outcome is assigned —
+	// a failed bit flip is not "Not Activated" and a watchdog-stopped
+	// run is not a paper Hang.
+	if bpFault != nil {
+		return res, bpFault
+	}
+	if errors.Is(run.Err, kernel.ErrStopped) {
+		return res, newFault(FaultTimeout, t,
+			"wall-clock watchdog fired after %v (simulated-cycle budget %d never tripped)",
+			r.RunTimeout, r.Budget)
+	}
+
 	if !res.Activated {
 		res.Outcome = OutcomeNotActivated
-		return res
+		return res, nil
 	}
 
 	switch {
@@ -169,10 +235,9 @@ func (r *Runner) RunTarget(c Campaign, t Target) Result {
 	default:
 		rec, ok := dump.Classify(run.Err)
 		if !ok {
-			// Host-level failure treated as a hang/unknown crash.
-			res.Outcome = OutcomeHang
-			res.Severity, res.BootBroken = r.severity()
-			break
+			// Unclassifiable host-level failure: a harness fault, not
+			// a paper Hang (counting these as Hangs polluted Figure 4).
+			return res, newFault(FaultHostError, t, "unclassifiable host error: %v", run.Err)
 		}
 		res.Outcome = OutcomeCrash
 		res.Crash = &rec
@@ -194,7 +259,36 @@ func (r *Runner) RunTarget(c Campaign, t Target) Result {
 		}
 		res.Severity, res.BootBroken = r.severity()
 	}
-	return res
+	return res, nil
+}
+
+// SafeRunTarget is RunTarget with full harness fault isolation: a Go
+// panic anywhere in the run (interpreter, ext2 checker, dump
+// classifier) is recovered into a FaultPanic instead of killing the
+// campaign, and the wall-clock watchdog (RunTimeout) is armed so a
+// Go-level livelock surfaces as a FaultTimeout. After any returned
+// fault the machine state is suspect: discard this runner and boot a
+// fresh one before retrying the target.
+func (r *Runner) SafeRunTarget(c Campaign, t Target) (res Result, hf *HarnessFault) {
+	defer func() {
+		if p := recover(); p != nil {
+			hf = newFault(FaultPanic, t, "panic: %v", p)
+			hf.Stack = string(debug.Stack())
+		}
+	}()
+	r.stop.Store(false)
+	r.timedOut.Store(false)
+	if r.RunTimeout > 0 {
+		tm := time.AfterFunc(r.RunTimeout, func() {
+			r.timedOut.Store(true)
+			r.stop.Store(true)
+		})
+		defer tm.Stop()
+	}
+	if r.HookBeforeRun != nil {
+		r.HookBeforeRun(c, t)
+	}
+	return r.RunTarget(c, t)
 }
 
 // classifyCompleted separates Not Manifested from Fail Silence

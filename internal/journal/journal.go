@@ -8,12 +8,14 @@
 // frame is a 4-byte little-endian length and one gzip member holding a
 // single JSON record. Record kinds:
 //
-//	header    study configuration (seed, scale, campaigns, caps)
-//	campaign  campaign start: key and total target count
-//	result    one completed injection: {campaign, ordinal, result}
-//	index     fsync'd high-water marks of {campaign, ordinal} per
-//	          worker shard, written with every flushed batch
-//	trailer   final metrics snapshot on clean close
+//	header      study configuration (seed, scale, campaigns, caps)
+//	campaign    campaign start: key and total target count
+//	result      one completed injection: {campaign, ordinal, result}
+//	quarantine  one target abandoned after exhausted harness-fault
+//	            retries: {campaign, ordinal, fault}; resume skips it
+//	index       fsync'd high-water marks of {campaign, ordinal} per
+//	            worker shard, written with every flushed batch
+//	trailer     final metrics snapshot on clean close
 //
 // The reader tolerates a truncated or corrupt tail — every intact
 // record prefix is recovered — and OpenAppend resumes writing after
@@ -41,8 +43,10 @@ import (
 // magic identifies a journal file.
 const magic = "kjnl1\n"
 
-// Version is the journal format version.
-const Version = 1
+// Version is the journal format version. Version 2 added quarantine
+// records; version-1 journals read and resume unchanged (they simply
+// contain none).
+const Version = 2
 
 // maxRecord bounds a single record frame; larger lengths mean a
 // corrupt frame header.
@@ -75,23 +79,25 @@ type ShardMark struct {
 
 // record is the on-disk union of all record kinds.
 type record struct {
-	Kind     string         `json:"kind"`
-	Header   *Header        `json:"header,omitempty"`
-	Campaign string         `json:"campaign,omitempty"`
-	Total    int            `json:"total,omitempty"`
-	Worker   int            `json:"worker,omitempty"`
-	Ordinal  int            `json:"ordinal,omitempty"`
-	Result   *inject.Result `json:"result,omitempty"`
-	Index    []ShardMark    `json:"index,omitempty"`
-	Metrics  *obs.Snapshot  `json:"metrics,omitempty"`
+	Kind     string               `json:"kind"`
+	Header   *Header              `json:"header,omitempty"`
+	Campaign string               `json:"campaign,omitempty"`
+	Total    int                  `json:"total,omitempty"`
+	Worker   int                  `json:"worker,omitempty"`
+	Ordinal  int                  `json:"ordinal,omitempty"`
+	Result   *inject.Result       `json:"result,omitempty"`
+	Fault    *inject.HarnessFault `json:"fault,omitempty"`
+	Index    []ShardMark          `json:"index,omitempty"`
+	Metrics  *obs.Snapshot        `json:"metrics,omitempty"`
 }
 
 const (
-	kindHeader   = "header"
-	kindCampaign = "campaign"
-	kindResult   = "result"
-	kindIndex    = "index"
-	kindTrailer  = "trailer"
+	kindHeader     = "header"
+	kindCampaign   = "campaign"
+	kindResult     = "result"
+	kindQuarantine = "quarantine"
+	kindIndex      = "index"
+	kindTrailer    = "trailer"
 )
 
 // encodeFrame renders one record as a length-prefixed gzip frame.
@@ -252,6 +258,30 @@ func (w *Writer) Put(c inject.Campaign, worker, ordinal, total int, res inject.R
 	return nil
 }
 
+// Quarantine records a target abandoned after exhausted harness-fault
+// retries. The frame is flushed immediately: a quarantined target
+// means the harness just survived repeated faults, so its skip mark
+// must not be lost to a later crash (a resume without it would re-run
+// — and re-die on — the same poison target forever).
+func (w *Writer) Quarantine(c inject.Campaign, worker, ordinal int, hf inject.HarnessFault) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: write after close")
+	}
+	key := analysis.CampaignKey(c)
+	frame, err := encodeFrame(&record{
+		Kind: kindQuarantine, Campaign: key, Worker: worker, Ordinal: ordinal, Fault: &hf,
+	})
+	if err != nil {
+		return err
+	}
+	w.pending.Write(frame)
+	w.pendingN++
+	w.mark(worker, key, ordinal)
+	return w.flushLocked()
+}
+
 // Flush forces the buffered batch (plus an index record) to disk.
 func (w *Writer) Flush() error {
 	w.mu.Lock()
@@ -349,8 +379,12 @@ type Journal struct {
 	Header  Header
 	Totals  map[string]int // campaign key -> target count
 	Entries map[string][]Entry
-	Marks   []ShardMark   // last flushed index
-	Trailer *obs.Snapshot // last trailer, if cleanly closed
+	// Quarantine maps campaign key -> ordinal -> the harness fault
+	// that exhausted the target's retries. Quarantined ordinals are
+	// skipped on resume and excluded from the reconstructed ResultSet.
+	Quarantine map[string]map[int]inject.HarnessFault
+	Marks      []ShardMark   // last flushed index
+	Trailer    *obs.Snapshot // last trailer, if cleanly closed
 	// Truncated reports that the file ended mid-record (the intact
 	// prefix was recovered).
 	Truncated bool
@@ -393,8 +427,9 @@ func scan(path string) (*Journal, int64, error) {
 		return nil, 0, fmt.Errorf("journal: %s is not a journal file", path)
 	}
 	j := &Journal{
-		Totals:  make(map[string]int),
-		Entries: make(map[string][]Entry),
+		Totals:     make(map[string]int),
+		Entries:    make(map[string][]Entry),
+		Quarantine: make(map[string]map[int]inject.HarnessFault),
 	}
 	good := int64(len(magic))
 	sawHeader := false
@@ -445,6 +480,13 @@ func (j *Journal) apply(rec *record) {
 				Worker: rec.Worker, Ordinal: rec.Ordinal, Result: *rec.Result,
 			})
 		}
+	case kindQuarantine:
+		if rec.Fault != nil {
+			if j.Quarantine[rec.Campaign] == nil {
+				j.Quarantine[rec.Campaign] = make(map[int]inject.HarnessFault)
+			}
+			j.Quarantine[rec.Campaign][rec.Ordinal] = *rec.Fault
+		}
 	case kindIndex:
 		j.Marks = rec.Index
 	case kindTrailer:
@@ -475,15 +517,44 @@ func (j *Journal) CompletedCount() int {
 	return n
 }
 
+// QuarantinedOrdinals maps campaign key -> ordinal -> true for every
+// quarantined target (the resumed study's quarantine skip set).
+func (j *Journal) QuarantinedOrdinals() map[string]map[int]bool {
+	out := make(map[string]map[int]bool, len(j.Quarantine))
+	for key, m := range j.Quarantine {
+		set := make(map[int]bool, len(m))
+		for ord := range m {
+			set[ord] = true
+		}
+		out[key] = set
+	}
+	return out
+}
+
+// QuarantinedCount is the number of quarantined targets.
+func (j *Journal) QuarantinedCount() int {
+	n := 0
+	for _, m := range j.Quarantine {
+		n += len(m)
+	}
+	return n
+}
+
 // Complete reports whether every announced campaign has all of its
-// targets journaled.
+// targets accounted for — journaled as a result or quarantined.
 func (j *Journal) Complete() bool {
 	if len(j.Totals) == 0 {
 		return false
 	}
 	done := j.Completed()
 	for key, total := range j.Totals {
-		if len(done[key]) < total {
+		n := len(done[key])
+		for ord := range j.Quarantine[key] {
+			if _, ok := done[key][ord]; !ok {
+				n++
+			}
+		}
+		if n < total {
 			return false
 		}
 	}
@@ -491,8 +562,10 @@ func (j *Journal) Complete() bool {
 }
 
 // ResultSet reconstructs an analysis result set from the journal:
-// completed results only, ordered by target ordinal. For a complete
-// journal this is identical to the set the live study assembled.
+// completed results only, ordered by target ordinal, with quarantined
+// ordinals recorded so reports state what was excluded. For a
+// complete journal this is identical to the set the live study
+// assembled.
 func (j *Journal) ResultSet() *analysis.ResultSet {
 	rs := &analysis.ResultSet{
 		Version: analysis.SchemaVersion,
@@ -511,6 +584,20 @@ func (j *Journal) ResultSet() *analysis.ResultSet {
 			results = append(results, m[ord])
 		}
 		rs.Results[key] = results
+	}
+	for key, m := range j.Quarantine {
+		if len(m) == 0 {
+			continue
+		}
+		if rs.Quarantined == nil {
+			rs.Quarantined = make(map[string][]int)
+		}
+		ords := make([]int, 0, len(m))
+		for ord := range m {
+			ords = append(ords, ord)
+		}
+		sort.Ints(ords)
+		rs.Quarantined[key] = ords
 	}
 	return rs
 }

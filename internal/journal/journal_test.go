@@ -278,6 +278,87 @@ func TestConcurrentPuts(t *testing.T) {
 	}
 }
 
+// TestQuarantineRoundTrip: a quarantine frame is flushed immediately
+// (with any buffered results), counts toward campaign completeness,
+// reappears in the resume skip set, and is excluded from — but noted
+// in — the reconstructed result set.
+func TestQuarantineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginCampaign(inject.CampaignC, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range []int{0, 1, 3} {
+		if err := w.Put(inject.CampaignC, 0, ord, 4, mkResult(ord)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hf := inject.HarnessFault{
+		Kind: inject.FaultPanic, Msg: "panic: test", Stack: "goroutine 1 ...",
+		Func: "fn_2", InstAddr: 0x1002, ByteOff: 1, Bit: 5,
+	}
+	if err := w.Quarantine(inject.CampaignC, 1, 2, hf); err != nil {
+		t.Fatal(err)
+	}
+
+	// No Close: the quarantine flush alone must have made everything
+	// durable (a resume that loses the mark would re-die on the poison
+	// target forever).
+	j, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Entries["C"]) != 3 {
+		t.Fatalf("entries = %d, want 3 (quarantine flush lost buffered results)", len(j.Entries["C"]))
+	}
+	got, ok := j.Quarantine["C"][2]
+	if !ok {
+		t.Fatalf("quarantine record missing: %+v", j.Quarantine)
+	}
+	if got != hf {
+		t.Fatalf("quarantine fault mangled: %+v != %+v", got, hf)
+	}
+	if !j.Complete() {
+		t.Fatal("3 results + 1 quarantine of 4 targets not complete")
+	}
+	if j.QuarantinedCount() != 1 {
+		t.Fatalf("QuarantinedCount = %d", j.QuarantinedCount())
+	}
+	if ords := j.QuarantinedOrdinals(); !ords["C"][2] || len(ords["C"]) != 1 {
+		t.Fatalf("QuarantinedOrdinals = %v", ords)
+	}
+	rs := j.ResultSet()
+	if len(rs.Results["C"]) != 3 {
+		t.Fatalf("result set has %d results, want 3", len(rs.Results["C"]))
+	}
+	for _, r := range rs.Results["C"] {
+		if r.Target.InstAddr == 0x1002 {
+			t.Fatal("quarantined ordinal leaked into the result set")
+		}
+	}
+	if len(rs.Quarantined["C"]) != 1 || rs.Quarantined["C"][0] != 2 {
+		t.Fatalf("result set Quarantined = %v", rs.Quarantined)
+	}
+	if err := w.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// OpenAppend restores the quarantine skip set and keeps appending.
+	w2, j2, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.QuarantinedCount() != 1 || !j2.Complete() {
+		t.Fatalf("resumed: quarantined=%d complete=%v", j2.QuarantinedCount(), j2.Complete())
+	}
+	if err := w2.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSniffAndNotJournal(t *testing.T) {
 	dir := t.TempDir()
 	jpath := filepath.Join(dir, "j")

@@ -17,6 +17,13 @@ import (
 // without completing (the study's Hang outcome).
 var ErrHang = errors.New("kernel: watchdog: system hang")
 
+// ErrStopped reports that the harness's cooperative stop flag ended
+// the run (the wall-clock watchdog). It is deliberately distinct from
+// ErrHang: ErrHang is the paper's simulated Hang outcome, ErrStopped
+// is a fault of the harness itself (a Go-level livelock) and must not
+// be counted in any outcome table.
+var ErrStopped = errors.New("kernel: run stopped by harness watchdog")
+
 // CrashError reports that the kernel crashed: either a CPU exception
 // escaped to the (host-side) crash handler, or the kernel panicked.
 // Like an LKCD dump, it carries the register file and the top of the
@@ -349,6 +356,8 @@ func (m *Machine) CallAddr(addr uint32, args ...uint32) (uint32, error) {
 			return m.CPU.Regs[ia32.EAX], nil
 		case cpu.StopBudget:
 			return 0, ErrHang
+		case cpu.StopInterrupted:
+			return 0, ErrStopped
 		case cpu.StopHalted:
 			if m.PanicCode != 0 {
 				return 0, m.crashErr(nil, m.PanicCode)

@@ -33,6 +33,18 @@ type Metrics struct {
 	flushes      atomic.Int64
 	flushedBytes atomic.Int64
 
+	// Harness fault-tolerance counters: recovered faults by kind,
+	// retries on fresh runners, runner reboots after suspect machine
+	// state, and targets quarantined after exhausted retries.
+	faultPanics   atomic.Int64
+	faultTimeouts atomic.Int64
+	faultHost     atomic.Int64
+	faultBP       atomic.Int64
+	faultOther    atomic.Int64
+	retries       atomic.Int64
+	reboots       atomic.Int64
+	quarantined   atomic.Int64
+
 	workers []workerStats
 }
 
@@ -78,6 +90,36 @@ func (m *Metrics) Skip(n int) {
 	m.skipped.Add(int64(n))
 }
 
+// HarnessFault records one recovered harness fault (the run produced
+// no result; the worker's busy time is still accounted).
+func (m *Metrics) HarnessFault(worker int, kind inject.FaultKind, busy time.Duration) {
+	switch kind {
+	case inject.FaultPanic:
+		m.faultPanics.Add(1)
+	case inject.FaultTimeout:
+		m.faultTimeouts.Add(1)
+	case inject.FaultHostError:
+		m.faultHost.Add(1)
+	case inject.FaultBreakpointIO:
+		m.faultBP.Add(1)
+	default:
+		m.faultOther.Add(1)
+	}
+	if worker >= 0 && worker < len(m.workers) {
+		m.workers[worker].busy.Add(int64(busy))
+	}
+}
+
+// Retry records one harness-fault retry on a freshly booted runner.
+func (m *Metrics) Retry() { m.retries.Add(1) }
+
+// RunnerReboot records one worker runner reboot (machine state was
+// suspect after a harness fault).
+func (m *Metrics) RunnerReboot() { m.reboots.Add(1) }
+
+// Quarantined records one target quarantined after exhausted retries.
+func (m *Metrics) Quarantined() { m.quarantined.Add(1) }
+
 // JournalFlush records one batch flushed to the result journal.
 func (m *Metrics) JournalFlush(bytes int) {
 	m.flushes.Add(1)
@@ -106,6 +148,23 @@ type Snapshot struct {
 	Workers        []WorkerStat
 	JournalFlushes int64
 	JournalBytes   int64
+
+	// Harness fault tolerance: recovered faults by kind ("panic",
+	// "timeout", "host-error", "breakpoint-io"), retries, runner
+	// reboots and quarantined targets.
+	HarnessFaults map[string]int64 `json:",omitempty"`
+	Retries       int64            `json:",omitempty"`
+	RunnerReboots int64            `json:",omitempty"`
+	Quarantined   int64            `json:",omitempty"`
+}
+
+// HarnessFaultTotal sums the recovered harness faults across kinds.
+func (s Snapshot) HarnessFaultTotal() int64 {
+	var n int64
+	for _, v := range s.HarnessFaults {
+		n += v
+	}
+	return n
 }
 
 // Snapshot freezes the current counters.
@@ -125,6 +184,24 @@ func (m *Metrics) Snapshot() Snapshot {
 			s.Outcomes[inject.Outcome(o).String()] = n
 		}
 	}
+	faults := map[string]int64{
+		string(inject.FaultPanic):        m.faultPanics.Load(),
+		string(inject.FaultTimeout):      m.faultTimeouts.Load(),
+		string(inject.FaultHostError):    m.faultHost.Load(),
+		string(inject.FaultBreakpointIO): m.faultBP.Load(),
+		"other":                          m.faultOther.Load(),
+	}
+	for kind, n := range faults {
+		if n == 0 {
+			delete(faults, kind)
+		}
+	}
+	if len(faults) > 0 {
+		s.HarnessFaults = faults
+	}
+	s.Retries = m.retries.Load()
+	s.RunnerReboots = m.reboots.Load()
+	s.Quarantined = m.quarantined.Load()
 	if s.RunsCompleted > 0 {
 		s.ActivationRate = float64(s.Activated) / float64(s.RunsCompleted)
 	}
@@ -158,6 +235,12 @@ func (s Snapshot) OneLine() string {
 		}
 		fmt.Fprintf(&b, ", %dw util %.0f%%", n, 100*util/float64(n))
 	}
+	if n := s.HarnessFaultTotal(); n > 0 {
+		fmt.Fprintf(&b, ", hfaults %d", n)
+	}
+	if s.Quarantined > 0 {
+		fmt.Fprintf(&b, ", quar %d", s.Quarantined)
+	}
 	if s.JournalFlushes > 0 {
 		fmt.Fprintf(&b, ", jrnl %s", fmtBytes(s.JournalBytes))
 	}
@@ -186,6 +269,27 @@ func (s Snapshot) Render() string {
 	for i, w := range s.Workers {
 		fmt.Fprintf(&b, "  worker %-2d          %d runs, busy %s (%.0f%% utilization)\n",
 			i, w.Runs, w.Busy.Round(time.Millisecond), 100*w.Utilization)
+	}
+	if n := s.HarnessFaultTotal(); n > 0 {
+		kinds := make([]string, 0, len(s.HarnessFaults))
+		for k := range s.HarnessFaults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, 0, len(kinds))
+		for _, k := range kinds {
+			parts = append(parts, fmt.Sprintf("%s %d", k, s.HarnessFaults[k]))
+		}
+		fmt.Fprintf(&b, "  harness faults     %d recovered (%s)\n", n, strings.Join(parts, ", "))
+	}
+	if s.Retries > 0 {
+		fmt.Fprintf(&b, "  harness retries    %d\n", s.Retries)
+	}
+	if s.RunnerReboots > 0 {
+		fmt.Fprintf(&b, "  runner reboots     %d\n", s.RunnerReboots)
+	}
+	if s.Quarantined > 0 {
+		fmt.Fprintf(&b, "  quarantined        %d (excluded from analysis)\n", s.Quarantined)
 	}
 	if s.JournalFlushes > 0 {
 		fmt.Fprintf(&b, "  journal            %d flushes, %s\n", s.JournalFlushes, fmtBytes(s.JournalBytes))

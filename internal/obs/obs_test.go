@@ -69,6 +69,57 @@ func TestCountersAndSnapshot(t *testing.T) {
 	}
 }
 
+// TestHarnessFaultCounters: the fault-tolerance counters land in the
+// snapshot by kind, busy time is still charged to the worker, and the
+// rendered forms mention what was recovered and excluded.
+func TestHarnessFaultCounters(t *testing.T) {
+	m := New(2)
+	m.HarnessFault(0, inject.FaultPanic, 100*time.Millisecond)
+	m.HarnessFault(1, inject.FaultTimeout, time.Millisecond)
+	m.HarnessFault(1, inject.FaultTimeout, time.Millisecond)
+	m.HarnessFault(0, inject.FaultKind("weird"), time.Millisecond)
+	m.Retry()
+	m.RunnerReboot()
+	m.RunnerReboot()
+	m.Quarantined()
+
+	s := m.Snapshot()
+	if got := s.HarnessFaultTotal(); got != 4 {
+		t.Fatalf("fault total = %d", got)
+	}
+	if s.HarnessFaults["panic"] != 1 || s.HarnessFaults["timeout"] != 2 || s.HarnessFaults["other"] != 1 {
+		t.Fatalf("faults = %v", s.HarnessFaults)
+	}
+	if _, ok := s.HarnessFaults["host-error"]; ok {
+		t.Fatal("zero-count kind kept in snapshot")
+	}
+	if s.Retries != 1 || s.RunnerReboots != 2 || s.Quarantined != 1 {
+		t.Fatalf("retries=%d reboots=%d quarantined=%d", s.Retries, s.RunnerReboots, s.Quarantined)
+	}
+	if s.Workers[0].Busy != 101*time.Millisecond {
+		t.Fatalf("worker 0 busy = %v (fault time not charged)", s.Workers[0].Busy)
+	}
+	if line := s.OneLine(); !strings.Contains(line, "hfaults 4") || !strings.Contains(line, "quar 1") {
+		t.Fatalf("one-line = %q", line)
+	}
+	block := s.Render()
+	for _, want := range []string{"harness faults     4 recovered", "panic 1", "timeout 2",
+		"harness retries    1", "runner reboots     2", "quarantined        1 (excluded from analysis)"} {
+		if !strings.Contains(block, want) {
+			t.Fatalf("metrics block missing %q:\n%s", want, block)
+		}
+	}
+
+	// A fault-free study keeps the fields out of the trailer JSON.
+	clean := New(1).Snapshot()
+	if clean.HarnessFaults != nil || clean.Quarantined != 0 {
+		t.Fatalf("clean snapshot = %+v", clean)
+	}
+	if line := clean.OneLine(); strings.Contains(line, "hfaults") || strings.Contains(line, "quar") {
+		t.Fatalf("clean one-line = %q", line)
+	}
+}
+
 // The counters must be safe for concurrent workers (exercised with
 // -race in CI).
 func TestConcurrentUpdates(t *testing.T) {
