@@ -294,6 +294,40 @@ func BenchmarkGoldenRun(b *testing.B) {
 	}
 }
 
+// BenchmarkInjectionRun measures one complete activated injection
+// experiment — restore to the pristine snapshot, run the workload with
+// the breakpoint-armed bit flip, classify the outcome — the unit that
+// the full study repeats ~4,300 times and the paper ~35,000 times.
+func BenchmarkInjectionRun(b *testing.B) {
+	runner, err := inject.NewRunner(unixbench.Suite(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, ok := runner.M.Prog.FuncByName("do_generic_file_read")
+	if !ok {
+		b.Fatal("no do_generic_file_read")
+	}
+	rng := rand.New(rand.NewSource(9))
+	targets, err := inject.EnumerateTargets(runner.M.Prog, fn, inject.CampaignA, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(targets) == 0 {
+		b.Fatal("no targets")
+	}
+	t := targets[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, hf := runner.RunTarget(inject.CampaignA, t)
+		if hf != nil {
+			b.Fatal(hf)
+		}
+		if !res.Activated {
+			b.Fatal("target not activated")
+		}
+	}
+}
+
 // BenchmarkAblationAssertions quantifies the paper's §8 proposal
 // (strategic assertion placement detects errors before they
 // propagate): campaign C against the normal kernel vs. a build with

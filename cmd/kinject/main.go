@@ -7,7 +7,7 @@
 //	        [-max-targets N] [-max-funcs N] [-workers N]
 //	        [-no-assertions] [-journal path] [-resume path]
 //	        [-run-timeout D] [-max-retries N]
-//	        [-out results.json.gz] [-q]
+//	        [-out results.json.gz] [-cpuprofile prof.out] [-q]
 //
 // A full run (no -max-targets) performs every injection of all three
 // campaigns — several thousand experiments — and takes minutes; use
@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -87,8 +88,21 @@ func run(args []string) error {
 	resumePath := fs.String("resume", "", "resume an interrupted study from this journal")
 	runTimeout := fs.Duration("run-timeout", 0, "wall-clock watchdog per injection run (0 = derive from the golden run)")
 	maxRetries := fs.Int("max-retries", core.DefaultMaxRetries, "harness-fault retries before a target is quarantined")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := core.DefaultConfig()

@@ -330,7 +330,12 @@ func RenderPropagation(row *PropRow) string {
 	for to := range row.To {
 		tos = append(tos, to)
 	}
-	sort.Slice(tos, func(i, j int) bool { return row.To[tos[i]] > row.To[tos[j]] })
+	sort.Slice(tos, func(i, j int) bool {
+		if row.To[tos[i]] != row.To[tos[j]] {
+			return row.To[tos[i]] > row.To[tos[j]]
+		}
+		return tos[i] < tos[j] // deterministic tie-break (map order isn't)
+	})
 	for _, to := range tos {
 		fmt.Fprintf(&b, "  -> %-8s %5d (%5.1f%%)", to, row.To[to], pct(row.To[to], row.Total))
 		causes := row.EdgeCauses[to]
@@ -338,7 +343,12 @@ func RenderPropagation(row *PropRow) string {
 		for c, n := range causes {
 			ccs = append(ccs, CauseCount{c, n})
 		}
-		sort.Slice(ccs, func(i, j int) bool { return ccs[i].Count > ccs[j].Count })
+		sort.Slice(ccs, func(i, j int) bool {
+			if ccs[i].Count != ccs[j].Count {
+				return ccs[i].Count > ccs[j].Count
+			}
+			return ccs[i].Cause < ccs[j].Cause
+		})
 		for k, cc := range ccs {
 			if k >= 3 {
 				break

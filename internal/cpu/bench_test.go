@@ -1,0 +1,54 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ia32"
+)
+
+// stepLoopSrc is the interpreter micro-benchmark body: a 6-instruction
+// loop mixing register ALU work, a memory load, a memory store and a
+// conditional branch — roughly the instruction mix of the simulated
+// kernel's hot paths.
+const stepLoopSrc = `
+bench_loop:
+	mov ecx, [esp+4]
+	xor eax, eax
+.Lloop:
+	add eax, [esp+4]
+	mov [esp-8], eax
+	add eax, 3
+	dec ecx
+	jnz .Lloop
+	ret
+`
+
+// BenchmarkStepLoop measures the per-instruction cost of the
+// interpreter's hot path (fetch, decode cache, execute, memory access).
+// One benchmark op is one loop iteration (5 instructions).
+func BenchmarkStepLoop(b *testing.B) {
+	m := build(b, stepLoopSrc)
+	b.ResetTimer()
+	reason, exc := m.call(b, "bench_loop", 1<<62, uint32(b.N))
+	if reason != cpu.StopReturned {
+		b.Fatalf("stop = %v, exc = %v", reason, exc)
+	}
+	if got := m.cpu.Regs[ia32.EAX]; b.N > 0 && got == 0 {
+		b.Fatalf("loop did not run (eax = %d)", got)
+	}
+}
+
+// BenchmarkStepLoopBreakpointArmed is BenchmarkStepLoop with a debug
+// register armed at an address the loop never reaches: the cost of the
+// per-Step breakpoint scan while an injection is pending.
+func BenchmarkStepLoopBreakpointArmed(b *testing.B) {
+	m := build(b, stepLoopSrc)
+	m.cpu.SetBreakpoint(0, 0xDEAD0000)
+	m.cpu.OnBreakpoint = func(*cpu.CPU, int) {}
+	b.ResetTimer()
+	reason, exc := m.call(b, "bench_loop", 1<<62, uint32(b.N))
+	if reason != cpu.StopReturned {
+		b.Fatalf("stop = %v, exc = %v", reason, exc)
+	}
+}

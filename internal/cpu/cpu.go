@@ -144,11 +144,32 @@ type CPU struct {
 	fetch [ia32.MaxInstLen]byte
 
 	// Decode cache: executable bytes only change when Mem.CodeGen
-	// moves (raw writes, mapping changes, restores), so decoded
-	// instructions are reusable across the hot interpreter loop.
-	icache    map[uint32]ia32.Inst
-	icacheGen uint64
+	// moves (writes to executable pages, mapping changes involving
+	// them, restores that roll such changes back), so decoded
+	// instructions are reusable across the hot interpreter loop — and,
+	// since the snapshot/restore cycle bracketing each injection run
+	// leaves codeGen alone unless code pages were dirtied, across whole
+	// runs. The cache is a direct-mapped array with per-entry
+	// generation tags: invalidation is free (stale generations simply
+	// never match) and no per-generation reallocation happens.
+	icache []icacheEntry
 }
+
+// icacheEntry is one decode-cache slot. An entry is live when its gen
+// matches Mem.CodeGen()+1 (the +1 keeps the zero value invalid) and its
+// eip matches the fetch address.
+type icacheEntry struct {
+	eip  uint32
+	gen  uint64
+	inst ia32.Inst
+}
+
+// icache geometry: direct-mapped on the low bits of EIP.
+const (
+	icacheBits = 12
+	icacheSize = 1 << icacheBits
+	icacheMask = icacheSize - 1
+)
 
 // New creates a CPU attached to m with all state zeroed (IF set, as the
 // kernel runs with interrupts enabled).
@@ -221,18 +242,24 @@ const HostReturn uint32 = 0xFFFFFFF0
 // architectural state is that of the instruction start (faults are
 // restartable, as on real hardware).
 func (c *CPU) Step() error {
-	for i := 0; i < 4; i++ {
-		if c.DREnabled[i] && c.DR[i] == c.EIP && c.OnBreakpoint != nil {
-			c.OnBreakpoint(c, i)
+	// The 4-slot debug-register scan only runs while a breakpoint can
+	// actually fire: after the injection hook disarms its register, the
+	// rest of the run pays a single 4-byte compare per step.
+	if c.OnBreakpoint != nil && c.DREnabled != [4]bool{} {
+		for i := 0; i < 4; i++ {
+			if c.DREnabled[i] && c.DR[i] == c.EIP {
+				c.OnBreakpoint(c, i)
+			}
 		}
 	}
 
-	if gen := c.Mem.CodeGen(); c.icache == nil || gen != c.icacheGen {
-		c.icache = make(map[uint32]ia32.Inst, 4096)
-		c.icacheGen = gen
+	if c.icache == nil {
+		c.icache = make([]icacheEntry, icacheSize)
 	}
-	if inst, ok := c.icache[c.EIP]; ok {
-		return c.exec(&inst)
+	gen := c.Mem.CodeGen() + 1
+	e := &c.icache[c.EIP&icacheMask]
+	if e.gen == gen && e.eip == c.EIP {
+		return c.exec(&e.inst)
 	}
 	n, err := c.Mem.Fetch(c.EIP, c.fetch[:])
 	if err != nil {
@@ -246,8 +273,8 @@ func (c *CPU) Step() error {
 		}
 		return &Exception{Vector: VecUD, EIP: c.EIP}
 	}
-	c.icache[c.EIP] = inst
-	return c.exec(&inst)
+	e.eip, e.gen, e.inst = c.EIP, gen, inst
+	return c.exec(&e.inst)
 }
 
 // pageFault converts a mem.Fault into a page-fault exception.

@@ -23,7 +23,7 @@ type machine struct {
 }
 
 // build assembles src into a little machine: RX text, RW data, a stack.
-func build(t *testing.T, src string) *machine {
+func build(t testing.TB, src string) *machine {
 	t.Helper()
 	a := asm.New(nil)
 	if err := a.AddSource("test.s", src); err != nil {
@@ -48,7 +48,7 @@ func build(t *testing.T, src string) *machine {
 }
 
 // call invokes fn with cdecl args and runs until return or stop.
-func (m *machine) call(t *testing.T, fn string, budget uint64, args ...uint32) (cpu.StopReason, *cpu.Exception) {
+func (m *machine) call(t testing.TB, fn string, budget uint64, args ...uint32) (cpu.StopReason, *cpu.Exception) {
 	t.Helper()
 	f, ok := m.prog.FuncByName(fn)
 	if !ok {

@@ -1,0 +1,106 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
+
+// The decode cache must be invisible: execution after any change to
+// executable bytes — direct corruption or a snapshot restore — must
+// match a cache-less interpreter. These tests pin both invalidation
+// directions plus the survival guarantee for data-only restores.
+
+func TestDecodeCacheInvalidatedByCodeWrite(t *testing.T) {
+	m := mem.New()
+	m.Map(0x1000, 0x1000, mem.PermRX)
+	c := cpu.New(m)
+
+	// mov eax, 0x11111111
+	if err := m.WriteRaw(0x1000, []byte{0xB8, 0x11, 0x11, 0x11, 0x11, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	c.EIP = 0x1000
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[ia32.EAX] != 0x11111111 {
+		t.Fatalf("EAX = %#x", c.Regs[ia32.EAX])
+	}
+
+	// Flip one immediate byte — exactly what the injection harness does.
+	if err := m.WriteRaw(0x1001, []byte{0x22}); err != nil {
+		t.Fatal(err)
+	}
+	c.EIP = 0x1000
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[ia32.EAX] != 0x11111122 {
+		t.Fatalf("stale decode executed: EAX = %#x, want 0x11111122", c.Regs[ia32.EAX])
+	}
+}
+
+func TestDecodeCacheInvalidatedByRestore(t *testing.T) {
+	m := mem.New()
+	m.Map(0x1000, 0x1000, mem.PermRX)
+	c := cpu.New(m)
+	if err := m.WriteRaw(0x1000, []byte{0xB8, 0x11, 0x11, 0x11, 0x11, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.TakeSnapshot()
+
+	step := func() uint32 {
+		t.Helper()
+		c.EIP = 0x1000
+		c.Regs[ia32.EAX] = 0
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Regs[ia32.EAX]
+	}
+
+	if v := step(); v != 0x11111111 {
+		t.Fatalf("pristine run: EAX = %#x", v)
+	}
+	if err := m.WriteRaw(0x1001, []byte{0x22}); err != nil {
+		t.Fatal(err)
+	}
+	if v := step(); v != 0x11111122 {
+		t.Fatalf("corrupted run: EAX = %#x", v)
+	}
+	m.Restore(snap)
+	if v := step(); v != 0x11111111 {
+		t.Fatalf("corrupted decode survived restore: EAX = %#x, want 0x11111111", v)
+	}
+}
+
+func TestDecodeCacheSurvivesDataOnlyRestore(t *testing.T) {
+	m := mem.New()
+	m.Map(0x1000, 0x1000, mem.PermRX)
+	m.Map(0x8000, 0x1000, mem.PermRW)
+	c := cpu.New(m)
+	// mov [0x8000], eax ; nop
+	if err := m.WriteRaw(0x1000, []byte{0xA3, 0x00, 0x80, 0x00, 0x00, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.TakeSnapshot()
+	gen := m.CodeGen()
+
+	for i := 0; i < 3; i++ {
+		c.EIP = 0x1000
+		c.Regs[ia32.EAX] = uint32(0x100 + i)
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := m.Read32(0x8000); v != uint32(0x100+i) {
+			t.Fatalf("iteration %d: store = %#x", i, v)
+		}
+		m.Restore(snap)
+	}
+	if m.CodeGen() != gen {
+		t.Fatalf("CodeGen moved %d -> %d: data-only restores invalidated the decode cache", gen, m.CodeGen())
+	}
+}

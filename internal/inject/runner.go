@@ -97,6 +97,11 @@ type Runner struct {
 	// wall-clock watchdog (not some other stop source) raised it.
 	stop     atomic.Bool
 	timedOut atomic.Bool
+
+	// watchdog is the reused wall-clock timer armed by SafeRunTarget;
+	// a campaign is thousands of runs and each deserves no more than a
+	// Reset, not a fresh timer allocation.
+	watchdog *time.Timer
 }
 
 // GoldenFingerprint returns the trace fingerprint of the fault-free
@@ -279,11 +284,15 @@ func (r *Runner) SafeRunTarget(c Campaign, t Target) (res Result, hf *HarnessFau
 	r.stop.Store(false)
 	r.timedOut.Store(false)
 	if r.RunTimeout > 0 {
-		tm := time.AfterFunc(r.RunTimeout, func() {
-			r.timedOut.Store(true)
-			r.stop.Store(true)
-		})
-		defer tm.Stop()
+		if r.watchdog == nil {
+			r.watchdog = time.AfterFunc(r.RunTimeout, func() {
+				r.timedOut.Store(true)
+				r.stop.Store(true)
+			})
+		} else {
+			r.watchdog.Reset(r.RunTimeout)
+		}
+		defer r.watchdog.Stop()
 	}
 	if r.HookBeforeRun != nil {
 		r.HookBeforeRun(c, t)

@@ -70,6 +70,12 @@ type Machine struct {
 	faultDepth int
 	doPFAddr   uint32
 	syscallFn  uint32
+
+	// currentAddr/tasksAddr memoize the symbol lookups behind
+	// CurrentSlot and TaskAddr, which the engine consults on every
+	// scheduler tick; the symbol table never changes after Link.
+	currentAddr uint32
+	tasksAddr   uint32
 }
 
 // DefaultTree returns the root file system contents used at boot: the
@@ -254,14 +260,23 @@ func (m *Machine) WriteGlobal(name string, v uint32) error {
 
 // TaskAddr returns the address of task slot i.
 func (m *Machine) TaskAddr(slot int) uint32 {
-	return m.Symbol("tasks") + uint32(slot)*TaskSize
+	if m.tasksAddr == 0 {
+		m.tasksAddr = m.Symbol("tasks")
+	}
+	return m.tasksAddr + uint32(slot)*TaskSize
 }
 
 // CurrentSlot returns the task-table slot of the kernel's `current`
 // pointer, or -1 when it points outside the task table.
 func (m *Machine) CurrentSlot() int {
-	cur := m.ReadGlobal("current")
-	base := m.Symbol("tasks")
+	if m.currentAddr == 0 {
+		m.currentAddr = m.Symbol("current")
+	}
+	cur, err := m.Mem.Read32(m.currentAddr)
+	if err != nil {
+		return -1
+	}
+	base := m.TaskAddr(0)
 	if cur < base || cur >= base+NTasks*TaskSize || (cur-base)%TaskSize != 0 {
 		return -1
 	}

@@ -6,7 +6,16 @@
 //
 // The package also supports cheap snapshot/restore: the injection harness
 // resets the machine to a pristine state between experiments (the paper
-// rebooted the physical machine instead).
+// rebooted the physical machine instead). Restore cost is proportional
+// to the number of pages touched since TakeSnapshot, including pages
+// mapped, unmapped or reprotected — not to the size of the address
+// space.
+//
+// The per-access hot path goes through a small software TLB: a
+// direct-mapped cache of recent page translations, kept per access kind
+// so a hit also proves the permission check. Every mutation of the page
+// tables (Map, Unmap, Protect, Restore, TakeSnapshot) drops all cached
+// translations in O(1) by bumping a generation counter.
 package mem
 
 import "fmt"
@@ -15,6 +24,14 @@ import "fmt"
 const PageSize = 4096
 
 const pageShift = 12
+
+// Software-TLB geometry: direct-mapped, tlbSize entries per access
+// kind, indexed by the low bits of the page number.
+const (
+	tlbBits = 6
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
 
 // Perm is a page permission bit set.
 type Perm uint8
@@ -73,29 +90,79 @@ func (f *Fault) Error() string {
 
 type page struct {
 	perm Perm
-	data []byte
+	// dirty means the page is recorded in Memory.dirty: its content,
+	// permissions or existence may differ from the last snapshot.
+	dirty bool
+	data  []byte
+}
+
+// tlbEntry caches one page translation. An entry is valid when its gen
+// matches Memory.tlbGen and its pn matches the page number of the
+// access; the per-kind placement means validity also proves the
+// permission check for that access kind.
+type tlbEntry struct {
+	pn  uint32
+	gen uint32
+	p   *page
 }
 
 // Memory is a sparse paged address space.
 type Memory struct {
-	pages      map[uint32]*page
-	dirty      map[uint32]struct{}
-	structural bool // pages were mapped/unmapped/protected since snapshot
+	pages map[uint32]*page
+
+	// dirty records the page numbers whose content, permissions or
+	// existence may differ from the last snapshot. Pages still mapped
+	// carry a mirror flag (page.dirty) so the per-write hot path skips
+	// the map insert after the first write to a page.
+	dirty map[uint32]struct{}
 
 	// codeGen increments whenever executable bytes may have changed:
-	// raw writes (which bypass permissions), mapping changes, and
-	// snapshot restores. Ordinary data writes cannot touch executable
-	// pages (they are mapped R+X), so instruction-decode caches remain
-	// valid while codeGen is unchanged.
+	// writes to pages with execute permission (raw or ordinary),
+	// mapping/permission changes involving executable pages, and
+	// restores that roll back such changes. Ordinary data writes cannot
+	// touch executable pages (they are mapped R+X), so instruction-
+	// decode caches remain valid while codeGen is unchanged — in
+	// particular across a snapshot/restore cycle that dirtied only data
+	// pages.
 	codeGen uint64
+	// codeDirty records that executable content changed since the last
+	// snapshot or restore, so the next Restore (which rolls the change
+	// back) must bump codeGen once more.
+	codeDirty bool
+
+	// tlb is the software TLB, one direct-mapped way per access kind
+	// (AccessRead/AccessWrite/AccessExec). tlbGen validates entries;
+	// flushTLB invalidates everything by bumping it.
+	tlb    [3][tlbSize]tlbEntry
+	tlbGen uint32
 }
 
 // New returns an empty address space.
 func New() *Memory {
 	return &Memory{
-		pages: make(map[uint32]*page),
-		dirty: make(map[uint32]struct{}),
+		pages:  make(map[uint32]*page),
+		dirty:  make(map[uint32]struct{}),
+		tlbGen: 1, // zero-valued TLB entries must never validate
 	}
+}
+
+// flushTLB drops every cached translation in O(1).
+func (m *Memory) flushTLB() {
+	m.tlbGen++
+	if m.tlbGen == 0 {
+		// Generation wrapped: stale entries from generation 0 (the
+		// zero value) must not validate, so erase them the slow way.
+		m.tlb = [3][tlbSize]tlbEntry{}
+		m.tlbGen = 1
+	}
+}
+
+// noteCodeChange records a change to executable content: decode caches
+// become stale now (codeGen) and again when Restore rolls the change
+// back (codeDirty).
+func (m *Memory) noteCodeChange() {
+	m.codeGen++
+	m.codeDirty = true
 }
 
 // Map creates pages covering [addr, addr+size) with the given
@@ -103,37 +170,61 @@ func New() *Memory {
 // boundaries. Existing pages in the range are replaced with zeroed
 // pages.
 func (m *Memory) Map(addr, size uint32, perm Perm) {
-	m.structural = true
-	m.codeGen++
 	first := addr >> pageShift
 	last := (addr + size - 1) >> pageShift
 	for pn := first; pn <= last; pn++ {
-		m.pages[pn] = &page{perm: perm, data: make([]byte, PageSize)}
+		oldExec := false
+		if old, ok := m.pages[pn]; ok {
+			oldExec = old.perm&PermExec != 0
+		}
+		if oldExec || perm&PermExec != 0 {
+			m.noteCodeChange()
+		}
+		m.pages[pn] = &page{perm: perm, dirty: true, data: make([]byte, PageSize)}
+		m.dirty[pn] = struct{}{}
 	}
+	m.flushTLB()
 }
 
 // Unmap removes pages covering [addr, addr+size).
 func (m *Memory) Unmap(addr, size uint32) {
-	m.structural = true
-	m.codeGen++
-	first := addr >> pageShift
-	last := (addr + size - 1) >> pageShift
-	for pn := first; pn <= last; pn++ {
-		delete(m.pages, pn)
-	}
-}
-
-// Protect changes the permissions of already-mapped pages in the range.
-// Unmapped pages in the range are skipped.
-func (m *Memory) Protect(addr, size uint32, perm Perm) {
-	m.structural = true
-	m.codeGen++
 	first := addr >> pageShift
 	last := (addr + size - 1) >> pageShift
 	for pn := first; pn <= last; pn++ {
 		if p, ok := m.pages[pn]; ok {
-			p.perm = perm
+			if p.perm&PermExec != 0 {
+				m.noteCodeChange()
+			}
+			delete(m.pages, pn)
+			m.dirty[pn] = struct{}{}
 		}
+	}
+	m.flushTLB()
+}
+
+// Protect changes the permissions of already-mapped pages in the range.
+// Unmapped pages in the range are skipped; pages that already carry the
+// requested permissions are left untouched (no dirtying, no cache
+// invalidation).
+func (m *Memory) Protect(addr, size uint32, perm Perm) {
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	changed := false
+	for pn := first; pn <= last; pn++ {
+		p, ok := m.pages[pn]
+		if !ok || p.perm == perm {
+			continue
+		}
+		if (p.perm|perm)&PermExec != 0 {
+			m.noteCodeChange()
+		}
+		p.perm = perm
+		p.dirty = true
+		m.dirty[pn] = struct{}{}
+		changed = true
+	}
+	if changed {
+		m.flushTLB()
 	}
 }
 
@@ -152,8 +243,11 @@ func (m *Memory) PermAt(addr uint32) Perm {
 	return 0
 }
 
+// pageFor is the TLB-miss path: the page-table walk, the permission
+// check, and the TLB fill.
 func (m *Memory) pageFor(addr uint32, acc Access) (*page, error) {
-	p, ok := m.pages[addr>>pageShift]
+	pn := addr >> pageShift
+	p, ok := m.pages[pn]
 	if !ok {
 		return nil, &Fault{Addr: addr, Access: acc, NotPresent: true}
 	}
@@ -169,12 +263,39 @@ func (m *Memory) pageFor(addr uint32, acc Access) (*page, error) {
 	if p.perm&need == 0 {
 		return nil, &Fault{Addr: addr, Access: acc}
 	}
+	e := &m.tlb[acc-1][pn&tlbMask]
+	e.pn, e.gen, e.p = pn, m.tlbGen, p
 	return p, nil
+}
+
+// lookup translates addr for the given access kind, hitting the TLB
+// when possible.
+func (m *Memory) lookup(addr uint32, acc Access) (*page, error) {
+	pn := addr >> pageShift
+	e := &m.tlb[acc-1][pn&tlbMask]
+	if e.gen == m.tlbGen && e.pn == pn {
+		return e.p, nil
+	}
+	return m.pageFor(addr, acc)
+}
+
+// noteWrite maintains dirty tracking for a write to p. Callers skip it
+// on the hot path when the page is already dirty and not executable.
+func (m *Memory) noteWrite(pn uint32, p *page) {
+	if !p.dirty {
+		p.dirty = true
+		m.dirty[pn] = struct{}{}
+	}
+	if p.perm&PermExec != 0 {
+		// Executable content changed: every such write must invalidate
+		// decode caches, not just the first on the page.
+		m.noteCodeChange()
+	}
 }
 
 // Read8 reads one byte.
 func (m *Memory) Read8(addr uint32) (byte, error) {
-	p, err := m.pageFor(addr, AccessRead)
+	p, err := m.lookup(addr, AccessRead)
 	if err != nil {
 		return 0, err
 	}
@@ -183,6 +304,14 @@ func (m *Memory) Read8(addr uint32) (byte, error) {
 
 // Read16 reads a little-endian 16-bit value.
 func (m *Memory) Read16(addr uint32) (uint16, error) {
+	off := addr & (PageSize - 1)
+	if off <= PageSize-2 {
+		p, err := m.lookup(addr, AccessRead)
+		if err != nil {
+			return 0, err
+		}
+		return uint16(p.data[off]) | uint16(p.data[off+1])<<8, nil
+	}
 	lo, err := m.Read8(addr)
 	if err != nil {
 		return 0, err
@@ -199,11 +328,11 @@ func (m *Memory) Read32(addr uint32) (uint32, error) {
 	// Fast path: within one page.
 	off := addr & (PageSize - 1)
 	if off <= PageSize-4 {
-		p, err := m.pageFor(addr, AccessRead)
+		p, err := m.lookup(addr, AccessRead)
 		if err != nil {
 			return 0, err
 		}
-		d := p.data[off:]
+		d := p.data[off : off+4 : off+4]
 		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
 	}
 	var v uint32
@@ -219,40 +348,86 @@ func (m *Memory) Read32(addr uint32) (uint32, error) {
 
 // Write8 writes one byte.
 func (m *Memory) Write8(addr uint32, v byte) error {
-	p, err := m.pageFor(addr, AccessWrite)
+	p, err := m.lookup(addr, AccessWrite)
 	if err != nil {
 		return err
 	}
-	m.dirty[addr>>pageShift] = struct{}{}
+	if !p.dirty || p.perm&PermExec != 0 {
+		m.noteWrite(addr>>pageShift, p)
+	}
 	p.data[addr&(PageSize-1)] = v
 	return nil
 }
 
-// Write16 writes a little-endian 16-bit value.
+// Write16 writes a little-endian 16-bit value. A write that straddles a
+// page boundary probes both pages before committing any byte, so a
+// fault on the second page leaves memory untouched (faults are
+// restartable: architectural state stays that of the instruction
+// start).
 func (m *Memory) Write16(addr uint32, v uint16) error {
-	if err := m.Write8(addr, byte(v)); err != nil {
-		return err
-	}
-	return m.Write8(addr+1, byte(v>>8))
-}
-
-// Write32 writes a little-endian 32-bit value.
-func (m *Memory) Write32(addr uint32, v uint32) error {
 	off := addr & (PageSize - 1)
-	if off <= PageSize-4 {
-		p, err := m.pageFor(addr, AccessWrite)
+	if off <= PageSize-2 {
+		p, err := m.lookup(addr, AccessWrite)
 		if err != nil {
 			return err
 		}
-		m.dirty[addr>>pageShift] = struct{}{}
-		d := p.data[off:]
+		if !p.dirty || p.perm&PermExec != 0 {
+			m.noteWrite(addr>>pageShift, p)
+		}
+		p.data[off] = byte(v)
+		p.data[off+1] = byte(v >> 8)
+		return nil
+	}
+	lo, err := m.lookup(addr, AccessWrite)
+	if err != nil {
+		return err
+	}
+	hi, err := m.lookup(addr+1, AccessWrite)
+	if err != nil {
+		return err
+	}
+	m.noteWrite(addr>>pageShift, lo)
+	m.noteWrite((addr+1)>>pageShift, hi)
+	lo.data[PageSize-1] = byte(v)
+	hi.data[0] = byte(v >> 8)
+	return nil
+}
+
+// Write32 writes a little-endian 32-bit value, with the same
+// fault-atomicity guarantee as Write16 for page-straddling writes.
+func (m *Memory) Write32(addr uint32, v uint32) error {
+	off := addr & (PageSize - 1)
+	if off <= PageSize-4 {
+		p, err := m.lookup(addr, AccessWrite)
+		if err != nil {
+			return err
+		}
+		if !p.dirty || p.perm&PermExec != 0 {
+			m.noteWrite(addr>>pageShift, p)
+		}
+		d := p.data[off : off+4 : off+4]
 		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 		return nil
 	}
+	// Straddling write: probe both pages before committing any byte.
+	lo, err := m.lookup(addr, AccessWrite)
+	if err != nil {
+		return err
+	}
+	hi, err := m.lookup(addr+3, AccessWrite)
+	if err != nil {
+		return err
+	}
+	m.noteWrite(addr>>pageShift, lo)
+	m.noteWrite((addr+3)>>pageShift, hi)
+	loPN := addr >> pageShift
 	for i := uint32(0); i < 4; i++ {
-		if err := m.Write8(addr+i, byte(v>>(8*i))); err != nil {
-			return err
+		a := addr + i
+		p := hi
+		if a>>pageShift == loPN {
+			p = lo
 		}
+		p.data[a&(PageSize-1)] = byte(v >> (8 * i))
 	}
 	return nil
 }
@@ -264,17 +439,26 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 // and the CPU re-faults precisely if the instruction really extends into
 // the unfetchable page).
 func (m *Memory) Fetch(addr uint32, buf []byte) (int, error) {
+	// Fast path: the whole window lies within one page.
+	off := addr & (PageSize - 1)
+	if int(off)+len(buf) <= PageSize {
+		p, err := m.lookup(addr, AccessExec)
+		if err != nil {
+			return 0, err
+		}
+		return copy(buf, p.data[off:]), nil
+	}
 	n := 0
 	for n < len(buf) {
-		p, err := m.pageFor(addr+uint32(n), AccessExec)
+		p, err := m.lookup(addr+uint32(n), AccessExec)
 		if err != nil {
 			if n == 0 {
 				return 0, err
 			}
 			return n, nil
 		}
-		off := (addr + uint32(n)) & (PageSize - 1)
-		c := copy(buf[n:], p.data[off:])
+		o := (addr + uint32(n)) & (PageSize - 1)
+		c := copy(buf[n:], p.data[o:])
 		n += c
 	}
 	return n, nil
@@ -285,7 +469,7 @@ func (m *Memory) Fetch(addr uint32, buf []byte) (int, error) {
 func (m *Memory) ReadBytes(addr, size uint32) ([]byte, error) {
 	out := make([]byte, size)
 	for i := uint32(0); i < size; {
-		p, err := m.pageFor(addr+i, AccessRead)
+		p, err := m.lookup(addr+i, AccessRead)
 		if err != nil {
 			return nil, err
 		}
@@ -296,15 +480,24 @@ func (m *Memory) ReadBytes(addr, size uint32) ([]byte, error) {
 	return out, nil
 }
 
-// WriteBytes copies b to addr (write access checked per page).
+// WriteBytes copies b to addr (write access checked per page). Every
+// page in the range is probed before any byte is written, so a fault
+// partway through the range leaves memory untouched.
 func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 	for i := 0; i < len(b); {
 		a := addr + uint32(i)
-		p, err := m.pageFor(a, AccessWrite)
+		if _, err := m.lookup(a, AccessWrite); err != nil {
+			return err
+		}
+		i += int(PageSize - (a & (PageSize - 1)))
+	}
+	for i := 0; i < len(b); {
+		a := addr + uint32(i)
+		p, err := m.lookup(a, AccessWrite)
 		if err != nil {
 			return err
 		}
-		m.dirty[a>>pageShift] = struct{}{}
+		m.noteWrite(a>>pageShift, p)
 		off := a & (PageSize - 1)
 		c := copy(p.data[off:], b[i:])
 		i += c
@@ -313,16 +506,21 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 }
 
 // WriteRaw writes ignoring permissions (host-side setup and error
-// injection into read-only text). The pages must be mapped.
+// injection into read-only text). The pages must be mapped; like
+// WriteBytes, the whole range is probed before any byte is committed.
 func (m *Memory) WriteRaw(addr uint32, b []byte) error {
-	m.codeGen++
 	for i := 0; i < len(b); {
 		a := addr + uint32(i)
-		p, ok := m.pages[a>>pageShift]
-		if !ok {
+		if _, ok := m.pages[a>>pageShift]; !ok {
 			return &Fault{Addr: a, Access: AccessWrite, NotPresent: true}
 		}
-		m.dirty[a>>pageShift] = struct{}{}
+		i += int(PageSize - (a & (PageSize - 1)))
+	}
+	for i := 0; i < len(b); {
+		a := addr + uint32(i)
+		pn := a >> pageShift
+		p := m.pages[pn]
+		m.noteWrite(pn, p)
 		off := a & (PageSize - 1)
 		c := copy(p.data[off:], b[i:])
 		i += c
@@ -352,44 +550,55 @@ type Snapshot struct {
 }
 
 // TakeSnapshot deep-copies the current state and resets dirty tracking,
-// so a later Restore touches only pages modified since this call.
+// so a later Restore touches only pages modified since this call. Only
+// the most recent snapshot can be restored with the cheap dirty-page
+// path; restoring an older snapshot misses changes made before the
+// newer one was taken.
 func (m *Memory) TakeSnapshot() *Snapshot {
 	s := &Snapshot{pages: make(map[uint32]*page, len(m.pages))}
 	for pn, p := range m.pages {
 		cp := &page{perm: p.perm, data: make([]byte, PageSize)}
 		copy(cp.data, p.data)
 		s.pages[pn] = cp
+		p.dirty = false
 	}
-	m.dirty = make(map[uint32]struct{})
-	m.structural = false
+	clear(m.dirty)
+	m.codeDirty = false
+	m.flushTLB()
 	return s
 }
 
-// Restore returns the address space to the snapshot state. When only
-// data writes happened since TakeSnapshot, the cost is proportional to
-// the number of dirtied pages.
+// Restore returns the address space to the snapshot state. The cost is
+// proportional to the number of pages touched since TakeSnapshot —
+// including pages mapped, unmapped or reprotected, which earlier
+// versions handled by rebuilding the whole address space. codeGen only
+// advances when executable content actually changed since the
+// snapshot, so instruction-decode caches survive data-only
+// snapshot/restore cycles.
 func (m *Memory) Restore(s *Snapshot) {
-	m.codeGen++
-	if m.structural {
-		m.pages = make(map[uint32]*page, len(s.pages))
-		for pn, p := range s.pages {
-			cp := &page{perm: p.perm, data: make([]byte, PageSize)}
-			copy(cp.data, p.data)
-			m.pages[pn] = cp
-		}
-	} else {
-		for pn := range m.dirty {
-			if orig, ok := s.pages[pn]; ok {
-				cur := m.pages[pn]
-				cur.perm = orig.perm
-				copy(cur.data, orig.data)
-			} else {
-				delete(m.pages, pn)
-			}
-		}
+	if m.codeDirty {
+		m.codeGen++
+		m.codeDirty = false
 	}
-	m.dirty = make(map[uint32]struct{})
-	m.structural = false
+	for pn := range m.dirty {
+		orig, ok := s.pages[pn]
+		if !ok {
+			// Mapped since the snapshot: remove.
+			delete(m.pages, pn)
+			continue
+		}
+		cur, ok := m.pages[pn]
+		if !ok {
+			// Unmapped since the snapshot: recreate.
+			cur = &page{data: make([]byte, PageSize)}
+			m.pages[pn] = cur
+		}
+		cur.perm = orig.perm
+		cur.dirty = false
+		copy(cur.data, orig.data)
+	}
+	clear(m.dirty)
+	m.flushTLB()
 }
 
 // PageCount returns the number of mapped pages.

@@ -1,0 +1,353 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Fault-atomic (non-torn) multi-byte writes.
+//
+// A Write16/Write32 that straddles a page boundary must either complete
+// fully or leave memory untouched: the injection harness relies on
+// "architectural state is that of the instruction start" when a store
+// faults mid-instruction. The pre-fix code committed the low bytes
+// before probing the second page, tearing the store.
+// ---------------------------------------------------------------------------
+
+func TestWrite32NotTornAcrossUnmappedPage(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x1000, PermRW) // 0x2000 unmapped
+	if err := m.WriteRaw(0x1FFC, []byte{0x11, 0x22, 0x33, 0x44}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Write32(0x1FFE, 0xDEADBEEF) // bytes at 0x1FFE..0x2001
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if !f.NotPresent || f.Addr < 0x2000 {
+		t.Fatalf("fault should name the unmapped page: %+v", f)
+	}
+	got, _ := m.ReadRaw(0x1FFC, 4)
+	want := []byte{0x11, 0x22, 0x33, 0x44}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("torn write: bytes at 0x1FFC = % x, want % x", got, want)
+		}
+	}
+}
+
+func TestWrite16NotTornAcrossReadOnlyPage(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x1000, PermRW)
+	m.Map(0x2000, 0x1000, PermRead) // second page mapped but not writable
+	if err := m.WriteRaw(0x1FFF, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Write16(0x1FFF, 0x1234)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if f.NotPresent || f.Access != AccessWrite || f.Addr != 0x2000 {
+		t.Fatalf("fault = %+v, want write-perm fault at 0x2000", f)
+	}
+	got, _ := m.ReadRaw(0x1FFF, 2)
+	if got[0] != 0xAA || got[1] != 0xBB {
+		t.Fatalf("torn write: bytes = % x, want aa bb", got)
+	}
+}
+
+func TestWriteBytesNotTornAcrossPages(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x2000, PermRW) // 0x3000 unmapped
+	seed := make([]byte, 0x2000)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	if err := m.WriteRaw(0x1000, seed); err != nil {
+		t.Fatal(err)
+	}
+	// Spans pages 0x1000, 0x2000 (writable) and 0x3000 (unmapped).
+	payload := make([]byte, 0x2100)
+	for i := range payload {
+		payload[i] = 0xEE
+	}
+	err := m.WriteBytes(0x1F00, payload)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if !f.NotPresent || f.Addr != 0x3000 {
+		t.Fatalf("fault = %+v, want not-present at 0x3000", f)
+	}
+	got, _ := m.ReadRaw(0x1000, 0x2000)
+	for i := range got {
+		if got[i] != seed[i] {
+			t.Fatalf("torn WriteBytes: offset %#x = %#x, want %#x", i, got[i], seed[i])
+		}
+	}
+}
+
+func TestWrite32TornOnPreFixSemantics(t *testing.T) {
+	// Documents the committed behavior: after the fault the FIRST page
+	// is still intact. (Under the pre-fix code the two low bytes at
+	// 0x1FFE/0x1FFF were already overwritten with 0xEF 0xBE when the
+	// second-page probe faulted — this test fails on that code.)
+	m := New()
+	m.Map(0x1000, 0x1000, PermRW)
+	_ = m.WriteRaw(0x1FFE, []byte{0x01, 0x02})
+	if err := m.Write32(0x1FFE, 0xDEADBEEF); err == nil {
+		t.Fatal("straddle into unmapped page must fault")
+	}
+	b0, _ := m.Read8(0x1FFE)
+	b1, _ := m.Read8(0x1FFF)
+	if b0 != 0x01 || b1 != 0x02 {
+		t.Fatalf("low bytes overwritten before fault: %#x %#x", b0, b1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TLB invalidation matrix. Every mapping operation must invalidate the
+// software TLB so no access is served from a stale translation.
+// ---------------------------------------------------------------------------
+
+func TestTLBStaleReadAfterUnmap(t *testing.T) {
+	m := New()
+	m.Map(0x4000, 0x1000, PermRW)
+	if err := m.Write32(0x4000, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the read TLB.
+	if v, err := m.Read32(0x4000); err != nil || v != 0x12345678 {
+		t.Fatalf("priming read = %#x, %v", v, err)
+	}
+	m.Unmap(0x4000, 0x1000)
+	if _, err := m.Read32(0x4000); err == nil {
+		t.Fatal("read after Unmap served from stale TLB entry")
+	}
+	if err := m.Write8(0x4000, 1); err == nil {
+		t.Fatal("write after Unmap served from stale TLB entry")
+	}
+}
+
+func TestTLBInvalidatedOnProtect(t *testing.T) {
+	m := New()
+	m.Map(0x4000, 0x1000, PermRW)
+	if err := m.Write32(0x4000, 1); err != nil {
+		t.Fatal(err) // primes the write TLB
+	}
+	m.Protect(0x4000, 0x1000, PermRead)
+	if err := m.Write32(0x4000, 2); err == nil {
+		t.Fatal("write after write-protect served from stale TLB entry")
+	}
+	v, err := m.Read32(0x4000)
+	if err != nil || v != 1 {
+		t.Fatalf("read-only page read = %#x, %v", v, err)
+	}
+	// Re-grant write: the read-only translation must not linger either.
+	m.Protect(0x4000, 0x1000, PermRW)
+	if err := m.Write32(0x4000, 3); err != nil {
+		t.Fatalf("write after re-protect: %v", err)
+	}
+}
+
+func TestTLBInvalidatedOnRemap(t *testing.T) {
+	m := New()
+	m.Map(0x4000, 0x1000, PermRW)
+	if err := m.Write32(0x4000, 0xAAAA); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(0x4000); v != 0xAAAA {
+		t.Fatal("prime failed")
+	}
+	m.Unmap(0x4000, 0x1000)
+	m.Map(0x4000, 0x1000, PermRW) // fresh zeroed page at same address
+	v, err := m.Read32(0x4000)
+	if err != nil || v != 0 {
+		t.Fatalf("read after remap = %#x, %v; stale page served", v, err)
+	}
+}
+
+func TestTLBInvalidatedOnRestore(t *testing.T) {
+	m := New()
+	m.Map(0x4000, 0x1000, PermRW)
+	if err := m.Write32(0x4000, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.TakeSnapshot()
+
+	// Map a page after the snapshot and prime its TLB entries.
+	m.Map(0x8000, 0x1000, PermRW)
+	if err := m.Write32(0x8000, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(0x8000); v != 0x2222 {
+		t.Fatal("prime failed")
+	}
+	// Unmap a snapshotted page, too.
+	m.Unmap(0x4000, 0x1000)
+
+	m.Restore(snap)
+	if _, err := m.Read32(0x8000); err == nil {
+		t.Fatal("post-snapshot page still readable after Restore (stale TLB)")
+	}
+	v, err := m.Read32(0x4000)
+	if err != nil || v != 0x1111 {
+		t.Fatalf("unmapped-then-restored page = %#x, %v; want 0x1111", v, err)
+	}
+}
+
+func TestTLBSeesRawWrites(t *testing.T) {
+	// WriteRaw is the injection harness's corruption primitive; a read
+	// served from the TLB afterwards must see the flipped bytes (the
+	// TLB caches translations, not data — this pins that contract).
+	m := New()
+	m.Map(0x4000, 0x1000, PermRead)
+	if v, _ := m.Read32(0x4000); v != 0 {
+		t.Fatal("prime failed")
+	}
+	if err := m.WriteRaw(0x4000, []byte{0xEF, 0xBE, 0xAD, 0xDE}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read32(0x4000)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("read after WriteRaw = %#x, %v", v, err)
+	}
+}
+
+func TestTLBPerAccessKind(t *testing.T) {
+	// A read translation for an RX page must not satisfy writes, and a
+	// write translation for an RW page must not satisfy fetches.
+	m := New()
+	m.Map(0x4000, 0x1000, PermRX)
+	m.Map(0x5000, 0x1000, PermRW)
+	if _, err := m.Read32(0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write8(0x4000, 1); err == nil {
+		t.Fatal("write to RX page must fault even after a read primed the TLB")
+	}
+	if err := m.Write32(0x5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := m.Fetch(0x5000, buf); err == nil {
+		t.Fatal("fetch from RW page must fault even after a write primed the TLB")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scoped code-generation tracking: CodeGen must advance exactly when
+// executable content may have changed, so the CPU's decode cache
+// survives data-only snapshot/restore cycles.
+// ---------------------------------------------------------------------------
+
+func TestCodeGenStableAcrossDataOnlyRestore(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x1000, PermRX) // code
+	m.Map(0x8000, 0x1000, PermRW) // data
+	snap := m.TakeSnapshot()
+	gen := m.CodeGen()
+	for i := 0; i < 5; i++ {
+		if err := m.Write32(0x8000, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		m.Restore(snap)
+	}
+	if m.CodeGen() != gen {
+		t.Fatalf("CodeGen moved %d -> %d across data-only restores", gen, m.CodeGen())
+	}
+}
+
+func TestCodeGenBumpsOnExecPageWrite(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x1000, PermRX)
+	snap := m.TakeSnapshot()
+	gen := m.CodeGen()
+	if err := m.WriteRaw(0x1000, []byte{0x90}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.CodeGen()
+	if after == gen {
+		t.Fatal("CodeGen unchanged after write to executable page")
+	}
+	// Every write to an exec page must advance the generation — a decode
+	// cached after the first corruption must not survive a second one.
+	if err := m.WriteRaw(0x1000, []byte{0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	if m.CodeGen() == after {
+		t.Fatal("second exec-page write did not advance CodeGen")
+	}
+	// Restoring code bytes is itself a code change.
+	preRestore := m.CodeGen()
+	m.Restore(snap)
+	if m.CodeGen() == preRestore {
+		t.Fatal("restore of dirtied code page did not advance CodeGen")
+	}
+}
+
+func TestCodeGenScopedMappingOps(t *testing.T) {
+	m := New()
+	m.Map(0x8000, 0x1000, PermRW)
+	gen := m.CodeGen()
+	// Data-page operations: no executable content involved.
+	m.Protect(0x8000, 0x1000, PermRead)
+	m.Protect(0x8000, 0x1000, PermRW)
+	m.Unmap(0x8000, 0x1000)
+	m.Map(0x8000, 0x1000, PermRW)
+	if m.CodeGen() != gen {
+		t.Fatalf("CodeGen moved %d -> %d on data-only mapping ops", gen, m.CodeGen())
+	}
+	// Granting exec is a code change.
+	m.Protect(0x8000, 0x1000, PermRX)
+	if m.CodeGen() == gen {
+		t.Fatal("CodeGen unchanged after granting exec permission")
+	}
+	// Revoking exec is also a code change (stale decodes must die).
+	gen = m.CodeGen()
+	m.Protect(0x8000, 0x1000, PermRW)
+	if m.CodeGen() == gen {
+		t.Fatal("CodeGen unchanged after revoking exec permission")
+	}
+	// Unmapping an exec page likewise.
+	m.Map(0x9000, 0x1000, PermRX)
+	gen = m.CodeGen()
+	m.Unmap(0x9000, 0x1000)
+	if m.CodeGen() == gen {
+		t.Fatal("CodeGen unchanged after unmapping exec page")
+	}
+}
+
+func TestRestoreRecreatesUnmappedPages(t *testing.T) {
+	m := New()
+	m.Map(0x4000, 0x2000, PermRW)
+	if err := m.Write32(0x5000, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.TakeSnapshot()
+
+	m.Unmap(0x5000, 0x1000)
+	m.Protect(0x4000, 0x1000, PermRead)
+	m.Restore(snap)
+
+	if !m.IsMapped(0x5000) {
+		t.Fatal("page unmapped after snapshot not recreated by Restore")
+	}
+	if v, _ := m.Read32(0x5000); v != 0xCAFE {
+		t.Fatalf("recreated page data = %#x, want 0xCAFE", v)
+	}
+	if m.PermAt(0x4000) != PermRW {
+		t.Fatalf("reprotected page perm = %v after Restore, want RW", m.PermAt(0x4000))
+	}
+	// The restored state must behave like the original for a second round.
+	if err := m.Write32(0x5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Restore(snap)
+	if v, _ := m.Read32(0x5000); v != 0xCAFE {
+		t.Fatalf("second restore = %#x, want 0xCAFE", v)
+	}
+}
