@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// TestHelperKinjectWorker is not a test: re-invoked as a subprocess,
+// it serves real injections as a kinject worker over stdin/stdout.
+func TestHelperKinjectWorker(t *testing.T) {
+	if os.Getenv("KINJECT_WORKER_HELPER") == "" {
+		return
+	}
+	if err := run([]string{"-worker"}); err != nil {
+		fmt.Fprintln(os.Stderr, "worker helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestHelperKinjectMain is not a test: re-invoked as a subprocess, it
+// runs a full kinject invocation (args from KINJECT_ARGS) with worker
+// subprocesses pointed back at this binary — the victim process for
+// the SIGKILL crash-recovery test.
+func TestHelperKinjectMain(t *testing.T) {
+	if os.Getenv("KINJECT_MAIN_HELPER") == "" {
+		return
+	}
+	workerCommand = helperWorkerCommand
+	if err := run(strings.Fields(os.Getenv("KINJECT_ARGS"))); err != nil {
+		fmt.Fprintln(os.Stderr, "main helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func helperWorkerCommand() *exec.Cmd {
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperKinjectWorker$")
+	cmd.Env = append(os.Environ(), "KINJECT_WORKER_HELPER=1")
+	return cmd
+}
+
+// useHelperWorkers points the supervisor at this test binary for the
+// duration of one test.
+func useHelperWorkers(t *testing.T) {
+	t.Helper()
+	orig := workerCommand
+	workerCommand = helperWorkerCommand
+	t.Cleanup(func() { workerCommand = orig })
+}
+
+func TestIsolationFlagValidation(t *testing.T) {
+	if err := run([]string{"-isolation", "thread"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown -isolation") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run([]string{"-chaos-kill", "0.5"}); err == nil ||
+		!strings.Contains(err.Error(), "requires -isolation=process") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The acceptance bar for process isolation: the same seed produces a
+// byte-identical result set whether injections run in-process or in
+// supervised worker subprocesses — serial and parallel.
+func TestProcessIsolationParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections in subprocesses")
+	}
+	useHelperWorkers(t)
+	dir := t.TempDir()
+	study := []string{"-q", "-campaigns", "C", "-max-funcs", "3", "-max-targets", "2"}
+
+	ref := filepath.Join(dir, "inproc.json.gz")
+	if err := run(append(study, "-out", ref)); err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"serial", []string{"-isolation", "process"}},
+		{"parallel", []string{"-isolation", "process", "-workers", "2"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out := filepath.Join(dir, tc.name+".json.gz")
+			if err := run(append(append(study, tc.args...), "-out", out)); err != nil {
+				t.Fatalf("process isolation: %v", err)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("process-isolated result set differs from the in-process run")
+			}
+		})
+	}
+}
+
+// Random worker kills mid-campaign must not change a single byte of
+// the results or leave an unverifiable journal — chaos deaths are
+// retried, not absorbed into outcomes.
+func TestProcessIsolationChaosKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections in subprocesses")
+	}
+	useHelperWorkers(t)
+	dir := t.TempDir()
+	study := []string{"-q", "-campaigns", "C", "-max-funcs", "3", "-max-targets", "2"}
+
+	ref := filepath.Join(dir, "inproc.json.gz")
+	if err := run(append(study, "-out", ref)); err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	out := filepath.Join(dir, "chaos.json.gz")
+	jpath := filepath.Join(dir, "chaos.jnl")
+	err := run(append(study,
+		"-isolation", "process", "-chaos-kill", "0.5", "-chaos-seed", "7",
+		"-journal", jpath, "-out", out))
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+
+	want, _ := os.ReadFile(ref)
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("chaos-killed result set differs from the in-process run")
+	}
+	rep, err := journal.Verify(jpath)
+	if err != nil {
+		t.Fatalf("journal verify: %v", err)
+	}
+	if rep.Corrupt != nil || !rep.Complete || rep.Truncated {
+		t.Fatalf("chaos journal: %+v", rep)
+	}
+}
+
+// SIGKILLing the whole supervisor process mid-campaign (the hardest
+// crash: no drain, no Close, workers orphaned) must leave a journal
+// that resumes to the exact uninterrupted result set, with no run
+// duplicated or lost.
+func TestSupervisorSIGKILLResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections in subprocesses")
+	}
+	useHelperWorkers(t)
+	dir := t.TempDir()
+	study := []string{"-q", "-campaigns", "ABC", "-max-funcs", "3", "-max-targets", "2"}
+
+	ref := filepath.Join(dir, "ref.json.gz")
+	if err := run(append(study, "-out", ref)); err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	jpath := filepath.Join(dir, "victim.jnl")
+	victim := exec.Command(os.Args[0], "-test.run=TestHelperKinjectMain$")
+	victim.Env = append(os.Environ(),
+		"KINJECT_MAIN_HELPER=1",
+		"KINJECT_ARGS="+strings.Join(append(study, "-isolation", "process", "-journal", jpath), " "))
+	victim.Stdout = os.Stderr
+	victim.Stderr = os.Stderr
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan struct{})
+	go func() { victim.Wait(); close(exited) }()
+
+	// Kill as soon as at least one result frame is durably flushed, so
+	// the SIGKILL lands mid-journal-write with work both behind and
+	// ahead of it. If the tiny study outruns the poll, the kill
+	// degrades to a post-completion no-op and the assertions below
+	// still must hold.
+	deadline := time.After(2 * time.Minute)
+poll:
+	for {
+		select {
+		case <-exited:
+			break poll
+		case <-deadline:
+			victim.Process.Kill()
+			t.Fatal("victim made no journal progress within 2 minutes")
+		case <-time.After(2 * time.Millisecond):
+			if j, err := journal.Read(jpath); err == nil && j.CompletedCount() >= 1 {
+				victim.Process.Signal(syscall.SIGKILL)
+				break poll
+			}
+		}
+	}
+	<-exited
+
+	// The torn journal must verify as recoverable, never corrupt.
+	rep, err := journal.Verify(jpath)
+	if err != nil {
+		t.Fatalf("verify after SIGKILL: %v", err)
+	}
+	if rep.Corrupt != nil {
+		t.Fatalf("SIGKILL produced mid-file corruption: %+v", rep.Corrupt)
+	}
+
+	out := filepath.Join(dir, "resumed.json.gz")
+	if err := run([]string{"-q", "-resume", jpath, "-isolation", "process", "-out", out}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	want, _ := os.ReadFile(ref)
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed result set differs from the uninterrupted run")
+	}
+
+	// No duplicated or lost run IDs: every target ordinal appears
+	// exactly once as a result or a quarantine.
+	j, err := journal.Read(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Complete() {
+		t.Fatal("resumed journal incomplete")
+	}
+	for key, total := range j.Totals {
+		seen := make(map[int]int)
+		for _, e := range j.Entries[key] {
+			seen[e.Ordinal]++
+		}
+		for ord, n := range seen {
+			if n > 1 {
+				t.Fatalf("campaign %s ordinal %d journaled %d times", key, ord, n)
+			}
+		}
+		for ord := 0; ord < total; ord++ {
+			_, done := seen[ord]
+			_, quarantined := j.Quarantine[key][ord]
+			if !done && !quarantined {
+				t.Fatalf("campaign %s ordinal %d lost", key, ord)
+			}
+			if done && quarantined {
+				t.Fatalf("campaign %s ordinal %d both completed and quarantined", key, ord)
+			}
+		}
+	}
+}

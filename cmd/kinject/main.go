@@ -7,6 +7,8 @@
 //	        [-max-targets N] [-max-funcs N] [-workers N]
 //	        [-no-assertions] [-journal path] [-resume path]
 //	        [-run-timeout D] [-max-retries N]
+//	        [-isolation inproc|process] [-max-worker-restarts N]
+//	        [-breaker-threshold N] [-heartbeat-timeout D]
 //	        [-out results.json.gz] [-cpuprofile prof.out] [-q]
 //
 // A full run (no -max-targets) performs every injection of all three
@@ -32,6 +34,15 @@
 // skipped on resume, and reported as excluded rather than polluting
 // the outcome tables. Parallel workers cross-validate their golden
 // (fault-free) runs against worker 0's before injecting.
+//
+// -isolation=process runs every injection in supervised worker
+// subprocesses (kinject -worker) instead of in-process machines:
+// a worker that panics the runtime, livelocks, or is OOM-killed takes
+// down only itself — the supervisor kills it on a missed heartbeat
+// deadline, restarts it with backoff, quarantines a target that kills
+// workers -breaker-threshold consecutive times, and fails the campaign
+// loudly after -max-worker-restarts abnormal deaths. Results are
+// byte-identical to an inproc run with the same seed.
 package main
 
 import (
@@ -51,6 +62,8 @@ import (
 	"repro/internal/inject"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/supervisor"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -89,8 +102,27 @@ func run(args []string) error {
 	runTimeout := fs.Duration("run-timeout", 0, "wall-clock watchdog per injection run (0 = derive from the golden run)")
 	maxRetries := fs.Int("max-retries", core.DefaultMaxRetries, "harness-fault retries before a target is quarantined")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
+	isolation := fs.String("isolation", "inproc", "injection isolation: inproc (in-process machines) or process (supervised worker subprocesses)")
+	workerMode := fs.Bool("worker", false, "serve injections as a worker subprocess over stdin/stdout (internal; spawned by -isolation=process)")
+	maxWorkerRestarts := fs.Int("max-worker-restarts", supervisor.DefaultMaxRestarts, "abnormal worker deaths tolerated before the campaign fails (-isolation=process)")
+	breakerThreshold := fs.Int("breaker-threshold", supervisor.DefaultBreakerThreshold, "consecutive worker deaths on one target before it is quarantined (-isolation=process)")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", supervisor.DefaultHeartbeatTimeout, "worker silence tolerated mid-run before a hard kill (-isolation=process)")
+	chaosKill := fs.Float64("chaos-kill", 0, "chaos test: SIGKILL the worker of roughly this fraction of runs (-isolation=process)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the chaos/backoff-jitter RNG (0 = nondeterministic)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *workerMode {
+		return runWorker()
+	}
+	switch *isolation {
+	case "inproc", "process":
+	default:
+		return fmt.Errorf("unknown -isolation %q (want inproc or process)", *isolation)
+	}
+	if *chaosKill > 0 && *isolation != "process" {
+		return fmt.Errorf("-chaos-kill requires -isolation=process")
 	}
 
 	if *cpuProfile != "" {
@@ -149,19 +181,11 @@ func run(args []string) error {
 		cfg.Quarantined = j.QuarantinedOrdinals()
 	}
 
-	cfg.Campaigns = nil
-	for _, ch := range strings.ToUpper(campaignStr) {
-		switch ch {
-		case 'A':
-			cfg.Campaigns = append(cfg.Campaigns, inject.CampaignA)
-		case 'B':
-			cfg.Campaigns = append(cfg.Campaigns, inject.CampaignB)
-		case 'C':
-			cfg.Campaigns = append(cfg.Campaigns, inject.CampaignC)
-		default:
-			return fmt.Errorf("unknown campaign %q", string(ch))
-		}
+	cs, err := parseCampaigns(campaignStr)
+	if err != nil {
+		return err
 	}
+	cfg.Campaigns = cs
 
 	if *journalPath != "" {
 		w, err := journal.Create(*journalPath, journal.Header{
@@ -232,6 +256,44 @@ func run(args []string) error {
 		}
 		return err
 	}
+	if *isolation == "process" {
+		totals := make(map[string]int, len(cfg.Campaigns))
+		for _, c := range cfg.Campaigns {
+			ts, terr := s.Targets(c)
+			if terr != nil {
+				if jw != nil {
+					jw.Close(nil)
+				}
+				return terr
+			}
+			totals[analysis.CampaignKey(c)] = len(ts)
+		}
+		sup := supervisor.New(supervisor.Config{
+			Command: workerCommand,
+			Workers: cfg.Workers,
+			Spec: wire.StudySpec{
+				Seed:                cfg.Seed,
+				Scale:               cfg.Scale,
+				Campaigns:           strings.ToUpper(campaignStr),
+				MaxTargetsPerFunc:   cfg.MaxTargetsPerFunc,
+				MaxFuncsPerCampaign: cfg.MaxFuncsPerCampaign,
+				DisableAssertions:   cfg.DisableAssertions,
+				RunTimeout:          cfg.RunTimeout,
+				MaxRetries:          cfg.MaxRetries,
+			},
+			GoldenFP:         s.Runner.GoldenFingerprint(),
+			GoldenDisk:       fmt.Sprintf("%x", s.Runner.GoldenDiskHash()),
+			Totals:           totals,
+			HeartbeatTimeout: *heartbeatTimeout,
+			BreakerThreshold: *breakerThreshold,
+			MaxRestarts:      *maxWorkerRestarts,
+			ChaosKillRate:    *chaosKill,
+			ChaosSeed:        *chaosSeed,
+			Metrics:          metrics,
+		})
+		defer sup.Close()
+		s.Cfg.Remote = sup
+	}
 	if prior != nil {
 		fmt.Printf("resuming from %s: %d injections already journaled\n",
 			*resumePath, prior.CompletedCount())
@@ -285,6 +347,26 @@ func run(args []string) error {
 		fmt.Printf("\njournal written to %s\n", p)
 	}
 	return nil
+}
+
+// parseCampaigns decodes a campaign selection string ("ABC") into
+// campaign values; the worker and the supervisor share it so both ends
+// derive the same list from the same spec.
+func parseCampaigns(s string) ([]inject.Campaign, error) {
+	var out []inject.Campaign
+	for _, ch := range strings.ToUpper(s) {
+		switch ch {
+		case 'A':
+			out = append(out, inject.CampaignA)
+		case 'B':
+			out = append(out, inject.CampaignB)
+		case 'C':
+			out = append(out, inject.CampaignC)
+		default:
+			return nil, fmt.Errorf("unknown campaign %q", string(ch))
+		}
+	}
+	return out, nil
 }
 
 func firstNonEmpty(a, b string) string {

@@ -6,13 +6,21 @@
 //
 // Usage:
 //
-//	kreport <results.json.gz | journal>
+//	kreport [-verify] <results.json.gz | journal>
+//
+// -verify fscks a journal instead of reporting: every frame's length
+// and CRC32C trailer is checked, and the first corrupt frame (if any)
+// is reported with its index and file offset. A torn tail — the
+// signature of a crash mid-write — is reported as recoverable; exit
+// status is non-zero only for corruption or an unreadable file.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/journal"
@@ -26,10 +34,18 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: kreport <results.json.gz | journal>")
+	fs := flag.NewFlagSet("kreport", flag.ContinueOnError)
+	verify := fs.Bool("verify", false, "fsck a journal: check every frame, report the first corruption")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	path := args[0]
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: kreport [-verify] <results.json.gz | journal>")
+	}
+	path := fs.Arg(0)
+	if *verify {
+		return runVerify(path, w)
+	}
 	var rs *analysis.ResultSet
 	if journal.Sniff(path) {
 		j, err := journal.Read(path)
@@ -55,4 +71,53 @@ func run(args []string, w io.Writer) error {
 	}
 	_, err := fmt.Fprintln(w, analysis.RenderAll(rs))
 	return err
+}
+
+// runVerify fscks one journal and renders the report. Corruption makes
+// the command fail so scripts (and the CI chaos job) can gate on it.
+func runVerify(path string, w io.Writer) error {
+	if !journal.Sniff(path) {
+		return fmt.Errorf("%s is not a journal file", path)
+	}
+	rep, err := journal.Verify(path)
+	if err != nil {
+		return err
+	}
+	format := "kjnl2 (CRC32C frames)"
+	if rep.Legacy {
+		format = "kjnl1 (legacy, no checksums)"
+	}
+	fmt.Fprintf(w, "journal %s\n", rep.Path)
+	fmt.Fprintf(w, "  format:      %s\n", format)
+	fmt.Fprintf(w, "  frames:      %d intact\n", rep.Frames)
+	fmt.Fprintf(w, "  results:     %d injections", rep.Results)
+	if rep.Quarantined > 0 {
+		fmt.Fprintf(w, ", %d quarantined", rep.Quarantined)
+	}
+	fmt.Fprintln(w)
+	keys := make([]string, 0, len(rep.Campaigns))
+	for key := range rep.Campaigns {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fmt.Fprintf(w, "  campaign %s:  %d targets announced\n", key, rep.Campaigns[key])
+	}
+	switch {
+	case rep.Corrupt != nil:
+		fmt.Fprintf(w, "  CORRUPT:     frame %d at offset %d: %s\n",
+			rep.Corrupt.Frame, rep.Corrupt.Offset, rep.Corrupt.Reason)
+		fmt.Fprintf(w, "  %d intact frames precede the corruption; do not resume from this journal\n", rep.Frames)
+		return fmt.Errorf("journal is corrupt (frame %d at offset %d)", rep.Corrupt.Frame, rep.Corrupt.Offset)
+	case rep.Truncated:
+		fmt.Fprintf(w, "  torn tail:   file ends mid-frame (crash signature); recoverable — kinject -resume truncates it\n")
+	case rep.Trailer:
+		fmt.Fprintf(w, "  trailer:     present (clean close)\n")
+	}
+	if rep.Complete {
+		fmt.Fprintf(w, "  status:      complete — every announced target accounted for\n")
+	} else {
+		fmt.Fprintf(w, "  status:      partial — resumable with kinject -resume\n")
+	}
+	return nil
 }

@@ -52,6 +52,19 @@ func CampaignKey(c inject.Campaign) string {
 	return "?"
 }
 
+// CampaignFromKey is the inverse of CampaignKey.
+func CampaignFromKey(key string) (inject.Campaign, bool) {
+	switch key {
+	case "A":
+		return inject.CampaignA, true
+	case "B":
+		return inject.CampaignB, true
+	case "C":
+		return inject.CampaignC, true
+	}
+	return 0, false
+}
+
 // All returns every result across campaigns.
 func (rs *ResultSet) All() []inject.Result {
 	var out []inject.Result

@@ -37,6 +37,18 @@ var newRunner = inject.NewRunnerWithOptions
 // retried on a freshly booted runner before being quarantined.
 const DefaultMaxRetries = 2
 
+// Remote executes one target (named by campaign key and ordinal in
+// the deterministic target list) in an isolated worker process. It is
+// the seam between the campaign loop and the process-isolation
+// supervisor: when Config.Remote is set, RunCampaign routes every
+// injection through it instead of the in-process runner. A non-nil
+// HarnessFault quarantines the target (worker-side retries exhausted,
+// or the supervisor's circuit breaker opened); a non-nil error aborts
+// the campaign. Implementations must be safe for concurrent use.
+type Remote interface {
+	Do(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error)
+}
+
 // ResultSink receives every completed injection result as soon as it
 // finishes, in claim order (not target order). Implementations must be
 // safe for concurrent use by parallel workers; journal.Writer is the
@@ -103,6 +115,11 @@ type Config struct {
 	// by every parallel worker; once true the campaign stops and
 	// RunCampaign returns ErrCancelled (graceful shutdown).
 	Cancel *atomic.Bool
+	// Remote, when set, executes every injection in an isolated worker
+	// process instead of the in-process runner (-isolation=process).
+	// Workers then sizes the dispatch concurrency against the remote
+	// fleet rather than in-process simulated machines.
+	Remote Remote
 	// Metrics, when set, is updated live during campaigns.
 	Metrics *obs.Metrics
 }
@@ -128,6 +145,14 @@ type Study struct {
 
 	// FuncsFor maps each campaign to its selected functions.
 	FuncsFor map[inject.Campaign][]asm.Func
+
+	// targetMu guards targetCache; the target list of a campaign is
+	// deterministic, so it is enumerated once and reused (worker mode
+	// resolves one ordinal per run).
+	targetMu    sync.Mutex
+	targetCache map[inject.Campaign][]inject.Target
+	// ws is the workload suite reused by per-ordinal runs.
+	ws []kernel.Workload
 }
 
 // New profiles the kernel and prepares the injection runner.
@@ -166,7 +191,9 @@ func New(cfg Config) (*Study, error) {
 			Scale:   cfg.Scale,
 			Results: make(map[string][]inject.Result),
 		},
-		FuncsFor: make(map[inject.Campaign][]asm.Func),
+		FuncsFor:    make(map[inject.Campaign][]asm.Func),
+		targetCache: make(map[inject.Campaign][]inject.Target),
+		ws:          ws,
 	}
 	s.selectFunctions()
 	return s, nil
@@ -220,8 +247,24 @@ func isTargetSubsystem(sec string) bool {
 	return false
 }
 
-// Targets enumerates all injections for one campaign.
+// Targets enumerates all injections for one campaign. The list is
+// deterministic for a given configuration and cached after the first
+// call; callers must not mutate it.
 func (s *Study) Targets(c inject.Campaign) ([]inject.Target, error) {
+	s.targetMu.Lock()
+	defer s.targetMu.Unlock()
+	if ts, ok := s.targetCache[c]; ok {
+		return ts, nil
+	}
+	ts, err := s.enumerateTargets(c)
+	if err != nil {
+		return nil, err
+	}
+	s.targetCache[c] = ts
+	return ts, nil
+}
+
+func (s *Study) enumerateTargets(c inject.Campaign) ([]inject.Target, error) {
 	rng := rand.New(rand.NewSource(s.Cfg.Seed + int64(c)))
 	var out []inject.Target
 	for _, fn := range s.FuncsFor[c] {
@@ -345,6 +388,27 @@ func (s *Study) runReliable(runner *inject.Runner, worker int, c inject.Campaign
 	}
 }
 
+// RunOrdinal executes one target of a campaign, named by its ordinal
+// in the deterministic target list, under the full in-process
+// retry-and-quarantine policy (harness faults reboot the runner and
+// retry up to MaxRetries times; a non-nil HarnessFault means the
+// target must be quarantined). It is the execution entry point of
+// worker mode (kinject -worker): the supervisor ships only {campaign,
+// ordinal} and the worker re-derives the identical target list from
+// the study spec.
+func (s *Study) RunOrdinal(c inject.Campaign, ordinal int) (inject.Result, *inject.HarnessFault, error) {
+	targets, err := s.Targets(c)
+	if err != nil {
+		return inject.Result{}, nil, err
+	}
+	if ordinal < 0 || ordinal >= len(targets) {
+		return inject.Result{}, nil, fmt.Errorf("core: ordinal %d out of range (campaign %v has %d targets)", ordinal, c, len(targets))
+	}
+	res, hf, runner, err := s.runReliable(s.Runner, 0, c, targets[ordinal], s.ws)
+	s.Runner = runner
+	return res, hf, err
+}
+
 // storeCampaign compacts the per-ordinal result slice into the stored
 // set: quarantined ordinals (prior and new) are removed from the
 // results and recorded in Set.Quarantined, so the analysis layer never
@@ -429,6 +493,9 @@ func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 			s.Cfg.Progress(c, "", total, total)
 		}
 		return s.storeCampaign(key, results, prior, nil), nil
+	}
+	if s.Cfg.Remote != nil {
+		return s.runCampaignRemote(c, key, targets, skip, prior, results, nskip+nprior)
 	}
 
 	workers := s.Cfg.Workers
@@ -571,6 +638,159 @@ func (s *Study) RunCampaign(c inject.Campaign) ([]inject.Result, error) {
 	// Worker 0 may have rebooted its runner after a harness fault; keep
 	// the study pointed at the live one (wg.Wait orders the read).
 	s.Runner = runners[0]
+	if rerr != nil {
+		return nil, rerr
+	}
+	if s.cancelled() {
+		return nil, ErrCancelled
+	}
+	return s.storeCampaign(key, results, prior, fresh), nil
+}
+
+// runRemote dispatches one target to the remote fleet with metrics
+// accounting (the remote worker's own in-process retries are invisible
+// here; the supervisor-level fault is counted once).
+func (s *Study) runRemote(worker int, key string, ordinal int) (inject.Result, *inject.HarnessFault, error) {
+	m := s.Cfg.Metrics
+	if m != nil {
+		m.RunStarted(worker)
+	}
+	start := time.Now()
+	res, hf, err := s.Cfg.Remote.Do(key, ordinal)
+	if err != nil {
+		return inject.Result{}, nil, err
+	}
+	if hf != nil {
+		if m != nil {
+			m.HarnessFault(worker, hf.Kind, time.Since(start))
+			m.Quarantined()
+		}
+		return inject.Result{}, hf, nil
+	}
+	if res == nil {
+		return inject.Result{}, nil, fmt.Errorf("core: remote run %s/%d returned neither result nor fault", key, ordinal)
+	}
+	if m != nil {
+		m.RunFinished(worker, res, time.Since(start))
+	}
+	return *res, nil, nil
+}
+
+// runCampaignRemote is the process-isolation campaign loop: targets
+// are dispatched to the remote worker fleet (Cfg.Remote) instead of
+// in-process simulated machines. Results are keyed by ordinal, so the
+// stored set is byte-identical to an in-process run of the same seed;
+// quarantines (worker-side retry exhaustion or supervisor breaker
+// trips) flow through the same sink frames as in-process ones.
+func (s *Study) runCampaignRemote(c inject.Campaign, key string, targets []inject.Target, skip map[int]inject.Result, prior map[int]bool, results []inject.Result, preDone int) ([]inject.Result, error) {
+	total := len(targets)
+	workers := s.Cfg.Workers
+	if workers <= 1 {
+		fresh := make(map[int]bool)
+		done := preDone
+		for i := range targets {
+			if prior[i] {
+				continue
+			}
+			if _, ok := skip[i]; ok {
+				continue
+			}
+			if s.cancelled() {
+				return nil, ErrCancelled
+			}
+			res, hf, err := s.runRemote(0, key, i)
+			if err != nil {
+				return nil, err
+			}
+			if hf != nil {
+				fresh[i] = true
+				if s.Cfg.Sink != nil {
+					if err := s.Cfg.Sink.Quarantine(c, 0, i, *hf); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				results[i] = res
+				if s.Cfg.Sink != nil {
+					if err := s.Cfg.Sink.Put(c, 0, i, total, res); err != nil {
+						return nil, err
+					}
+				}
+			}
+			done++
+			if s.Cfg.Progress != nil {
+				s.Cfg.Progress(c, targets[i].Func.Name, done, total)
+			}
+		}
+		return s.storeCampaign(key, results, prior, fresh), nil
+	}
+
+	var (
+		next  int32 = -1
+		done  int32 = int32(preDone)
+		abort atomic.Bool
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		rerr  error
+	)
+	fresh := make(map[int]bool)
+	fail := func(err error) {
+		mu.Lock()
+		if rerr == nil {
+			rerr = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !abort.Load() && !s.cancelled() {
+				i := int(atomic.AddInt32(&next, 1))
+				if i >= total {
+					return
+				}
+				if prior[i] {
+					continue
+				}
+				if _, ok := skip[i]; ok {
+					continue
+				}
+				res, hf, err := s.runRemote(w, key, i)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if hf != nil {
+					mu.Lock()
+					fresh[i] = true
+					mu.Unlock()
+					if s.Cfg.Sink != nil {
+						if err := s.Cfg.Sink.Quarantine(c, w, i, *hf); err != nil {
+							fail(err)
+							return
+						}
+					}
+				} else {
+					results[i] = res
+					if s.Cfg.Sink != nil {
+						if err := s.Cfg.Sink.Put(c, w, i, total, res); err != nil {
+							fail(err)
+							return
+						}
+					}
+				}
+				n := int(atomic.AddInt32(&done, 1))
+				if s.Cfg.Progress != nil && (n%64 == 0 || n == total) {
+					mu.Lock()
+					s.Cfg.Progress(c, targets[i].Func.Name, n, total)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 	if rerr != nil {
 		return nil, rerr
 	}

@@ -26,6 +26,11 @@ const (
 	// write the target byte (previously silently classified Not
 	// Activated).
 	FaultBreakpointIO FaultKind = "breakpoint-io"
+	// FaultWorkerDeath — under process isolation, the target killed
+	// worker subprocesses until the supervisor's per-target circuit
+	// breaker opened; the target is quarantined like an exhausted
+	// in-process retry.
+	FaultWorkerDeath FaultKind = "worker-death"
 )
 
 // HarnessFault records one failure of the harness during an injection

@@ -5,8 +5,10 @@
 // finished experiments.
 //
 // On disk a journal is a magic string followed by framed records; each
-// frame is a 4-byte little-endian length and one gzip member holding a
-// single JSON record. Record kinds:
+// frame is a 4-byte little-endian length, one gzip member holding a
+// single JSON record, and a 4-byte little-endian CRC32C of the
+// compressed payload (format "kjnl2"; the legacy "kjnl1" format had no
+// checksum and is still readable and resumable). Record kinds:
 //
 //	header      study configuration (seed, scale, campaigns, caps)
 //	campaign    campaign start: key and total target count
@@ -17,10 +19,21 @@
 //	            worker shard, written with every flushed batch
 //	trailer     final metrics snapshot on clean close
 //
-// The reader tolerates a truncated or corrupt tail — every intact
-// record prefix is recovered — and OpenAppend resumes writing after
-// the last intact record. An analysis.ResultSet reconstructed from a
-// complete journal is identical to the set the live study assembled.
+// The reader distinguishes two failure modes. A torn tail — the file
+// ends inside a frame, the signature of a crash or power loss mid
+// write — is recoverable: every intact record prefix is read, and
+// OpenAppend truncates the tear and resumes writing after the last
+// intact record. Mid-file corruption — a CRC32C mismatch, an insane
+// frame length, or an undecodable payload with more data behind it —
+// is never silently tolerated: Read/OpenAppend fail with a
+// *CorruptError naming the offset and index of the first bad frame
+// (kreport -verify fscks a journal the same way). An
+// analysis.ResultSet reconstructed from a complete journal is
+// identical to the set the live study assembled.
+//
+// Durability: every flushed batch, the header and the trailer are
+// fsync'd, and the parent directory is fsync'd after create, so an
+// acknowledged frame survives host power loss.
 package journal
 
 import (
@@ -29,9 +42,12 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -40,13 +56,38 @@ import (
 	"repro/internal/obs"
 )
 
-// magic identifies a journal file.
-const magic = "kjnl1\n"
+// magicLegacy identifies a journal whose frames carry no checksums
+// (formats 1 and 2); magic identifies the current checksummed format.
+const (
+	magicLegacy = "kjnl1\n"
+	magic       = "kjnl2\n"
+)
 
 // Version is the journal format version. Version 2 added quarantine
-// records; version-1 journals read and resume unchanged (they simply
-// contain none).
-const Version = 2
+// records; version 3 added the CRC32C frame trailer (and the "kjnl2"
+// magic). Legacy journals read and resume unchanged, in their own
+// format.
+const Version = 3
+
+// castagnoli is the CRC32C table used for frame trailers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports mid-file journal corruption: a frame that is
+// fully present yet fails its CRC32C, declares an insane length, or
+// does not decode. Unlike a torn tail it is not silently recoverable —
+// frames behind the corruption may be intact but cannot be trusted to
+// be reachable consistently, so the journal must be inspected (kreport
+// -verify) before any use.
+type CorruptError struct {
+	Path   string
+	Offset int64  // file offset of the bad frame's length prefix
+	Frame  int    // 0-based index of the bad frame
+	Reason string // what failed (CRC mismatch, bad length, undecodable payload)
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s: corrupt frame %d at offset %d: %s", e.Path, e.Frame, e.Offset, e.Reason)
+}
 
 // maxRecord bounds a single record frame; larger lengths mean a
 // corrupt frame header.
@@ -100,8 +141,9 @@ const (
 	kindTrailer    = "trailer"
 )
 
-// encodeFrame renders one record as a length-prefixed gzip frame.
-func encodeFrame(rec *record) ([]byte, error) {
+// encodeFrame renders one record as a length-prefixed gzip frame with
+// a CRC32C trailer (omitted in the legacy format).
+func encodeFrame(rec *record, legacy bool) ([]byte, error) {
 	var payload bytes.Buffer
 	zw := gzip.NewWriter(&payload)
 	if err := json.NewEncoder(zw).Encode(rec); err != nil {
@@ -110,10 +152,29 @@ func encodeFrame(rec *record) ([]byte, error) {
 	if err := zw.Close(); err != nil {
 		return nil, fmt.Errorf("journal: gzip: %w", err)
 	}
-	frame := make([]byte, 4+payload.Len())
-	binary.LittleEndian.PutUint32(frame, uint32(payload.Len()))
+	n := payload.Len()
+	size := 4 + n
+	if !legacy {
+		size += 4
+	}
+	frame := make([]byte, size)
+	binary.LittleEndian.PutUint32(frame, uint32(n))
 	copy(frame[4:], payload.Bytes())
+	if !legacy {
+		binary.LittleEndian.PutUint32(frame[4+n:], crc32.Checksum(payload.Bytes(), castagnoli))
+	}
 	return frame, nil
+}
+
+// syncDir fsyncs the directory holding path, so a freshly created
+// journal's directory entry survives host power loss.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // decodePayload parses one gzip+JSON record payload.
@@ -140,6 +201,10 @@ type Writer struct {
 	pendingN int
 	marks    map[int]map[string]int // shard -> campaign -> high-water ordinal
 	closed   bool
+	// legacy keeps appended frames in the checksum-free format when
+	// resuming a journal created before the CRC32C trailer (a single
+	// file never mixes frame formats).
+	legacy bool
 
 	// FlushEvery is the number of buffered result records that forces
 	// a flush (default DefaultFlushEvery).
@@ -159,7 +224,7 @@ func Create(path string, h Header) (*Writer, error) {
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
 	w := &Writer{f: f, FlushEvery: DefaultFlushEvery, marks: make(map[int]map[string]int)}
-	frame, err := encodeFrame(&record{Kind: kindHeader, Header: &h})
+	frame, err := encodeFrame(&record{Kind: kindHeader, Header: &h}, false)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -172,13 +237,23 @@ func Create(path string, h Header) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: sync: %w", err)
 	}
+	// Durability: the file's data is now on disk, but its directory
+	// entry may not be — fsync the parent so a power loss right after
+	// create cannot leave an acknowledged journal unreachable.
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync parent dir: %w", err)
+	}
 	return w, nil
 }
 
 // OpenAppend reopens an existing journal for resumption: it scans the
-// intact record prefix, truncates any partial tail, and positions the
-// writer after the last intact record. The returned Journal holds
-// everything already recorded (feed Completed() to the resumed study).
+// intact record prefix, truncates any torn tail, and positions the
+// writer after the last intact record. Mid-file corruption (a frame
+// failing its CRC32C with more data behind it) refuses to resume —
+// appending past silently dropped records would fabricate a journal
+// that looks complete. The returned Journal holds everything already
+// recorded (feed Completed() to the resumed study).
 func OpenAppend(path string) (*Writer, *Journal, error) {
 	j, good, err := scan(path)
 	if err != nil {
@@ -192,11 +267,15 @@ func OpenAppend(path string) (*Writer, *Journal, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: truncate partial tail: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: sync truncation: %w", err)
+	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	w := &Writer{f: f, FlushEvery: DefaultFlushEvery, marks: make(map[int]map[string]int)}
+	w := &Writer{f: f, FlushEvery: DefaultFlushEvery, marks: make(map[int]map[string]int), legacy: j.Legacy}
 	for key, entries := range j.Entries {
 		for _, e := range entries {
 			w.mark(e.Worker, key, e.Ordinal)
@@ -222,7 +301,7 @@ func (w *Writer) BeginCampaign(c inject.Campaign, total int) error {
 	if w.closed {
 		return fmt.Errorf("journal: write after close")
 	}
-	frame, err := encodeFrame(&record{Kind: kindCampaign, Campaign: analysis.CampaignKey(c), Total: total})
+	frame, err := encodeFrame(&record{Kind: kindCampaign, Campaign: analysis.CampaignKey(c), Total: total}, w.legacy)
 	if err != nil {
 		return err
 	}
@@ -241,7 +320,7 @@ func (w *Writer) Put(c inject.Campaign, worker, ordinal, total int, res inject.R
 	key := analysis.CampaignKey(c)
 	frame, err := encodeFrame(&record{
 		Kind: kindResult, Campaign: key, Worker: worker, Ordinal: ordinal, Result: &res,
-	})
+	}, w.legacy)
 	if err != nil {
 		return err
 	}
@@ -272,7 +351,7 @@ func (w *Writer) Quarantine(c inject.Campaign, worker, ordinal int, hf inject.Ha
 	key := analysis.CampaignKey(c)
 	frame, err := encodeFrame(&record{
 		Kind: kindQuarantine, Campaign: key, Worker: worker, Ordinal: ordinal, Fault: &hf,
-	})
+	}, w.legacy)
 	if err != nil {
 		return err
 	}
@@ -296,7 +375,7 @@ func (w *Writer) flushLocked() error {
 	if w.pending.Len() == 0 {
 		return nil
 	}
-	idx, err := encodeFrame(&record{Kind: kindIndex, Index: w.indexLocked()})
+	idx, err := encodeFrame(&record{Kind: kindIndex, Index: w.indexLocked()}, w.legacy)
 	if err != nil {
 		return err
 	}
@@ -349,7 +428,7 @@ func (w *Writer) Close(trailer *obs.Snapshot) error {
 		firstErr = err
 	}
 	if trailer != nil && firstErr == nil {
-		frame, err := encodeFrame(&record{Kind: kindTrailer, Metrics: trailer})
+		frame, err := encodeFrame(&record{Kind: kindTrailer, Metrics: trailer}, w.legacy)
 		if err == nil {
 			if _, werr := w.f.Write(frame); werr != nil {
 				err = werr
@@ -385,18 +464,26 @@ type Journal struct {
 	Quarantine map[string]map[int]inject.HarnessFault
 	Marks      []ShardMark   // last flushed index
 	Trailer    *obs.Snapshot // last trailer, if cleanly closed
-	// Truncated reports that the file ended mid-record (the intact
-	// prefix was recovered).
+	// Truncated reports that the file ended mid-record — a torn tail
+	// from a crash or power loss; the intact prefix was recovered.
 	Truncated bool
+	// Frames counts the intact frames read (including the header).
+	Frames int
+	// Legacy reports the checksum-free "kjnl1" frame format.
+	Legacy bool
 }
 
-// Read decodes a journal, tolerating a truncated or corrupt tail.
+// Read decodes a journal. A torn tail (crash mid-write) is tolerated
+// — the intact prefix is returned with Truncated set. Mid-file
+// corruption returns the intact prefix alongside a *CorruptError; the
+// prefix must not be treated as the journal's full content.
 func Read(path string) (*Journal, error) {
 	j, _, err := scan(path)
 	return j, err
 }
 
-// Sniff reports whether path starts with the journal magic.
+// Sniff reports whether path starts with a journal magic (current or
+// legacy format).
 func Sniff(path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
@@ -407,10 +494,22 @@ func Sniff(path string) bool {
 	if _, err := io.ReadFull(f, buf); err != nil {
 		return false
 	}
-	return string(buf) == magic
+	return string(buf) == magic || string(buf) == magicLegacy
 }
 
 // scan reads the intact record prefix and returns its end offset.
+//
+// The current "kjnl2" format distinguishes a torn tail from mid-file
+// corruption. The writer only ever appends whole frames, so a crash or
+// power loss can leave at most a *prefix* of one frame at EOF — a
+// short read of the length prefix, payload, or CRC trailer is the torn
+// tail, recoverable by truncation. Anything else — an insane length
+// value, a fully present frame failing its CRC32C, or a payload that
+// clears the CRC yet does not decode — is corruption: scan returns the
+// intact prefix alongside a *CorruptError and callers must not treat
+// the prefix as the journal's full content. Legacy "kjnl1" journals
+// have no checksums, so the reader keeps the old lenient behavior:
+// the first anomaly of any kind is treated as the torn tail.
 func scan(path string) (*Journal, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -423,31 +522,63 @@ func scan(path string) (*Journal, int64, error) {
 	}
 	br := bufio.NewReaderSize(f, 1<<20)
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, 0, fmt.Errorf("journal: %s is not a journal file", path)
+	}
+	legacy := false
+	switch string(head) {
+	case magic:
+	case magicLegacy:
+		legacy = true
+	default:
 		return nil, 0, fmt.Errorf("journal: %s is not a journal file", path)
 	}
 	j := &Journal{
 		Totals:     make(map[string]int),
 		Entries:    make(map[string][]Entry),
 		Quarantine: make(map[string]map[int]inject.HarnessFault),
+		Legacy:     legacy,
 	}
 	good := int64(len(magic))
+	var corrupt *CorruptError
+	badFrame := func(reason string) {
+		corrupt = &CorruptError{Path: path, Offset: good, Frame: j.Frames, Reason: reason}
+	}
 	sawHeader := false
-	for {
+	for corrupt == nil {
 		var lenbuf [4]byte
 		if _, err := io.ReadFull(br, lenbuf[:]); err != nil {
-			break
+			break // clean EOF, or torn length prefix
 		}
 		n := binary.LittleEndian.Uint32(lenbuf[:])
 		if n == 0 || n > maxRecord {
+			if !legacy {
+				badFrame(fmt.Sprintf("insane frame length %d", n))
+			}
 			break
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			break
+			break // torn payload
+		}
+		if !legacy {
+			var crcbuf [4]byte
+			if _, err := io.ReadFull(br, crcbuf[:]); err != nil {
+				break // torn CRC trailer
+			}
+			want := binary.LittleEndian.Uint32(crcbuf[:])
+			if got := crc32.Checksum(payload, castagnoli); got != want {
+				badFrame(fmt.Sprintf("CRC32C mismatch: frame declares %#08x, payload hashes to %#08x", want, got))
+				break
+			}
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
+			if !legacy {
+				// The payload survived its checksum yet does not parse:
+				// the frame was written corrupt, not damaged at rest.
+				badFrame(fmt.Sprintf("undecodable payload: %v", err))
+			}
 			break
 		}
 		if !sawHeader {
@@ -460,12 +591,68 @@ func scan(path string) (*Journal, int64, error) {
 			j.apply(rec)
 		}
 		good += 4 + int64(n)
+		if !legacy {
+			good += 4
+		}
+		j.Frames++
 	}
 	if !sawHeader {
+		if corrupt != nil {
+			return nil, 0, corrupt
+		}
 		return nil, 0, fmt.Errorf("journal: %s: missing header record", path)
+	}
+	if corrupt != nil {
+		return j, good, corrupt
 	}
 	j.Truncated = good != st.Size()
 	return j, good, nil
+}
+
+// VerifyReport is the result of fscking a journal with Verify.
+type VerifyReport struct {
+	Path        string
+	Legacy      bool // checksum-free "kjnl1" format
+	Frames      int  // intact frames (including the header)
+	Results     int  // distinct completed injections
+	Quarantined int
+	Campaigns   map[string]int // campaign key -> announced target total
+	Truncated   bool           // torn tail (recoverable crash signature)
+	Complete    bool           // every announced target accounted for
+	Trailer     bool           // clean-close metrics trailer present
+	// Corrupt is the first mid-file corruption found, nil when the
+	// journal is sound (a torn tail alone is not corruption).
+	Corrupt *CorruptError
+}
+
+// Verify fscks a journal: it walks every frame verifying lengths and
+// CRC32C trailers and reports what it found. A torn tail is reported
+// as Truncated (recoverable); mid-file corruption is reported in
+// Corrupt with the exact frame index and offset. The error return is
+// reserved for files that cannot be inspected at all (unreadable, not
+// a journal, no header frame).
+func Verify(path string) (*VerifyReport, error) {
+	j, _, err := scan(path)
+	var corrupt *CorruptError
+	if err != nil {
+		var ce *CorruptError
+		if !errors.As(err, &ce) || j == nil {
+			return nil, err
+		}
+		corrupt = ce
+	}
+	return &VerifyReport{
+		Path:        path,
+		Legacy:      j.Legacy,
+		Frames:      j.Frames,
+		Results:     j.CompletedCount(),
+		Quarantined: j.QuarantinedCount(),
+		Campaigns:   j.Totals,
+		Truncated:   j.Truncated,
+		Complete:    corrupt == nil && j.Complete(),
+		Trailer:     j.Trailer != nil,
+		Corrupt:     corrupt,
+	}, nil
 }
 
 func (j *Journal) apply(rec *record) {

@@ -45,6 +45,16 @@ type Metrics struct {
 	reboots       atomic.Int64
 	quarantined   atomic.Int64
 
+	// Supervisor (process-isolation) counters: worker restarts after
+	// abnormal deaths, supervisor-initiated kills (heartbeat
+	// deadline), per-target circuit-breaker trips, rejected protocol
+	// frames and chaos-test kills.
+	workerRestarts atomic.Int64
+	workerKills    atomic.Int64
+	breakerTrips   atomic.Int64
+	framesRejected atomic.Int64
+	chaosKills     atomic.Int64
+
 	workers []workerStats
 }
 
@@ -120,6 +130,26 @@ func (m *Metrics) RunnerReboot() { m.reboots.Add(1) }
 // Quarantined records one target quarantined after exhausted retries.
 func (m *Metrics) Quarantined() { m.quarantined.Add(1) }
 
+// WorkerRestart records one worker subprocess restart after an
+// abnormal death (crash, hang kill, protocol error).
+func (m *Metrics) WorkerRestart() { m.workerRestarts.Add(1) }
+
+// WorkerKill records one supervisor-initiated worker kill (heartbeat
+// or boot deadline exceeded).
+func (m *Metrics) WorkerKill() { m.workerKills.Add(1) }
+
+// BreakerTrip records one per-target circuit breaker opening after
+// consecutive worker deaths.
+func (m *Metrics) BreakerTrip() { m.breakerTrips.Add(1) }
+
+// FrameRejected records one rejected worker protocol frame (bad CRC,
+// mismatched reply, unexpected type).
+func (m *Metrics) FrameRejected() { m.framesRejected.Add(1) }
+
+// ChaosKill records one chaos-test worker kill (excluded from the
+// breaker and the restart budget).
+func (m *Metrics) ChaosKill() { m.chaosKills.Add(1) }
+
 // JournalFlush records one batch flushed to the result journal.
 func (m *Metrics) JournalFlush(bytes int) {
 	m.flushes.Add(1)
@@ -156,6 +186,14 @@ type Snapshot struct {
 	Retries       int64            `json:",omitempty"`
 	RunnerReboots int64            `json:",omitempty"`
 	Quarantined   int64            `json:",omitempty"`
+
+	// Process-isolation supervision: worker restarts, kills, breaker
+	// trips, rejected frames and chaos-test kills.
+	WorkerRestarts int64 `json:",omitempty"`
+	WorkerKills    int64 `json:",omitempty"`
+	BreakerTrips   int64 `json:",omitempty"`
+	FramesRejected int64 `json:",omitempty"`
+	ChaosKills     int64 `json:",omitempty"`
 }
 
 // HarnessFaultTotal sums the recovered harness faults across kinds.
@@ -202,6 +240,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Retries = m.retries.Load()
 	s.RunnerReboots = m.reboots.Load()
 	s.Quarantined = m.quarantined.Load()
+	s.WorkerRestarts = m.workerRestarts.Load()
+	s.WorkerKills = m.workerKills.Load()
+	s.BreakerTrips = m.breakerTrips.Load()
+	s.FramesRejected = m.framesRejected.Load()
+	s.ChaosKills = m.chaosKills.Load()
 	if s.RunsCompleted > 0 {
 		s.ActivationRate = float64(s.Activated) / float64(s.RunsCompleted)
 	}
@@ -240,6 +283,9 @@ func (s Snapshot) OneLine() string {
 	}
 	if s.Quarantined > 0 {
 		fmt.Fprintf(&b, ", quar %d", s.Quarantined)
+	}
+	if s.WorkerRestarts > 0 {
+		fmt.Fprintf(&b, ", restarts %d", s.WorkerRestarts)
 	}
 	if s.JournalFlushes > 0 {
 		fmt.Fprintf(&b, ", jrnl %s", fmtBytes(s.JournalBytes))
@@ -290,6 +336,21 @@ func (s Snapshot) Render() string {
 	}
 	if s.Quarantined > 0 {
 		fmt.Fprintf(&b, "  quarantined        %d (excluded from analysis)\n", s.Quarantined)
+	}
+	if s.WorkerRestarts > 0 {
+		fmt.Fprintf(&b, "  worker restarts    %d\n", s.WorkerRestarts)
+	}
+	if s.WorkerKills > 0 {
+		fmt.Fprintf(&b, "  worker kills       %d (heartbeat/boot deadline)\n", s.WorkerKills)
+	}
+	if s.BreakerTrips > 0 {
+		fmt.Fprintf(&b, "  breaker trips      %d (targets abandoned to quarantine)\n", s.BreakerTrips)
+	}
+	if s.FramesRejected > 0 {
+		fmt.Fprintf(&b, "  frames rejected    %d\n", s.FramesRejected)
+	}
+	if s.ChaosKills > 0 {
+		fmt.Fprintf(&b, "  chaos kills        %d (fault-injection test wrapper)\n", s.ChaosKills)
 	}
 	if s.JournalFlushes > 0 {
 		fmt.Fprintf(&b, "  journal            %d flushes, %s\n", s.JournalFlushes, fmtBytes(s.JournalBytes))

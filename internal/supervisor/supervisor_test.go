@@ -1,0 +1,311 @@
+package supervisor
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// TestHelperWorker is not a test: re-invoked as a subprocess by the
+// supervisor tests, it serves the wire protocol over stdin/stdout with
+// a scripted backend (selected by WORKER_BEHAVIOR).
+func TestHelperWorker(t *testing.T) {
+	if os.Getenv("SUPERVISOR_HELPER") == "" {
+		return
+	}
+	behavior := os.Getenv("WORKER_BEHAVIOR")
+	if behavior == "mute" {
+		// Manual protocol: handshake, then freeze on the first run —
+		// no heartbeats, no reply — to earn a heartbeat-deadline kill.
+		conn := wire.NewConn(os.Stdin, os.Stdout)
+		if _, err := conn.Recv(); err != nil {
+			os.Exit(1)
+		}
+		conn.Send(&wire.Msg{Type: wire.TypeReady, Version: wire.ProtocolVersion, Ready: &wire.Ready{
+			GoldenFP: "fp-test", GoldenDisk: "disk-test", Totals: map[string]int{"C": 64},
+		}})
+		conn.Recv()
+		for {
+			// Frozen, but via timers: a bare select{} would trip the Go
+			// runtime's deadlock detector and exit instead of hanging.
+			time.Sleep(time.Hour)
+		}
+	}
+	err := wire.Serve(os.Stdin, os.Stdout, &scriptedWorker{behavior: behavior}, 2*time.Millisecond)
+	if err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// scriptedWorker is the helper subprocess's backend.
+type scriptedWorker struct{ behavior string }
+
+func (b *scriptedWorker) Boot(spec wire.StudySpec) (wire.Ready, error) {
+	fp := "fp-test"
+	if b.behavior == "badgolden" {
+		fp = "fp-diverged"
+	}
+	totals := map[string]int{"C": 64}
+	if b.behavior == "badtotals" {
+		totals["C"] = 63
+	}
+	return wire.Ready{GoldenFP: fp, GoldenDisk: "disk-test", Totals: totals}, nil
+}
+
+func (b *scriptedWorker) Run(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error) {
+	switch b.behavior {
+	case "crash":
+		os.Exit(3)
+	case "crash-on-3":
+		if ordinal == 3 {
+			os.Exit(3)
+		}
+	case "crash-once":
+		if ordinal == 3 {
+			sentinel := os.Getenv("WORKER_CRASH_SENTINEL")
+			if _, err := os.Stat(sentinel); err != nil {
+				os.WriteFile(sentinel, []byte("x"), 0o644)
+				os.Exit(3)
+			}
+		}
+	case "garbage":
+		if ordinal == 9 {
+			fmt.Print("stray stdout print corrupting the protocol stream")
+			for { // let the supervisor notice the bad frame
+				time.Sleep(time.Hour)
+			}
+		}
+	case "fault":
+		if ordinal == 7 {
+			return nil, &inject.HarnessFault{Kind: inject.FaultPanic, Msg: "worker-side quarantine"}, nil
+		}
+	}
+	return &inject.Result{
+		Campaign: inject.CampaignC, Outcome: inject.OutcomeNotActivated, ActivationCycle: uint64(ordinal),
+	}, nil, nil
+}
+
+// helperConfig builds a supervisor Config spawning this test binary as
+// the worker with the given scripted behavior.
+func helperConfig(behavior string, env ...string) Config {
+	return Config{
+		Command: func() *exec.Cmd {
+			cmd := exec.Command(os.Args[0], "-test.run=TestHelperWorker$")
+			cmd.Env = append(os.Environ(), "SUPERVISOR_HELPER=1", "WORKER_BEHAVIOR="+behavior)
+			cmd.Env = append(cmd.Env, env...)
+			return cmd
+		},
+		Workers:     1,
+		Spec:        wire.StudySpec{Campaigns: "C"},
+		GoldenFP:    "fp-test",
+		GoldenDisk:  "disk-test",
+		Totals:      map[string]int{"C": 64},
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		ChaosSeed:   1,
+	}
+}
+
+func TestHappyPathAndWorkerFault(t *testing.T) {
+	s := New(helperConfig("fault"))
+	defer s.Close()
+	for _, ord := range []int{0, 1, 2} {
+		res, hf, err := s.Do("C", ord)
+		if err != nil || hf != nil {
+			t.Fatalf("Do(%d): res=%v hf=%v err=%v", ord, res, hf, err)
+		}
+		if res.ActivationCycle != uint64(ord) {
+			t.Fatalf("Do(%d) returned run %d's result", ord, res.ActivationCycle)
+		}
+	}
+	// A worker-side quarantine (in-process retries exhausted) flows
+	// through as a fault, not an error, and charges no restart.
+	res, hf, err := s.Do("C", 7)
+	if err != nil || res != nil || hf == nil || hf.Kind != inject.FaultPanic {
+		t.Fatalf("worker fault: res=%v hf=%v err=%v", res, hf, err)
+	}
+	if got := s.Restarts(); got != 0 {
+		t.Fatalf("healthy session charged %d restarts", got)
+	}
+}
+
+// A worker that crashes once on a target is restarted (with the crash
+// charged to the budget) and the target retried to success.
+func TestCrashRetryAfterRestart(t *testing.T) {
+	sentinel := filepath.Join(t.TempDir(), "crashed")
+	m := obs.New(1)
+	cfg := helperConfig("crash-once", "WORKER_CRASH_SENTINEL="+sentinel)
+	cfg.Metrics = m
+	s := New(cfg)
+	defer s.Close()
+	res, hf, err := s.Do("C", 3)
+	if err != nil || hf != nil || res == nil || res.ActivationCycle != 3 {
+		t.Fatalf("Do after crash: res=%v hf=%v err=%v", res, hf, err)
+	}
+	if got := s.Restarts(); got != 1 {
+		t.Fatalf("restarts = %d, want 1", got)
+	}
+	if m.Snapshot().WorkerRestarts != 1 {
+		t.Fatalf("metrics: %+v", m.Snapshot())
+	}
+}
+
+// A target that kills every worker sent at it trips the per-target
+// circuit breaker: the caller gets a FaultWorkerDeath to quarantine,
+// and other targets keep running.
+func TestBreakerTrip(t *testing.T) {
+	m := obs.New(1)
+	cfg := helperConfig("crash-on-3")
+	cfg.BreakerThreshold = 2
+	cfg.Metrics = m
+	s := New(cfg)
+	defer s.Close()
+	res, hf, err := s.Do("C", 3)
+	if err != nil {
+		t.Fatalf("breaker surfaced an error: %v", err)
+	}
+	if res != nil || hf == nil || hf.Kind != inject.FaultWorkerDeath {
+		t.Fatalf("breaker: res=%v hf=%v", res, hf)
+	}
+	if !strings.Contains(hf.Msg, "circuit breaker") {
+		t.Fatalf("breaker fault msg: %q", hf.Msg)
+	}
+	snap := m.Snapshot()
+	if snap.BreakerTrips != 1 || snap.WorkerRestarts != 2 {
+		t.Fatalf("metrics: trips=%d restarts=%d", snap.BreakerTrips, snap.WorkerRestarts)
+	}
+	// The poison target is quarantined; the campaign continues.
+	if _, hf, err := s.Do("C", 4); err != nil || hf != nil {
+		t.Fatalf("Do(4) after trip: hf=%v err=%v", hf, err)
+	}
+}
+
+// A systemically broken binary (every run dies) exhausts the restart
+// budget and fails loudly and stickily.
+func TestRestartBudgetExhausted(t *testing.T) {
+	cfg := helperConfig("crash")
+	cfg.BreakerThreshold = 100 // keep the breaker out of the way
+	cfg.MaxRestarts = 3
+	s := New(cfg)
+	defer s.Close()
+	_, _, err := s.Do("C", 0)
+	if err == nil || !strings.Contains(err.Error(), "restart budget exhausted") {
+		t.Fatalf("budget: %v", err)
+	}
+	if _, _, err := s.Do("C", 1); err == nil {
+		t.Fatal("broken supervisor accepted more work")
+	}
+}
+
+// A worker whose golden run diverges from the study's reference is
+// rejected before it executes a single injection — a hard failure, not
+// a retry.
+func TestGoldenMismatchFatal(t *testing.T) {
+	s := New(helperConfig("badgolden"))
+	defer s.Close()
+	_, _, err := s.Do("C", 0)
+	if err == nil || !strings.Contains(err.Error(), "golden cross-validation failed") {
+		t.Fatalf("golden mismatch: %v", err)
+	}
+}
+
+// A worker deriving a different target list is equally diverged.
+func TestTotalsMismatchFatal(t *testing.T) {
+	s := New(helperConfig("badtotals"))
+	defer s.Close()
+	_, _, err := s.Do("C", 0)
+	if err == nil || !strings.Contains(err.Error(), "diverged target list") {
+		t.Fatalf("totals mismatch: %v", err)
+	}
+}
+
+// A frozen worker (alive but not heartbeating) is killed at the
+// heartbeat deadline and the death handled like a crash.
+func TestHeartbeatDeadlineKill(t *testing.T) {
+	m := obs.New(1)
+	cfg := helperConfig("mute")
+	cfg.HeartbeatTimeout = 100 * time.Millisecond
+	cfg.BreakerThreshold = 1
+	cfg.Metrics = m
+	s := New(cfg)
+	defer s.Close()
+	start := time.Now()
+	res, hf, err := s.Do("C", 5)
+	if err != nil || res != nil || hf == nil || hf.Kind != inject.FaultWorkerDeath {
+		t.Fatalf("mute worker: res=%v hf=%v err=%v", res, hf, err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline kill took %v", elapsed)
+	}
+	if m.Snapshot().WorkerKills == 0 {
+		t.Fatal("no worker kill counted")
+	}
+}
+
+// Garbage on the protocol stream (a stray print) is detected by the
+// frame CRC and handled as a worker death, never decoded as a result.
+func TestProtocolGarbage(t *testing.T) {
+	cfg := helperConfig("garbage")
+	cfg.BreakerThreshold = 2
+	s := New(cfg)
+	defer s.Close()
+	res, hf, err := s.Do("C", 9)
+	if err != nil {
+		t.Fatalf("garbage stream surfaced an error: %v", err)
+	}
+	if res != nil || hf == nil || hf.Kind != inject.FaultWorkerDeath {
+		t.Fatalf("garbage stream: res=%v hf=%v", res, hf)
+	}
+}
+
+// Chaos kills are free retries: results stay correct and nothing is
+// charged to the breaker or the restart budget.
+func TestChaosKillsAreFreeRetries(t *testing.T) {
+	m := obs.New(1)
+	cfg := helperConfig("ok")
+	cfg.ChaosKillRate = 0.5
+	cfg.ChaosSeed = 7
+	cfg.ChaosMaxDelay = 2 * time.Millisecond
+	cfg.Metrics = m
+	s := New(cfg)
+	defer s.Close()
+	for ord := 0; ord < 12; ord++ {
+		res, hf, err := s.Do("C", ord)
+		if err != nil || hf != nil || res == nil || res.ActivationCycle != uint64(ord) {
+			t.Fatalf("Do(%d) under chaos: res=%v hf=%v err=%v", ord, res, hf, err)
+		}
+	}
+	if got := s.Restarts(); got != 0 {
+		t.Fatalf("chaos charged %d restarts to the budget", got)
+	}
+	// Kill goroutines fire after a random delay, possibly past the last
+	// Do; give the scheduled ones a moment to land before asserting.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Snapshot().ChaosKills == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.Snapshot().ChaosKills == 0 {
+		t.Fatal("no chaos kill landed in 12 runs at rate 0.5")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := New(helperConfig("ok"))
+	if _, _, err := s.Do("C", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	if _, _, err := s.Do("C", 1); err == nil {
+		t.Fatal("closed supervisor accepted work")
+	}
+}

@@ -1,0 +1,287 @@
+// Package wire is the frame protocol between a campaign supervisor
+// and its injection worker subprocesses (kinject -worker). The paper's
+// apparatus survived 35,000+ injections because the injected machine
+// was expendable — the controller watched it from the outside and
+// power-cycled it on failure. This package is the software boundary
+// that makes our workers equally expendable: a worker that panics,
+// livelocks the Go runtime, blows up the heap or is SIGKILLed takes
+// down only itself; the supervisor sees a dead pipe and restarts it.
+//
+// Transport: length-prefixed frames over the worker's stdin/stdout.
+// Each frame is
+//
+//	uint32 LE payload length | payload (JSON) | uint32 LE CRC32C(payload)
+//
+// so a corrupt or interleaved write (a stray fmt.Print in the worker,
+// a torn pipe) is detected as a protocol error instead of being
+// decoded into a wrong result. The protocol is versioned via the
+// hello/ready handshake; a version-skewed worker binary is rejected
+// before any injection runs.
+//
+// Message flow:
+//
+//	supervisor -> worker   hello   (protocol version + study spec)
+//	worker -> supervisor   ready   (version, golden fingerprint/disk
+//	                                hash for cross-validation, target
+//	                                totals per campaign)
+//	supervisor -> worker   run     {campaign, ordinal}
+//	worker -> supervisor   beat    (periodic liveness while running)
+//	worker -> supervisor   result  {campaign, ordinal, result}
+//	                    or fault   {campaign, ordinal, fault}  (the
+//	                                worker exhausted its in-process
+//	                                retries; quarantine the target)
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/inject"
+)
+
+// ProtocolVersion is bumped on any incompatible frame or message
+// change; the hello/ready handshake rejects skew.
+const ProtocolVersion = 1
+
+// maxFrame bounds one frame payload; larger lengths mean a corrupt or
+// desynchronized stream.
+const maxFrame = 64 << 20
+
+// castagnoli is the CRC32C polynomial table (same checksum family the
+// journal uses for its frame trailers).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame reports a corrupt or desynchronized frame: a length
+// outside bounds, a CRC32C mismatch, or an undecodable payload. It is
+// distinct from io.EOF (peer death): a bad frame means the stream can
+// no longer be trusted and the worker must be restarted.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// Message types.
+const (
+	TypeHello  = "hello"
+	TypeReady  = "ready"
+	TypeRun    = "run"
+	TypeBeat   = "beat"
+	TypeResult = "result"
+	TypeFault  = "fault"
+	TypeError  = "error"
+)
+
+// StudySpec is the result-affecting study configuration shipped to a
+// worker in the hello frame; the worker re-derives the identical
+// deterministic target list from it, so run requests can name targets
+// by {campaign key, ordinal} alone.
+type StudySpec struct {
+	Seed                int64
+	Scale               int
+	Campaigns           string // e.g. "ABC"
+	MaxTargetsPerFunc   int
+	MaxFuncsPerCampaign int
+	DisableAssertions   bool
+	RunTimeout          time.Duration // per-run wall-clock watchdog (0 = derive)
+	MaxRetries          int           // in-worker harness-fault retries before quarantine
+}
+
+// Ready is the worker's handshake reply: the golden (fault-free) run
+// oracle for cross-validation and the derived target totals.
+type Ready struct {
+	GoldenFP   string         // golden trace fingerprint
+	GoldenDisk string         // golden disk hash, hex
+	Totals     map[string]int // campaign key -> target count
+}
+
+// Msg is the on-wire union of all message kinds.
+type Msg struct {
+	Type     string
+	Version  int                  `json:",omitempty"` // hello, ready
+	Spec     *StudySpec           `json:",omitempty"` // hello
+	Ready    *Ready               `json:",omitempty"` // ready
+	Campaign string               `json:",omitempty"` // run, result, fault
+	Ordinal  int                  `json:",omitempty"` // run, result, fault
+	Result   *inject.Result       `json:",omitempty"` // result
+	Fault    *inject.HarnessFault `json:",omitempty"` // fault
+	Text     string               `json:",omitempty"` // error
+}
+
+// Conn frames messages over a byte stream. Send is safe for
+// concurrent use (the worker's heartbeat goroutine shares the writer
+// with the run loop); Recv must be called from a single goroutine.
+type Conn struct {
+	wmu sync.Mutex
+	w   io.Writer
+	br  *bufio.Reader
+}
+
+// NewConn wraps a reader/writer pair (the two ends of the worker's
+// stdin/stdout pipes).
+func NewConn(r io.Reader, w io.Writer) *Conn {
+	return &Conn{w: w, br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Send writes one frame.
+func (c *Conn) Send(m *Msg) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: encode %s: %w", m.Type, err)
+	}
+	frame := make([]byte, 4+len(payload)+4)
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	binary.LittleEndian.PutUint32(frame[4+len(payload):], crc32.Checksum(payload, castagnoli))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(frame); err != nil {
+		return fmt.Errorf("wire: write %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv reads one frame. io.EOF means the peer closed the stream (or
+// died); a wrapped ErrBadFrame means the stream is corrupt and must be
+// abandoned.
+func (c *Conn) Recv() (*Msg, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(c.br, lenbuf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenbuf[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
+	}
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	payload := buf[:n]
+	want := binary.LittleEndian.Uint32(buf[n:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: CRC32C %#x != %#x", ErrBadFrame, got, want)
+	}
+	var m Msg
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadFrame, err)
+	}
+	return &m, nil
+}
+
+// Backend is the worker-side implementation served by Serve: boot the
+// study from the spec, then execute injection runs by ordinal.
+type Backend interface {
+	// Boot prepares the worker's simulated machine and returns its
+	// golden oracle for cross-validation.
+	Boot(spec StudySpec) (Ready, error)
+	// Run executes one target. A non-nil fault means the worker
+	// exhausted its in-process retries and the target must be
+	// quarantined; a non-nil error is fatal to the worker.
+	Run(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error)
+}
+
+// Serve runs the worker side of the protocol until the supervisor
+// closes the stream (clean shutdown, returns nil) or a fatal error
+// occurs. Heartbeats are emitted every beatEvery while a boot or run
+// is in flight, proving process liveness to the supervisor (run-level
+// hangs are the in-worker watchdog's job; heartbeats catch a dead or
+// frozen process).
+func Serve(r io.Reader, w io.Writer, b Backend, beatEvery time.Duration) error {
+	conn := NewConn(r, w)
+	if beatEvery <= 0 {
+		beatEvery = time.Second
+	}
+
+	hello, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("wire: handshake: %w", err)
+	}
+	if hello.Type != TypeHello || hello.Spec == nil {
+		return fmt.Errorf("wire: handshake: got %q, want hello", hello.Type)
+	}
+	if hello.Version != ProtocolVersion {
+		conn.Send(&Msg{Type: TypeError, Text: fmt.Sprintf("protocol version %d != %d", hello.Version, ProtocolVersion)})
+		return fmt.Errorf("wire: protocol version skew: supervisor %d, worker %d", hello.Version, ProtocolVersion)
+	}
+
+	ready, err := func() (Ready, error) {
+		stop := heartbeat(conn, beatEvery)
+		defer stop()
+		return b.Boot(*hello.Spec)
+	}()
+	if err != nil {
+		conn.Send(&Msg{Type: TypeError, Text: fmt.Sprintf("boot: %v", err)})
+		return fmt.Errorf("wire: boot: %w", err)
+	}
+	if err := conn.Send(&Msg{Type: TypeReady, Version: ProtocolVersion, Ready: &ready}); err != nil {
+		return err
+	}
+
+	for {
+		m, err := conn.Recv()
+		if errors.Is(err, io.EOF) {
+			return nil // supervisor closed the stream: clean shutdown
+		}
+		if err != nil {
+			return err
+		}
+		if m.Type != TypeRun {
+			conn.Send(&Msg{Type: TypeError, Text: fmt.Sprintf("unexpected %q", m.Type)})
+			return fmt.Errorf("wire: unexpected message %q", m.Type)
+		}
+		res, hf, err := func() (*inject.Result, *inject.HarnessFault, error) {
+			stop := heartbeat(conn, beatEvery)
+			defer stop()
+			return b.Run(m.Campaign, m.Ordinal)
+		}()
+		if err != nil {
+			conn.Send(&Msg{Type: TypeError, Text: fmt.Sprintf("run %s/%d: %v", m.Campaign, m.Ordinal, err)})
+			return fmt.Errorf("wire: run %s/%d: %w", m.Campaign, m.Ordinal, err)
+		}
+		reply := &Msg{Campaign: m.Campaign, Ordinal: m.Ordinal}
+		if hf != nil {
+			reply.Type, reply.Fault = TypeFault, hf
+		} else {
+			reply.Type, reply.Result = TypeResult, res
+		}
+		if err := conn.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// heartbeat emits beat frames until the returned stop function is
+// called. Send errors are ignored here: the run loop will surface the
+// broken pipe on its own write.
+func heartbeat(conn *Conn, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				conn.Send(&Msg{Type: TypeBeat})
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+)
+
+// pipePair builds two connected Conns (supervisor end, worker end).
+func pipePair() (*Conn, *Conn, func()) {
+	supR, workW := io.Pipe()
+	workR, supW := io.Pipe()
+	sup := NewConn(supR, supW)
+	work := NewConn(workR, workW)
+	return sup, work, func() {
+		supW.Close()
+		workW.Close()
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	res := inject.Result{Campaign: inject.CampaignC, Outcome: inject.OutcomeCrash, ActivationCycle: 42, LatencyValid: true}
+	hf := inject.HarnessFault{Kind: inject.FaultPanic, Msg: "boom", Func: "sys_read"}
+	msgs := []*Msg{
+		{Type: TypeHello, Version: ProtocolVersion, Spec: &StudySpec{Seed: 2003, Scale: 1, Campaigns: "ABC", MaxRetries: -1, RunTimeout: 3 * time.Second}},
+		{Type: TypeReady, Version: ProtocolVersion, Ready: &Ready{GoldenFP: "fp", GoldenDisk: "aa55", Totals: map[string]int{"A": 7}}},
+		{Type: TypeRun, Campaign: "C", Ordinal: 12},
+		{Type: TypeBeat},
+		{Type: TypeResult, Campaign: "C", Ordinal: 12, Result: &res},
+		{Type: TypeFault, Campaign: "C", Ordinal: 13, Fault: &hf},
+		{Type: TypeError, Text: "it broke"},
+	}
+	var buf bytes.Buffer
+	c := NewConn(&buf, &buf)
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("send %s: %v", m.Type, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("roundtrip %s:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+	if _, err := c.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want EOF", err)
+	}
+}
+
+// A flipped payload byte must surface as ErrBadFrame, not a decoded
+// wrong message.
+func TestRecvCorruptPayload(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf, &buf)
+	if err := c.Send(&Msg{Type: TypeRun, Campaign: "A", Ordinal: 3}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[6] ^= 0x20 // inside the JSON payload
+	if _, err := c.Recv(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupt payload: %v, want ErrBadFrame", err)
+	}
+}
+
+// Garbage where a length prefix should be (a stray print into the
+// protocol stream) is a bad frame, not a 1.8 GB allocation.
+func TestRecvBadLength(t *testing.T) {
+	c := NewConn(bytes.NewReader([]byte("unexpected stdout noise........")), io.Discard)
+	if _, err := c.Recv(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("garbage stream: %v, want ErrBadFrame", err)
+	}
+}
+
+// A mid-frame EOF (worker died while writing) reads as EOF, the
+// peer-death signal, not as corruption.
+func TestRecvTornFrame(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf, &buf)
+	if err := c.Send(&Msg{Type: TypeBeat}); err != nil {
+		t.Fatal(err)
+	}
+	torn := NewConn(bytes.NewReader(buf.Bytes()[:buf.Len()-3]), io.Discard)
+	if _, err := torn.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("torn frame: %v, want EOF", err)
+	}
+}
+
+// scriptedBackend serves canned runs and can inject latency.
+type scriptedBackend struct {
+	bootErr  error
+	runDelay time.Duration
+
+	mu   sync.Mutex
+	runs []string
+}
+
+func (b *scriptedBackend) Boot(spec StudySpec) (Ready, error) {
+	if b.bootErr != nil {
+		return Ready{}, b.bootErr
+	}
+	return Ready{GoldenFP: "fp", GoldenDisk: "d15c", Totals: map[string]int{"C": 9}}, nil
+}
+
+func (b *scriptedBackend) Run(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error) {
+	if b.runDelay > 0 {
+		time.Sleep(b.runDelay)
+	}
+	b.mu.Lock()
+	b.runs = append(b.runs, campaign)
+	b.mu.Unlock()
+	if ordinal == 13 {
+		return nil, &inject.HarnessFault{Kind: inject.FaultTimeout, Msg: "worker-side quarantine"}, nil
+	}
+	return &inject.Result{Campaign: inject.CampaignC, Outcome: inject.OutcomeNotActivated, ActivationCycle: uint64(ordinal)}, nil, nil
+}
+
+// TestServeSession drives a full worker session: handshake, a result
+// run, a fault run, then clean shutdown on stream close.
+func TestServeSession(t *testing.T) {
+	sup, work, closeAll := pipePair()
+	b := &scriptedBackend{}
+	done := make(chan error, 1)
+	go func() { done <- Serve(workReader(work), workWriter(work), b, time.Minute) }()
+
+	if err := sup.Send(&Msg{Type: TypeHello, Version: ProtocolVersion, Spec: &StudySpec{Campaigns: "C"}}); err != nil {
+		t.Fatal(err)
+	}
+	ready := recvSkippingBeats(t, sup)
+	if ready.Type != TypeReady || ready.Ready == nil || ready.Ready.GoldenFP != "fp" {
+		t.Fatalf("handshake reply: %+v", ready)
+	}
+
+	if err := sup.Send(&Msg{Type: TypeRun, Campaign: "C", Ordinal: 4}); err != nil {
+		t.Fatal(err)
+	}
+	reply := recvSkippingBeats(t, sup)
+	if reply.Type != TypeResult || reply.Campaign != "C" || reply.Ordinal != 4 || reply.Result == nil || reply.Result.ActivationCycle != 4 {
+		t.Fatalf("result reply: %+v", reply)
+	}
+
+	if err := sup.Send(&Msg{Type: TypeRun, Campaign: "C", Ordinal: 13}); err != nil {
+		t.Fatal(err)
+	}
+	reply = recvSkippingBeats(t, sup)
+	if reply.Type != TypeFault || reply.Ordinal != 13 || reply.Fault == nil || reply.Fault.Kind != inject.FaultTimeout {
+		t.Fatalf("fault reply: %+v", reply)
+	}
+
+	closeAll()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve on clean close: %v", err)
+	}
+}
+
+// A version-skewed supervisor is rejected with an error frame before
+// any injection runs.
+func TestServeVersionSkew(t *testing.T) {
+	sup, work, closeAll := pipePair()
+	defer closeAll()
+	done := make(chan error, 1)
+	go func() { done <- Serve(workReader(work), workWriter(work), &scriptedBackend{}, time.Minute) }()
+	if err := sup.Send(&Msg{Type: TypeHello, Version: ProtocolVersion + 1, Spec: &StudySpec{}}); err != nil {
+		t.Fatal(err)
+	}
+	reply := recvSkippingBeats(t, sup)
+	if reply.Type != TypeError {
+		t.Fatalf("skewed hello reply: %+v", reply)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("Serve accepted a version-skewed hello")
+	}
+	if b := (&scriptedBackend{}); len(b.runs) != 0 {
+		t.Fatal("runs executed despite skew")
+	}
+}
+
+// Heartbeats must flow while a run is in flight, proving process
+// liveness to the supervisor.
+func TestServeHeartbeatsDuringRun(t *testing.T) {
+	sup, work, closeAll := pipePair()
+	b := &scriptedBackend{runDelay: 80 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() { done <- Serve(workReader(work), workWriter(work), b, 5*time.Millisecond) }()
+
+	if err := sup.Send(&Msg{Type: TypeHello, Version: ProtocolVersion, Spec: &StudySpec{}}); err != nil {
+		t.Fatal(err)
+	}
+	recvSkippingBeats(t, sup) // ready
+	if err := sup.Send(&Msg{Type: TypeRun, Campaign: "C", Ordinal: 1}); err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	for {
+		m, err := sup.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == TypeBeat {
+			beats++
+			continue
+		}
+		if m.Type != TypeResult {
+			t.Fatalf("unexpected %q frame", m.Type)
+		}
+		break
+	}
+	if beats < 3 {
+		t.Fatalf("only %d heartbeats during an 80ms run at a 5ms period", beats)
+	}
+	closeAll()
+	<-done
+}
+
+// recvSkippingBeats reads the next non-heartbeat frame.
+func recvSkippingBeats(t *testing.T, c *Conn) *Msg {
+	t.Helper()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if m.Type != TypeBeat {
+			return m
+		}
+	}
+}
+
+// workReader/workWriter expose the raw ends of the worker-side Conn
+// for Serve (which builds its own Conn internally).
+func workReader(c *Conn) io.Reader { return c.br }
+func workWriter(c *Conn) io.Writer { return c.w }
