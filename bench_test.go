@@ -277,9 +277,12 @@ func BenchmarkTable7CaseStudies(b *testing.B) {
 }
 
 // BenchmarkGoldenRun measures the cost of one fault-free benchmark
-// pass (the unit of every injection experiment).
+// pass (the unit of every injection experiment). Checkpointing is
+// disabled: with it on, the runner would synthesize every iteration
+// after the first from the cached never-activated entry and the
+// benchmark would stop measuring a machine run at all.
 func BenchmarkGoldenRun(b *testing.B) {
-	runner, err := inject.NewRunner(unixbench.Suite(1))
+	runner, err := inject.NewRunnerWithOptions(unixbench.Suite(1), inject.RunnerOptions{NoCheckpoint: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -295,11 +298,24 @@ func BenchmarkGoldenRun(b *testing.B) {
 }
 
 // BenchmarkInjectionRun measures one complete activated injection
-// experiment — restore to the pristine snapshot, run the workload with
-// the breakpoint-armed bit flip, classify the outcome — the unit that
-// the full study repeats ~4,300 times and the paper ~35,000 times.
+// experiment — the unit that the full study repeats ~4,300 times and
+// the paper ~35,000 times. With checkpointing (the default), the first
+// iteration records a full run and captures a checkpoint at the
+// activation PC; every later iteration replays from it, which is the
+// steady-state cost of a study whose targets share activation PCs.
 func BenchmarkInjectionRun(b *testing.B) {
-	runner, err := inject.NewRunner(unixbench.Suite(1))
+	benchInjectionRun(b, inject.RunnerOptions{})
+}
+
+// BenchmarkInjectionRunFullReplay is the same experiment with
+// checkpointing off: every iteration restores the pristine snapshot
+// and runs from boot state to outcome (the pre-checkpoint baseline).
+func BenchmarkInjectionRunFullReplay(b *testing.B) {
+	benchInjectionRun(b, inject.RunnerOptions{NoCheckpoint: true})
+}
+
+func benchInjectionRun(b *testing.B, opts inject.RunnerOptions) {
+	runner, err := inject.NewRunnerWithOptions(unixbench.Suite(1), opts)
 	if err != nil {
 		b.Fatal(err)
 	}

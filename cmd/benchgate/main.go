@@ -1,0 +1,142 @@
+// Command benchgate fails when a benchmark regresses against the
+// checked-in baseline (BENCH_interp.json). CI runs the benchmark,
+// tees the output, and feeds it here:
+//
+//	go test -run '^$' -bench 'BenchmarkInjectionRun$' -benchtime=1s . | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_interp.json -bench BenchmarkInjectionRun -input bench.txt
+//
+// The gate compares the measured ns/op against the baseline entry's
+// "after" value and fails if it exceeds it by more than -tolerance
+// (default 0.25, i.e. a >25% regression).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	Benchmarks []struct {
+		Name  string  `json:"name"`
+		Unit  string  `json:"unit"`
+		After float64 `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_interp.json", "baseline JSON with per-benchmark 'after' ns/op")
+	bench := flag.String("bench", "", "benchmark name to gate (exact, without the -N cpu suffix)")
+	input := flag.String("input", "", "go test -bench output to parse (default stdin)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression over the baseline")
+	flag.Parse()
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -bench is required")
+		os.Exit(2)
+	}
+
+	base, err := loadBaseline(*baselinePath, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	measured, err := parseBench(r, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	limit := base * (1 + *tolerance)
+	fmt.Printf("benchgate: %s measured %.0f ns/op, baseline %.0f ns/op, limit %.0f ns/op (+%d%%)\n",
+		*bench, measured, base, limit, int(*tolerance*100))
+	if measured > limit {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s regressed %.1f%% over the baseline (max %d%%)\n",
+			*bench, (measured/base-1)*100, int(*tolerance*100))
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+func loadBaseline(path, name string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	for _, e := range base.Benchmarks {
+		if e.Name == name {
+			if e.After <= 0 {
+				return 0, fmt.Errorf("%s: baseline 'after' for %s is %v", path, name, e.After)
+			}
+			return e.After, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no baseline entry for %s", path, name)
+}
+
+// parseBench extracts the ns/op of the named benchmark from go test
+// -bench output. Benchmark result lines look like:
+//
+//	BenchmarkInjectionRun-8   3897   597750 ns/op
+//
+// The -8 is the GOMAXPROCS suffix; matching requires the name to be
+// exact up to that suffix, so gating BenchmarkInjectionRun never
+// accepts BenchmarkInjectionRunFullReplay. Multiple matching lines
+// (e.g. -count>1) average.
+func parseBench(r io.Reader, name string) (float64, error) {
+	var sum float64
+	var n int
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			continue
+		}
+		bn := fields[0]
+		if i := strings.LastIndex(bn, "-"); i > 0 {
+			if _, err := strconv.Atoi(bn[i+1:]); err == nil {
+				bn = bn[:i]
+			}
+		}
+		if bn != name {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return 0, fmt.Errorf("bad ns/op value %q: %w", fields[i], err)
+				}
+				sum += v
+				n++
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no result line for %s in the bench output", name)
+	}
+	return sum / float64(n), nil
+}

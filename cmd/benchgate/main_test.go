@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInjectionRun-8           	    3897	    597750 ns/op
+BenchmarkInjectionRunFullReplay-8 	    1302	   1644361 ns/op
+PASS
+ok  	repro	4.876s
+`
+
+func TestParseBenchExactName(t *testing.T) {
+	v, err := parseBench(strings.NewReader(sample), "BenchmarkInjectionRun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 597750 {
+		t.Fatalf("ns/op = %v, want 597750 (must not match the FullReplay line)", v)
+	}
+	v, err = parseBench(strings.NewReader(sample), "BenchmarkInjectionRunFullReplay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1644361 {
+		t.Fatalf("ns/op = %v, want 1644361", v)
+	}
+}
+
+func TestParseBenchAveragesRepeats(t *testing.T) {
+	out := "BenchmarkX-4 10 100 ns/op\nBenchmarkX-4 10 300 ns/op\n"
+	v, err := parseBench(strings.NewReader(out), "BenchmarkX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 200 {
+		t.Fatalf("ns/op = %v, want 200", v)
+	}
+}
+
+func TestParseBenchMissing(t *testing.T) {
+	if _, err := parseBench(strings.NewReader(sample), "BenchmarkNope"); err == nil {
+		t.Fatal("want error for a benchmark absent from the output")
+	}
+}
+
+func TestParseBenchNoSuffix(t *testing.T) {
+	out := "BenchmarkSerial 5 42 ns/op\n"
+	v, err := parseBench(strings.NewReader(out), "BenchmarkSerial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("ns/op = %v, want 42", v)
+	}
+}

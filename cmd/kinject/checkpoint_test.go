@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// sameJournalRecords compares two decoded journals on everything that
+// carries results — header, totals, every entry in order, quarantine
+// and shard marks. The metrics trailer is excluded: it snapshots
+// wall-clock timing (elapsed, runs/sec, worker busy time), which no
+// two runs share.
+func sameJournalRecords(t *testing.T, gotPath, wantPath string) {
+	t.Helper()
+	got, err := journal.Read(gotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := journal.Read(wantPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Header, want.Header) {
+		t.Errorf("journal header differs:\ngot  %+v\nwant %+v", got.Header, want.Header)
+	}
+	if !reflect.DeepEqual(got.Totals, want.Totals) {
+		t.Errorf("journal totals differ: got %v, want %v", got.Totals, want.Totals)
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Error("journal result entries differ from the full-replay reference")
+	}
+	if !reflect.DeepEqual(got.Quarantine, want.Quarantine) {
+		t.Errorf("journal quarantine differs:\ngot  %+v\nwant %+v", got.Quarantine, want.Quarantine)
+	}
+	if !reflect.DeepEqual(got.Marks, want.Marks) {
+		t.Errorf("journal shard marks differ:\ngot  %+v\nwant %+v", got.Marks, want.Marks)
+	}
+}
+
+// TestCheckpointParityAcrossIsolation is the CLI acceptance bar for
+// checkpoint-at-breakpoint runs: with the flag on (the default), every
+// execution mode must reproduce the -checkpoint=false reference
+// byte-for-byte. Serial modes compare every journal record too;
+// parallel claim order is nondeterministic, so those compare the final
+// result set only. The study deliberately omits -max-targets: subsampling
+// breaks the consecutive same-PC targets that actually exercise
+// checkpoint reuse.
+func TestCheckpointParityAcrossIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	useHelperWorkers(t)
+	dir := t.TempDir()
+	study := []string{"-q", "-campaigns", "ABC", "-max-funcs", "1"}
+
+	ref := filepath.Join(dir, "ref.json.gz")
+	refJnl := filepath.Join(dir, "ref.jnl")
+	if err := run(append(study, "-checkpoint=false", "-out", ref, "-journal", refJnl)); err != nil {
+		t.Fatalf("reference (full replay): %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name       string
+		args       []string
+		cmpJournal bool
+	}{
+		{"serial", nil, true},
+		{"parallel", []string{"-workers", "2"}, false},
+		{"process-serial", []string{"-isolation", "process"}, true},
+		{"process-parallel", []string{"-isolation", "process", "-workers", "2"}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out := filepath.Join(dir, tc.name+".json.gz")
+			jnl := filepath.Join(dir, tc.name+".jnl")
+			args := append(append(append([]string{}, study...), tc.args...), "-out", out, "-journal", jnl)
+			if err := run(args); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("checkpointed result set differs from the full-replay reference")
+			}
+			rep, err := journal.Verify(jnl)
+			if err != nil {
+				t.Fatalf("journal verify: %v", err)
+			}
+			if rep.Corrupt != nil || !rep.Complete || rep.Truncated {
+				t.Fatalf("journal: %+v", rep)
+			}
+			if tc.cmpJournal {
+				sameJournalRecords(t, jnl, refJnl)
+			}
+		})
+	}
+}

@@ -100,6 +100,7 @@ func run(args []string) error {
 	journalPath := fs.String("journal", "", "stream results to this append-only journal")
 	resumePath := fs.String("resume", "", "resume an interrupted study from this journal")
 	runTimeout := fs.Duration("run-timeout", 0, "wall-clock watchdog per injection run (0 = derive from the golden run)")
+	checkpoint := fs.Bool("checkpoint", true, "reuse a machine checkpoint captured at each activation PC across that PC's injections (results are identical either way)")
 	maxRetries := fs.Int("max-retries", core.DefaultMaxRetries, "harness-fault retries before a target is quarantined")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
 	isolation := fs.String("isolation", "inproc", "injection isolation: inproc (in-process machines) or process (supervised worker subprocesses)")
@@ -145,6 +146,7 @@ func run(args []string) error {
 	cfg.DisableAssertions = *noAsserts
 	cfg.Workers = *workers
 	cfg.RunTimeout = *runTimeout
+	cfg.NoCheckpoint = !*checkpoint
 	cfg.MaxRetries = *maxRetries
 	if *maxRetries <= 0 {
 		cfg.MaxRetries = -1 // quarantine on the first fault
@@ -280,6 +282,7 @@ func run(args []string) error {
 				DisableAssertions:   cfg.DisableAssertions,
 				RunTimeout:          cfg.RunTimeout,
 				MaxRetries:          cfg.MaxRetries,
+				NoCheckpoint:        cfg.NoCheckpoint,
 			},
 			GoldenFP:         s.Runner.GoldenFingerprint(),
 			GoldenDisk:       fmt.Sprintf("%x", s.Runner.GoldenDiskHash()),

@@ -58,6 +58,7 @@ func (b *workerBackend) Boot(spec wire.StudySpec) (wire.Ready, error) {
 	cfg.MaxFuncsPerCampaign = spec.MaxFuncsPerCampaign
 	cfg.DisableAssertions = spec.DisableAssertions
 	cfg.RunTimeout = spec.RunTimeout
+	cfg.NoCheckpoint = spec.NoCheckpoint
 	cfg.MaxRetries = spec.MaxRetries
 	cs, err := parseCampaigns(spec.Campaigns)
 	if err != nil {

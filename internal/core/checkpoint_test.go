@@ -1,0 +1,130 @@
+package core
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/obs"
+)
+
+// checkpointTestConfig targets campaign A on the single hottest
+// function. MaxTargetsPerFunc stays 0 on purpose: subsampling breaks
+// the consecutive same-PC target runs that checkpoint reuse serves
+// from cache, and this file exists to exercise exactly that path.
+func checkpointTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Campaigns = []inject.Campaign{inject.CampaignA}
+	cfg.MaxFuncsPerCampaign = 1
+	return cfg
+}
+
+// TestCheckpointStudyParity: a full study with checkpointing (the
+// default) saves a result set byte-identical to one with checkpointing
+// disabled.
+func TestCheckpointStudyParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	dir := t.TempDir()
+
+	refCfg := checkpointTestConfig()
+	refCfg.NoCheckpoint = true
+	ref, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, ref, filepath.Join(dir, "ref.json.gz"))
+
+	s, err := New(checkpointTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := saveBytes(t, s, filepath.Join(dir, "ckpt.json.gz"))
+	if !equalBytes(want, got) {
+		t.Fatal("checkpointed study differs from full-replay study")
+	}
+}
+
+// TestCheckpointRetryAfterFaultParity: a harness fault on a target that
+// would have been served from a checkpoint forces a fresh runner whose
+// retry re-records at that very target — and the saved result set must
+// still come out byte-identical to an undisturbed checkpointed run.
+// (The hottest campaign A function is system_call, some of whose
+// corruptions break fork with a genuine host error in either mode;
+// those quarantines are part of the byte-compared set, but the poison
+// target itself must recover, not quarantine.)
+func TestCheckpointRetryAfterFaultParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	dir := t.TempDir()
+
+	ref, err := New(checkpointTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, ref, filepath.Join(dir, "ref.json.gz"))
+
+	cfg := checkpointTestConfig()
+	metrics := obs.New(1)
+	cfg.Metrics = metrics
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := s.Targets(inject.CampaignA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the first target that shares its PC with its predecessor:
+	// in an undisturbed run it is answered from the cached checkpoint,
+	// so the fault lands mid-group and the retry must rebuild the cache
+	// from a cold runner.
+	poison := inject.Target{}
+	poisonOrd := -1
+	for i := 1; i < len(targets); i++ {
+		if targets[i].InstAddr == targets[i-1].InstAddr {
+			poison, poisonOrd = targets[i], i
+			break
+		}
+	}
+	if poisonOrd < 0 {
+		t.Fatal("no same-PC target pair in campaign A; cannot exercise replay retry")
+	}
+	var calls atomic.Int32
+	s.Runner.HookBeforeRun = func(c inject.Campaign, tg inject.Target) {
+		if tg == poison && calls.Add(1) == 1 {
+			panic("transient harness bug (test)")
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("campaign died on a recoverable panic: %v", err)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("poison target attempted %d times, want a retry", calls.Load())
+	}
+	if n := metrics.Snapshot().RunnerReboots; n < 1 {
+		t.Fatalf("runner reboots = %d, want at least 1", n)
+	}
+
+	got := saveBytes(t, s, filepath.Join(dir, "retried.json.gz"))
+	if !equalBytes(want, got) {
+		t.Fatal("result set after fault+retry differs from undisturbed checkpointed run")
+	}
+	for _, ord := range s.Set.Quarantined["A"] {
+		if ord == poisonOrd {
+			t.Fatalf("poison ordinal %d was quarantined instead of recovering", poisonOrd)
+		}
+	}
+}

@@ -111,6 +111,10 @@ type Config struct {
 	// RunTimeout overrides the per-run wall-clock watchdog deadline
 	// (0 = derive from the golden run's wall time).
 	RunTimeout time.Duration
+	// NoCheckpoint disables checkpoint-at-breakpoint reuse in the
+	// runners, running every target from the pristine boot snapshot.
+	// Results are identical either way.
+	NoCheckpoint bool
 	// Cancel, when set, is polled between runs by the serial loop and
 	// by every parallel worker; once true the campaign stops and
 	// RunCampaign returns ErrCancelled (graceful shutdown).
@@ -175,6 +179,7 @@ func New(cfg Config) (*Study, error) {
 	runner, err := inject.NewRunnerWithOptions(ws, inject.RunnerOptions{
 		DisableAssertions: cfg.DisableAssertions,
 		RunTimeout:        cfg.RunTimeout,
+		NoCheckpoint:      cfg.NoCheckpoint,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: runner: %w", err)
@@ -327,6 +332,7 @@ func (s *Study) runnerOptions() inject.RunnerOptions {
 	return inject.RunnerOptions{
 		DisableAssertions: s.Cfg.DisableAssertions,
 		RunTimeout:        s.Cfg.RunTimeout,
+		NoCheckpoint:      s.Cfg.NoCheckpoint,
 	}
 }
 

@@ -189,6 +189,38 @@ func (c *CPU) Reset() {
 	c.nextSample = 0
 }
 
+// State is the complete architectural register state of the CPU: what a
+// checkpoint must capture to resume a run mid-flight. Host-side caches
+// (the decode cache) and hooks are deliberately excluded — they are
+// either revalidated via Mem.CodeGen or reinstalled by the caller.
+type State struct {
+	Regs   [8]uint32
+	EIP    uint32
+	Eflags uint32
+	Cycles uint64
+}
+
+// CaptureState returns the current architectural state.
+func (c *CPU) CaptureState() State {
+	return State{Regs: c.Regs, EIP: c.EIP, Eflags: c.Eflags, Cycles: c.Cycles}
+}
+
+// RestoreState reinstates a captured architectural state and disarms
+// all debug registers (checkpoints are captured from breakpoint hooks,
+// after which the breakpoint is spent). The decode cache is left
+// intact: its entries validate against Mem.CodeGen, so cached decodes
+// stay usable exactly when the restored memory image still carries the
+// same executable bytes.
+func (c *CPU) RestoreState(s State) {
+	c.Regs = s.Regs
+	c.EIP = s.EIP
+	c.Eflags = s.Eflags
+	c.Cycles = s.Cycles
+	c.DR = [4]uint32{}
+	c.DREnabled = [4]bool{}
+	c.nextSample = 0
+}
+
 // SetBreakpoint arms debug register dr at addr.
 func (c *CPU) SetBreakpoint(dr int, addr uint32) {
 	c.DR[dr] = addr

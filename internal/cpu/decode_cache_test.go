@@ -104,3 +104,74 @@ func TestDecodeCacheSurvivesDataOnlyRestore(t *testing.T) {
 		t.Fatalf("CodeGen moved %d -> %d: data-only restores invalidated the decode cache", gen, m.CodeGen())
 	}
 }
+
+func TestDecodeCacheAcrossStaleCheckpointRestore(t *testing.T) {
+	// Checkpoint-style usage: a golden snapshot plus a later checkpoint
+	// with different text coexist; restores hop between them (including
+	// stale restores) and execution must always match the restored
+	// bytes — the decode cache may never serve the other image's decode.
+	m := mem.New()
+	m.Map(0x1000, 0x1000, mem.PermRX)
+	c := cpu.New(m)
+	if err := m.WriteRaw(0x1000, []byte{0xB8, 0x11, 0x11, 0x11, 0x11, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	golden := m.TakeSnapshot()
+
+	step := func() uint32 {
+		t.Helper()
+		c.EIP = 0x1000
+		c.Regs[ia32.EAX] = 0
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Regs[ia32.EAX]
+	}
+
+	if v := step(); v != 0x11111111 {
+		t.Fatalf("golden run: EAX = %#x", v)
+	}
+	// Corrupt one immediate byte and capture a checkpoint of the
+	// corrupted image; golden is now stale.
+	if err := m.WriteRaw(0x1001, []byte{0x22}); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := m.TakeSnapshot()
+	if v := step(); v != 0x11111122 {
+		t.Fatalf("checkpoint run: EAX = %#x", v)
+	}
+
+	for i := 0; i < 3; i++ {
+		m.Restore(golden) // stale restore: rolls back executable bytes
+		if v := step(); v != 0x11111111 {
+			t.Fatalf("iter %d: stale golden restore executed wrong decode: EAX = %#x", i, v)
+		}
+		m.Restore(checkpoint)
+		if v := step(); v != 0x11111122 {
+			t.Fatalf("iter %d: checkpoint restore executed wrong decode: EAX = %#x", i, v)
+		}
+	}
+}
+
+func TestCaptureRestoreStateRoundTrip(t *testing.T) {
+	m := mem.New()
+	m.Map(0x1000, 0x1000, mem.PermRX)
+	c := cpu.New(m)
+	c.Regs = [8]uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	c.EIP = 0x1234
+	c.Eflags = 0x246
+	c.Cycles = 999
+	st := c.CaptureState()
+
+	c.Reset()
+	c.SetBreakpoint(0, 0x1000)
+	c.RestoreState(st)
+	if c.Regs != [8]uint32{1, 2, 3, 4, 5, 6, 7, 8} || c.EIP != 0x1234 ||
+		c.Eflags != 0x246 || c.Cycles != 999 {
+		t.Fatalf("state not restored: %+v EIP=%#x Eflags=%#x Cycles=%d",
+			c.Regs, c.EIP, c.Eflags, c.Cycles)
+	}
+	if c.DREnabled != [4]bool{} {
+		t.Fatal("RestoreState left debug registers armed")
+	}
+}

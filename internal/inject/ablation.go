@@ -55,6 +55,11 @@ type RunnerOptions struct {
 	// used by SafeRunTarget (0 = derive a generous default from the
 	// golden run's wall time).
 	RunTimeout time.Duration
+	// NoCheckpoint disables checkpoint-at-breakpoint reuse, forcing
+	// every target to run from the pristine boot snapshot. Results are
+	// identical either way; this is the escape hatch and the reference
+	// arm for parity testing.
+	NoCheckpoint bool
 }
 
 // NewRunnerWithOptions is NewRunner with build options applied to the

@@ -31,6 +31,11 @@ const (
 	// breaker opened; the target is quarantined like an exhausted
 	// in-process retry.
 	FaultWorkerDeath FaultKind = "worker-death"
+	// FaultReplayDiverged — a checkpointed replay's engine issued an
+	// operation that does not match the recorded prefix. The cached
+	// checkpoint is discarded and the retry (on a fresh runner)
+	// re-records from the pristine snapshot.
+	FaultReplayDiverged FaultKind = "replay-diverged"
 )
 
 // HarnessFault records one failure of the harness during an injection

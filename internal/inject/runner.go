@@ -93,6 +93,22 @@ type Runner struct {
 	goldenFP   string
 	goldenDisk [32]byte
 
+	// checkpointing enables checkpoint-at-breakpoint reuse: the first
+	// run of each activation PC records the prefix and captures a
+	// machine checkpoint at the breakpoint; subsequent targets at the
+	// same PC replay from the checkpoint (activation-to-outcome only).
+	// Results are byte-identical either way.
+	checkpointing bool
+	// cur caches the checkpoint for the most recently recorded
+	// activation PC. Targets arrive grouped by PC (EnumerateTargets
+	// emits the bytes and bits of one instruction consecutively, in
+	// non-decreasing PC order), so a single entry captures all reuse; a
+	// new PC simply re-records.
+	cur *cpEntry
+	// diskBuf is the scratch buffer severity() assembles the ramdisk
+	// into for fsck, reused across runs.
+	diskBuf []byte
+
 	// stop is the cooperative CPU stop flag; timedOut records that the
 	// wall-clock watchdog (not some other stop source) raised it.
 	stop     atomic.Bool
@@ -130,8 +146,17 @@ func NewRunner(ws []kernel.Workload) (*Runner, error) {
 	return newRunnerFromMachine(m, ws, RunnerOptions{})
 }
 
+// cpEntry is the per-PC checkpoint cache entry. cp == nil records that
+// the PC never activates under the golden workload: every sibling
+// target's Not Activated result is synthesized without running.
+type cpEntry struct {
+	pc         uint32
+	cp         *kernel.Checkpoint
+	origWindow []byte
+}
+
 func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload, opts RunnerOptions) (*Runner, error) {
-	r := &Runner{M: m, Workloads: ws}
+	r := &Runner{M: m, Workloads: ws, checkpointing: !opts.NoCheckpoint}
 	r.snap = m.TakeSnapshot()
 	m.CPU.Stop = &r.stop
 
@@ -171,13 +196,39 @@ func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload, opts RunnerOp
 // RunTarget executes one injection experiment and classifies it. A
 // nil *HarnessFault means the Result carries a genuine paper outcome;
 // a non-nil fault means the harness itself failed (the target byte
-// could not be flipped, the wall-clock watchdog fired, or the run
-// ended with an unclassifiable host error) and the Result must be
-// discarded — the machine state is suspect, so the caller should boot
-// a fresh runner before retrying. Use SafeRunTarget to also isolate
-// Go panics and arm the wall-clock watchdog.
+// could not be flipped, the wall-clock watchdog fired, the run ended
+// with an unclassifiable host error, or a checkpointed replay
+// diverged) and the Result must be discarded — the machine state is
+// suspect, so the caller should boot a fresh runner before retrying.
+// Use SafeRunTarget to also isolate Go panics and arm the wall-clock
+// watchdog.
+//
+// With checkpointing enabled (the default), the first target at each
+// activation PC runs in full while recording, capturing a machine
+// checkpoint at the breakpoint; subsequent targets at the same PC
+// replay from the checkpoint, or — when the PC never activates — have
+// their Not Activated result synthesized without running. Results are
+// byte-identical to full runs in every mode.
 func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
+	if !r.checkpointing {
+		return r.fullTarget(c, t, false)
+	}
+	if r.cur != nil && r.cur.pc == t.InstAddr {
+		if r.cur.cp == nil {
+			return r.synthNotActivated(c, t), nil
+		}
+		return r.replayTarget(c, t)
+	}
+	return r.fullTarget(c, t, true)
+}
+
+// fullTarget is the full-replay experiment: restore pristine, arm the
+// breakpoint, run from boot state to outcome. With record set it also
+// logs the prefix and captures a checkpoint for reuse by later targets
+// at the same PC.
+func (r *Runner) fullTarget(c Campaign, t Target, record bool) (Result, *HarnessFault) {
 	m := r.M
+	r.cur = nil
 	m.Restore(r.snap)
 
 	res := Result{Campaign: c, Target: t, Severity: SeverityNone}
@@ -185,8 +236,17 @@ func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
 		res.OrigWindow = w
 	}
 
+	var kcp *kernel.Checkpoint
+	if record {
+		m.StartRecording()
+	}
 	var bpFault *HarnessFault
 	m.CPU.OnBreakpoint = func(cp *cpu.CPU, dr int) {
+		if record {
+			// Capture before the flip: the checkpoint is the pristine
+			// at-breakpoint state shared by every sibling target.
+			kcp = m.CaptureCheckpoint()
+		}
 		b, err := m.Mem.ReadRaw(t.Addr(), 1)
 		if err != nil {
 			cp.ClearBreakpoint(dr)
@@ -205,33 +265,99 @@ func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
 	m.CPU.SetBreakpoint(0, t.InstAddr)
 
 	run := m.RunWorkloads(r.Workloads, r.Budget)
+	m.StopRecording()
 	m.CPU.OnBreakpoint = nil
 	m.CPU.ClearBreakpoint(0)
 
+	hf := r.finishRun(&res, run, t, bpFault)
+	if record && hf == nil {
+		// kcp == nil here means the breakpoint never fired: the PC is
+		// not activated by the golden workload, so neither are any of
+		// its sibling targets.
+		r.cur = &cpEntry{pc: t.InstAddr, cp: kcp,
+			origWindow: append([]byte(nil), res.OrigWindow...)}
+	}
+	return res, hf
+}
+
+// replayTarget runs an experiment from the cached checkpoint: the
+// prefix is replayed from the recording, then the machine resumes at
+// the breakpoint with this target's bit flipped.
+func (r *Runner) replayTarget(c Campaign, t Target) (Result, *HarnessFault) {
+	m := r.M
+	e := r.cur
+	res := Result{Campaign: c, Target: t, Severity: SeverityNone}
+	res.OrigWindow = append([]byte(nil), e.origWindow...)
+
+	var bpFault *HarnessFault
+	run := m.RunWorkloadsFromCheckpoint(e.cp, r.Workloads, func(mm *kernel.Machine) {
+		b, err := mm.Mem.ReadRaw(t.Addr(), 1)
+		if err != nil {
+			bpFault = newFault(FaultBreakpointIO, t, "read target byte %#x: %v", t.Addr(), err)
+			return
+		}
+		if err := mm.Mem.WriteRaw(t.Addr(), []byte{b[0] ^ (1 << t.Bit)}); err != nil {
+			bpFault = newFault(FaultBreakpointIO, t, "write target byte %#x: %v", t.Addr(), err)
+			return
+		}
+		res.Activated = true
+		res.ActivationCycle = e.cp.Cycles()
+	})
+
+	hf := r.finishRun(&res, run, t, bpFault)
+	if hf != nil {
+		// The checkpoint (or machine state) is suspect: drop it so the
+		// next attempt re-records from pristine state.
+		r.cur = nil
+	}
+	return res, hf
+}
+
+// synthNotActivated builds the Not Activated result for a sibling of a
+// recorded PC that the golden workload never executes. Activation
+// depends only on whether the breakpoint PC is reached, which the
+// record run already established; kernel text is never modified by a
+// clean run, so the windows are the pristine bytes.
+func (r *Runner) synthNotActivated(c Campaign, t Target) Result {
+	res := Result{Campaign: c, Target: t, Severity: SeverityNone, Outcome: OutcomeNotActivated}
+	res.OrigWindow = append([]byte(nil), r.cur.origWindow...)
+	res.CorruptWindow = append([]byte(nil), r.cur.origWindow...)
+	return res
+}
+
+// finishRun is the classification tail shared by full, record and
+// replay runs: snapshot the corrupt window, surface harness failures,
+// then map the run result onto a paper outcome.
+func (r *Runner) finishRun(res *Result, run *kernel.RunResult, t Target, bpFault *HarnessFault) *HarnessFault {
+	m := r.M
 	if w, err := m.Mem.ReadRaw(t.InstAddr, windowSize); err == nil {
 		res.CorruptWindow = w
 	}
 
 	// Harness failures are surfaced before any outcome is assigned —
-	// a failed bit flip is not "Not Activated" and a watchdog-stopped
-	// run is not a paper Hang.
+	// a failed bit flip is not "Not Activated", a watchdog-stopped
+	// run is not a paper Hang, and a diverged replay is not any
+	// outcome at all.
 	if bpFault != nil {
-		return res, bpFault
+		return bpFault
 	}
 	if errors.Is(run.Err, kernel.ErrStopped) {
-		return res, newFault(FaultTimeout, t,
+		return newFault(FaultTimeout, t,
 			"wall-clock watchdog fired after %v (simulated-cycle budget %d never tripped)",
 			r.RunTimeout, r.Budget)
+	}
+	if errors.Is(run.Err, kernel.ErrReplayDiverged) {
+		return newFault(FaultReplayDiverged, t, "%v", run.Err)
 	}
 
 	if !res.Activated {
 		res.Outcome = OutcomeNotActivated
-		return res, nil
+		return nil
 	}
 
 	switch {
 	case run.Err == nil:
-		r.classifyCompleted(&res, run)
+		r.classifyCompleted(res, run)
 	case errors.Is(run.Err, kernel.ErrHang):
 		res.Outcome = OutcomeHang
 		res.HangEIP = m.CPU.EIP
@@ -242,7 +368,7 @@ func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
 		if !ok {
 			// Unclassifiable host-level failure: a harness fault, not
 			// a paper Hang (counting these as Hangs polluted Figure 4).
-			return res, newFault(FaultHostError, t, "unclassifiable host error: %v", run.Err)
+			return newFault(FaultHostError, t, "unclassifiable host error: %v", run.Err)
 		}
 		res.Outcome = OutcomeCrash
 		res.Crash = &rec
@@ -264,7 +390,7 @@ func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
 		}
 		res.Severity, res.BootBroken = r.severity()
 	}
-	return res, nil
+	return nil
 }
 
 // SafeRunTarget is RunTarget with full harness fault isolation: a Go
@@ -324,13 +450,16 @@ func (r *Runner) classifyCompleted(res *Result, run *kernel.RunResult) {
 // second result reports that the system would not boot (reinstall
 // required).
 func (r *Runner) severity() (Severity, bool) {
-	img, err := r.M.DiskImage()
-	if err != nil {
+	// The scratch buffer holds a private copy of the ramdisk, so the
+	// device (and ext2.Repair's writes to it) never touches guest
+	// memory; it is refilled here before each check.
+	if r.diskBuf == nil {
+		r.diskBuf = make([]byte, kernel.RamdiskSize)
+	}
+	if err := r.M.DiskImageInto(r.diskBuf); err != nil {
 		return SeverityMost, true
 	}
-	cp := make([]byte, len(img))
-	copy(cp, img)
-	dev, err := disk.FromImage(cp)
+	dev, err := disk.FromImage(r.diskBuf)
 	if err != nil {
 		return SeverityMost, true
 	}

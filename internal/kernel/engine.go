@@ -90,6 +90,13 @@ type User struct {
 // the watchdog fires. cycleBudget bounds the total CPU cycles.
 func (m *Machine) RunWorkloads(ws []Workload, cycleBudget uint64) *RunResult {
 	m.CycleLimit = m.CPU.Cycles + cycleBudget
+	return m.runWorkloads(ws)
+}
+
+// runWorkloads is the engine body shared by RunWorkloads and
+// RunWorkloadsFromCheckpoint (which sets CycleLimit from the
+// checkpoint instead of a fresh budget).
+func (m *Machine) runWorkloads(ws []Workload) *RunResult {
 	e := &engine{m: m}
 
 	res := &RunResult{}
@@ -285,8 +292,8 @@ func (e *engine) tick() {
 	if e.aborted {
 		return
 	}
-	if e.m.CPU.Eflags&interruptFlag == 0 {
-		e.m.CPU.Cycles += interruptsOffCost
+	if !e.m.interruptsEnabled() {
+		e.m.addCycles(interruptsOffCost)
 		e.ticks++
 		return
 	}
@@ -312,7 +319,7 @@ func (e *engine) agePages() {
 	taskAddr := e.m.TaskAddr(slot)
 	for i := uint32(0); i < NPTEs; i++ {
 		pteAddr := taskAddr + TaskPTEs + i*4
-		pte, err := e.m.Mem.Read32(pteAddr)
+		pte, err := e.m.memRead32(pteAddr)
 		if err != nil || pte&PTEPresent == 0 || pte&PTEWrite == 0 {
 			continue
 		}
@@ -320,12 +327,12 @@ func (e *engine) agePages() {
 		if i%4 == 0 {
 			pte |= PTEShared
 		}
-		if err := e.m.Mem.Write32(pteAddr, pte); err != nil {
+		if err := e.m.memWrite32(pteAddr, pte); err != nil {
 			continue
 		}
 		page := pte &^ uint32(PageSize-1)
-		if e.m.Mem.IsMapped(page) {
-			e.m.Mem.Protect(page, PageSize, mem.PermRead)
+		if e.m.memIsMapped(page) {
+			e.m.memProtect(page, PageSize, mem.PermRead)
 		}
 	}
 }
@@ -380,7 +387,7 @@ func (u *User) checkSignals() {
 	caught := u.e.m.TaskField(u.p.slot, TaskSigCaught)
 	if handled := pending & caught; handled != 0 && u.p.sigHandler != nil {
 		pending &^= handled
-		_ = u.e.m.Mem.Write32(u.e.m.TaskAddr(u.p.slot)+TaskSigPending, pending)
+		_ = u.e.m.memWrite32(u.e.m.TaskAddr(u.p.slot)+TaskSigPending, pending)
 		for sig := 0; sig < 32; sig++ {
 			if handled&(1<<uint(sig)) != 0 {
 				u.p.sigHandler(sig)
@@ -486,7 +493,7 @@ func (u *User) Arena() uint32 {
 // false when the kernel refused the access (SIGSEGV).
 func (u *User) touch(addr uint32, write bool) bool {
 	m := u.e.m
-	perm := m.Mem.PermAt(addr)
+	perm := m.memPermAt(addr)
 	if perm&mem.PermRead != 0 && (!write || perm&mem.PermWrite != 0) {
 		return true
 	}
@@ -517,7 +524,7 @@ func (u *User) Poke(addr, val uint32) {
 		u.Logf("segmentation fault (write %#x)", addr)
 		u.Exit(139)
 	}
-	if err := u.e.m.Mem.Write32(addr, val); err != nil {
+	if err := u.e.m.memWrite32(addr, val); err != nil {
 		u.Logf("segmentation fault (write %#x)", addr)
 		u.Exit(139)
 	}
@@ -526,7 +533,7 @@ func (u *User) Poke(addr, val uint32) {
 // Peek reads a 32-bit value from a user address.
 func (u *User) Peek(addr uint32) uint32 {
 	u.Touch(addr)
-	v, err := u.e.m.Mem.Read32(addr)
+	v, err := u.e.m.memRead32(addr)
 	if err != nil {
 		u.Logf("segmentation fault (read %#x)", addr)
 		u.Exit(139)
@@ -547,7 +554,7 @@ func (u *User) WriteBuf(addr uint32, b []byte) {
 			u.Exit(139)
 		}
 	}
-	if err := u.e.m.Mem.WriteBytes(addr, b); err != nil {
+	if err := u.e.m.memWriteBytes(addr, b); err != nil {
 		u.Logf("segmentation fault (write buf %#x)", addr)
 		u.Exit(139)
 	}
@@ -561,7 +568,7 @@ func (u *User) ReadBuf(addr uint32, n uint32) []byte {
 	if n > 0 {
 		u.Touch(addr + n - 1)
 	}
-	b, err := u.e.m.Mem.ReadBytes(addr, n)
+	b, err := u.e.m.memReadBytes(addr, n)
 	if err != nil {
 		u.Logf("segmentation fault (read buf %#x)", addr)
 		u.Exit(139)
@@ -583,7 +590,7 @@ func (u *User) Compute(cycles uint64) {
 		if c > cycles {
 			c = cycles
 		}
-		u.e.m.CPU.Cycles += c
+		u.e.m.addCycles(c)
 		cycles -= c
 		u.e.tick()
 		u.checkAbort()

@@ -71,6 +71,17 @@ type Machine struct {
 	doPFAddr   uint32
 	syscallFn  uint32
 
+	// faultStack mirrors the Go-side saved contexts of the nested
+	// handleUserFault calls in flight (one frame per faultDepth level),
+	// so a checkpoint captured inside a fault handler can replicate the
+	// exact unwind the live path would perform.
+	faultStack []faultFrame
+
+	// rec/rep drive checkpoint-at-breakpoint record and replay runs
+	// (see replay.go). Both nil during ordinary execution.
+	rec *recording
+	rep *replay
+
 	// currentAddr/tasksAddr memoize the symbol lookups behind
 	// CurrentSlot and TaskAddr, which the engine consults on every
 	// scheduler tick; the symbol table never changes after Link.
@@ -236,13 +247,14 @@ func (m *Machine) portOut(port uint16, _ bool, val uint32) {
 // Symbol returns the address of a kernel symbol.
 func (m *Machine) Symbol(name string) uint32 { return m.Prog.Symbols[name] }
 
-// ReadGlobal reads a 32-bit kernel variable by symbol name.
+// ReadGlobal reads a 32-bit kernel variable by symbol name. It is an
+// engine-visible operation (record/replay aware, see replay.go).
 func (m *Machine) ReadGlobal(name string) uint32 {
 	addr, ok := m.Prog.Symbols[name]
 	if !ok {
 		return 0
 	}
-	v, err := m.Mem.Read32(addr)
+	v, err := m.memRead32(addr)
 	if err != nil {
 		return 0
 	}
@@ -272,7 +284,7 @@ func (m *Machine) CurrentSlot() int {
 	if m.currentAddr == 0 {
 		m.currentAddr = m.Symbol("current")
 	}
-	cur, err := m.Mem.Read32(m.currentAddr)
+	cur, err := m.memRead32(m.currentAddr)
 	if err != nil {
 		return -1
 	}
@@ -283,15 +295,26 @@ func (m *Machine) CurrentSlot() int {
 	return int((cur - base) / TaskSize)
 }
 
-// TaskField reads a 32-bit field of a task.
+// TaskField reads a 32-bit field of a task. It is an engine-visible
+// operation (record/replay aware, see replay.go).
 func (m *Machine) TaskField(slot int, off uint32) uint32 {
-	v, _ := m.Mem.Read32(m.TaskAddr(slot) + off)
+	v, _ := m.memRead32(m.TaskAddr(slot) + off)
 	return v
 }
 
 // DiskImage copies the ramdisk out of simulated memory.
 func (m *Machine) DiskImage() ([]byte, error) {
 	return m.Mem.ReadRaw(RamdiskBase, RamdiskSize)
+}
+
+// DiskImageInto copies the ramdisk into a caller-owned buffer of
+// exactly RamdiskSize bytes (the per-run fsck path reuses one scratch
+// buffer instead of allocating 2 MiB per injection).
+func (m *Machine) DiskImageInto(out []byte) error {
+	if len(out) != RamdiskSize {
+		return fmt.Errorf("kernel: disk buffer is %d bytes, want %d", len(out), RamdiskSize)
+	}
+	return m.Mem.ReadRawInto(RamdiskBase, out)
 }
 
 // FSCheck runs fsck against the current ramdisk contents.
@@ -347,8 +370,31 @@ func (m *Machine) Call(fn string, args ...uint32) (uint32, error) {
 
 // CallAddr is Call by address. At top level the kernel stack is reset;
 // nested calls (fault handling) run on the live stack like exception
-// frames.
+// frames. Top-level calls are an engine-visible machine operation:
+// during a recording run the result is logged, and during a replay
+// prefix it is served from the log (or, at the log's end, resumed live
+// from the checkpoint) — see replay.go.
 func (m *Machine) CallAddr(addr uint32, args ...uint32) (uint32, error) {
+	if m.faultDepth == 0 {
+		if m.rep != nil {
+			return m.replayCall(addr, args)
+		}
+		if m.rec != nil {
+			m.rec.inflight = addr
+			m.rec.inflightArgs = hashArgs(args)
+			ret, err := m.callAddr(addr, args)
+			// A checkpoint captured mid-call clears m.rec: the in-flight
+			// call then belongs to the live suffix, not the prefix log.
+			if m.rec != nil && err == nil {
+				m.rec.ops = append(m.rec.ops, op{kind: opCall, addr: addr, arg: m.rec.inflightArgs, val: ret})
+			}
+			return ret, err
+		}
+	}
+	return m.callAddr(addr, args)
+}
+
+func (m *Machine) callAddr(addr uint32, args []uint32) (uint32, error) {
 	if m.faultDepth == 0 {
 		m.CPU.Regs[ia32.ESP] = StackTop
 	}
@@ -363,7 +409,13 @@ func (m *Machine) CallAddr(addr uint32, args ...uint32) (uint32, error) {
 		return 0, fmt.Errorf("kernel: push return: %w", err)
 	}
 	m.CPU.EIP = addr
+	return m.runToReturn()
+}
 
+// runToReturn drives the CPU from the current EIP until the in-flight
+// call returns to the host, crashes, hangs, or is stopped. It is also
+// the entry point for resuming a checkpointed call mid-execution.
+func (m *Machine) runToReturn() (uint32, error) {
 	for {
 		reason, exc := m.CPU.Run(m.remainingBudget())
 		switch reason {
@@ -398,6 +450,16 @@ func (m *Machine) isUserAddr(addr uint32) bool {
 	return addr >= UserBase && addr < UserTop
 }
 
+// faultFrame is the Go-side saved context of one nested
+// handleUserFault invocation, tracked on Machine.faultStack so a
+// checkpoint captured inside a fault handler can finish the unwind.
+type faultFrame struct {
+	regs   [8]uint32
+	eip    uint32
+	eflags uint32
+	exc    *cpu.Exception
+}
+
 // handleUserFault re-enters the kernel's do_page_fault for a user-space
 // fault, preserving the interrupted register state (the role of the
 // exception stub). A crash inside the handler propagates as the crash.
@@ -411,7 +473,11 @@ func (m *Machine) handleUserFault(exc *cpu.Exception) (bool, error) {
 		code = 2
 	}
 	m.faultDepth++
+	m.faultStack = append(m.faultStack, faultFrame{
+		regs: savedRegs, eip: savedEIP, eflags: savedFlags, exc: exc,
+	})
 	ret, err := m.CallAddr(m.doPFAddr, exc.Addr, code)
+	m.faultStack = m.faultStack[:len(m.faultStack)-1]
 	m.faultDepth--
 	if err != nil {
 		return false, err
@@ -453,5 +519,8 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.CPU.Cycles = s.cycles
 	m.PanicCode = 0
 	m.faultDepth = 0
+	m.faultStack = m.faultStack[:0]
+	m.rec = nil
+	m.rep = nil
 	m.Console.Reset()
 }

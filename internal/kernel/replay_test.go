@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// testWorkload is a small deterministic workload exercising syscalls,
+// user memory, compute time and the fault path — enough to populate a
+// meaningful op log.
+func testWorkload() []Workload {
+	return []Workload{{
+		Name: "probe",
+		Main: func(u *User) {
+			a := u.Arena()
+			u.Poke(a, 0x1234)
+			if v := u.Peek(a); v != 0x1234 {
+				u.Logf("readback mismatch: %#x", v)
+			}
+			u.Compute(20000)
+			u.WriteBuf(a+64, []byte("hello checkpoint"))
+			b := u.ReadBuf(a+64, 16)
+			u.Logf("buf=%q", string(b))
+			u.Exit(0)
+		},
+	}}
+}
+
+// recordAtSchedule records a run of ws with a breakpoint at schedule
+// (hit early and often) and returns the captured checkpoint plus the
+// record run's result.
+func recordAtSchedule(t *testing.T, m *Machine, ws []Workload) (*Checkpoint, *RunResult) {
+	t.Helper()
+	m.StartRecording()
+	var cp *Checkpoint
+	m.CPU.OnBreakpoint = func(c *cpu.CPU, dr int) {
+		cp = m.CaptureCheckpoint()
+		c.ClearBreakpoint(dr)
+	}
+	m.CPU.SetBreakpoint(0, m.Symbol("schedule"))
+	rec := m.RunWorkloads(ws, 1<<40)
+	m.StopRecording()
+	m.CPU.OnBreakpoint = nil
+	m.CPU.ClearBreakpoint(0)
+	if rec.Err != nil {
+		t.Fatalf("record run: %v", rec.Err)
+	}
+	if cp == nil {
+		t.Fatal("breakpoint at schedule never fired")
+	}
+	return cp, rec
+}
+
+func TestCheckpointReplayMatchesFullRun(t *testing.T) {
+	m, err := Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWorkload()
+	snap := m.TakeSnapshot()
+
+	// Reference: two identical full runs pin determinism itself.
+	full1 := m.RunWorkloads(ws, 1<<40)
+	if full1.Err != nil {
+		t.Fatalf("full run: %v", full1.Err)
+	}
+	m.Restore(snap)
+	full2 := m.RunWorkloads(ws, 1<<40)
+	if !reflect.DeepEqual(full1.Trace, full2.Trace) || full1.Console != full2.Console {
+		t.Fatal("full runs are not deterministic; replay parity is untestable")
+	}
+	fullDisk, err := m.DiskImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCycles := m.CPU.Cycles
+
+	m.Restore(snap)
+	cp, rec := recordAtSchedule(t, m, ws)
+	if !reflect.DeepEqual(rec.Trace, full1.Trace) || rec.Console != full1.Console {
+		t.Fatal("record run diverged from full run")
+	}
+
+	// Replay (no flip): must reproduce the full run byte-for-byte,
+	// repeatedly, without an intervening restore.
+	for i := 0; i < 3; i++ {
+		rep := m.RunWorkloadsFromCheckpoint(cp, ws, nil)
+		if rep.Err != nil {
+			t.Fatalf("replay %d: %v", i, rep.Err)
+		}
+		if !reflect.DeepEqual(rep.Trace, full1.Trace) {
+			t.Fatalf("replay %d trace diverged:\n got %q\nwant %q", i, rep.Trace, full1.Trace)
+		}
+		if rep.Console != full1.Console {
+			t.Fatalf("replay %d console diverged", i)
+		}
+		if m.CPU.Cycles != fullCycles {
+			t.Fatalf("replay %d cycles: got %d, want %d", i, m.CPU.Cycles, fullCycles)
+		}
+		disk, err := m.DiskImage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(disk, fullDisk) {
+			t.Fatalf("replay %d disk image diverged", i)
+		}
+	}
+}
+
+func TestReplayAppliesFlip(t *testing.T) {
+	// A flip applied at resume must affect the outcome exactly as the
+	// same raw write applied at a live breakpoint would. Corrupt the
+	// first byte of schedule's body with the interrupt flag test: a
+	// full run with the live flip and a replay with applyFlip must
+	// agree on trace, console and error.
+	m, err := Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWorkload()
+	snap := m.TakeSnapshot()
+	target := m.Symbol("schedule")
+
+	flip := func(mm *Machine) {
+		b, err := mm.Mem.ReadRaw(target, 1)
+		if err != nil {
+			t.Fatalf("read target: %v", err)
+		}
+		if err := mm.Mem.WriteRaw(target, []byte{b[0] ^ 0x01}); err != nil {
+			t.Fatalf("write target: %v", err)
+		}
+	}
+
+	// Live reference: breakpoint fires, flip applied, run continues.
+	m.Restore(snap)
+	m.CPU.OnBreakpoint = func(c *cpu.CPU, dr int) {
+		flip(m)
+		c.ClearBreakpoint(dr)
+	}
+	m.CPU.SetBreakpoint(0, target)
+	live := m.RunWorkloads(ws, 1<<40)
+	m.CPU.OnBreakpoint = nil
+	m.CPU.ClearBreakpoint(0)
+
+	// Checkpointed: record (capture before flip, then clean run), then
+	// replay with the flip.
+	m.Restore(snap)
+	cp, _ := recordAtSchedule(t, m, ws)
+	rep := m.RunWorkloadsFromCheckpoint(cp, ws, flip)
+
+	if (live.Err == nil) != (rep.Err == nil) {
+		t.Fatalf("err mismatch: live %v, replay %v", live.Err, rep.Err)
+	}
+	if live.Err != nil && live.Err.Error() != rep.Err.Error() {
+		t.Fatalf("err mismatch: live %v, replay %v", live.Err, rep.Err)
+	}
+	if !reflect.DeepEqual(live.Trace, rep.Trace) {
+		t.Fatalf("trace mismatch:\nlive  %q\nreplay %q", live.Trace, rep.Trace)
+	}
+	if live.Console != rep.Console {
+		t.Fatal("console mismatch")
+	}
+}
+
+func TestReplayDivergenceDetected(t *testing.T) {
+	m, err := Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testWorkload()
+	snap := m.TakeSnapshot()
+	m.Restore(snap)
+	cp, _ := recordAtSchedule(t, m, ws)
+
+	// Tamper with the log so the replayed engine's ops cannot match:
+	// the replay must fail with ErrReplayDiverged, not fabricate an
+	// outcome, and the engine must wind down (no goroutine deadlock).
+	for name, mutate := range map[string]func(*Checkpoint){
+		"wrong-op-kind": func(c *Checkpoint) { c.ops[0].kind = opProtect },
+		"wrong-addr":    func(c *Checkpoint) { c.ops[0].addr ^= 4 },
+		"truncated-log": func(c *Checkpoint) { c.ops = c.ops[:1]; c.inflight = 0xDEAD },
+	} {
+		bad := *cp
+		bad.ops = append([]op(nil), cp.ops...)
+		mutate(&bad)
+		res := m.RunWorkloadsFromCheckpoint(&bad, ws, nil)
+		if !errors.Is(res.Err, ErrReplayDiverged) {
+			t.Fatalf("%s: got err %v, want ErrReplayDiverged", name, res.Err)
+		}
+	}
+
+	// The pristine checkpoint must still replay cleanly afterwards.
+	if res := m.RunWorkloadsFromCheckpoint(cp, ws, nil); res.Err != nil {
+		t.Fatalf("clean replay after divergence tests: %v", res.Err)
+	}
+}

@@ -6,10 +6,14 @@
 //
 // The package also supports cheap snapshot/restore: the injection harness
 // resets the machine to a pristine state between experiments (the paper
-// rebooted the physical machine instead). Restore cost is proportional
-// to the number of pages touched since TakeSnapshot, including pages
-// mapped, unmapped or reprotected — not to the size of the address
-// space.
+// rebooted the physical machine instead). Snapshots are generation-tagged
+// and copy-on-write: TakeSnapshot shares the current pages read-only
+// instead of deep-copying them, so many snapshots (the pristine boot
+// image plus per-target checkpoints) coexist cheaply. Restoring the most
+// recent snapshot costs one page-table repoint per page touched since it
+// was taken; restoring an older ("stale") snapshot walks the snapshot
+// parent chain and is exactly as correct, just proportional to all pages
+// touched since the two histories diverged.
 //
 // The per-access hot path goes through a small software TLB: a
 // direct-mapped cache of recent page translations, kept per access kind
@@ -93,7 +97,11 @@ type page struct {
 	// dirty means the page is recorded in Memory.dirty: its content,
 	// permissions or existence may differ from the last snapshot.
 	dirty bool
-	data  []byte
+	// shared means the page is owned by one or more snapshots and is
+	// immutable: any mutation (write, raw write, reprotect) must first
+	// replace it with a private copy. A shared page is never dirty.
+	shared bool
+	data   []byte
 }
 
 // tlbEntry caches one page translation. An entry is valid when its gen
@@ -135,6 +143,12 @@ type Memory struct {
 	// flushTLB invalidates everything by bumping it.
 	tlb    [3][tlbSize]tlbEntry
 	tlbGen uint32
+
+	// base is the snapshot the dirty set is relative to (the most
+	// recently taken or restored snapshot), nil before the first
+	// TakeSnapshot. snapGen numbers snapshots in creation order.
+	base    *Snapshot
+	snapGen uint64
 }
 
 // New returns an empty address space.
@@ -218,6 +232,9 @@ func (m *Memory) Protect(addr, size uint32, perm Perm) {
 		if (p.perm|perm)&PermExec != 0 {
 			m.noteCodeChange()
 		}
+		if p.shared {
+			p = m.clonePage(pn, p)
+		}
 		p.perm = perm
 		p.dirty = true
 		m.dirty[pn] = struct{}{}
@@ -263,9 +280,30 @@ func (m *Memory) pageFor(addr uint32, acc Access) (*page, error) {
 	if p.perm&need == 0 {
 		return nil, &Fault{Addr: addr, Access: acc}
 	}
+	if p.shared && acc == AccessWrite {
+		// Copy-on-write: snapshot-owned pages are immutable. The write
+		// TLB way therefore only ever holds private pages.
+		p = m.clonePage(pn, p)
+	}
 	e := &m.tlb[acc-1][pn&tlbMask]
 	e.pn, e.gen, e.p = pn, m.tlbGen, p
 	return p, nil
+}
+
+// clonePage replaces a snapshot-owned page with a private copy so it
+// can be mutated, and repoints any live TLB entries at the new copy
+// (all three ways may cache the old pointer for reads/fetches).
+func (m *Memory) clonePage(pn uint32, p *page) *page {
+	np := &page{perm: p.perm, data: make([]byte, PageSize)}
+	copy(np.data, p.data)
+	m.pages[pn] = np
+	for k := range m.tlb {
+		e := &m.tlb[k][pn&tlbMask]
+		if e.gen == m.tlbGen && e.pn == pn {
+			e.p = np
+		}
+	}
+	return np
 }
 
 // lookup translates addr for the given access kind, hitting the TLB
@@ -520,6 +558,9 @@ func (m *Memory) WriteRaw(addr uint32, b []byte) error {
 		a := addr + uint32(i)
 		pn := a >> pageShift
 		p := m.pages[pn]
+		if p.shared {
+			p = m.clonePage(pn, p)
+		}
 		m.noteWrite(pn, p)
 		off := a & (PageSize - 1)
 		c := copy(p.data[off:], b[i:])
@@ -531,73 +572,186 @@ func (m *Memory) WriteRaw(addr uint32, b []byte) error {
 // ReadRaw reads ignoring permissions. The pages must be mapped.
 func (m *Memory) ReadRaw(addr, size uint32) ([]byte, error) {
 	out := make([]byte, size)
-	for i := uint32(0); i < size; {
-		a := addr + i
-		p, ok := m.pages[a>>pageShift]
-		if !ok {
-			return nil, &Fault{Addr: a, Access: AccessRead, NotPresent: true}
-		}
-		off := a & (PageSize - 1)
-		c := copy(out[i:], p.data[off:])
-		i += uint32(c)
+	if err := m.ReadRawInto(addr, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// Snapshot is a point-in-time copy of the address space.
-type Snapshot struct {
-	pages map[uint32]*page
+// ReadRawInto is ReadRaw into a caller-owned buffer, for hot paths
+// that read large regions (the ramdisk) once per injection run and
+// would otherwise pay a fresh multi-megabyte allocation each time.
+func (m *Memory) ReadRawInto(addr uint32, out []byte) error {
+	for i := 0; i < len(out); {
+		a := addr + uint32(i)
+		p, ok := m.pages[a>>pageShift]
+		if !ok {
+			return &Fault{Addr: a, Access: AccessRead, NotPresent: true}
+		}
+		off := a & (PageSize - 1)
+		c := copy(out[i:], p.data[off:])
+		i += c
+	}
+	return nil
 }
 
-// TakeSnapshot deep-copies the current state and resets dirty tracking,
-// so a later Restore touches only pages modified since this call. Only
-// the most recent snapshot can be restored with the cheap dirty-page
-// path; restoring an older snapshot misses changes made before the
-// newer one was taken.
+// Snapshot is a point-in-time image of the address space. It shares
+// page objects with the Memory it was taken from (copy-on-write: any
+// later mutation clones the page first), so holding many snapshots —
+// the pristine boot image plus per-target checkpoints — costs one page
+// table per snapshot, not one copy of RAM.
+//
+// Snapshots form a chain: each records its parent (the snapshot that
+// was current when it was taken) and the set of pages that changed
+// since that parent. Restore uses the chain to restore *any* snapshot
+// correctly; restoring the most recent one is the fast path.
+type Snapshot struct {
+	pages map[uint32]*page
+
+	// gen is the creation-order generation tag (1 for the first
+	// snapshot of a Memory). It identifies snapshots in tests and
+	// diagnostics; staleness itself is detected structurally.
+	gen uint64
+
+	// parent is the snapshot that was current when this one was taken
+	// (nil for the first). sinceParent holds the page numbers whose
+	// content, permissions or existence may differ from parent;
+	// codeChangedSinceParent records whether any of those changes
+	// involved executable content.
+	parent                 *Snapshot
+	sinceParent            map[uint32]struct{}
+	codeChangedSinceParent bool
+}
+
+// Gen returns the snapshot's generation tag (creation order, starting
+// at 1 for each Memory).
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// TakeSnapshot captures the current state and resets dirty tracking.
+// No page data is copied: the live pages are marked shared (immutable)
+// and later writes clone on demand, so the call is O(mapped pages)
+// pointer work regardless of RAM size.
 func (m *Memory) TakeSnapshot() *Snapshot {
-	s := &Snapshot{pages: make(map[uint32]*page, len(m.pages))}
+	pages := make(map[uint32]*page, len(m.pages))
 	for pn, p := range m.pages {
-		cp := &page{perm: p.perm, data: make([]byte, PageSize)}
-		copy(cp.data, p.data)
-		s.pages[pn] = cp
+		p.shared = true
 		p.dirty = false
+		pages[pn] = p
 	}
-	clear(m.dirty)
+	m.snapGen++
+	s := &Snapshot{
+		pages:                  pages,
+		gen:                    m.snapGen,
+		parent:                 m.base,
+		sinceParent:            m.dirty,
+		codeChangedSinceParent: m.codeDirty,
+	}
+	m.dirty = make(map[uint32]struct{})
 	m.codeDirty = false
+	m.base = s
 	m.flushTLB()
 	return s
 }
 
-// Restore returns the address space to the snapshot state. The cost is
-// proportional to the number of pages touched since TakeSnapshot —
-// including pages mapped, unmapped or reprotected, which earlier
-// versions handled by rebuilding the whole address space. codeGen only
-// advances when executable content actually changed since the
-// snapshot, so instruction-decode caches survive data-only
-// snapshot/restore cycles.
+// Restore returns the address space to the snapshot state. Restoring
+// the most recent snapshot (the common case) costs one page-table
+// repoint per page touched since it was taken — including pages
+// mapped, unmapped or reprotected. Restoring an older snapshot is just
+// as correct: the snapshot chain supplies the full set of pages that
+// may differ between the two states, at cost proportional to all pages
+// touched since the histories diverged. codeGen only advances when
+// executable content actually changed relative to the snapshot, so
+// instruction-decode caches survive data-only snapshot/restore cycles.
 func (m *Memory) Restore(s *Snapshot) {
+	if s != m.base {
+		m.restoreStale(s)
+		return
+	}
 	if m.codeDirty {
 		m.codeGen++
 		m.codeDirty = false
 	}
 	for pn := range m.dirty {
-		orig, ok := s.pages[pn]
-		if !ok {
+		if sp, ok := s.pages[pn]; ok {
+			// sp is still shared and clean: repoint, don't copy.
+			m.pages[pn] = sp
+		} else {
 			// Mapped since the snapshot: remove.
 			delete(m.pages, pn)
-			continue
 		}
-		cur, ok := m.pages[pn]
-		if !ok {
-			// Unmapped since the snapshot: recreate.
-			cur = &page{data: make([]byte, PageSize)}
-			m.pages[pn] = cur
-		}
-		cur.perm = orig.perm
-		cur.dirty = false
-		copy(cur.data, orig.data)
 	}
 	clear(m.dirty)
+	m.flushTLB()
+}
+
+// restoreStale restores a snapshot other than the current base. The
+// pages that may differ between the current state and s are exactly:
+// the pages dirtied since the current base, plus every sinceParent set
+// along both chains from base and from s down to their lowest common
+// ancestor. Everything outside that union is byte-identical in both
+// states and is left alone.
+func (m *Memory) restoreStale(s *Snapshot) {
+	anc := make(map[*Snapshot]bool)
+	for a := s; a != nil; a = a.parent {
+		anc[a] = true
+	}
+	diff := make(map[uint32]struct{}, len(m.dirty))
+	for pn := range m.dirty {
+		diff[pn] = struct{}{}
+	}
+	codeChanged := m.codeDirty
+	foundLCA := false
+	for a := m.base; a != nil; a = a.parent {
+		if anc[a] {
+			foundLCA = true
+			for b := s; b != a; b = b.parent {
+				for pn := range b.sinceParent {
+					diff[pn] = struct{}{}
+				}
+				codeChanged = codeChanged || b.codeChangedSinceParent
+			}
+			break
+		}
+		for pn := range a.sinceParent {
+			diff[pn] = struct{}{}
+		}
+		codeChanged = codeChanged || a.codeChangedSinceParent
+	}
+	if !foundLCA {
+		// The snapshot's history is disconnected from this Memory's
+		// (e.g. it predates everything we have records for). Fall back
+		// to a full structural rebuild — always correct.
+		m.rebuildFrom(s)
+		return
+	}
+	for pn := range diff {
+		if sp, ok := s.pages[pn]; ok {
+			m.pages[pn] = sp
+		} else {
+			delete(m.pages, pn)
+		}
+	}
+	if codeChanged {
+		m.codeGen++
+	}
+	m.codeDirty = false
+	m.base = s
+	clear(m.dirty)
+	m.flushTLB()
+}
+
+// rebuildFrom replaces the whole page table with the snapshot's. It is
+// the unconditionally-correct fallback for snapshots whose chain does
+// not connect to the current base.
+func (m *Memory) rebuildFrom(s *Snapshot) {
+	m.pages = make(map[uint32]*page, len(s.pages))
+	for pn, p := range s.pages {
+		m.pages[pn] = p
+	}
+	m.dirty = make(map[uint32]struct{})
+	m.codeGen++
+	m.codeDirty = false
+	m.base = s
 	m.flushTLB()
 }
 

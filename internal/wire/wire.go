@@ -88,6 +88,10 @@ type StudySpec struct {
 	DisableAssertions   bool
 	RunTimeout          time.Duration // per-run wall-clock watchdog (0 = derive)
 	MaxRetries          int           // in-worker harness-fault retries before quarantine
+	// NoCheckpoint disables checkpoint-at-breakpoint reuse in workers.
+	// It does not affect results (zero value = checkpointing on, which
+	// keeps old supervisors compatible with new workers).
+	NoCheckpoint bool
 }
 
 // Ready is the worker's handshake reply: the golden (fault-free) run
