@@ -3,13 +3,24 @@
 //
 // Usage:
 //
-//	kinject [-campaigns ABC] [-scale N] [-seed N]
+//	kinject [-fault-model name] [-list-models]
+//	        [-campaigns ABC] [-scale N] [-seed N]
 //	        [-max-targets N] [-max-funcs N] [-workers N]
 //	        [-no-assertions] [-journal path] [-resume path]
 //	        [-run-timeout D] [-max-retries N]
 //	        [-isolation inproc|process] [-max-worker-restarts N]
 //	        [-breaker-threshold N] [-heartbeat-timeout D]
 //	        [-out results.json.gz] [-cpuprofile prof.out] [-q]
+//
+// -fault-model selects the class of injected error (default bitflip,
+// the paper's instruction bit flips): syscall error-returns at the
+// system_call boundary, register/data-state flips at a PC breakpoint,
+// adjacent multi-bit bursts, or disk-I/O faults against the ramdisk.
+// -list-models prints every registered model with its checkpoint
+// compatibility. Omitting -campaigns runs the model's own campaign
+// set (ABC for bitflip). Each model's results are journaled, resumed
+// and reported through the same machinery; compare studies across
+// models with kreport <set1> <set2> ...
 //
 // A full run (no -max-targets) performs every injection of all three
 // campaigns — several thousand experiments — and takes minutes; use
@@ -49,6 +60,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime/pprof"
@@ -83,12 +95,15 @@ var resumeRestoredFlags = map[string]bool{
 	"max-targets":   true,
 	"max-funcs":     true,
 	"no-assertions": true,
+	"fault-model":   true,
 	"journal":       true,
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kinject", flag.ContinueOnError)
-	campaigns := fs.String("campaigns", "ABC", "campaigns to run (subset of ABC)")
+	campaigns := fs.String("campaigns", "", "campaigns to run (subset of ABC; default: the fault model's campaigns)")
+	faultModel := fs.String("fault-model", inject.ModelBitflip, "fault model to inject (see -list-models)")
+	listModels := fs.Bool("list-models", false, "list the registered fault models and exit")
 	scale := fs.Int("scale", 1, "workload scale")
 	seed := fs.Int64("seed", 2003, "random seed for bit selection")
 	maxTargets := fs.Int("max-targets", 0, "cap injections per function (0 = all)")
@@ -117,6 +132,16 @@ func run(args []string) error {
 	if *workerMode {
 		return runWorker()
 	}
+	if *listModels {
+		printModels(os.Stdout)
+		return nil
+	}
+	// Resolve the fault model before anything boots: a typo'd
+	// -fault-model fails here with the full model list.
+	model, err := inject.ModelByName(*faultModel)
+	if err != nil {
+		return err
+	}
 	switch *isolation {
 	case "inproc", "process":
 	default:
@@ -139,6 +164,7 @@ func run(args []string) error {
 	}
 
 	cfg := core.DefaultConfig()
+	cfg.FaultModel = model.Name()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.MaxTargetsPerFunc = *maxTargets
@@ -178,9 +204,19 @@ func run(args []string) error {
 		cfg.MaxTargetsPerFunc = h.MaxTargetsPerFunc
 		cfg.MaxFuncsPerCampaign = h.MaxFuncsPerCampaign
 		cfg.DisableAssertions = h.DisableAssertions
+		cfg.FaultModel = h.FaultModel // "" = bitflip (and every pre-v4 journal)
 		campaignStr = h.Campaigns
 		cfg.SkipCompleted = j.Completed()
 		cfg.Quarantined = j.QuarantinedOrdinals()
+		if model, err = inject.ModelByName(cfg.FaultModel); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+	if campaignStr == "" {
+		// No explicit -campaigns: run the model's own campaign set.
+		for _, c := range model.Campaigns() {
+			campaignStr += analysis.CampaignKey(c)
+		}
 	}
 
 	cs, err := parseCampaigns(campaignStr)
@@ -198,6 +234,7 @@ func run(args []string) error {
 			MaxTargetsPerFunc:   cfg.MaxTargetsPerFunc,
 			MaxFuncsPerCampaign: cfg.MaxFuncsPerCampaign,
 			DisableAssertions:   cfg.DisableAssertions,
+			FaultModel:          inject.ModelTag(model.Name()),
 		})
 		if err != nil {
 			return err
@@ -280,6 +317,7 @@ func run(args []string) error {
 				MaxTargetsPerFunc:   cfg.MaxTargetsPerFunc,
 				MaxFuncsPerCampaign: cfg.MaxFuncsPerCampaign,
 				DisableAssertions:   cfg.DisableAssertions,
+				FaultModel:          inject.ModelTag(model.Name()),
 				RunTimeout:          cfg.RunTimeout,
 				MaxRetries:          cfg.MaxRetries,
 				NoCheckpoint:        cfg.NoCheckpoint,
@@ -302,6 +340,12 @@ func run(args []string) error {
 			*resumePath, prior.CompletedCount())
 		if n := prior.QuarantinedCount(); n > 0 {
 			fmt.Printf("%d quarantined targets stay excluded\n", n)
+		}
+	}
+	if model.Name() != inject.ModelBitflip {
+		fmt.Printf("fault model: %s — %s\n", model.Name(), model.Describe())
+		if off, reason := s.Runner.CheckpointDisabled(); off {
+			fmt.Printf("checkpoint-at-breakpoint disabled: %s\n", reason)
 		}
 	}
 	fmt.Printf("golden run: %d cycles; watchdog budget: %d cycles\n",
@@ -350,6 +394,27 @@ func run(args []string) error {
 		fmt.Printf("\njournal written to %s\n", p)
 	}
 	return nil
+}
+
+// printModels renders the fault-model registry: one line of
+// description per model plus its campaign set and whether the
+// checkpoint-at-breakpoint fast path applies (and, when it does not,
+// the model's typed reason).
+func printModels(w io.Writer) {
+	fmt.Fprintln(w, "registered fault models (-fault-model):")
+	for _, m := range inject.Models() {
+		fmt.Fprintf(w, "\n  %-8s %s\n", m.Name(), m.Describe())
+		keys := ""
+		for _, c := range m.Campaigns() {
+			keys += analysis.CampaignKey(c)
+		}
+		fmt.Fprintf(w, "           campaigns: %s\n", keys)
+		if cs := m.Checkpoint(); cs.Compatible {
+			fmt.Fprintf(w, "           checkpoint-at-breakpoint: reused across same-PC targets\n")
+		} else {
+			fmt.Fprintf(w, "           checkpoint-at-breakpoint: disabled — %s\n", cs.Reason)
+		}
+	}
 }
 
 // parseCampaigns decodes a campaign selection string ("ABC") into

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/inject"
 	"repro/internal/journal"
 )
 
@@ -115,5 +117,98 @@ func TestJournalAndResumeEndToEnd(t *testing.T) {
 	}
 	if string(b1) != string(b2) {
 		t.Fatal("resumed result set differs from the original run")
+	}
+}
+
+func TestListModels(t *testing.T) {
+	var out bytes.Buffer
+	printModels(&out)
+	got := out.String()
+	for _, name := range inject.ModelNames() {
+		if !strings.Contains(got, name) {
+			t.Fatalf("-list-models misses %q:\n%s", name, got)
+		}
+	}
+	// Non-PC-keyed models advertise why checkpointing is off.
+	if !strings.Contains(got, "checkpoint") {
+		t.Fatalf("-list-models misses checkpoint status:\n%s", got)
+	}
+	if err := run([]string{"-list-models"}); err != nil {
+		t.Fatalf("-list-models: %v", err)
+	}
+}
+
+func TestUnknownFaultModelFailsFast(t *testing.T) {
+	err := run([]string{"-fault-model", "cosmic-ray"})
+	if err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	// The error itself lists the registry so the user never needs a
+	// second command.
+	for _, name := range inject.ModelNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-model error misses %q: %v", name, err)
+		}
+	}
+}
+
+// TestModelJournalResumeEndToEnd drives each non-default model through
+// the CLI: a tiny journaled study, then a -resume of the complete
+// journal, must save byte-identical result sets — and the journal must
+// carry the model tag so the resume re-resolves the right model.
+func TestModelJournalResumeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	for _, name := range inject.ModelNames() {
+		if name == inject.ModelBitflip {
+			continue // pinned by TestJournalAndResumeEndToEnd
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			jpath := filepath.Join(dir, "journal")
+			out1 := filepath.Join(dir, "r1.json.gz")
+			out2 := filepath.Join(dir, "r2.json.gz")
+			err := run([]string{
+				"-q", "-fault-model", name, "-max-funcs", "2", "-max-targets", "1",
+				"-journal", jpath, "-out", out1,
+			})
+			if err != nil {
+				t.Fatalf("%s study: %v", name, err)
+			}
+			j, err := journal.Read(jpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !j.Complete() {
+				t.Fatal("journal incomplete")
+			}
+			if j.Header.FaultModel != name {
+				t.Fatalf("journal header model = %q, want %q", j.Header.FaultModel, name)
+			}
+			if err := run([]string{"-q", "-resume", jpath, "-out", out2}); err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			b1, err := os.ReadFile(out1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := os.ReadFile(out2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Fatalf("%s: resumed result set differs from the original run", name)
+			}
+		})
+	}
+}
+
+// -resume must reject a -fault-model override: the model is part of
+// the journal's identity.
+func TestResumeRejectsModelOverride(t *testing.T) {
+	err := run([]string{"-resume", "j", "-fault-model", "syscall"})
+	if err == nil || !strings.Contains(err.Error(), "conflicts with -resume") {
+		t.Fatalf("err = %v, want conflict error", err)
 	}
 }

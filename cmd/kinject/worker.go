@@ -57,6 +57,7 @@ func (b *workerBackend) Boot(spec wire.StudySpec) (wire.Ready, error) {
 	cfg.MaxTargetsPerFunc = spec.MaxTargetsPerFunc
 	cfg.MaxFuncsPerCampaign = spec.MaxFuncsPerCampaign
 	cfg.DisableAssertions = spec.DisableAssertions
+	cfg.FaultModel = spec.FaultModel // "" = bitflip (inject.ModelTag)
 	cfg.RunTimeout = spec.RunTimeout
 	cfg.NoCheckpoint = spec.NoCheckpoint
 	cfg.MaxRetries = spec.MaxRetries

@@ -6,13 +6,19 @@
 //
 // Usage:
 //
-//	kreport [-verify] <results.json.gz | journal>
+//	kreport [-verify] <results.json.gz | journal> [more sets...]
 //
-// -verify fscks a journal instead of reporting: every frame's length
-// and CRC32C trailer is checked, and the first corrupt frame (if any)
-// is reported with its index and file offset. A torn tail — the
-// signature of a crash mid-write — is reported as recoverable; exit
-// status is non-zero only for corruption or an unreadable file.
+// Given several result sets (or journals), kreport renders a
+// side-by-side fault-model comparison — one column per set's fault
+// model, with the outcome and severity distributions — followed by
+// each set's full report. This is how studies run with different
+// kinject -fault-model values are compared.
+//
+// -verify fscks each journal instead of reporting: every frame's
+// length and CRC32C trailer is checked, and the first corrupt frame
+// (if any) is reported with its index and file offset. A torn tail —
+// the signature of a crash mid-write — is reported as recoverable;
+// exit status is non-zero only for corruption or an unreadable file.
 package main
 
 import (
@@ -39,20 +45,48 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: kreport [-verify] <results.json.gz | journal>")
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: kreport [-verify] <results.json.gz | journal> [more sets...]")
 	}
-	path := fs.Arg(0)
 	if *verify {
-		return runVerify(path, w)
+		for _, path := range fs.Args() {
+			if err := runVerify(path, w); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	var rs *analysis.ResultSet
-	if journal.Sniff(path) {
-		j, err := journal.Read(path)
+	sets := make([]*analysis.ResultSet, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		rs, err := loadSet(path, w)
 		if err != nil {
 			return err
 		}
-		rs = j.ResultSet()
+		sets = append(sets, rs)
+	}
+	if len(sets) > 1 {
+		// Several studies side by side: the fault-model comparison
+		// table first, then each study's full report.
+		fmt.Fprintln(w, analysis.RenderModelComparison(sets))
+	}
+	for _, rs := range sets {
+		if _, err := fmt.Fprintln(w, analysis.RenderAll(rs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSet reads one result set from a saved results file or a journal,
+// announcing journal state (partial studies render over what is
+// journaled so far).
+func loadSet(path string, w io.Writer) (*analysis.ResultSet, error) {
+	if journal.Sniff(path) {
+		j, err := journal.Read(path)
+		if err != nil {
+			return nil, err
+		}
+		rs := j.ResultSet()
 		state := "complete"
 		if !j.Complete() {
 			state = "partial"
@@ -62,15 +96,9 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, ", %d quarantined", n)
 		}
 		fmt.Fprint(w, "\n\n")
-	} else {
-		var err error
-		rs, err = analysis.Load(path)
-		if err != nil {
-			return err
-		}
+		return rs, nil
 	}
-	_, err := fmt.Fprintln(w, analysis.RenderAll(rs))
-	return err
+	return analysis.Load(path)
 }
 
 // runVerify fscks one journal and renders the report. Corruption makes

@@ -82,3 +82,59 @@ func TestRunReportFromJournal(t *testing.T) {
 		t.Fatalf("missing report:\n%s", got)
 	}
 }
+
+// Several result sets render the side-by-side fault-model comparison
+// before the individual reports.
+func TestRunModelComparison(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name, model string) string {
+		rs := &analysis.ResultSet{
+			Seed:       1,
+			Scale:      1,
+			FaultModel: model,
+			Results: map[string][]inject.Result{
+				"A": {{
+					Campaign:  inject.CampaignA,
+					Target:    inject.Target{Model: model, Func: asm.Func{Name: "sys_read", Section: "fs", Addr: 0x1000, Size: 32}},
+					Outcome:   inject.OutcomeCrash,
+					Activated: true,
+				}},
+			},
+		}
+		path := dir + "/" + name
+		if err := rs.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	p1 := mk("bitflip.json.gz", "")
+	p2 := mk("syscall.json.gz", "syscall")
+
+	var out bytes.Buffer
+	if err := run([]string{p1, p2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	cmp := strings.Index(got, "Fault-model comparison")
+	if cmp < 0 {
+		t.Fatalf("missing comparison table:\n%s", got)
+	}
+	first := strings.Index(got, "Injection study")
+	if first >= 0 && first < cmp {
+		t.Fatal("comparison table must precede the per-set reports")
+	}
+	for _, want := range []string{"bitflip", "fault model: syscall", "Figure 4 — campaign A"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q:\n%s", want, got)
+		}
+	}
+
+	// A single set renders exactly as before — no comparison header.
+	out.Reset()
+	if err := run([]string{p1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Fault-model comparison") {
+		t.Fatal("single-set report grew a comparison table")
+	}
+}

@@ -78,11 +78,11 @@ func OutcomeTable(results []inject.Result) []OutcomeRow {
 	}
 	var out []OutcomeRow
 	total := OutcomeRow{Subsystem: "Total"}
-	for _, sub := range Subsystems {
+	add := func(sub string) {
 		row := rows[sub]
 		row.Funcs = len(funcs[sub])
 		if row.Injected == 0 {
-			continue
+			return
 		}
 		out = append(out, *row)
 		total.Funcs += row.Funcs
@@ -92,6 +92,22 @@ func OutcomeTable(results []inject.Result) []OutcomeRow {
 		total.FailSilence += row.FailSilence
 		total.Crashes += row.Crashes
 		total.Hangs += row.Hangs
+	}
+	for _, sub := range Subsystems {
+		add(sub)
+	}
+	// Non-canonical injection sites (the disk model's "ramdisk" pseudo
+	// subsystem, for instance) follow the paper's four, sorted.
+	var extra []string
+	canon := map[string]bool{"arch": true, "fs": true, "kernel": true, "mm": true}
+	for sub := range rows {
+		if !canon[sub] {
+			extra = append(extra, sub)
+		}
+	}
+	sort.Strings(extra)
+	for _, sub := range extra {
+		add(sub)
 	}
 	out = append(out, total)
 	return out

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/inject"
+)
+
+// ModelColumn is the aggregated distribution of one result set for the
+// side-by-side fault-model comparison: the paper's product is the
+// comparison of outcome distributions across error conditions, and
+// with pluggable fault models the conditions are the models.
+type ModelColumn struct {
+	Model       string // "" = bitflip
+	Injected    int
+	Activated   int
+	Outcomes    map[inject.Outcome]int  // over activated injections
+	Severities  map[inject.Severity]int // over activated injections
+	Quarantined int
+}
+
+// ModelName returns the column's presentation name (bitflip for the
+// empty pre-model tag).
+func (c *ModelColumn) ModelName() string {
+	if c.Model == "" {
+		return inject.ModelBitflip
+	}
+	return c.Model
+}
+
+// Summarize reduces a result set to its comparison column.
+func Summarize(rs *ResultSet) ModelColumn {
+	col := ModelColumn{
+		Model:       rs.FaultModel,
+		Outcomes:    make(map[inject.Outcome]int),
+		Severities:  make(map[inject.Severity]int),
+		Quarantined: rs.QuarantinedCount(),
+	}
+	for _, res := range rs.All() {
+		col.Injected++
+		if !res.Activated {
+			continue
+		}
+		col.Activated++
+		col.Outcomes[res.Outcome]++
+		col.Severities[res.Severity]++
+	}
+	return col
+}
+
+// comparedOutcomes are the activated-injection outcomes in paper
+// order. Not Activated is excluded: the activation rate line already
+// carries it, and the paper's Figure 4 percentages are likewise over
+// activated errors only.
+var comparedOutcomes = []inject.Outcome{
+	inject.OutcomeNotManifested,
+	inject.OutcomeFailSilence,
+	inject.OutcomeCrash,
+	inject.OutcomeHang,
+}
+
+// comparedSeverities is the §7.1 severity scale in ascending order.
+var comparedSeverities = []inject.Severity{
+	inject.SeverityNone,
+	inject.SeverityNormal,
+	inject.SeveritySevere,
+	inject.SeverityMost,
+}
+
+// RenderModelComparison renders the per-model side-by-side outcome and
+// severity distribution tables for several studies (one column per
+// result set, typically one study per fault model over the same
+// kernel, seed and workloads). Percentages are over activated
+// injections, matching Figure 4.
+func RenderModelComparison(sets []*ResultSet) string {
+	cols := make([]ModelColumn, len(sets))
+	for i, rs := range sets {
+		cols[i] = Summarize(rs)
+	}
+
+	var b strings.Builder
+	b.WriteString("Fault-model comparison — outcome distribution per model\n")
+
+	header := fmt.Sprintf("%-24s", "")
+	for i := range cols {
+		header += fmt.Sprintf("  %16s", cols[i].ModelName())
+	}
+	b.WriteString(header + "\n")
+
+	row := func(label string, cell func(*ModelColumn) string) {
+		fmt.Fprintf(&b, "%-24s", label)
+		for i := range cols {
+			fmt.Fprintf(&b, "  %16s", cell(&cols[i]))
+		}
+		b.WriteString("\n")
+	}
+	pct := func(n, of int) string {
+		if of == 0 {
+			return fmt.Sprintf("%6d       -", n)
+		}
+		return fmt.Sprintf("%6d (%5.1f%%)", n, 100*float64(n)/float64(of))
+	}
+
+	row("injections", func(c *ModelColumn) string { return fmt.Sprintf("%6d", c.Injected) })
+	row("activated", func(c *ModelColumn) string { return pct(c.Activated, c.Injected) })
+	for _, o := range comparedOutcomes {
+		row(o.String(), func(c *ModelColumn) string { return pct(c.Outcomes[o], c.Activated) })
+	}
+	row("quarantined", func(c *ModelColumn) string { return fmt.Sprintf("%6d", c.Quarantined) })
+
+	b.WriteString("\nseverity of activated errors (paper §7.1)\n")
+	b.WriteString(header + "\n")
+	for _, s := range comparedSeverities {
+		row(s.String(), func(c *ModelColumn) string { return pct(c.Severities[s], c.Activated) })
+	}
+	return b.String()
+}

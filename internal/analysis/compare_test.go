@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/inject"
+)
+
+func comparisonSet(model string, outcomes []inject.Outcome) *ResultSet {
+	rs := &ResultSet{
+		Version:    SchemaVersion,
+		Seed:       1,
+		Scale:      1,
+		FaultModel: model,
+		Results:    map[string][]inject.Result{"A": nil},
+	}
+	for _, o := range outcomes {
+		rs.Results["A"] = append(rs.Results["A"], inject.Result{
+			Campaign:  inject.CampaignA,
+			Outcome:   o,
+			Activated: o != inject.OutcomeNotActivated,
+			Severity:  inject.SeverityNone,
+		})
+	}
+	return rs
+}
+
+func TestSummarize(t *testing.T) {
+	rs := comparisonSet("syscall", []inject.Outcome{
+		inject.OutcomeNotActivated,
+		inject.OutcomeNotManifested,
+		inject.OutcomeCrash,
+		inject.OutcomeCrash,
+	})
+	rs.Quarantined = map[string][]int{"A": {7}}
+	col := Summarize(rs)
+	if col.Model != "syscall" || col.ModelName() != "syscall" {
+		t.Fatalf("column model %q/%q", col.Model, col.ModelName())
+	}
+	if col.Injected != 4 || col.Activated != 3 || col.Quarantined != 1 {
+		t.Fatalf("col = %+v", col)
+	}
+	if col.Outcomes[inject.OutcomeCrash] != 2 || col.Outcomes[inject.OutcomeNotManifested] != 1 {
+		t.Fatalf("outcomes = %v", col.Outcomes)
+	}
+
+	// The legacy empty tag presents as bitflip.
+	empty := Summarize(comparisonSet("", nil))
+	if empty.ModelName() != inject.ModelBitflip {
+		t.Fatalf("empty tag presents as %q", empty.ModelName())
+	}
+}
+
+func TestRenderModelComparison(t *testing.T) {
+	sets := []*ResultSet{
+		comparisonSet("", []inject.Outcome{inject.OutcomeNotManifested, inject.OutcomeCrash}),
+		comparisonSet("syscall", []inject.Outcome{inject.OutcomeCrash, inject.OutcomeCrash}),
+		comparisonSet("disk", []inject.Outcome{inject.OutcomeFailSilence}),
+	}
+	out := RenderModelComparison(sets)
+	if !strings.Contains(out, "Fault-model comparison") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	header := strings.SplitN(out, "\n", 3)[1]
+	for i, name := range []string{"bitflip", "syscall", "disk"} {
+		col := strings.Index(header, name)
+		if col < 0 {
+			t.Fatalf("header misses %q:\n%s", name, out)
+		}
+		if i > 0 {
+			prev := strings.Index(header, []string{"bitflip", "syscall", "disk"}[i-1])
+			if col <= prev {
+				t.Fatalf("columns out of order:\n%s", header)
+			}
+		}
+	}
+	// Figure 4 percentages: syscall crashes are 2/2 activated.
+	if !strings.Contains(out, "(100.0%)") {
+		t.Fatalf("missing 100%% crash cell for the syscall column:\n%s", out)
+	}
+	if !strings.Contains(out, "severity of activated errors") {
+		t.Fatalf("missing severity table:\n%s", out)
+	}
+}

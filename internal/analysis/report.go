@@ -26,6 +26,12 @@ func campaignOf(key string) inject.Campaign {
 func RenderAll(rs *ResultSet) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Injection study (seed %d, workload scale %d)\n", rs.Seed, rs.Scale)
+	if rs.FaultModel != "" {
+		// Bitflip (the pre-model default) stays unlabeled so its report
+		// is byte-identical to every report rendered before fault
+		// models existed.
+		fmt.Fprintf(&b, "fault model: %s\n", rs.FaultModel)
+	}
 	fmt.Fprintf(&b, "total injections: %d\n", len(rs.All()))
 	if n := rs.QuarantinedCount(); n > 0 {
 		fmt.Fprintf(&b, "quarantined (harness faults, excluded from all tables): %d —", n)

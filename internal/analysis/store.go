@@ -21,7 +21,12 @@ type ResultSet struct {
 	Version int
 	Seed    int64
 	Scale   int
-	Results map[string][]inject.Result // "A", "B", "C"
+	// FaultModel names the fault model the study ran under ("" =
+	// bitflip). The field is omitted when empty, so bitflip sets remain
+	// byte-identical to files written before fault models existed — no
+	// schema bump needed.
+	FaultModel string                     `json:",omitempty"`
+	Results    map[string][]inject.Result // "A", "B", "C"
 	// Quarantined lists, per campaign key, the target ordinals
 	// abandoned after exhausted harness-fault retries. Those targets
 	// have no entry in Results and are excluded from every table and

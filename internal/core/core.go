@@ -84,6 +84,10 @@ type Config struct {
 	// DisableAssertions runs the study against the assertion-stripped
 	// kernel build (the §8 ablation).
 	DisableAssertions bool
+	// FaultModel names the fault model driving target enumeration and
+	// application ("" = bitflip, the paper's instruction bit flips).
+	// See inject.Models for the registry.
+	FaultModel string
 	// Workers is the number of parallel injection machines (each runs
 	// an isolated simulated system; results are deterministic and
 	// identical to a single-worker run). 0 or 1 = serial.
@@ -145,6 +149,7 @@ type Study struct {
 	Profile *kernprof.Profile
 	Core    []kernprof.FuncProfile
 	Runner  *inject.Runner
+	Model   inject.FaultModel
 	Set     *analysis.ResultSet
 
 	// FuncsFor maps each campaign to its selected functions.
@@ -167,8 +172,12 @@ func New(cfg Config) (*Study, error) {
 	if cfg.CoverFrac == 0 {
 		cfg.CoverFrac = 0.95
 	}
+	model, err := inject.ModelByName(cfg.FaultModel)
+	if err != nil {
+		return nil, err
+	}
 	if len(cfg.Campaigns) == 0 {
-		cfg.Campaigns = []inject.Campaign{inject.CampaignA, inject.CampaignB, inject.CampaignC}
+		cfg.Campaigns = model.Campaigns()
 	}
 	ws := unixbench.Suite(unixbench.Scale(cfg.Scale))
 
@@ -180,6 +189,7 @@ func New(cfg Config) (*Study, error) {
 		DisableAssertions: cfg.DisableAssertions,
 		RunTimeout:        cfg.RunTimeout,
 		NoCheckpoint:      cfg.NoCheckpoint,
+		Model:             model,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: runner: %w", err)
@@ -190,11 +200,13 @@ func New(cfg Config) (*Study, error) {
 		Profile: prof,
 		Core:    prof.TopCovering(cfg.CoverFrac),
 		Runner:  runner,
+		Model:   model,
 		Set: &analysis.ResultSet{
-			Version: analysis.SchemaVersion,
-			Seed:    cfg.Seed,
-			Scale:   cfg.Scale,
-			Results: make(map[string][]inject.Result),
+			Version:    analysis.SchemaVersion,
+			Seed:       cfg.Seed,
+			Scale:      cfg.Scale,
+			FaultModel: inject.ModelTag(model.Name()),
+			Results:    make(map[string][]inject.Result),
 		},
 		FuncsFor:    make(map[inject.Campaign][]asm.Func),
 		targetCache: make(map[inject.Campaign][]inject.Target),
@@ -271,24 +283,12 @@ func (s *Study) Targets(c inject.Campaign) ([]inject.Target, error) {
 
 func (s *Study) enumerateTargets(c inject.Campaign) ([]inject.Target, error) {
 	rng := rand.New(rand.NewSource(s.Cfg.Seed + int64(c)))
-	var out []inject.Target
-	for _, fn := range s.FuncsFor[c] {
-		ts, err := inject.EnumerateTargets(s.Runner.M.Prog, fn, c, rng)
-		if err != nil {
-			return nil, err
-		}
-		if s.Cfg.MaxTargetsPerFunc > 0 && len(ts) > s.Cfg.MaxTargetsPerFunc {
-			// Deterministic subsample: evenly spaced.
-			step := float64(len(ts)) / float64(s.Cfg.MaxTargetsPerFunc)
-			sub := make([]inject.Target, 0, s.Cfg.MaxTargetsPerFunc)
-			for i := 0; i < s.Cfg.MaxTargetsPerFunc; i++ {
-				sub = append(sub, ts[int(float64(i)*step)])
-			}
-			ts = sub
-		}
-		out = append(out, ts...)
-	}
-	return out, nil
+	return s.Model.Enumerate(inject.EnumContext{
+		Prog:              s.Runner.M.Prog,
+		Funcs:             s.FuncsFor[c],
+		MaxTargetsPerFunc: s.Cfg.MaxTargetsPerFunc,
+		SyscallCounts:     s.Runner.GoldenSyscallCounts(),
+	}, c, rng)
 }
 
 // cancelled reports whether a graceful shutdown was requested.
@@ -333,6 +333,7 @@ func (s *Study) runnerOptions() inject.RunnerOptions {
 		DisableAssertions: s.Cfg.DisableAssertions,
 		RunTimeout:        s.Cfg.RunTimeout,
 		NoCheckpoint:      s.Cfg.NoCheckpoint,
+		Model:             s.Model,
 	}
 }
 

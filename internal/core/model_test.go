@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/inject"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// nonDefaultModels are the models added on top of the legacy bitflip
+// default; bitflip's study/journal/resume behavior is pinned by the
+// pre-existing tests in resume_test.go and fault_test.go.
+func nonDefaultModels(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	for _, n := range inject.ModelNames() {
+		if n != inject.ModelBitflip {
+			names = append(names, n)
+		}
+	}
+	if len(names) < 4 {
+		t.Fatalf("expected at least 4 non-default models, have %v", names)
+	}
+	return names
+}
+
+func modelTestConfig(name string) Config {
+	cfg := DefaultConfig()
+	cfg.FaultModel = name
+	cfg.MaxFuncsPerCampaign = 4
+	cfg.MaxTargetsPerFunc = 2
+	return cfg
+}
+
+func modelJournalHeader(cfg Config, s *Study) journal.Header {
+	keys := ""
+	for _, c := range s.Cfg.Campaigns {
+		keys += analysis.CampaignKey(c)
+	}
+	return journal.Header{
+		Version:             journal.Version,
+		Seed:                cfg.Seed,
+		Scale:               cfg.Scale,
+		Campaigns:           keys,
+		MaxTargetsPerFunc:   cfg.MaxTargetsPerFunc,
+		MaxFuncsPerCampaign: cfg.MaxFuncsPerCampaign,
+		FaultModel:          inject.ModelTag(s.Model.Name()),
+	}
+}
+
+// TestModelStudyJournalResume drives every non-bitflip model through
+// the full durability envelope: a journaled study is cancelled
+// mid-campaign, resumed from the journal, and the finished journal
+// must be complete, carry the model tag, and reconstruct a ResultSet
+// byte-identical to the resumed study's save.
+func TestModelStudyJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	for _, name := range nonDefaultModels(t) {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			jpath := filepath.Join(dir, "journal")
+
+			cfg := modelTestConfig(name)
+			var cancel atomic.Bool
+			cfg.Cancel = &cancel
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The model defaulted the campaign list; restrict to the
+			// first campaign to keep the study small, re-deriving the
+			// study so enumeration matches the restricted config.
+			cfg.Campaigns = s.Cfg.Campaigns[:1]
+			jw, err := journal.Create(jpath, modelJournalHeader(cfg, s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Sink = &countingSink{inner: jw, cancelAfter: 2, cancel: &cancel}
+			s, err = New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			targets, err := s.Targets(cfg.Campaigns[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(targets) < 4 {
+				t.Fatalf("model %s: campaign too small to interrupt (%d targets)", name, len(targets))
+			}
+			for _, tg := range targets {
+				if inject.ModelTag(tg.Model) != inject.ModelTag(name) {
+					t.Fatalf("target enumerated without model tag: %+v", tg)
+				}
+			}
+			if err := s.RunAll(); !errors.Is(err, ErrCancelled) {
+				t.Fatalf("RunAll = %v, want ErrCancelled", err)
+			}
+			if err := jw.Close(nil); err != nil {
+				t.Fatal(err)
+			}
+
+			// Resume from the journal.
+			jw2, j, err := journal.OpenAppend(jpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := j.Header.FaultModel; got != inject.ModelTag(name) {
+				t.Fatalf("journal header model = %q, want %q", got, inject.ModelTag(name))
+			}
+			if j.CompletedCount() == 0 {
+				t.Fatal("nothing journaled before the cancel")
+			}
+			cfg2 := modelTestConfig(name)
+			cfg2.Campaigns = cfg.Campaigns
+			cfg2.SkipCompleted = j.Completed()
+			cfg2.Sink = jw2
+			s2, err := New(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.RunAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := jw2.Close(nil); err != nil {
+				t.Fatal(err)
+			}
+
+			// The finished journal is complete and reconstructs the
+			// same set the resumed study saved.
+			j2, err := journal.Read(jpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !j2.Complete() {
+				t.Fatal("finished journal not complete")
+			}
+			rs := j2.ResultSet()
+			if rs.FaultModel != inject.ModelTag(name) {
+				t.Fatalf("reconstructed set model = %q", rs.FaultModel)
+			}
+			want := saveBytes(t, s2, filepath.Join(dir, "resumed.json.gz"))
+			jr := filepath.Join(dir, "from-journal.json.gz")
+			if err := rs.Save(jr); err != nil {
+				t.Fatal(err)
+			}
+			got := mustReadFile(t, jr)
+			if !equalBytes(want, got) {
+				t.Fatalf("model %s: journal-reconstructed set differs from resumed study", name)
+			}
+			n := 0
+			for _, results := range rs.Results {
+				n += len(results)
+			}
+			if n != len(targets) {
+				t.Fatalf("model %s: %d results for %d targets", name, n, len(targets))
+			}
+		})
+	}
+}
+
+// TestModelQuarantine: the retry/quarantine envelope treats every
+// model identically — a target whose run panics on each attempt is
+// retried on a fresh runner, then quarantined, and the campaign
+// completes with that ordinal excluded and recorded.
+func TestModelQuarantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	for _, name := range nonDefaultModels(t) {
+		t.Run(name, func(t *testing.T) {
+			cfg := modelTestConfig(name)
+			metrics := obs.New(1)
+			cfg.Metrics = metrics
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Campaigns = s.Cfg.Campaigns[:1]
+			s, err = New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg.Campaigns[0]
+			targets, err := s.Targets(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(targets) < 2 {
+				t.Fatalf("model %s: too few targets (%d)", name, len(targets))
+			}
+			poison := targets[1]
+			var calls atomic.Int32
+			s.Runner.HookBeforeRun = poisonHook(poison, &calls)
+			if err := s.RunAll(); err != nil {
+				t.Fatalf("model %s: campaign died on a quarantinable fault: %v", name, err)
+			}
+			if calls.Load() < 2 {
+				t.Fatalf("model %s: poison attempted %d times, want retries", name, calls.Load())
+			}
+			key := analysis.CampaignKey(c)
+			if quar := s.Set.Quarantined[key]; len(quar) != 1 || quar[0] != 1 {
+				t.Fatalf("model %s: quarantined ordinals %v, want [1]", name, quar)
+			}
+			for _, r := range s.Set.Results[key] {
+				if r.Target == poison {
+					t.Fatalf("model %s: poisoned target present in results", name)
+				}
+			}
+			if got := len(s.Set.Results[key]); got != len(targets)-1 {
+				t.Fatalf("model %s: %d results, want %d", name, got, len(targets)-1)
+			}
+			snap := metrics.Snapshot()
+			if snap.Quarantined != 1 || snap.Retries < 1 {
+				t.Fatalf("model %s: metrics quarantined=%d retries=%d",
+					name, snap.Quarantined, snap.Retries)
+			}
+		})
+	}
+}
+
+func mustReadFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -18,6 +18,9 @@ const BlockSize = 4096
 type Device struct {
 	nblocks int
 	data    []byte
+	// faults maps block number -> armed fault (see fault.go); nil when
+	// the device is healthy.
+	faults map[int]blockFault
 }
 
 // New creates a zeroed device with nblocks blocks.
@@ -40,21 +43,44 @@ func (d *Device) Blocks() int { return d.nblocks }
 // Size returns the device size in bytes.
 func (d *Device) Size() int { return len(d.data) }
 
-// ReadBlock returns a view of block n (not a copy).
+// ReadBlock returns a view of block n (not a copy). A block under
+// FaultError returns ErrIO; one under FaultFlaky returns a seeded
+// bit-rotted copy (the underlying data is untouched).
 func (d *Device) ReadBlock(n int) ([]byte, error) {
 	if n < 0 || n >= d.nblocks {
 		return nil, fmt.Errorf("disk: block %d out of range [0,%d)", n, d.nblocks)
 	}
+	if f, ok := d.faults[n]; ok {
+		switch f.kind {
+		case FaultError:
+			return nil, fmt.Errorf("disk: read block %d: %w", n, ErrIO)
+		case FaultFlaky:
+			cp := make([]byte, BlockSize)
+			copy(cp, d.data[n*BlockSize:(n+1)*BlockSize])
+			CorruptBlock(cp, FaultFlaky, f.seed)
+			return cp, nil
+		}
+	}
 	return d.data[n*BlockSize : (n+1)*BlockSize], nil
 }
 
-// WriteBlock copies b into block n.
+// WriteBlock copies b into block n. A block under FaultError returns
+// ErrIO; one under FaultTorn commits only the first half of the write.
 func (d *Device) WriteBlock(n int, b []byte) error {
 	if n < 0 || n >= d.nblocks {
 		return fmt.Errorf("disk: block %d out of range [0,%d)", n, d.nblocks)
 	}
 	if len(b) > BlockSize {
 		return fmt.Errorf("disk: write of %d bytes exceeds block size", len(b))
+	}
+	if f, ok := d.faults[n]; ok {
+		switch f.kind {
+		case FaultError:
+			return fmt.Errorf("disk: write block %d: %w", n, ErrIO)
+		case FaultTorn:
+			copy(d.data[n*BlockSize:n*BlockSize+len(b)/2], b[:len(b)/2])
+			return nil
+		}
 	}
 	copy(d.data[n*BlockSize:(n+1)*BlockSize], b)
 	return nil

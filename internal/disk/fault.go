@@ -1,0 +1,92 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// FaultKind names a disk fault model applied to a single block.
+type FaultKind string
+
+// Disk fault kinds.
+const (
+	// FaultError — the block is unreadable/unwritable: I/O on it
+	// returns ErrIO, and its in-place content reads back as 0xFF fill
+	// (the bus-float pattern a dead sector presents).
+	FaultError FaultKind = "error"
+	// FaultTorn — a torn write: only the first half of any write to
+	// the block commits; the second half keeps its previous content
+	// (power loss mid-sector).
+	FaultTorn FaultKind = "torn"
+	// FaultFlaky — reads of the block return a deterministically
+	// seeded bit-rotted copy; the underlying data is untouched.
+	FaultFlaky FaultKind = "flaky"
+)
+
+// FaultKinds lists every disk fault kind in presentation order.
+func FaultKinds() []FaultKind { return []FaultKind{FaultError, FaultTorn, FaultFlaky} }
+
+// ErrIO is returned by I/O against a block under FaultError.
+var ErrIO = errors.New("disk: I/O error")
+
+// blockFault is one injected fault on one block.
+type blockFault struct {
+	kind FaultKind
+	seed int64
+}
+
+// InjectFault arms a fault on block n. At most one fault per block;
+// arming replaces any previous one. FaultError additionally fills the
+// block with 0xFF immediately, so image-level consumers (the ramdisk
+// loader, fsck over the raw image) observe the dead sector too.
+func (d *Device) InjectFault(n int, kind FaultKind, seed int64) error {
+	if n < 0 || n >= d.nblocks {
+		return fmt.Errorf("disk: block %d out of range [0,%d)", n, d.nblocks)
+	}
+	switch kind {
+	case FaultError, FaultTorn, FaultFlaky:
+	default:
+		return fmt.Errorf("disk: unknown fault kind %q", kind)
+	}
+	if d.faults == nil {
+		d.faults = make(map[int]blockFault)
+	}
+	d.faults[n] = blockFault{kind: kind, seed: seed}
+	if kind == FaultError {
+		CorruptBlock(d.data[n*BlockSize:(n+1)*BlockSize], kind, seed)
+	}
+	return nil
+}
+
+// ClearFaults removes every armed fault (already-corrupted content
+// stays corrupted).
+func (d *Device) ClearFaults() { d.faults = nil }
+
+// CorruptBlock applies a fault kind's corruption pattern in place to a
+// block-sized buffer. It is shared by the device layer and the
+// in-kernel ramdisk fault injector so both corrupt identically:
+//
+//	error: 0xFF fill (dead sector bus float)
+//	torn:  second half zeroed (half-committed write)
+//	flaky: deterministic seeded bit flips, ~1 bit per 64 bytes
+func CorruptBlock(b []byte, kind FaultKind, seed int64) {
+	switch kind {
+	case FaultError:
+		for i := range b {
+			b[i] = 0xFF
+		}
+	case FaultTorn:
+		for i := len(b) / 2; i < len(b); i++ {
+			b[i] = 0
+		}
+	case FaultFlaky:
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < len(b); i += 64 {
+			off := i + rng.Intn(64)
+			if off < len(b) {
+				b[off] ^= byte(1 << rng.Intn(8))
+			}
+		}
+	}
+}

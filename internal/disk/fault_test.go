@@ -1,0 +1,159 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func deviceWithPattern(t *testing.T, nblocks int) *Device {
+	t.Helper()
+	d := New(nblocks)
+	for n := 0; n < nblocks; n++ {
+		blk := make([]byte, BlockSize)
+		for i := range blk {
+			blk[i] = byte(n + i)
+		}
+		if err := d.WriteBlock(n, blk); err != nil {
+			t.Fatalf("seed block %d: %v", n, err)
+		}
+	}
+	return d
+}
+
+func TestInjectFaultValidation(t *testing.T) {
+	d := New(4)
+	if err := d.InjectFault(-1, FaultError, 0); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if err := d.InjectFault(4, FaultError, 0); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if err := d.InjectFault(0, FaultKind("melted"), 0); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}
+
+// A dead sector: reads and writes both surface ErrIO, and the in-place
+// content becomes the 0xFF bus-float fill so image-level consumers see
+// the dead sector too.
+func TestFaultErrorPropagation(t *testing.T) {
+	d := deviceWithPattern(t, 4)
+	if err := d.InjectFault(2, FaultError, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadBlock(2); !errors.Is(err, ErrIO) {
+		t.Fatalf("read of dead block: %v, want ErrIO", err)
+	}
+	if err := d.WriteBlock(2, make([]byte, BlockSize)); !errors.Is(err, ErrIO) {
+		t.Fatalf("write to dead block: %v, want ErrIO", err)
+	}
+	// The raw image shows the 0xFF fill (via the healthy neighbors'
+	// offsets staying intact).
+	for _, n := range []int{1, 3} {
+		if b, err := d.ReadBlock(n); err != nil || b[0] != byte(n) {
+			t.Fatalf("healthy block %d: %v first byte %#x", n, err, b[0])
+		}
+	}
+	d.ClearFaults()
+	b, err := d.ReadBlock(2)
+	if err != nil {
+		t.Fatalf("read after ClearFaults: %v", err)
+	}
+	for i, v := range b {
+		if v != 0xFF {
+			t.Fatalf("dead fill not persistent at %d: %#x", i, v)
+		}
+	}
+}
+
+// A torn write commits only the first half of the block; the second
+// half keeps its previous content.
+func TestFaultTornWrite(t *testing.T) {
+	d := deviceWithPattern(t, 2)
+	if err := d.InjectFault(1, FaultTorn, 0); err != nil {
+		t.Fatal(err)
+	}
+	fresh := bytes.Repeat([]byte{0xAB}, BlockSize)
+	if err := d.WriteBlock(1, fresh); err != nil {
+		t.Fatalf("torn write: %v", err)
+	}
+	got, err := d.ReadBlock(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < BlockSize/2; i++ {
+		if got[i] != 0xAB {
+			t.Fatalf("first half not committed at %d: %#x", i, got[i])
+		}
+	}
+	for i := BlockSize / 2; i < BlockSize; i++ {
+		if got[i] != byte(1+i) {
+			t.Fatalf("second half overwritten at %d: got %#x want %#x", i, got[i], byte(1+i))
+		}
+	}
+}
+
+// A flaky sector returns a deterministically bit-rotted copy: the same
+// seed rots the same bits on every read, a different seed rots
+// different ones, and the underlying data is untouched.
+func TestFaultFlakyDeterminism(t *testing.T) {
+	d := deviceWithPattern(t, 2)
+	pristine := append([]byte(nil), mustRead(t, d, 1)...)
+
+	if err := d.InjectFault(1, FaultFlaky, 2003); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), mustRead(t, d, 1)...)
+	second := append([]byte(nil), mustRead(t, d, 1)...)
+	if bytes.Equal(first, pristine) {
+		t.Fatal("flaky read returned pristine data")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("flaky reads differ under a fixed seed")
+	}
+
+	// Same seed re-armed -> same rot; different seed -> different rot.
+	if err := d.InjectFault(1, FaultFlaky, 2003); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustRead(t, d, 1), first) {
+		t.Fatal("re-armed same seed rots differently")
+	}
+	if err := d.InjectFault(1, FaultFlaky, 7); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(mustRead(t, d, 1), first) {
+		t.Fatal("different seed produced identical rot")
+	}
+
+	// The medium itself was never modified.
+	d.ClearFaults()
+	if !bytes.Equal(mustRead(t, d, 1), pristine) {
+		t.Fatal("underlying data modified by flaky reads")
+	}
+}
+
+// CorruptBlock is the shared corruption routine: the device layer and
+// the in-kernel ramdisk injector must rot identically.
+func TestCorruptBlockMatchesDevice(t *testing.T) {
+	d := deviceWithPattern(t, 2)
+	want := append([]byte(nil), mustRead(t, d, 1)...)
+	CorruptBlock(want, FaultFlaky, 99)
+
+	if err := d.InjectFault(1, FaultFlaky, 99); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustRead(t, d, 1), want) {
+		t.Fatal("device flaky read != CorruptBlock on the same data")
+	}
+}
+
+func mustRead(t *testing.T, d *Device, n int) []byte {
+	t.Helper()
+	b, err := d.ReadBlock(n)
+	if err != nil {
+		t.Fatalf("read block %d: %v", n, err)
+	}
+	return b
+}

@@ -60,6 +60,10 @@ type RunnerOptions struct {
 	// identical either way; this is the escape hatch and the reference
 	// arm for parity testing.
 	NoCheckpoint bool
+	// Model is the fault model the runner executes targets for (nil =
+	// bitflip). Models whose activation is not a PC breakpoint disable
+	// checkpointing with a typed reason (Runner.CheckpointDisabled).
+	Model FaultModel
 }
 
 // NewRunnerWithOptions is NewRunner with build options applied to the

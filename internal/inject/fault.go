@@ -36,6 +36,10 @@ const (
 	// checkpoint is discarded and the retry (on a fresh runner)
 	// re-records from the pristine snapshot.
 	FaultReplayDiverged FaultKind = "replay-diverged"
+	// FaultArm — an armed fault model (syscall, disk) could not
+	// install its fault on the restored machine; the run never
+	// started, so no outcome exists.
+	FaultArm FaultKind = "arm"
 )
 
 // HarnessFault records one failure of the harness during an injection
@@ -50,7 +54,14 @@ type HarnessFault struct {
 	Msg string
 	// Stack is the Go stack at recovery time (FaultPanic only).
 	Stack string `json:",omitempty"`
-	// Target identifies the injection being attempted.
+	// Model and Desc identify the injection being attempted in
+	// model-neutral terms: Model is the fault-model name ("" =
+	// bitflip) and Desc is Target.Describe(). The bit-flip-specific
+	// fields below are still populated for instruction-byte models so
+	// older tooling keeps parsing quarantine frames.
+	Model string `json:",omitempty"`
+	Desc  string `json:",omitempty"`
+	// Legacy bit-flip target tagging.
 	Func     string `json:",omitempty"`
 	InstAddr uint32 `json:",omitempty"`
 	ByteOff  int    `json:",omitempty"`
@@ -59,6 +70,9 @@ type HarnessFault struct {
 
 // Error renders the fault as an error string.
 func (f *HarnessFault) Error() string {
+	if f.Desc != "" {
+		return fmt.Sprintf("inject: harness fault (%s) at %s: %s", f.Kind, f.Desc, f.Msg)
+	}
 	if f.Func != "" {
 		return fmt.Sprintf("inject: harness fault (%s) at %s+%#x byte %d bit %d: %s",
 			f.Kind, f.Func, f.InstAddr, f.ByteOff, f.Bit, f.Msg)
@@ -68,12 +82,18 @@ func (f *HarnessFault) Error() string {
 
 // newFault builds a fault tagged with the target being attempted.
 func newFault(kind FaultKind, t Target, format string, args ...interface{}) *HarnessFault {
-	return &HarnessFault{
-		Kind:     kind,
-		Msg:      fmt.Sprintf(format, args...),
-		Func:     t.Func.Name,
-		InstAddr: t.InstAddr,
-		ByteOff:  t.ByteOff,
-		Bit:      t.Bit,
+	f := &HarnessFault{
+		Kind:  kind,
+		Msg:   fmt.Sprintf(format, args...),
+		Model: t.Model,
+		Desc:  t.Describe(),
+		Func:  t.Func.Name,
 	}
+	switch t.Model {
+	case "", ModelBitflip, ModelBurst, ModelRegflip:
+		f.InstAddr = t.InstAddr
+		f.ByteOff = t.ByteOff
+		f.Bit = t.Bit
+	}
+	return f
 }

@@ -44,18 +44,83 @@ func (c Campaign) String() string {
 	return "campaign?"
 }
 
-// Target is one injection: flip Bit of the byte at ByteOff within the
-// instruction at InstAddr.
+// Target is one injection, tagged by fault model. The zero Model means
+// bitflip (flip Bit of the byte at ByteOff within the instruction at
+// InstAddr — the original, and only pre-model, target shape); every
+// model-specific field is omitted from JSON when zero so bitflip
+// journals and result sets are byte-identical to those written before
+// fault models existed.
 type Target struct {
 	Func     asm.Func
 	InstAddr uint32
 	InstLen  int
 	ByteOff  int
 	Bit      uint8
+
+	// Model names the fault model that owns this target; "" = bitflip.
+	Model string `json:",omitempty"`
+	// Width is the burst width in bits (burst model; bits
+	// Bit..Bit+Width-1 of the byte are inverted).
+	Width int `json:",omitempty"`
+	// Reg is the 1-based CPU register index to corrupt (regflip model);
+	// 0 means the target corrupts DataAddr instead. 1-based so the
+	// bitflip zero value stays absent from JSON.
+	Reg int `json:",omitempty"`
+	// DataAddr is the kernel data word to corrupt (regflip model with
+	// Reg == 0).
+	DataAddr uint32 `json:",omitempty"`
+	// SysNr/SysName/Errno/Occurrence describe a syscall error-return
+	// injection: the Occurrence'th call of syscall SysNr returns
+	// -Errno without running the handler (SysName).
+	SysNr      int    `json:",omitempty"`
+	SysName    string `json:",omitempty"`
+	Errno      int    `json:",omitempty"`
+	Occurrence uint64 `json:",omitempty"`
+	// DiskKind/Block/FaultSeed describe a disk-I/O fault against
+	// ramdisk block Block: "error" (unreadable, 0xFF fill),
+	// "torn" (half-written), or "flaky" (seeded random bit rot).
+	DiskKind  string `json:",omitempty"`
+	Block     int    `json:",omitempty"`
+	FaultSeed int64  `json:",omitempty"`
 }
 
-// Addr returns the address of the byte to corrupt.
+// Addr returns the address of the instruction byte to corrupt
+// (bitflip/burst models).
 func (t Target) Addr() uint32 { return t.InstAddr + uint32(t.ByteOff) }
+
+// BitMask returns the byte mask inverted by an instruction-byte
+// target: a single bit for bitflip, Width adjacent bits for burst.
+func (t Target) BitMask() byte {
+	if t.Width > 1 {
+		return byte((1<<t.Width - 1) << t.Bit)
+	}
+	return 1 << t.Bit
+}
+
+// Describe renders the target in model-appropriate terms for logs,
+// harness faults, and quarantine frames.
+func (t Target) Describe() string {
+	switch t.Model {
+	case ModelBurst:
+		return fmt.Sprintf("%s+%#x byte %d bits %d-%d (burst)",
+			t.Func.Name, t.InstAddr, t.ByteOff, t.Bit, int(t.Bit)+t.Width-1)
+	case ModelRegflip:
+		if t.Reg > 0 {
+			return fmt.Sprintf("%s+%#x reg r%d bit %d (regflip)",
+				t.Func.Name, t.InstAddr, t.Reg-1, t.Bit)
+		}
+		return fmt.Sprintf("%s+%#x data %#x bit %d (regflip)",
+			t.Func.Name, t.InstAddr, t.DataAddr, t.Bit)
+	case ModelSyscall:
+		return fmt.Sprintf("syscall %s(%d) occurrence %d returns -%d",
+			t.SysName, t.SysNr, t.Occurrence, t.Errno)
+	case ModelDisk:
+		return fmt.Sprintf("disk block %d fault %q seed %d",
+			t.Block, t.DiskKind, t.FaultSeed)
+	}
+	return fmt.Sprintf("%s+%#x byte %d bit %d",
+		t.Func.Name, t.InstAddr, t.ByteOff, t.Bit)
+}
 
 // Outcome classifies one injection run (paper Table 3).
 type Outcome int

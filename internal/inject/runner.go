@@ -92,6 +92,16 @@ type Runner struct {
 	snap       *kernel.Snapshot
 	goldenFP   string
 	goldenDisk [32]byte
+	// goldenSys counts the golden run's syscall invocations per number
+	// (the occurrence space of the syscall error-return model).
+	goldenSys map[int]uint64
+
+	// model is the fault model every target handed to this runner
+	// belongs to (never nil; bitflip by default).
+	model FaultModel
+	// cpReason records why checkpointing is off when the model is
+	// incompatible with the per-PC cache (CheckpointDisabled).
+	cpReason string
 
 	// checkpointing enables checkpoint-at-breakpoint reuse: the first
 	// run of each activation PC records the prefix and captures a
@@ -131,6 +141,22 @@ func (r *Runner) GoldenFingerprint() string { return r.goldenFP }
 // second half of the cross-validation oracle).
 func (r *Runner) GoldenDiskHash() [32]byte { return r.goldenDisk }
 
+// GoldenSyscallCounts returns the golden run's per-syscall invocation
+// counts; the syscall error-return model enumerates its occurrence
+// targets from them. Callers must not mutate the map.
+func (r *Runner) GoldenSyscallCounts() map[int]uint64 { return r.goldenSys }
+
+// Model returns the fault model this runner executes targets for.
+func (r *Runner) Model() FaultModel { return r.model }
+
+// CheckpointDisabled reports whether checkpoint-at-breakpoint reuse is
+// off because the fault model's activation is not PC-keyed, and the
+// model's typed reason. It returns false for a plain -checkpoint=false
+// opt-out.
+func (r *Runner) CheckpointDisabled() (bool, string) {
+	return r.cpReason != "", r.cpReason
+}
+
 // windowSize is how much text each result snapshots around the
 // injection point for case studies.
 const windowSize = 16
@@ -156,12 +182,31 @@ type cpEntry struct {
 }
 
 func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload, opts RunnerOptions) (*Runner, error) {
-	r := &Runner{M: m, Workloads: ws, checkpointing: !opts.NoCheckpoint}
+	model := opts.Model
+	if model == nil {
+		model = bitflipModel{}
+	}
+	r := &Runner{M: m, Workloads: ws, model: model, checkpointing: !opts.NoCheckpoint}
+	if cs := model.Checkpoint(); !cs.Compatible {
+		// Never silently reuse a per-PC checkpoint for a model whose
+		// activation is not a PC; record the model's typed reason.
+		r.checkpointing = false
+		r.cpReason = cs.Reason
+	}
 	r.snap = m.TakeSnapshot()
 	m.CPU.Stop = &r.stop
 
+	// Count the golden run's syscalls (the enumeration space of the
+	// syscall error-return model). The observer returns handled=false,
+	// so the golden run is not perturbed.
+	r.goldenSys = make(map[int]uint64)
+	m.SyscallHook = func(nr int, args [4]uint32) (int32, bool) {
+		r.goldenSys[nr]++
+		return 0, false
+	}
 	wallStart := time.Now()
 	res := m.RunWorkloads(ws, 1<<40)
+	m.SyscallHook = nil
 	if res.Err != nil {
 		return nil, fmt.Errorf("inject: golden run failed: %w", res.Err)
 	}
@@ -210,6 +255,9 @@ func newRunnerFromMachine(m *kernel.Machine, ws []kernel.Workload, opts RunnerOp
 // their Not Activated result synthesized without running. Results are
 // byte-identical to full runs in every mode.
 func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
+	if am, ok := r.model.(ArmedModel); ok {
+		return r.armedTarget(am, c, t)
+	}
 	if !r.checkpointing {
 		return r.fullTarget(c, t, false)
 	}
@@ -220,6 +268,30 @@ func (r *Runner) RunTarget(c Campaign, t Target) (Result, *HarnessFault) {
 		return r.replayTarget(c, t)
 	}
 	return r.fullTarget(c, t, true)
+}
+
+// armedTarget executes a target of an ArmedModel (syscall, disk):
+// restore pristine state, install the fault, run the workloads in
+// full, then classify. The per-PC checkpoint machinery is never
+// consulted — these models' activation is not a PC breakpoint.
+func (r *Runner) armedTarget(am ArmedModel, c Campaign, t Target) (Result, *HarnessFault) {
+	m := r.M
+	r.cur = nil
+	m.Restore(r.snap)
+
+	res := Result{Campaign: c, Target: t, Severity: SeverityNone}
+	armed, err := am.Arm(m, t)
+	if err != nil {
+		return res, newFault(FaultArm, t, "%v", err)
+	}
+	run := m.RunWorkloads(r.Workloads, r.Budget)
+	if armed.Disarm != nil {
+		armed.Disarm()
+	}
+	if armed.Activated != nil {
+		res.Activated, res.ActivationCycle = armed.Activated()
+	}
+	return res, r.finishRun(&res, run, t, nil)
 }
 
 // fullTarget is the full-replay experiment: restore pristine, arm the
@@ -241,24 +313,18 @@ func (r *Runner) fullTarget(c Campaign, t Target, record bool) (Result, *Harness
 		m.StartRecording()
 	}
 	var bpFault *HarnessFault
+	pm := r.model.(PointModel)
 	m.CPU.OnBreakpoint = func(cp *cpu.CPU, dr int) {
 		if record {
 			// Capture before the flip: the checkpoint is the pristine
 			// at-breakpoint state shared by every sibling target.
 			kcp = m.CaptureCheckpoint()
 		}
-		b, err := m.Mem.ReadRaw(t.Addr(), 1)
-		if err != nil {
-			cp.ClearBreakpoint(dr)
-			bpFault = newFault(FaultBreakpointIO, t, "read target byte %#x: %v", t.Addr(), err)
-			return
-		}
-		if err := m.Mem.WriteRaw(t.Addr(), []byte{b[0] ^ (1 << t.Bit)}); err != nil {
-			cp.ClearBreakpoint(dr)
-			bpFault = newFault(FaultBreakpointIO, t, "write target byte %#x: %v", t.Addr(), err)
-			return
-		}
 		cp.ClearBreakpoint(dr)
+		if err := pm.Apply(m, t); err != nil {
+			bpFault = newFault(FaultBreakpointIO, t, "%v", err)
+			return
+		}
 		res.Activated = true
 		res.ActivationCycle = cp.Cycles
 	}
@@ -289,15 +355,11 @@ func (r *Runner) replayTarget(c Campaign, t Target) (Result, *HarnessFault) {
 	res := Result{Campaign: c, Target: t, Severity: SeverityNone}
 	res.OrigWindow = append([]byte(nil), e.origWindow...)
 
+	pm := r.model.(PointModel)
 	var bpFault *HarnessFault
 	run := m.RunWorkloadsFromCheckpoint(e.cp, r.Workloads, func(mm *kernel.Machine) {
-		b, err := mm.Mem.ReadRaw(t.Addr(), 1)
-		if err != nil {
-			bpFault = newFault(FaultBreakpointIO, t, "read target byte %#x: %v", t.Addr(), err)
-			return
-		}
-		if err := mm.Mem.WriteRaw(t.Addr(), []byte{b[0] ^ (1 << t.Bit)}); err != nil {
-			bpFault = newFault(FaultBreakpointIO, t, "write target byte %#x: %v", t.Addr(), err)
+		if err := pm.Apply(mm, t); err != nil {
+			bpFault = newFault(FaultBreakpointIO, t, "%v", err)
 			return
 		}
 		res.Activated = true

@@ -65,9 +65,9 @@ const (
 
 // Version is the journal format version. Version 2 added quarantine
 // records; version 3 added the CRC32C frame trailer (and the "kjnl2"
-// magic). Legacy journals read and resume unchanged, in their own
-// format.
-const Version = 3
+// magic); version 4 added the fault-model tag to the header (absent in
+// older journals, which are all bitflip studies and read unchanged).
+const Version = 4
 
 // castagnoli is the CRC32C table used for frame trailers.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -108,6 +108,9 @@ type Header struct {
 	MaxTargetsPerFunc   int
 	MaxFuncsPerCampaign int
 	DisableAssertions   bool
+	// FaultModel names the fault model the study ran under ("" =
+	// bitflip; journals predating version 4 never carry it).
+	FaultModel string `json:",omitempty"`
 }
 
 // ShardMark is one {campaign, target-ordinal} high-water mark of a
@@ -755,10 +758,11 @@ func (j *Journal) Complete() bool {
 // assembled.
 func (j *Journal) ResultSet() *analysis.ResultSet {
 	rs := &analysis.ResultSet{
-		Version: analysis.SchemaVersion,
-		Seed:    j.Header.Seed,
-		Scale:   j.Header.Scale,
-		Results: make(map[string][]inject.Result),
+		Version:    analysis.SchemaVersion,
+		Seed:       j.Header.Seed,
+		Scale:      j.Header.Scale,
+		FaultModel: j.Header.FaultModel,
+		Results:    make(map[string][]inject.Result),
 	}
 	for key, m := range j.Completed() {
 		ords := make([]int, 0, len(m))

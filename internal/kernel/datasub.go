@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -81,41 +82,7 @@ msg_badsb:     .asciz "kernel: bad root file system"
 	for i := range entries {
 		entries[i] = "sys_ni"
 	}
-	wired := map[int]string{
-		SysExit:       "sys_exit",
-		SysFork:       "sys_fork",
-		SysRead:       "sys_read",
-		SysWrite:      "sys_write",
-		SysOpen:       "sys_open",
-		SysClose:      "sys_close",
-		SysWaitpid:    "sys_waitpid",
-		SysCreat:      "sys_creat",
-		SysUnlink:     "sys_unlink",
-		SysLink:       "sys_link",
-		SysTime:       "sys_time",
-		SysAlarm:      "sys_alarm",
-		SysPause:      "sys_pause",
-		SysRename:     "sys_rename",
-		SysMkdir:      "sys_mkdir",
-		SysRmdir:      "sys_rmdir",
-		SysSignal:     "sys_signal",
-		SysGetppid:    "sys_getppid",
-		SysMmap:       "sys_mmap",
-		SysMunmap:     "sys_munmap",
-		SysStat:       "sys_stat",
-		SysFstat:      "sys_fstat",
-		SysExecve:     "sys_execve",
-		SysLseek:      "sys_lseek",
-		SysGetpid:     "sys_getpid",
-		SysKill:       "sys_kill",
-		SysDup:        "sys_dup",
-		SysPipe:       "sys_pipe",
-		SysBrk:        "sys_brk",
-		SysUmask:      "sys_umask",
-		SysSchedYield: "sys_sched_yield",
-		SysNanosleep:  "sys_nanosleep",
-	}
-	for nr, fn := range wired {
+	for nr, fn := range syscallHandlers {
 		entries[nr] = fn
 	}
 	b.WriteString("\n.align 16\nsys_call_table:\n")
@@ -127,4 +94,55 @@ msg_badsb:     .asciz "kernel: bad root file system"
 		fmt.Fprintf(&b, "\t.long %s\n", strings.Join(entries[i:end], ", "))
 	}
 	return b.String()
+}
+
+// syscallHandlers maps every wired syscall number to the kernel
+// function that implements it; unlisted slots dispatch to sys_ni.
+var syscallHandlers = map[int]string{
+	SysExit:       "sys_exit",
+	SysFork:       "sys_fork",
+	SysRead:       "sys_read",
+	SysWrite:      "sys_write",
+	SysOpen:       "sys_open",
+	SysClose:      "sys_close",
+	SysWaitpid:    "sys_waitpid",
+	SysCreat:      "sys_creat",
+	SysUnlink:     "sys_unlink",
+	SysLink:       "sys_link",
+	SysTime:       "sys_time",
+	SysAlarm:      "sys_alarm",
+	SysPause:      "sys_pause",
+	SysRename:     "sys_rename",
+	SysMkdir:      "sys_mkdir",
+	SysRmdir:      "sys_rmdir",
+	SysSignal:     "sys_signal",
+	SysGetppid:    "sys_getppid",
+	SysMmap:       "sys_mmap",
+	SysMunmap:     "sys_munmap",
+	SysStat:       "sys_stat",
+	SysFstat:      "sys_fstat",
+	SysExecve:     "sys_execve",
+	SysLseek:      "sys_lseek",
+	SysGetpid:     "sys_getpid",
+	SysKill:       "sys_kill",
+	SysDup:        "sys_dup",
+	SysPipe:       "sys_pipe",
+	SysBrk:        "sys_brk",
+	SysUmask:      "sys_umask",
+	SysSchedYield: "sys_sched_yield",
+	SysNanosleep:  "sys_nanosleep",
+}
+
+// SyscallHandler returns the name of the kernel function implementing
+// syscall nr ("" for unwired numbers, which dispatch to sys_ni).
+func SyscallHandler(nr int) string { return syscallHandlers[nr] }
+
+// WiredSyscalls returns every syscall number backed by a real handler.
+func WiredSyscalls() []int {
+	out := make([]int, 0, len(syscallHandlers))
+	for nr := range syscallHandlers {
+		out = append(out, nr)
+	}
+	sort.Ints(out)
+	return out
 }

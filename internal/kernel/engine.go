@@ -155,7 +155,13 @@ func (e *engine) spawn(name string, main func(u *User)) error {
 		return err
 	}
 	if ret < 0 {
-		return fmt.Errorf("kernel: fork failed: errno %d", -ret)
+		// An injected fault (bit flip in sys_fork, forced error return at
+		// the syscall boundary) can make the fork fail; record it in the
+		// trace and continue with fewer processes. The golden trace never
+		// contains this line, so the divergence classifies as a fail
+		// silence violation rather than a harness error.
+		e.tracef("spawn %s: fork failed: errno %d", name, -ret)
+		return nil
 	}
 	pid := uint32(ret)
 	slot := e.findSlotByPid(pid)

@@ -1,0 +1,65 @@
+package kernel
+
+import "testing"
+
+// TestSyscallHookForcesErrorReturn exercises the system_call-boundary
+// hook (the fail_function analog backing the syscall fault model): a
+// handled call short-circuits with the hook's return value and never
+// reaches the kernel handler, an unhandled call is dispatched
+// untouched.
+func TestSyscallHookForcesErrorReturn(t *testing.T) {
+	m := bootT(t)
+	var seen int
+	m.SyscallHook = func(nr int, args [4]uint32) (int32, bool) {
+		if nr != SysGetpid {
+			return 0, false
+		}
+		seen++
+		if seen == 1 {
+			return -EIO, true
+		}
+		return 0, false
+	}
+
+	ret, err := m.Syscall(SysGetpid)
+	if err != nil {
+		t.Fatalf("hooked getpid: %v", err)
+	}
+	if ret != -EIO {
+		t.Fatalf("hooked getpid = %d, want %d (-EIO)", ret, -EIO)
+	}
+
+	// The second occurrence is observed but not handled: the real
+	// handler runs and init's pid comes back.
+	ret, err = m.Syscall(SysGetpid)
+	if err != nil || ret != 1 {
+		t.Fatalf("unhooked getpid = %d, %v, want 1", ret, err)
+	}
+	if seen != 2 {
+		t.Fatalf("hook saw %d getpid calls, want 2", seen)
+	}
+
+	// Other syscall numbers pass through the observing hook unchanged.
+	if ret, err := m.Syscall(SysUmask, 0o22); err != nil || ret != 0x12 {
+		t.Fatalf("umask through hook = %d, %v", ret, err)
+	}
+}
+
+// TestSyscallHookClearedOnRestore pins the per-run arming discipline:
+// a hook is installed for one injection run and must never leak into
+// the next run through a snapshot restore.
+func TestSyscallHookClearedOnRestore(t *testing.T) {
+	m := bootT(t)
+	snap := m.TakeSnapshot()
+	m.SyscallHook = func(nr int, args [4]uint32) (int32, bool) { return -ENOMEM, true }
+	if ret, err := m.Syscall(SysGetpid); err != nil || ret != -ENOMEM {
+		t.Fatalf("hooked getpid = %d, %v", ret, err)
+	}
+	m.Restore(snap)
+	if m.SyscallHook != nil {
+		t.Fatal("SyscallHook survived Restore")
+	}
+	if ret, err := m.Syscall(SysGetpid); err != nil || ret != 1 {
+		t.Fatalf("getpid after restore = %d, %v, want 1", ret, err)
+	}
+}

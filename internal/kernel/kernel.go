@@ -67,6 +67,15 @@ type Machine struct {
 	// analysis.
 	BootManifest ext2.Manifest
 
+	// SyscallHook, when non-nil, is consulted at the system_call
+	// boundary before the kernel handler dispatches — the software
+	// analog of debugfs fail_function. Returning handled=true
+	// short-circuits the call and ret (typically -errno) becomes the
+	// syscall's result; handled=false observes without interfering.
+	// Restore clears it: a hook is armed per run, never inherited by
+	// the next one.
+	SyscallHook func(nr int, args [4]uint32) (ret int32, handled bool)
+
 	faultDepth int
 	doPFAddr   uint32
 	syscallFn  uint32
@@ -493,6 +502,11 @@ func (m *Machine) handleUserFault(exc *cpu.Exception) (bool, error) {
 func (m *Machine) Syscall(nr int, args ...uint32) (int32, error) {
 	var a [4]uint32
 	copy(a[:], args)
+	if m.SyscallHook != nil {
+		if ret, handled := m.SyscallHook(nr, a); handled {
+			return ret, nil
+		}
+	}
 	ret, err := m.CallAddr(m.syscallFn, uint32(nr), a[0], a[1], a[2], a[3])
 	if err != nil {
 		return 0, err
@@ -522,5 +536,6 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.faultStack = m.faultStack[:0]
 	m.rec = nil
 	m.rep = nil
+	m.SyscallHook = nil
 	m.Console.Reset()
 }

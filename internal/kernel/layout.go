@@ -225,6 +225,7 @@ const (
 	ECHILD    = 10
 	EAGAIN    = 11
 	ENOMEM    = 12
+	EIO       = 5
 	EFAULT    = 14
 	EEXIST    = 17
 	EINVAL    = 22
@@ -365,6 +366,7 @@ func BuildConsts() map[string]int64 {
 		"EINVAL": EINVAL, "ENFILE": ENFILE, "EMFILE": EMFILE,
 		"ENOSPC": ENOSPC, "ESPIPE": ESPIPE, "EPIPE": EPIPE,
 		"ENOSYS": ENOSYS, "ENOTEMPTY": ENOTEMPTY, "EINTR": EINTR,
+		"EIO":         EIO,
 		"ERESTARTSYS": ERestartSys,
 		"SIGALRM":     SigAlarm,
 		"ST_INO":      StatIno, "ST_MODE": StatMode, "ST_SIZE": StatSize,

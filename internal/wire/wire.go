@@ -47,8 +47,12 @@ import (
 )
 
 // ProtocolVersion is bumped on any incompatible frame or message
-// change; the hello/ready handshake rejects skew.
-const ProtocolVersion = 1
+// change; the hello/ready handshake rejects skew. Version 2 extended
+// StudySpec with the fault-model tag: a version-1 worker would decode
+// a model-tagged spec without error and then enumerate the wrong
+// (bitflip) target list, so the skew must be rejected at the
+// handshake, before any ordinal is interpreted.
+const ProtocolVersion = 2
 
 // maxFrame bounds one frame payload; larger lengths mean a corrupt or
 // desynchronized stream.
@@ -86,8 +90,13 @@ type StudySpec struct {
 	MaxTargetsPerFunc   int
 	MaxFuncsPerCampaign int
 	DisableAssertions   bool
-	RunTimeout          time.Duration // per-run wall-clock watchdog (0 = derive)
-	MaxRetries          int           // in-worker harness-fault retries before quarantine
+	// FaultModel is the canonical fault-model tag ("" = bitflip, the
+	// pre-model default; see inject.ModelTag). Workers enumerate the
+	// model's target list, so supervisor and worker must agree on it —
+	// the protocol version guards the field's existence.
+	FaultModel string        `json:",omitempty"`
+	RunTimeout time.Duration // per-run wall-clock watchdog (0 = derive)
+	MaxRetries int           // in-worker harness-fault retries before quarantine
 	// NoCheckpoint disables checkpoint-at-breakpoint reuse in workers.
 	// It does not affect results (zero value = checkpointing on, which
 	// keeps old supervisors compatible with new workers).

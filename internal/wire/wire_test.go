@@ -6,6 +6,7 @@ import (
 	"io"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -181,6 +182,59 @@ func TestServeVersionSkew(t *testing.T) {
 	}
 	if b := (&scriptedBackend{}); len(b.runs) != 0 {
 		t.Fatal("runs executed despite skew")
+	}
+}
+
+// trackingBackend records whether Boot or Run was ever reached.
+type trackingBackend struct {
+	boots atomic.Int32
+	runs  atomic.Int32
+}
+
+func (b *trackingBackend) Boot(spec StudySpec) (Ready, error) {
+	b.boots.Add(1)
+	return Ready{}, nil
+}
+
+func (b *trackingBackend) Run(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error) {
+	b.runs.Add(1)
+	return &inject.Result{}, nil, nil
+}
+
+// TestServeOldWorkerRejected pins the version-1 → version-2 skew that
+// motivated the bump: version 2 added StudySpec.FaultModel, which a
+// version-1 worker would decode without error (unknown JSON fields are
+// dropped) and then enumerate the wrong — bitflip — target list for a
+// model-tagged study. The worker must reject the handshake outright:
+// its backend is never booted, so no target list is ever derived, let
+// alone mis-decoded.
+func TestServeOldWorkerRejected(t *testing.T) {
+	const oldVersion = 1
+	sup, work, closeAll := pipePair()
+	defer closeAll()
+	b := &trackingBackend{}
+	done := make(chan error, 1)
+	go func() { done <- Serve(workReader(work), workWriter(work), b, time.Minute) }()
+
+	// A supervisor still speaking version 1 ships a spec without a
+	// fault-model tag; the current worker must refuse it rather than
+	// assume bitflip.
+	if err := sup.Send(&Msg{Type: TypeHello, Version: oldVersion,
+		Spec: &StudySpec{Seed: 2003, Campaigns: "A", FaultModel: "syscall"}}); err != nil {
+		t.Fatal(err)
+	}
+	reply := recvSkippingBeats(t, sup)
+	if reply.Type != TypeError {
+		t.Fatalf("old-version hello reply: %+v, want error frame", reply)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("Serve accepted a version-1 hello")
+	}
+	if n := b.boots.Load(); n != 0 {
+		t.Fatalf("backend booted %d times despite version skew", n)
+	}
+	if n := b.runs.Load(); n != 0 {
+		t.Fatalf("backend ran %d targets despite version skew", n)
 	}
 }
 
