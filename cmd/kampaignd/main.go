@@ -1,0 +1,135 @@
+// Command kampaignd is the campaign-manager daemon: it accepts study
+// specs over an HTTP/JSON API, shards their deterministic target lists
+// onto a durable journal-backed work queue, dispatches the shards
+// across supervised worker pools (kampaignd -worker subprocesses over
+// the same wire protocol kinject -isolation=process uses), merges
+// every pool's results into one crash-safe journal, and publishes the
+// verified ResultSet — byte-identical to a single-process kinject run
+// with the same flags.
+//
+// Usage:
+//
+//	kampaignd [-listen addr] [-data dir]
+//	          [-pools N] [-pool-workers N] [-shard-size N]
+//	          [-heartbeat-timeout D] [-boot-timeout D]
+//	          [-breaker-threshold N] [-max-worker-restarts N]
+//	          [-chaos-kill F] [-chaos-seed N] [-chaos-pool-kill N]
+//
+// API:
+//
+//	POST /campaigns                submit a study spec; returns {"id": ...}
+//	GET  /campaigns                list campaigns with live status
+//	GET  /campaigns/{id}           one campaign: state, progress, queue
+//	                               stats, pool health, metrics snapshot
+//	GET  /campaigns/{id}/results   the published results.json.gz
+//	GET  /healthz                  liveness
+//
+// Every campaign's state — spec, shard queue, merged journal — lives
+// under -data and survives any crash: a SIGKILLed daemon restarted on
+// the same -data dir resumes every interrupted campaign, re-dispatches
+// shards whose done mark never hit disk, skips every ordinal already
+// journaled, and converges on the same bytes an uninterrupted run
+// produces. Pool failures mid-campaign are absorbed the same way:
+// the dead pool's leased shards go back on the queue and surviving
+// pools finish them.
+//
+// -chaos-kill / -chaos-pool-kill are the built-in fault injectors for
+// the harness itself (worker SIGKILLs, a whole pool dying after N
+// runs); the CI fleet job runs a two-pool campaign with one pool
+// deliberately killed mid-run and proves the merged results identical
+// to the in-process reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/supervisor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kampaignd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("kampaignd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8343", "HTTP listen address (use :0 for an ephemeral port)")
+	dataDir := fs.String("data", "kampaignd-data", "campaign state directory (queues, journals, results)")
+	pools := fs.Int("pools", 2, "worker pools per campaign")
+	poolWorkers := fs.Int("pool-workers", 1, "worker subprocesses per pool")
+	shardSize := fs.Int("shard-size", 16, "targets per work-queue shard (per-campaign override via the API)")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", supervisor.DefaultHeartbeatTimeout, "worker silence tolerated mid-run before a hard kill")
+	bootTimeout := fs.Duration("boot-timeout", supervisor.DefaultBootTimeout, "worker golden-boot deadline")
+	breakerThreshold := fs.Int("breaker-threshold", supervisor.DefaultBreakerThreshold, "consecutive worker deaths on one target before it is quarantined")
+	maxRestarts := fs.Int("max-worker-restarts", supervisor.DefaultMaxRestarts, "abnormal worker deaths tolerated per pool before the pool fails")
+	chaosKill := fs.Float64("chaos-kill", 0, "chaos test: SIGKILL the worker of roughly this fraction of runs")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the chaos/backoff-jitter RNGs (0 = nondeterministic)")
+	chaosPoolKill := fs.Int("chaos-pool-kill", 0, "chaos test: kill pool 0 outright after this many runs (0 = never)")
+	workerMode := fs.Bool("worker", false, "serve injections as a worker subprocess over stdin/stdout (internal; spawned by the daemon)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workerMode {
+		return fleet.ServeWorker(os.Stdin, os.Stdout)
+	}
+	if *pools < 1 {
+		return fmt.Errorf("-pools %d: need at least one pool", *pools)
+	}
+
+	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+		return err
+	}
+	m := newManager(*dataDir, poolPlan{
+		pools:         *pools,
+		workers:       *poolWorkers,
+		shardSize:     *shardSize,
+		heartbeat:     *heartbeatTimeout,
+		boot:          *bootTimeout,
+		breaker:       *breakerThreshold,
+		maxRestarts:   *maxRestarts,
+		chaosKill:     *chaosKill,
+		chaosSeed:     *chaosSeed,
+		chaosPoolKill: *chaosPoolKill,
+	})
+	restarted, err := m.Resume()
+	if err != nil {
+		return fmt.Errorf("resume scan of %s: %w", *dataDir, err)
+	}
+	for _, id := range restarted {
+		fmt.Fprintf(stdout, "resuming interrupted campaign %s\n", id)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "kampaignd listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: newHandler(m)}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "kampaignd: shutting down (campaign state is durable; restart to resume)\n")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	if err := srv.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/wire"
+)
+
+// submitRequest is the POST /campaigns body: the study spec plus an
+// optional per-campaign shard-size override.
+type submitRequest struct {
+	wire.StudySpec
+	ShardSize int `json:",omitempty"`
+}
+
+func newHandler(m *manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+			return
+		}
+		c, err := m.Submit(req.StudySpec, req.ShardSize)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, map[string]string{"id": c.id})
+	})
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		all := m.List()
+		out := make([]campaignStatus, 0, len(all))
+		for _, c := range all {
+			out = append(out, c.status())
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, c.status())
+	})
+	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+			return
+		}
+		st := c.status()
+		if st.State != stateComplete {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("campaign %s is %s; results exist only when complete", c.id, st.State))
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		http.ServeFile(w, r, c.resultsPath())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -182,7 +182,27 @@ func run(args []string) error {
 		jw          *journal.Writer
 		prior       *journal.Journal
 		campaignStr = *campaigns
+		metrics     *obs.Metrics
+		jwDrained   bool
 	)
+	// Every exit after a journal is open routes through this one drain:
+	// flush the buffered batch, append the metrics trailer, fsync,
+	// close. Scattered per-error Close calls used to miss paths (a bad
+	// -campaigns after -resume leaked the open journal with its batch
+	// undrained); the deferred call guarantees no return skips it.
+	drainJournal := func() error {
+		if jw == nil || jwDrained {
+			return nil
+		}
+		jwDrained = true
+		var trailer *obs.Snapshot
+		if metrics != nil {
+			s := metrics.Snapshot()
+			trailer = &s
+		}
+		return jw.Close(trailer)
+	}
+	defer drainJournal()
 	if *resumePath != "" {
 		var conflict error
 		fs.Visit(func(f *flag.Flag) {
@@ -219,7 +239,7 @@ func run(args []string) error {
 		}
 	}
 
-	cs, err := parseCampaigns(campaignStr)
+	cs, err := analysis.ParseCampaigns(campaignStr)
 	if err != nil {
 		return err
 	}
@@ -242,7 +262,7 @@ func run(args []string) error {
 		jw = w
 	}
 
-	metrics := obs.New(cfg.Workers)
+	metrics = obs.New(cfg.Workers)
 	cfg.Metrics = metrics
 	if jw != nil {
 		jw.Metrics = metrics
@@ -290,9 +310,6 @@ func run(args []string) error {
 	start := time.Now()
 	s, err := core.New(cfg)
 	if err != nil {
-		if jw != nil {
-			jw.Close(nil)
-		}
 		return err
 	}
 	if *isolation == "process" {
@@ -300,9 +317,6 @@ func run(args []string) error {
 		for _, c := range cfg.Campaigns {
 			ts, terr := s.Targets(c)
 			if terr != nil {
-				if jw != nil {
-					jw.Close(nil)
-				}
 				return terr
 			}
 			totals[analysis.CampaignKey(c)] = len(ts)
@@ -359,10 +373,10 @@ func run(args []string) error {
 	clearStatus()
 	snap := metrics.Snapshot()
 	if runErr != nil {
-		if jw != nil {
-			// Drain everything already completed before reporting.
-			jw.Close(&snap)
-		}
+		// Drain everything already completed before reporting (the
+		// deferred drain would also catch this; doing it eagerly keeps
+		// the journal whole before the error text mentions it).
+		drainJournal()
 		if errors.Is(runErr, core.ErrCancelled) {
 			if p := firstNonEmpty(*journalPath, *resumePath); p != "" {
 				return fmt.Errorf("interrupted — completed runs are journaled; resume with: kinject -resume %s", p)
@@ -371,10 +385,8 @@ func run(args []string) error {
 		}
 		return runErr
 	}
-	if jw != nil {
-		if err := jw.Close(&snap); err != nil {
-			return err
-		}
+	if err := drainJournal(); err != nil {
+		return err
 	}
 	fmt.Printf("completed in %s\n\n", time.Since(start).Round(time.Millisecond))
 
@@ -415,26 +427,6 @@ func printModels(w io.Writer) {
 			fmt.Fprintf(w, "           checkpoint-at-breakpoint: disabled — %s\n", cs.Reason)
 		}
 	}
-}
-
-// parseCampaigns decodes a campaign selection string ("ABC") into
-// campaign values; the worker and the supervisor share it so both ends
-// derive the same list from the same spec.
-func parseCampaigns(s string) ([]inject.Campaign, error) {
-	var out []inject.Campaign
-	for _, ch := range strings.ToUpper(s) {
-		switch ch {
-		case 'A':
-			out = append(out, inject.CampaignA)
-		case 'B':
-			out = append(out, inject.CampaignB)
-		case 'C':
-			out = append(out, inject.CampaignC)
-		default:
-			return nil, fmt.Errorf("unknown campaign %q", string(ch))
-		}
-	}
-	return out, nil
 }
 
 func firstNonEmpty(a, b string) string {

@@ -1,17 +1,10 @@
 package main
 
 import (
-	"fmt"
 	"os"
 	"os/exec"
-	"os/signal"
-	"syscall"
-	"time"
 
-	"repro/internal/analysis"
-	"repro/internal/core"
-	"repro/internal/inject"
-	"repro/internal/wire"
+	"repro/internal/fleet"
 )
 
 // workerCommand builds the command that launches one injection worker
@@ -25,78 +18,12 @@ var workerCommand = func() *exec.Cmd {
 	return exec.Command(exe, "-worker")
 }
 
-// workerBeatEvery is the worker's heartbeat period. It must be well
-// under the supervisor's heartbeat deadline: missing several beats in
-// a row is what gets a worker killed.
-const workerBeatEvery = time.Second
-
 // runWorker serves injection runs over stdin/stdout until the
 // supervisor closes the stream. The study configuration arrives in the
 // hello frame, not flags, so the worker re-derives the identical
-// deterministic target list the supervisor enumerated.
+// deterministic target list the supervisor enumerated. The backend is
+// shared with kampaignd -worker (internal/fleet), so a supervisor
+// never cares which binary serves it.
 func runWorker() error {
-	// The supervisor owns this process: shutdown is stdin EOF (clean)
-	// or SIGKILL (deadline). A terminal Ctrl-C reaches the whole
-	// process group, but the drain decision belongs to the parent, so
-	// interrupts are ignored here.
-	signal.Ignore(os.Interrupt, syscall.SIGTERM)
-	return wire.Serve(os.Stdin, os.Stdout, &workerBackend{}, workerBeatEvery)
-}
-
-// workerBackend implements wire.Backend on a core.Study: Boot builds
-// the study from the shipped spec, Run executes one target under the
-// full in-process retry-and-quarantine policy.
-type workerBackend struct {
-	study *core.Study
-}
-
-func (b *workerBackend) Boot(spec wire.StudySpec) (wire.Ready, error) {
-	cfg := core.DefaultConfig()
-	cfg.Scale = spec.Scale
-	cfg.Seed = spec.Seed
-	cfg.MaxTargetsPerFunc = spec.MaxTargetsPerFunc
-	cfg.MaxFuncsPerCampaign = spec.MaxFuncsPerCampaign
-	cfg.DisableAssertions = spec.DisableAssertions
-	cfg.FaultModel = spec.FaultModel // "" = bitflip (inject.ModelTag)
-	cfg.RunTimeout = spec.RunTimeout
-	cfg.NoCheckpoint = spec.NoCheckpoint
-	cfg.MaxRetries = spec.MaxRetries
-	cs, err := parseCampaigns(spec.Campaigns)
-	if err != nil {
-		return wire.Ready{}, err
-	}
-	cfg.Campaigns = cs
-	s, err := core.New(cfg)
-	if err != nil {
-		return wire.Ready{}, err
-	}
-	b.study = s
-	totals := make(map[string]int, len(cs))
-	for _, c := range cs {
-		ts, err := s.Targets(c)
-		if err != nil {
-			return wire.Ready{}, err
-		}
-		totals[analysis.CampaignKey(c)] = len(ts)
-	}
-	return wire.Ready{
-		GoldenFP:   s.Runner.GoldenFingerprint(),
-		GoldenDisk: fmt.Sprintf("%x", s.Runner.GoldenDiskHash()),
-		Totals:     totals,
-	}, nil
-}
-
-func (b *workerBackend) Run(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error) {
-	c, ok := analysis.CampaignFromKey(campaign)
-	if !ok {
-		return nil, nil, fmt.Errorf("unknown campaign key %q", campaign)
-	}
-	res, hf, err := b.study.RunOrdinal(c, ordinal)
-	if err != nil {
-		return nil, nil, err
-	}
-	if hf != nil {
-		return nil, hf, nil
-	}
-	return &res, nil, nil
+	return fleet.ServeWorker(os.Stdin, os.Stdout)
 }

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,12 +50,17 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("usage: kreport [-verify] <results.json.gz | journal> [more sets...]")
 	}
 	if *verify {
+		// Verify every journal given, not just up to the first bad one:
+		// a batch fsck that stops early would hide corruption in the
+		// journals behind the first failure. All failures aggregate into
+		// the exit status.
+		var errs []error
 		for _, path := range fs.Args() {
 			if err := runVerify(path, w); err != nil {
-				return err
+				errs = append(errs, err)
 			}
 		}
-		return nil
+		return errors.Join(errs...)
 	}
 	sets := make([]*analysis.ResultSet, 0, fs.NArg())
 	for _, path := range fs.Args() {
@@ -136,7 +142,7 @@ func runVerify(path string, w io.Writer) error {
 		fmt.Fprintf(w, "  CORRUPT:     frame %d at offset %d: %s\n",
 			rep.Corrupt.Frame, rep.Corrupt.Offset, rep.Corrupt.Reason)
 		fmt.Fprintf(w, "  %d intact frames precede the corruption; do not resume from this journal\n", rep.Frames)
-		return fmt.Errorf("journal is corrupt (frame %d at offset %d)", rep.Corrupt.Frame, rep.Corrupt.Offset)
+		return fmt.Errorf("%s: journal is corrupt (frame %d at offset %d)", path, rep.Corrupt.Frame, rep.Corrupt.Offset)
 	case rep.Truncated:
 		fmt.Fprintf(w, "  torn tail:   file ends mid-frame (crash signature); recoverable — kinject -resume truncates it\n")
 	case rep.Trailer:

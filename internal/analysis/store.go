@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/inject"
 )
@@ -55,6 +56,23 @@ func CampaignKey(c inject.Campaign) string {
 		return "C"
 	}
 	return "?"
+}
+
+// ParseCampaigns decodes a campaign selection string ("ABC") into
+// campaign values. Every component that derives a target list from a
+// study spec — kinject, the worker backend, kampaignd — shares it, so
+// all ends of the wire protocol decode the same list from the same
+// spec string.
+func ParseCampaigns(s string) ([]inject.Campaign, error) {
+	var out []inject.Campaign
+	for _, ch := range strings.ToUpper(s) {
+		c, ok := CampaignFromKey(string(ch))
+		if !ok {
+			return nil, fmt.Errorf("unknown campaign %q", string(ch))
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // CampaignFromKey is the inverse of CampaignKey.

@@ -1,0 +1,383 @@
+// Package fleet turns the single-campaign process-isolation layer
+// (internal/supervisor) into a multi-pool execution plane for a
+// campaign-manager daemon (cmd/kampaignd). A pool is one supervised
+// set of worker subprocesses with its own policy knobs — heartbeat
+// deadline, restart budget, circuit breaker, chaos injection — and a
+// fleet is several pools draining one durable shard queue
+// (internal/queue) into one shared result sink.
+//
+// Failure containment is hierarchical, mirroring the paper's
+// controller-watches-machine design one level up:
+//
+//	worker dies   -> its pool's supervisor restarts it (backoff,
+//	                 breaker, budget — the PR-3 policies, now per pool)
+//	pool dies     -> the fleet releases its leased shard back to the
+//	                 queue; surviving pools take the work over
+//	all pools die -> the campaign fails loudly; the queue and journal
+//	                 on disk resume it on the next daemon start
+//
+// Write ordering is the crash-consistency contract: a shard's results
+// are flushed to the durable sink BEFORE the queue's done mark is
+// written. A crash between the two re-dispatches the shard; resumed
+// dispatch skips every ordinal already accounted, so nothing is lost
+// and nothing is run twice into the merged set.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/obs"
+	"repro/internal/queue"
+	"repro/internal/supervisor"
+	"repro/internal/wire"
+)
+
+// Sink is the durable result sink a fleet merges into. It is
+// core.ResultSink plus the explicit flush the shard-completion
+// ordering needs; journal.Writer is the canonical implementation.
+type Sink interface {
+	core.ResultSink
+	Flush() error
+}
+
+// PoolConfig describes one worker pool and its supervision policy.
+type PoolConfig struct {
+	// Name identifies the pool in leases, status and logs.
+	Name string
+	// Workers is the pool's worker-subprocess count (dispatch
+	// concurrency inside a shard).
+	Workers int
+	// Command launches one worker subprocess for this pool.
+	Command func() *exec.Cmd
+
+	// Supervision policy (zero values take the supervisor defaults).
+	HeartbeatTimeout time.Duration
+	BootTimeout      time.Duration
+	BreakerThreshold int
+	MaxRestarts      int
+
+	// Chaos injection (tests and the CI fleet job).
+	ChaosKillRate float64
+	ChaosSeed     int64
+	// ChaosDieAfterRuns, when > 0, hard-kills the whole pool after
+	// that many completed runs — the fault injector for the
+	// pool-death-mid-campaign path. The pool's leased shard is
+	// released and survivors take it over.
+	ChaosDieAfterRuns int
+}
+
+// Config describes a fleet.
+type Config struct {
+	// Spec is the study shipped to every worker of every pool.
+	Spec wire.StudySpec
+	// GoldenFP/GoldenDisk/Totals are the manager's reference oracle;
+	// every pool cross-validates every worker against them.
+	GoldenFP   string
+	GoldenDisk string
+	Totals     map[string]int
+	// Pools is the fleet layout; at least one.
+	Pools []PoolConfig
+	// Metrics, when set, receives fleet and supervisor counters.
+	Metrics *obs.Metrics
+}
+
+// RunOptions parameterizes one campaign execution on the fleet.
+type RunOptions struct {
+	// Sink receives every result and quarantine; Flush is forced
+	// before each shard's durable done mark.
+	Sink Sink
+	// Done maps campaign key -> ordinal -> already accounted (journaled
+	// result or quarantine from a previous run); those ordinals are
+	// skipped. The fleet copies the map; the caller's is not mutated.
+	Done map[string]map[int]bool
+	// OnOrdinalDone, when set, is called after each newly accounted
+	// ordinal (result sunk or target quarantined) — the live-progress
+	// feed. Called from pool goroutines; must be safe for concurrent
+	// use.
+	OnOrdinalDone func(campaign string, ordinal int, quarantined bool)
+}
+
+// PoolStatus is one pool's live state for the status API.
+type PoolStatus struct {
+	Name  string
+	Alive bool
+	Runs  int64  // completed dispatches (results + quarantines)
+	Err   string `json:",omitempty"` // death reason, when dead
+}
+
+// remote is the slice of supervisor.Supervisor a pool drives; a seam
+// for fleet tests to substitute scripted executors.
+type remote interface {
+	Do(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error)
+	Close()
+}
+
+// newRemote boots the supervisor for one pool (test seam).
+var newRemote = func(cfg Config, pc PoolConfig) remote {
+	return supervisor.New(supervisor.Config{
+		Command:          pc.Command,
+		Workers:          pc.Workers,
+		Spec:             cfg.Spec,
+		GoldenFP:         cfg.GoldenFP,
+		GoldenDisk:       cfg.GoldenDisk,
+		Totals:           cfg.Totals,
+		HeartbeatTimeout: pc.HeartbeatTimeout,
+		BootTimeout:      pc.BootTimeout,
+		BreakerThreshold: pc.BreakerThreshold,
+		MaxRestarts:      pc.MaxRestarts,
+		ChaosKillRate:    pc.ChaosKillRate,
+		ChaosSeed:        pc.ChaosSeed,
+		Metrics:          cfg.Metrics,
+	})
+}
+
+// Fleet executes campaigns across worker pools.
+type Fleet struct {
+	cfg Config
+
+	mu    sync.Mutex
+	done  map[string]map[int]bool
+	pools []*pool
+}
+
+type pool struct {
+	cfg   PoolConfig
+	index int
+	rem   remote
+	runs  atomic.Int64
+	died  atomic.Bool
+	err   error // set before died, read after
+	// chaosArmed latches the deliberate pool kill so it fires once.
+	chaosArmed atomic.Bool
+}
+
+// New prepares a fleet (pools boot lazily when Run dispatches).
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Pools) == 0 {
+		return nil, errors.New("fleet: no pools configured")
+	}
+	for i := range cfg.Pools {
+		if cfg.Pools[i].Name == "" {
+			cfg.Pools[i].Name = fmt.Sprintf("pool%d", i)
+		}
+		if cfg.Pools[i].Workers < 1 {
+			cfg.Pools[i].Workers = 1
+		}
+	}
+	return &Fleet{cfg: cfg}, nil
+}
+
+// Run drains the queue across every pool and blocks until the
+// campaign is complete or unrecoverable. It returns nil when every
+// shard is durably done — even if some pools died along the way — and
+// an error when no pool survived or the queue's durability failed.
+func (f *Fleet) Run(q *queue.Queue, opts RunOptions) error {
+	f.mu.Lock()
+	f.done = make(map[string]map[int]bool, len(opts.Done))
+	for key, m := range opts.Done {
+		cp := make(map[int]bool, len(m))
+		for ord := range m {
+			cp[ord] = true
+		}
+		f.done[key] = cp
+	}
+	f.pools = make([]*pool, len(f.cfg.Pools))
+	for i := range f.cfg.Pools {
+		f.pools[i] = &pool{cfg: f.cfg.Pools[i], index: i, rem: newRemote(f.cfg, f.cfg.Pools[i])}
+	}
+	pools := f.pools
+	f.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, p := range pools {
+		wg.Add(1)
+		go func(p *pool) {
+			defer wg.Done()
+			defer p.rem.Close()
+			f.poolLoop(p, q, opts)
+		}(p)
+	}
+	wg.Wait()
+
+	if err := q.Err(); err != nil {
+		return fmt.Errorf("fleet: queue durability failure: %w", err)
+	}
+	if q.Done() {
+		return nil
+	}
+	// Shards remain but every pool has exited: no survivors.
+	var first error
+	for _, p := range pools {
+		if p.err != nil {
+			first = p.err
+			break
+		}
+	}
+	if first == nil {
+		first = errors.New("fleet: queue not drained")
+	}
+	return fmt.Errorf("fleet: campaign failed, no surviving pools: %w", first)
+}
+
+// poolLoop is one pool's life: lease a shard, execute it, mark it
+// done, repeat until the queue drains or the pool dies.
+func (f *Fleet) poolLoop(p *pool, q *queue.Queue, opts RunOptions) {
+	for {
+		shard, ok := q.Acquire(p.cfg.Name)
+		if !ok {
+			return
+		}
+		if err := f.runShard(p, shard, opts); err != nil {
+			// Pool death: break the lease so survivors take the shard,
+			// and stop consuming — this pool's supervisor is broken.
+			p.err = err
+			p.died.Store(true)
+			q.Release(shard.ID)
+			if f.cfg.Metrics != nil {
+				f.cfg.Metrics.PoolDeath()
+			}
+			return
+		}
+		// Results first, durably; only then the shard's done mark.
+		// The reverse order would let a crash between the two writes
+		// mark work done whose results never reached disk.
+		if err := opts.Sink.Flush(); err != nil {
+			p.err = fmt.Errorf("fleet: %s: flush before done mark: %w", p.cfg.Name, err)
+			p.died.Store(true)
+			q.Release(shard.ID)
+			return
+		}
+		if err := q.Complete(shard.ID); err != nil {
+			p.err = err
+			p.died.Store(true)
+			return
+		}
+		if f.cfg.Metrics != nil {
+			f.cfg.Metrics.ShardCompleted()
+		}
+	}
+}
+
+// runShard executes one shard's ordinals on the pool, skipping those
+// already accounted, with the pool's worker count as dispatch
+// concurrency. A non-nil error means the pool is no longer usable.
+func (f *Fleet) runShard(p *pool, shard queue.Shard, opts RunOptions) error {
+	c, ok := analysis.CampaignFromKey(shard.Campaign)
+	if !ok {
+		return fmt.Errorf("fleet: unknown campaign key %q", shard.Campaign)
+	}
+	var (
+		next  = int64(shard.Start) - 1
+		abort atomic.Bool
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		rerr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if rerr == nil {
+			rerr = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	workers := p.cfg.Workers
+	if n := shard.End - shard.Start; workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !abort.Load() {
+				ord := int(atomic.AddInt64(&next, 1))
+				if ord >= shard.End {
+					return
+				}
+				if f.alreadyDone(shard.Campaign, ord) {
+					continue
+				}
+				res, hf, err := p.rem.Do(shard.Campaign, ord)
+				if err != nil {
+					fail(err)
+					return
+				}
+				p.runs.Add(1)
+				if hf != nil {
+					if err := opts.Sink.Quarantine(c, p.index, ord, *hf); err != nil {
+						fail(err)
+						return
+					}
+				} else {
+					if res == nil {
+						fail(fmt.Errorf("fleet: %s/%d returned neither result nor fault", shard.Campaign, ord))
+						return
+					}
+					if err := opts.Sink.Put(c, p.index, ord, f.cfg.Totals[shard.Campaign], *res); err != nil {
+						fail(err)
+						return
+					}
+				}
+				f.markDone(shard.Campaign, ord)
+				if opts.OnOrdinalDone != nil {
+					opts.OnOrdinalDone(shard.Campaign, ord, hf != nil)
+				}
+				f.maybeChaosPoolKill(p)
+			}
+		}()
+	}
+	wg.Wait()
+	return rerr
+}
+
+// maybeChaosPoolKill closes the pool's supervisor once the configured
+// run count is reached — the deliberate pool-death injector. The next
+// Do on the closed supervisor fails, which routes the pool through the
+// normal death path (lease released, survivors take over).
+func (f *Fleet) maybeChaosPoolKill(p *pool) {
+	if p.cfg.ChaosDieAfterRuns <= 0 {
+		return
+	}
+	if p.runs.Load() >= int64(p.cfg.ChaosDieAfterRuns) && p.chaosArmed.CompareAndSwap(false, true) {
+		p.rem.Close()
+	}
+}
+
+func (f *Fleet) alreadyDone(campaign string, ord int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done[campaign][ord]
+}
+
+func (f *Fleet) markDone(campaign string, ord int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done[campaign] == nil {
+		f.done[campaign] = make(map[int]bool)
+	}
+	f.done[campaign][ord] = true
+}
+
+// Status reports every pool's live state (empty before Run).
+func (f *Fleet) Status() []PoolStatus {
+	f.mu.Lock()
+	pools := f.pools
+	f.mu.Unlock()
+	out := make([]PoolStatus, 0, len(pools))
+	for _, p := range pools {
+		st := PoolStatus{Name: p.cfg.Name, Alive: !p.died.Load(), Runs: p.runs.Load()}
+		if p.died.Load() && p.err != nil {
+			st.Err = p.err.Error()
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -55,6 +55,11 @@ type Metrics struct {
 	framesRejected atomic.Int64
 	chaosKills     atomic.Int64
 
+	// Fleet (campaign-manager) counters: durable queue shards
+	// completed and whole worker pools lost mid-campaign.
+	shardsCompleted atomic.Int64
+	poolDeaths      atomic.Int64
+
 	workers []workerStats
 }
 
@@ -150,6 +155,13 @@ func (m *Metrics) FrameRejected() { m.framesRejected.Add(1) }
 // breaker and the restart budget).
 func (m *Metrics) ChaosKill() { m.chaosKills.Add(1) }
 
+// ShardCompleted records one queue shard durably completed by a pool.
+func (m *Metrics) ShardCompleted() { m.shardsCompleted.Add(1) }
+
+// PoolDeath records one worker pool lost mid-campaign (its leased
+// shards were requeued to the survivors).
+func (m *Metrics) PoolDeath() { m.poolDeaths.Add(1) }
+
 // JournalFlush records one batch flushed to the result journal.
 func (m *Metrics) JournalFlush(bytes int) {
 	m.flushes.Add(1)
@@ -194,6 +206,11 @@ type Snapshot struct {
 	BreakerTrips   int64 `json:",omitempty"`
 	FramesRejected int64 `json:",omitempty"`
 	ChaosKills     int64 `json:",omitempty"`
+
+	// Fleet (campaign-manager) supervision: durable queue shards
+	// completed and whole pools lost mid-campaign.
+	ShardsCompleted int64 `json:",omitempty"`
+	PoolDeaths      int64 `json:",omitempty"`
 }
 
 // HarnessFaultTotal sums the recovered harness faults across kinds.
@@ -245,6 +262,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.BreakerTrips = m.breakerTrips.Load()
 	s.FramesRejected = m.framesRejected.Load()
 	s.ChaosKills = m.chaosKills.Load()
+	s.ShardsCompleted = m.shardsCompleted.Load()
+	s.PoolDeaths = m.poolDeaths.Load()
 	if s.RunsCompleted > 0 {
 		s.ActivationRate = float64(s.Activated) / float64(s.RunsCompleted)
 	}
@@ -351,6 +370,12 @@ func (s Snapshot) Render() string {
 	}
 	if s.ChaosKills > 0 {
 		fmt.Fprintf(&b, "  chaos kills        %d (fault-injection test wrapper)\n", s.ChaosKills)
+	}
+	if s.ShardsCompleted > 0 {
+		fmt.Fprintf(&b, "  shards completed   %d\n", s.ShardsCompleted)
+	}
+	if s.PoolDeaths > 0 {
+		fmt.Fprintf(&b, "  pool deaths        %d (shards requeued to survivors)\n", s.PoolDeaths)
 	}
 	if s.JournalFlushes > 0 {
 		fmt.Fprintf(&b, "  journal            %d flushes, %s\n", s.JournalFlushes, fmtBytes(s.JournalBytes))

@@ -1,0 +1,487 @@
+// Package queue is the durable work queue of a campaign-manager
+// daemon (cmd/kampaignd): the study's target space is cut into shards
+// — contiguous ordinal ranges of one campaign — and each shard moves
+// through pending → leased → done, with the transitions that must
+// survive a crash journaled to disk.
+//
+// The file format reuses the result journal's integrity discipline
+// (internal/journal): a magic string, then length-prefixed frames of
+//
+//	uint32 LE payload length | payload (gzip JSON) | uint32 LE CRC32C
+//
+// every appended frame fsync'd before the operation is acknowledged,
+// and the parent directory fsync'd after create. On reopen, a torn
+// tail (crash mid-append) is truncated and recovered; mid-file
+// corruption is refused with a *CorruptError naming the frame and
+// offset, exactly like the result journal.
+//
+// Crash semantics:
+//
+//   - Shard definitions are derived deterministically from the study
+//     spec and written once at create; reopen cross-validates them
+//     against the caller's re-derivation (a spec drift between daemon
+//     versions must fail loudly, not dispatch wrong ordinal ranges).
+//   - A lease is journaled for observability (which pool held the
+//     shard when the daemon died) but never survives a restart: a
+//     crashed daemon's leases are all broken by definition, so leased
+//     shards reopen as pending.
+//   - A done mark is journaled with fsync. The caller must flush the
+//     result sink before marking a shard done — the done mark is the
+//     queue's promise that every result of the shard is durable, and
+//     writing it before the results would lose ordinals on a crash.
+//     (internal/fleet owns that ordering.)
+package queue
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+const magic = "kqwq1\n"
+
+// Version is the queue file format version.
+const Version = 1
+
+// maxRecord bounds one frame payload; larger lengths mean corruption.
+const maxRecord = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports mid-file queue corruption (a fully present
+// frame failing its CRC32C, an insane length, or an undecodable
+// payload). It mirrors journal.CorruptError: the file must be
+// inspected, not resumed.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Frame  int
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("queue: %s: corrupt frame %d at offset %d: %s", e.Path, e.Frame, e.Offset, e.Reason)
+}
+
+// Shard is one work unit: a contiguous ordinal range [Start, End) of
+// one campaign's deterministic target list.
+type Shard struct {
+	ID       int
+	Campaign string
+	Start    int
+	End      int
+}
+
+func (s Shard) String() string {
+	return fmt.Sprintf("shard %d (%s %d..%d)", s.ID, s.Campaign, s.Start, s.End-1)
+}
+
+// Shards cuts campaign target totals into shards of at most shardSize
+// ordinals, in campaign-key order. The enumeration is deterministic:
+// manager restarts and cross-validating reopens re-derive the same
+// list from the same totals.
+func Shards(totals map[string]int, shardSize int) []Shard {
+	if shardSize < 1 {
+		shardSize = 1
+	}
+	keys := make([]string, 0, len(totals))
+	for key := range totals {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var out []Shard
+	id := 0
+	for _, key := range keys {
+		total := totals[key]
+		for start := 0; start < total; start += shardSize {
+			end := start + shardSize
+			if end > total {
+				end = total
+			}
+			out = append(out, Shard{ID: id, Campaign: key, Start: start, End: end})
+			id++
+		}
+	}
+	return out
+}
+
+// record is the on-disk union of queue record kinds.
+type record struct {
+	Kind    string          `json:"kind"`
+	Version int             `json:"version,omitempty"`
+	Spec    *wire.StudySpec `json:"spec,omitempty"`
+	Shards  []Shard         `json:"shards,omitempty"`
+	Shard   int             `json:"shard,omitempty"`
+	Pool    string          `json:"pool,omitempty"`
+}
+
+const (
+	kindHeader = "header"
+	kindLease  = "lease"
+	kindDone   = "done"
+)
+
+type shardState int
+
+const (
+	statePending shardState = iota
+	stateLeased
+	stateDone
+)
+
+// Queue is a durable shard queue. Acquire/Release/Complete are safe
+// for concurrent use by pool goroutines.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	f      *os.File
+	path   string
+	shards []Shard
+	state  []shardState
+	lessee []string // pool name per leased shard (observability)
+	done   int
+	closed bool
+	failed error
+}
+
+// Stats is a point-in-time census of the queue.
+type Stats struct {
+	Pending, Leased, Done, Total int
+}
+
+func encodeFrame(rec *record) ([]byte, error) {
+	var payload bytes.Buffer
+	zw := gzip.NewWriter(&payload)
+	if err := json.NewEncoder(zw).Encode(rec); err != nil {
+		return nil, fmt.Errorf("queue: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("queue: gzip: %w", err)
+	}
+	n := payload.Len()
+	frame := make([]byte, 4+n+4)
+	binary.LittleEndian.PutUint32(frame, uint32(n))
+	copy(frame[4:], payload.Bytes())
+	binary.LittleEndian.PutUint32(frame[4+n:], crc32.Checksum(payload.Bytes(), castagnoli))
+	return frame, nil
+}
+
+func decodePayload(p []byte) (*record, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(p))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	var rec record
+	if err := json.NewDecoder(zr).Decode(&rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Create starts a new queue at path, durably writing the header (spec
+// + shard definitions) before returning.
+func Create(path string, spec wire.StudySpec, shards []Shard) (*Queue, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("queue: create: %w", err)
+	}
+	frame, err := encodeFrame(&record{Kind: kindHeader, Version: Version, Spec: &spec, Shards: shards})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append([]byte(magic), frame...)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: sync: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: sync parent dir: %w", err)
+	}
+	return newQueue(f, path, shards, nil), nil
+}
+
+// Open resumes an existing queue: the intact record prefix is read,
+// a torn tail is truncated, done marks are restored, and every leased
+// shard reverts to pending (a reopened queue means the previous
+// process died, so its leases are broken by definition). The stored
+// spec and shard definitions are cross-validated against the caller's
+// re-derivation; any drift is fatal — dispatching ordinal ranges that
+// no longer mean the same targets would merge incomparable results.
+func Open(path string, spec wire.StudySpec, shards []Shard) (*Queue, error) {
+	stored, doneIDs, good, err := scan(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(path, stored, spec, shards); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("queue: open: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: truncate torn tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: sync truncation: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newQueue(f, path, shards, doneIDs), nil
+}
+
+func newQueue(f *os.File, path string, shards []Shard, doneIDs map[int]bool) *Queue {
+	q := &Queue{
+		f:      f,
+		path:   path,
+		shards: shards,
+		state:  make([]shardState, len(shards)),
+		lessee: make([]string, len(shards)),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for id := range doneIDs {
+		if id >= 0 && id < len(q.state) {
+			q.state[id] = stateDone
+			q.done++
+		}
+	}
+	return q
+}
+
+// validate cross-checks the stored header against the re-derivation.
+func validate(path string, stored *record, spec wire.StudySpec, shards []Shard) error {
+	if stored.Version != Version {
+		return fmt.Errorf("queue: %s: format version %d, want %d", path, stored.Version, Version)
+	}
+	if stored.Spec == nil || *stored.Spec != spec {
+		return fmt.Errorf("queue: %s: stored study spec differs from the submitted one (refusing to dispatch a drifted target list)", path)
+	}
+	if len(stored.Shards) != len(shards) {
+		return fmt.Errorf("queue: %s: stored %d shards, re-derived %d (diverged shard plan)", path, len(stored.Shards), len(shards))
+	}
+	for i := range shards {
+		if stored.Shards[i] != shards[i] {
+			return fmt.Errorf("queue: %s: shard %d stored as %v, re-derived %v (diverged shard plan)", path, i, stored.Shards[i], shards[i])
+		}
+	}
+	return nil
+}
+
+// scan reads the intact record prefix, mirroring the result journal's
+// torn-tail vs corruption distinction.
+func scan(path string) (header *record, doneIDs map[int]bool, good int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("queue: open: %w", err)
+	}
+	defer f.Close()
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, head); err != nil || string(head) != magic {
+		return nil, nil, 0, fmt.Errorf("queue: %s is not a queue file", path)
+	}
+	doneIDs = make(map[int]bool)
+	good = int64(len(magic))
+	frames := 0
+	for {
+		var lenbuf [4]byte
+		if _, err := io.ReadFull(f, lenbuf[:]); err != nil {
+			break // clean EOF or torn length prefix
+		}
+		n := binary.LittleEndian.Uint32(lenbuf[:])
+		if n == 0 || n > maxRecord {
+			return nil, nil, 0, &CorruptError{Path: path, Offset: good, Frame: frames,
+				Reason: fmt.Sprintf("insane frame length %d", n)}
+		}
+		buf := make([]byte, n+4)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			break // torn payload or CRC trailer
+		}
+		payload := buf[:n]
+		want := binary.LittleEndian.Uint32(buf[n:])
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, nil, 0, &CorruptError{Path: path, Offset: good, Frame: frames,
+				Reason: fmt.Sprintf("CRC32C mismatch: frame declares %#08x, payload hashes to %#08x", want, got)}
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			return nil, nil, 0, &CorruptError{Path: path, Offset: good, Frame: frames,
+				Reason: fmt.Sprintf("undecodable payload: %v", derr)}
+		}
+		if frames == 0 {
+			if rec.Kind != kindHeader {
+				return nil, nil, 0, fmt.Errorf("queue: %s: missing header record", path)
+			}
+			header = rec
+		} else if rec.Kind == kindDone {
+			doneIDs[rec.Shard] = true
+		}
+		good += 4 + int64(n) + 4
+		frames++
+	}
+	if header == nil {
+		return nil, nil, 0, fmt.Errorf("queue: %s: missing header record", path)
+	}
+	return header, doneIDs, good, nil
+}
+
+// append journals one record with fsync; the operation is not
+// acknowledged until the frame is durable.
+func (q *Queue) appendLocked(rec *record) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := q.f.Write(frame); err != nil {
+		return fmt.Errorf("queue: append: %w", err)
+	}
+	if err := q.f.Sync(); err != nil {
+		return fmt.Errorf("queue: sync: %w", err)
+	}
+	return nil
+}
+
+// Acquire leases the next pending shard for the named pool. It blocks
+// while no shard is pending but leased shards remain (another pool may
+// die and release them). It returns ok == false when every shard is
+// done or the queue is closed/failed — the pool's signal to drain.
+func (q *Queue) Acquire(pool string) (Shard, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed || q.failed != nil || q.done == len(q.shards) {
+			return Shard{}, false
+		}
+		for i := range q.shards {
+			if q.state[i] == statePending {
+				q.state[i] = stateLeased
+				q.lessee[i] = pool
+				// The lease record is observability, not correctness:
+				// an append failure here must not wedge dispatch.
+				if err := q.appendLocked(&record{Kind: kindLease, Shard: q.shards[i].ID, Pool: pool}); err != nil {
+					q.failLocked(err)
+					return Shard{}, false
+				}
+				return q.shards[i], true
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// Release breaks a lease (the pool died mid-shard); the shard returns
+// to pending and a blocked Acquire is woken to claim it.
+func (q *Queue) Release(id int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if id >= 0 && id < len(q.state) && q.state[id] == stateLeased {
+		q.state[id] = statePending
+		q.lessee[id] = ""
+		q.cond.Broadcast()
+	}
+}
+
+// Complete durably marks a shard done. The caller must have flushed
+// every result of the shard to its durable sink first — the done mark
+// asserts the shard will never be dispatched again.
+func (q *Queue) Complete(id int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if id < 0 || id >= len(q.state) {
+		return fmt.Errorf("queue: complete: no shard %d", id)
+	}
+	if q.state[id] == stateDone {
+		return nil
+	}
+	if err := q.appendLocked(&record{Kind: kindDone, Shard: id}); err != nil {
+		q.failLocked(err)
+		return err
+	}
+	q.state[id] = stateDone
+	q.lessee[id] = ""
+	q.done++
+	if q.done == len(q.shards) {
+		q.cond.Broadcast()
+	}
+	return nil
+}
+
+// failLocked poisons the queue: a durability failure means no further
+// acknowledgment can be trusted, so every waiter drains.
+func (q *Queue) failLocked(err error) {
+	if q.failed == nil {
+		q.failed = err
+	}
+	q.cond.Broadcast()
+}
+
+// Err reports the sticky durability failure, if any.
+func (q *Queue) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failed
+}
+
+// Done reports whether every shard is durably complete.
+func (q *Queue) Done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.done == len(q.shards)
+}
+
+// Stats returns a point-in-time census.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Stats{Total: len(q.shards), Done: q.done}
+	for i := range q.state {
+		switch q.state[i] {
+		case statePending:
+			s.Pending++
+		case stateLeased:
+			s.Leased++
+		}
+	}
+	return s
+}
+
+// Close wakes every blocked Acquire and closes the file. Safe to call
+// more than once.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	q.cond.Broadcast()
+	return q.f.Close()
+}

@@ -1,0 +1,278 @@
+package queue
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func testSpec() wire.StudySpec {
+	return wire.StudySpec{Seed: 2003, Scale: 1, Campaigns: "AB"}
+}
+
+func testShards() []Shard {
+	return Shards(map[string]int{"A": 5, "B": 3}, 2)
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a := Shards(map[string]int{"B": 3, "A": 5}, 2)
+	b := Shards(map[string]int{"A": 5, "B": 3}, 2)
+	if len(a) != 5 {
+		t.Fatalf("5+3 targets at shard size 2 should cut into 5 shards, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard enumeration depends on map order: %v vs %v", a[i], b[i])
+		}
+	}
+	want := Shard{ID: 0, Campaign: "A", Start: 0, End: 2}
+	if a[0] != want {
+		t.Fatalf("shard 0 = %+v, want %+v", a[0], want)
+	}
+	last := Shard{ID: 4, Campaign: "B", Start: 2, End: 3}
+	if a[4] != last {
+		t.Fatalf("shard 4 = %+v, want %+v (ragged tail)", a[4], last)
+	}
+}
+
+func TestAcquireCompleteDrain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	q, err := Create(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	seen := map[int]bool{}
+	for {
+		s, ok := q.Acquire("p0")
+		if !ok {
+			break
+		}
+		if seen[s.ID] {
+			t.Fatalf("shard %d leased twice", s.ID)
+		}
+		seen[s.ID] = true
+		if err := q.Complete(s.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 5 || !q.Done() {
+		t.Fatalf("drained %d shards, done=%v", len(seen), q.Done())
+	}
+	if st := q.Stats(); st.Done != 5 || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+func TestReopenRestoresDoneAndBreaksLeases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	q, err := Create(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := q.Acquire("p0")
+	if err := q.Complete(s0.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Lease a second shard and "crash" without completing it.
+	s1, _ := q.Acquire("p0")
+	q.Close()
+
+	q2, err := Open(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	st := q2.Stats()
+	if st.Done != 1 || st.Leased != 0 || st.Pending != 4 {
+		t.Fatalf("reopen stats: %+v (done mark lost or lease survived)", st)
+	}
+	// The mid-flight shard must come back out.
+	got := map[int]bool{}
+	for {
+		s, ok := q2.Acquire("p1")
+		if !ok {
+			break
+		}
+		got[s.ID] = true
+		q2.Complete(s.ID)
+	}
+	if !got[s1.ID] {
+		t.Fatalf("crashed lease on shard %d was not re-dispatched", s1.ID)
+	}
+	if got[s0.ID] {
+		t.Fatalf("durably completed shard %d was re-dispatched", s0.ID)
+	}
+}
+
+func TestReopenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	q, err := Create(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := q.Acquire("p0")
+	if err := q.Complete(s0.ID); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	// Simulate a crash mid-append: chop bytes off the last frame.
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Open(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatalf("torn tail must be recoverable: %v", err)
+	}
+	defer q2.Close()
+	// The torn frame was the done mark: the shard reverts to pending —
+	// losing an unacknowledged transition is correct; inventing one is
+	// not.
+	if got := q2.Stats(); got.Done != 0 || got.Pending != 5 {
+		t.Fatalf("stats after torn-tail recovery: %+v", got)
+	}
+}
+
+func TestOpenRefusesMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	q, err := Create(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := q.Acquire("p0")
+	q.Complete(s0.ID)
+	s1, _ := q.Acquire("p0")
+	q.Complete(s1.ID)
+	q.Close()
+	// Flip a byte inside the header frame payload (well before EOF).
+	data, _ := os.ReadFile(path)
+	data[len(magic)+8] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(path, testSpec(), testShards())
+	var ce *CorruptError
+	if err == nil || !asCorrupt(err, &ce) {
+		t.Fatalf("corrupt queue opened: err=%v", err)
+	}
+	if ce.Frame != 0 {
+		t.Fatalf("corruption blamed on frame %d, want 0", ce.Frame)
+	}
+}
+
+func asCorrupt(err error, out **CorruptError) bool {
+	ce, ok := err.(*CorruptError)
+	if ok {
+		*out = ce
+	}
+	return ok
+}
+
+func TestOpenRefusesDivergedSpecOrShards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	q, err := Create(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	spec2 := testSpec()
+	spec2.Seed = 999
+	if _, err := Open(path, spec2, testShards()); err == nil || !strings.Contains(err.Error(), "spec") {
+		t.Fatalf("diverged spec accepted: %v", err)
+	}
+	other := Shards(map[string]int{"A": 5, "B": 3}, 3)
+	if _, err := Open(path, testSpec(), other); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("diverged shard plan accepted: %v", err)
+	}
+}
+
+// A pool death releases its lease; a pool blocked in Acquire (nothing
+// pending, one shard leased elsewhere) must wake and take the shard
+// over instead of deadlocking the campaign.
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	shards := Shards(map[string]int{"A": 2}, 2) // exactly one shard
+	q, err := Create(path, testSpec(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	s, ok := q.Acquire("dying-pool")
+	if !ok {
+		t.Fatal("no shard")
+	}
+	got := make(chan Shard, 1)
+	go func() {
+		if s2, ok := q.Acquire("survivor"); ok {
+			got <- s2
+		}
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("second Acquire returned while the only shard was leased")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Release(s.ID)
+	select {
+	case s2, ok := <-got:
+		if !ok || s2.ID != s.ID {
+			t.Fatalf("survivor acquired %v, ok=%v", s2, ok)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("released shard never re-dispatched")
+	}
+	q.Complete(s.ID)
+}
+
+// Concurrent pools hammering Acquire/Complete must neither duplicate
+// nor lose a shard (run under -race in CI).
+func TestConcurrentPools(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	shards := Shards(map[string]int{"A": 40, "B": 40}, 1)
+	q, err := Create(path, testSpec(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s, ok := q.Acquire("p")
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[s.ID]++
+				mu.Unlock()
+				if err := q.Complete(s.ID); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != len(shards) {
+		t.Fatalf("%d shards dispatched, want %d", len(seen), len(shards))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("shard %d dispatched %d times", id, n)
+		}
+	}
+	if !q.Done() {
+		t.Fatal("queue not done after full drain")
+	}
+}

@@ -95,7 +95,10 @@ type Config struct {
 	// wrapper used by the chaos tests. Chaos deaths are retried without
 	// counting against the breaker or the restart budget.
 	ChaosKillRate float64
-	// ChaosSeed seeds the chaos/jitter RNG (0 = nondeterministic).
+	// ChaosSeed seeds the chaos-kill and backoff-jitter RNG streams
+	// (0 = nondeterministic). The two streams are independent, so the
+	// chaos decision sequence for a seed never depends on how many
+	// jitter draws interleaved with it.
 	ChaosSeed int64
 	// ChaosMaxDelay bounds the random delay before a chaos kill.
 	ChaosMaxDelay time.Duration
@@ -118,8 +121,41 @@ type Supervisor struct {
 	consecFail int            // abnormal deaths since the last successful run
 	restarts   int            // abnormal deaths total (budget)
 	broken     error          // sticky hard failure
-	rng        *rand.Rand
 	closeOnce  sync.Once
+
+	// chaosRng and jitterRng are independent, individually locked RNG
+	// streams. rand.Rand is not safe for concurrent use, and the
+	// chaos-kill path and backoffSleep's jitter run on different
+	// goroutines — beyond the data race, sharing one stream would make
+	// the chaos-kill decision sequence for a given -chaos-seed depend
+	// on how many backoff draws happened to interleave, destroying the
+	// reproducibility the seed exists for. Each path gets its own
+	// stream: chaosRng is seeded with ChaosSeed verbatim, jitterRng
+	// with a fixed derivation of it.
+	chaosRng  *lockedRand
+	jitterRng *lockedRand
+}
+
+// lockedRand is a mutex-guarded rand.Rand usable from any goroutine.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
 }
 
 // worker is one live subprocess.
@@ -177,7 +213,10 @@ func New(cfg Config) *Supervisor {
 		done:    make(chan struct{}),
 		workers: make(map[*worker]struct{}),
 		deaths:  make(map[string]int),
-		rng:     rand.New(rand.NewSource(seed)),
+		chaosRng: newLockedRand(seed),
+		// Any fixed odd offset decorrelates the streams; the value is
+		// part of the -chaos-seed reproducibility contract.
+		jitterRng: newLockedRand(seed ^ 0x6a09e667f3bcc909),
 	}
 }
 
@@ -532,50 +571,52 @@ func (s *Supervisor) abnormalDeath() error {
 }
 
 // backoffSleep applies exponential backoff with jitter before a
-// restart (no-op for the first start after a healthy run).
+// restart (no-op for the first start after a healthy run). The timer
+// is stopped on the cancellation branch too, so an aborted sleep does
+// not strand a live timer until it fires.
 func (s *Supervisor) backoffSleep() error {
 	s.mu.Lock()
 	n := s.consecFail
-	var jitter time.Duration
-	if n > 0 {
-		d := s.cfg.BackoffBase << uint(n-1)
-		if d > s.cfg.BackoffMax || d <= 0 {
-			d = s.cfg.BackoffMax
-		}
-		jitter = d + time.Duration(s.rng.Int63n(int64(d/2)+1))
-	}
 	s.mu.Unlock()
-	if jitter <= 0 {
+	if n <= 0 {
 		return nil
 	}
+	d := s.cfg.BackoffBase << uint(n-1)
+	if d > s.cfg.BackoffMax || d <= 0 {
+		d = s.cfg.BackoffMax
+	}
+	jitter := d + time.Duration(s.jitterRng.Int63n(int64(d/2)+1))
 	t := time.NewTimer(jitter)
-	defer t.Stop()
 	select {
 	case <-t.C:
 		return nil
 	case <-s.done:
+		t.Stop()
 		return errors.New("supervisor: closed")
 	}
 }
 
 // maybeChaosKill SIGKILLs the worker after a random delay for roughly
-// ChaosKillRate of runs (the chaos-testing fault injector).
+// ChaosKillRate of runs (the chaos-testing fault injector). The delay
+// is armed on its own timer and cancelled by Close, so a shutting-down
+// supervisor does not leave kill goroutines firing into a fleet it no
+// longer owns.
 func (s *Supervisor) maybeChaosKill(w *worker) {
 	if s.cfg.ChaosKillRate <= 0 {
 		return
 	}
-	s.mu.Lock()
-	hit := s.rng.Float64() < s.cfg.ChaosKillRate
-	var delay time.Duration
-	if hit {
-		delay = time.Duration(s.rng.Int63n(int64(s.cfg.ChaosMaxDelay) + 1))
-	}
-	s.mu.Unlock()
-	if !hit {
+	if s.chaosRng.Float64() >= s.cfg.ChaosKillRate {
 		return
 	}
+	delay := time.Duration(s.chaosRng.Int63n(int64(s.cfg.ChaosMaxDelay) + 1))
 	go func() {
-		time.Sleep(delay)
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-s.done:
+			t.Stop()
+			return
+		}
 		w.chaos.Store(true)
 		if s.cfg.Metrics != nil {
 			s.cfg.Metrics.ChaosKill()

@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -308,4 +309,50 @@ func TestCloseIdempotent(t *testing.T) {
 	if _, _, err := s.Do("C", 1); err == nil {
 		t.Fatal("closed supervisor accepted work")
 	}
+}
+
+// The chaos-kill decision stream must be a pure function of ChaosSeed:
+// backoff-jitter draws (which depend on wall-clock scheduling of
+// worker deaths) interleaving with chaos draws must not perturb them,
+// or -chaos-seed reruns would diverge. The two streams are separate
+// locked RNGs; this pins the decoupling.
+func TestChaosStreamIndependentOfJitterDraws(t *testing.T) {
+	ref := New(Config{ChaosSeed: 42})
+	defer ref.Close()
+	var want []float64
+	for i := 0; i < 16; i++ {
+		want = append(want, ref.chaosRng.Float64())
+	}
+
+	s := New(Config{ChaosSeed: 42})
+	defer s.Close()
+	for i := 0; i < 16; i++ {
+		// Interleave jitter draws as a flapping fleet would.
+		for j := 0; j < i%3; j++ {
+			s.jitterRng.Int63n(1 << 20)
+		}
+		if got := s.chaosRng.Float64(); got != want[i] {
+			t.Fatalf("chaos draw %d = %v, want %v: jitter draws perturbed the chaos stream", i, got, want[i])
+		}
+	}
+}
+
+// Concurrent chaos and jitter draws must be race-free (rand.Rand is
+// not safe for concurrent use; each stream carries its own lock). Run
+// under -race in CI.
+func TestRNGStreamsConcurrentUse(t *testing.T) {
+	s := New(Config{ChaosSeed: 1})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.chaosRng.Float64()
+				s.jitterRng.Int63n(100)
+			}
+		}()
+	}
+	wg.Wait()
 }
