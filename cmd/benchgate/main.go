@@ -1,13 +1,22 @@
 // Command benchgate fails when a benchmark regresses against the
-// checked-in baseline (BENCH_interp.json). CI runs the benchmark,
+// checked-in baseline (BENCH_interp.json). CI runs the benchmarks,
 // tees the output, and feeds it here:
 //
-//	go test -run '^$' -bench 'BenchmarkInjectionRun$' -benchtime=1s . | tee bench.txt
-//	go run ./cmd/benchgate -baseline BENCH_interp.json -bench BenchmarkInjectionRun -input bench.txt
+//	go test -run '^$' -bench 'BenchmarkGoldenRun$|BenchmarkInjectionRun' -benchtime=1s . | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_interp.json \
+//	    -bench BenchmarkGoldenRun,BenchmarkInjectionRun,BenchmarkInjectionRunFullReplay -input bench.txt
 //
-// The gate compares the measured ns/op against the baseline entry's
+// The gate compares each measured ns/op against the baseline entry's
 // "after" value and fails if it exceeds it by more than -tolerance
 // (default 0.25, i.e. a >25% regression).
+//
+// With -update the gate is skipped and the baseline file is rewritten
+// instead: each named benchmark's "before" becomes its previous
+// "after", "after" becomes the measured value, the speedup is
+// recomputed, a trajectory entry is appended for entries that carry
+// one, and the environment stanza (Go version, CPU count, date) is
+// refreshed from the machine doing the measuring — so the baseline
+// can never silently describe a machine it was not measured on.
 package main
 
 import (
@@ -16,31 +25,52 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
+type benchEntry struct {
+	Name       string    `json:"name"`
+	Package    string    `json:"package,omitempty"`
+	Unit       string    `json:"unit"`
+	Note       string    `json:"note,omitempty"`
+	Before     float64   `json:"before"`
+	After      float64   `json:"after"`
+	Speedup    string    `json:"speedup,omitempty"`
+	Trajectory []float64 `json:"trajectory,omitempty"`
+}
+
+type environment struct {
+	Go   string `json:"go"`
+	CPUs int    `json:"cpus"`
+	Date string `json:"date"`
+}
+
 type baseline struct {
-	Benchmarks []struct {
-		Name  string  `json:"name"`
-		Unit  string  `json:"unit"`
-		After float64 `json:"after"`
-	} `json:"benchmarks"`
+	Description string        `json:"description"`
+	Regenerate  string        `json:"regenerate"`
+	Environment environment   `json:"environment"`
+	Benchmarks  []*benchEntry `json:"benchmarks"`
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_interp.json", "baseline JSON with per-benchmark 'after' ns/op")
-	bench := flag.String("bench", "", "benchmark name to gate (exact, without the -N cpu suffix)")
+	bench := flag.String("bench", "", "comma-separated benchmark names to gate (exact, without the -N cpu suffix)")
 	input := flag.String("input", "", "go test -bench output to parse (default stdin)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression over the baseline")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured values instead of gating")
 	flag.Parse()
-	if *bench == "" {
+	names := strings.Split(*bench, ",")
+	if *bench == "" || len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: -bench is required")
 		os.Exit(2)
 	}
 
-	base, err := loadBaseline(*baselinePath, *bench)
+	base, err := loadBaseline(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
@@ -56,41 +86,113 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	measured, err := parseBench(r, *bench)
+	raw, err := io.ReadAll(r)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
 
-	limit := base * (1 + *tolerance)
-	fmt.Printf("benchgate: %s measured %.0f ns/op, baseline %.0f ns/op, limit %.0f ns/op (+%d%%)\n",
-		*bench, measured, base, limit, int(*tolerance*100))
-	if measured > limit {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s regressed %.1f%% over the baseline (max %d%%)\n",
-			*bench, (measured/base-1)*100, int(*tolerance*100))
+	if *update {
+		if err := updateBaseline(base, names, raw); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := writeBaseline(*baselinePath, base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: updated %s (%s, %d cpus, %s)\n",
+			*baselinePath, base.Environment.Go, base.Environment.CPUs, base.Environment.Date)
+		return
+	}
+
+	fail := false
+	for _, name := range names {
+		entry := findEntry(base, name)
+		if entry == nil || entry.After <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: no usable baseline entry for %s\n", *baselinePath, name)
+			os.Exit(2)
+		}
+		measured, err := parseBench(strings.NewReader(string(raw)), name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		limit := entry.After * (1 + *tolerance)
+		fmt.Printf("benchgate: %s measured %.0f ns/op, baseline %.0f ns/op, limit %.0f ns/op (+%d%%)\n",
+			name, measured, entry.After, limit, int(*tolerance*100))
+		if measured > limit {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s regressed %.1f%% over the baseline (max %d%%)\n",
+				name, (measured/entry.After-1)*100, int(*tolerance*100))
+			fail = true
+		}
+	}
+	if fail {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: OK")
 }
 
-func loadBaseline(path, name string) (float64, error) {
+func loadBaseline(path string) (*baseline, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var base baseline
 	if err := json.Unmarshal(b, &base); err != nil {
-		return 0, fmt.Errorf("parse %s: %w", path, err)
+		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
+	return &base, nil
+}
+
+func findEntry(base *baseline, name string) *benchEntry {
 	for _, e := range base.Benchmarks {
 		if e.Name == name {
-			if e.After <= 0 {
-				return 0, fmt.Errorf("%s: baseline 'after' for %s is %v", path, name, e.After)
-			}
-			return e.After, nil
+			return e
 		}
 	}
-	return 0, fmt.Errorf("%s: no baseline entry for %s", path, name)
+	return nil
+}
+
+// updateBaseline folds the measured values for names into base and
+// refreshes the environment stanza.
+func updateBaseline(base *baseline, names []string, output []byte) error {
+	for _, name := range names {
+		entry := findEntry(base, name)
+		if entry == nil {
+			return fmt.Errorf("no baseline entry for %s", name)
+		}
+		measured, err := parseBench(strings.NewReader(string(output)), name)
+		if err != nil {
+			return err
+		}
+		measured = math.Round(measured*10) / 10
+		entry.Before = entry.After
+		entry.After = measured
+		if entry.Before > 0 && measured > 0 {
+			entry.Speedup = fmt.Sprintf("%.1fx", entry.Before/measured)
+		}
+		if len(entry.Trajectory) > 0 {
+			entry.Trajectory = append(entry.Trajectory, math.Round(measured))
+		}
+	}
+	base.Environment = environment{
+		Go:   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPUs: runtime.NumCPU(),
+		Date: time.Now().Format("2006-01-02"),
+	}
+	return nil
+}
+
+func writeBaseline(path string, base *baseline) error {
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep the regenerate command's && readable
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
 }
 
 // parseBench extracts the ns/op of the named benchmark from go test

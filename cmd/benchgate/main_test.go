@@ -49,6 +49,39 @@ func TestParseBenchMissing(t *testing.T) {
 	}
 }
 
+func TestUpdateBaseline(t *testing.T) {
+	base := &baseline{Benchmarks: []*benchEntry{
+		{Name: "BenchmarkInjectionRun", Unit: "ns/op", Before: 2065829, After: 352511,
+			Trajectory: []float64{12382548, 2065829, 352511}},
+		{Name: "BenchmarkInjectionRunFullReplay", Unit: "ns/op", Before: 2065829, After: 1395250},
+	}}
+	err := updateBaseline(base, []string{"BenchmarkInjectionRun", "BenchmarkInjectionRunFullReplay"}, []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := base.Benchmarks[0]
+	if e.Before != 352511 || e.After != 597750 {
+		t.Fatalf("before/after = %v/%v, want 352511/597750", e.Before, e.After)
+	}
+	if len(e.Trajectory) != 4 || e.Trajectory[3] != 597750 {
+		t.Fatalf("trajectory = %v, want a fourth point 597750", e.Trajectory)
+	}
+	if f := base.Benchmarks[1]; len(f.Trajectory) != 0 || f.After != 1644361 {
+		t.Fatalf("FullReplay entry = %+v, want after 1644361 and no trajectory", f)
+	}
+	env := base.Environment
+	if env.Go == "" || env.CPUs < 1 || env.Date == "" {
+		t.Fatalf("environment stanza not refreshed: %+v", env)
+	}
+}
+
+func TestUpdateBaselineUnknownName(t *testing.T) {
+	base := &baseline{}
+	if err := updateBaseline(base, []string{"BenchmarkNope"}, []byte(sample)); err == nil {
+		t.Fatal("want error for a name missing from the baseline")
+	}
+}
+
 func TestParseBenchNoSuffix(t *testing.T) {
 	out := "BenchmarkSerial 5 42 ns/op\n"
 	v, err := parseBench(strings.NewReader(out), "BenchmarkSerial")

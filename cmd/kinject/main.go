@@ -116,6 +116,7 @@ func run(args []string) error {
 	resumePath := fs.String("resume", "", "resume an interrupted study from this journal")
 	runTimeout := fs.Duration("run-timeout", 0, "wall-clock watchdog per injection run (0 = derive from the golden run)")
 	checkpoint := fs.Bool("checkpoint", true, "reuse a machine checkpoint captured at each activation PC across that PC's injections (results are identical either way)")
+	blocks := fs.Bool("blocks", true, "execute via the CPU's superblock trace engine (results are identical either way)")
 	maxRetries := fs.Int("max-retries", core.DefaultMaxRetries, "harness-fault retries before a target is quarantined")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
 	isolation := fs.String("isolation", "inproc", "injection isolation: inproc (in-process machines) or process (supervised worker subprocesses)")
@@ -173,6 +174,7 @@ func run(args []string) error {
 	cfg.Workers = *workers
 	cfg.RunTimeout = *runTimeout
 	cfg.NoCheckpoint = !*checkpoint
+	cfg.NoBlocks = !*blocks
 	cfg.MaxRetries = *maxRetries
 	if *maxRetries <= 0 {
 		cfg.MaxRetries = -1 // quarantine on the first fault
@@ -335,6 +337,7 @@ func run(args []string) error {
 				RunTimeout:          cfg.RunTimeout,
 				MaxRetries:          cfg.MaxRetries,
 				NoCheckpoint:        cfg.NoCheckpoint,
+				NoBlocks:            cfg.NoBlocks,
 			},
 			GoldenFP:         s.Runner.GoldenFingerprint(),
 			GoldenDisk:       fmt.Sprintf("%x", s.Runner.GoldenDiskHash()),

@@ -119,6 +119,10 @@ type Config struct {
 	// runners, running every target from the pristine boot snapshot.
 	// Results are identical either way.
 	NoCheckpoint bool
+	// NoBlocks disables the CPU's superblock trace-execution engine in
+	// the runners, forcing per-instruction interpretation. Results are
+	// identical either way.
+	NoBlocks bool
 	// Cancel, when set, is polled between runs by the serial loop and
 	// by every parallel worker; once true the campaign stops and
 	// RunCampaign returns ErrCancelled (graceful shutdown).
@@ -189,6 +193,7 @@ func New(cfg Config) (*Study, error) {
 		DisableAssertions: cfg.DisableAssertions,
 		RunTimeout:        cfg.RunTimeout,
 		NoCheckpoint:      cfg.NoCheckpoint,
+		NoBlocks:          cfg.NoBlocks,
 		Model:             model,
 	})
 	if err != nil {
@@ -312,6 +317,8 @@ func (s *Study) runTimed(runner *inject.Runner, worker int, c inject.Campaign, t
 		} else {
 			m.RunFinished(worker, &res, time.Since(start))
 		}
+		d := runner.BlockStatsDelta()
+		m.BlockStats(d.Hits, d.Misses, d.Flushes, d.Fallbacks)
 	}
 	return res, hf
 }
@@ -333,6 +340,7 @@ func (s *Study) runnerOptions() inject.RunnerOptions {
 		DisableAssertions: s.Cfg.DisableAssertions,
 		RunTimeout:        s.Cfg.RunTimeout,
 		NoCheckpoint:      s.Cfg.NoCheckpoint,
+		NoBlocks:          s.Cfg.NoBlocks,
 		Model:             s.Model,
 	}
 }

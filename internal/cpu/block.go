@@ -1,0 +1,290 @@
+package cpu
+
+import (
+	"errors"
+
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
+
+// Superblock trace execution: straight-line instruction runs are
+// decoded once into cached blocks and executed through a tight
+// dispatch loop. The per-instruction overheads of the single-step
+// path — debug-register scan, decode-cache probe, host-return and
+// stop-flag checks, cycle-budget compare — are hoisted to one check
+// per block entry. The per-instruction work that remains is exactly
+// the architectural work: c.exec on a predecoded instruction, plus a
+// single code-generation load that catches self-modifying code
+// mid-block.
+//
+// Correctness is by construction, not by re-verification: a block
+// only ever contains instructions that cannot leave the straight
+// line (every control transfer, trap, port access or string
+// instruction terminates its block and is re-dispatched through the
+// outer loop), so after instruction k the machine is in precisely the
+// state the single-step reference would be in, and any exception
+// returns with that exact state. The differential oracle in
+// block_oracle_test.go enforces this equivalence on random programs.
+//
+// Invalidation rides the memory package's code-generation tracking at
+// two granularities. The fast tag is the global CodeGen: while it is
+// unchanged, every cached block is valid. When it moves — an
+// injection flipped an instruction bit, a restore rolled it back —
+// each block revalidates against CodePageGen of the one page it
+// decodes from, so a code change on page P discards only the blocks
+// on P and every other block survives whole injection runs.
+
+// Block-cache geometry: direct-mapped on the low bits of the block's
+// start EIP.
+const (
+	bcacheBits = 12
+	bcacheSize = 1 << bcacheBits
+	bcacheMask = bcacheSize - 1
+)
+
+// maxBlockInsts caps a block's length. Blocks also never extend
+// across a page boundary (so one CodePageGen tag covers the whole
+// block) and never include the host-return sentinel address.
+const maxBlockInsts = 32
+
+// instCycleBound is a per-instruction upper bound on the cycles
+// c.exec can charge for any block-eligible instruction. The costliest
+// are DIV/IDIV (1 base + 1 operand read + 10) and PUSHA/POPA (1 base
+// + 8 stack accesses); string instructions are unbounded but always
+// terminate a block, and a block's budget-safety margin deliberately
+// excludes its last instruction (see blockSafe).
+const instCycleBound = 16
+
+// block is one decoded superblock: a straight-line instruction run
+// starting at eip, ending (exclusive) at end, all within one page.
+type block struct {
+	eip uint32
+	end uint32
+	// gen is the fast validity tag: the block is valid while gen ==
+	// Mem.CodeGen()+1 (the +1 keeps the zero value invalid, matching
+	// the decode cache's convention). It is refreshed in place when a
+	// global bump turns out not to have touched this block's page.
+	gen uint64
+	// pageGen is the slow revalidation tag: Mem.CodePageGen of the
+	// block's page at decode time. While it is unchanged the decoded
+	// bytes are unchanged, whatever the global generation did.
+	pageGen uint64
+	// slack is the budget-safety margin: an upper bound on the cycles
+	// charged by every instruction except the last. Entering the block
+	// with more than slack budget remaining guarantees the single-step
+	// loop would also have reached (and started) the last instruction.
+	slack uint64
+	// insts holds the decoded run. Empty means a negative entry: the
+	// first instruction at eip does not decode into a block (undecodable
+	// bytes, a fetch fault, or a page-straddling encoding) and dispatch
+	// must single-step instead of re-attempting the build.
+	insts []ia32.Inst
+}
+
+// BlockStats are the block engine's lifetime counters for one CPU.
+type BlockStats struct {
+	// Hits counts dispatches served by a cached valid block.
+	Hits uint64
+	// Misses counts block builds (including negative entries).
+	Misses uint64
+	// Flushes counts cached blocks discarded because the code they
+	// decoded actually changed (page-level invalidation).
+	Flushes uint64
+	// Fallbacks counts single-step dispatches taken while the block
+	// engine was on: breakpoint inside the block, exhausted budget
+	// margin, or an unbuildable block.
+	Fallbacks uint64
+}
+
+// BlockStats returns the block engine's counters.
+func (c *CPU) BlockStats() BlockStats { return c.bstats }
+
+// isBlockTerminator reports whether op must end its block. Control
+// transfers leave the straight line; traps and HLT never fall
+// through; IN/OUT reach host hooks that may remap memory (the MMU
+// ports) behind the decoded run; string instructions may retire a
+// partial REP chunk without advancing EIP. All of these are legal as
+// a block's final instruction — dispatch revalidates before the next
+// block — but nothing may be decoded past them.
+func isBlockTerminator(op ia32.Op) bool {
+	switch op {
+	case ia32.OpJcc, ia32.OpJmp, ia32.OpCall, ia32.OpRet, ia32.OpLret,
+		ia32.OpInt3, ia32.OpInt, ia32.OpInto, ia32.OpHlt, ia32.OpUd2,
+		ia32.OpIn, ia32.OpOut,
+		ia32.OpMovs, ia32.OpStos, ia32.OpLods, ia32.OpScas, ia32.OpCmps:
+		return true
+	}
+	return false
+}
+
+// blockFor returns the block starting at eip, building it on a miss.
+// The result always has eip as its start; it may be a negative entry
+// (no insts).
+func (c *CPU) blockFor(eip uint32) *block {
+	if c.bcache == nil {
+		c.bcache = make([]*block, bcacheSize)
+	}
+	slot := &c.bcache[eip&bcacheMask]
+	gen := c.Mem.CodeGen() + 1
+	if b := *slot; b != nil && b.eip == eip {
+		if b.gen == gen {
+			c.bstats.Hits++
+			return b
+		}
+		// The global generation moved since this block was validated.
+		// If the bump happened on other pages the decode is still
+		// exact: refresh the fast tag and keep the block.
+		if c.Mem.CodePageGen(eip>>blockPageShift) == b.pageGen {
+			b.gen = gen
+			c.bstats.Hits++
+			return b
+		}
+		c.bstats.Flushes++
+	}
+	b := c.buildBlock(eip, gen)
+	*slot = b
+	c.bstats.Misses++
+	return b
+}
+
+// blockPageShift mirrors the memory page geometry (mem.PageSize).
+const blockPageShift = 12
+
+// buildBlock decodes the straight-line run starting at eip. It stops
+// at block terminators, the page boundary, the host-return sentinel,
+// and maxBlockInsts.
+func (c *CPU) buildBlock(eip uint32, gen uint64) *block {
+	b := &block{
+		eip:     eip,
+		end:     eip,
+		gen:     gen,
+		pageGen: c.Mem.CodePageGen(eip >> blockPageShift),
+	}
+	// The run may not extend past the block's page (one pageGen tag
+	// covers it) nor reach the host-return sentinel (the run loop must
+	// observe that EIP before executing anything there).
+	limit := (uint64(eip) &^ (mem.PageSize - 1)) + mem.PageSize
+	if eip>>blockPageShift == HostReturn>>blockPageShift && uint64(HostReturn) < limit {
+		limit = uint64(HostReturn)
+	}
+	at := uint64(eip)
+	for len(b.insts) < maxBlockInsts && at < limit {
+		n, err := c.Mem.Fetch(uint32(at), c.fetch[:])
+		if err != nil {
+			break
+		}
+		inst, derr := ia32.Decode(c.fetch[:n])
+		if derr != nil {
+			break
+		}
+		if at+uint64(inst.Len) > limit {
+			// The encoding straddles the page end (or the sentinel):
+			// leave it to the single-step path.
+			break
+		}
+		b.insts = append(b.insts, inst)
+		at += uint64(inst.Len)
+		if isBlockTerminator(inst.Op) {
+			break
+		}
+	}
+	b.end = uint32(at)
+	if n := len(b.insts); n > 0 {
+		b.slack = uint64(n-1) * instCycleBound
+	}
+	return b
+}
+
+// blockSafe reports whether b can be executed whole right now with
+// behavior identical to single-stepping it:
+//
+//   - Budget: the single-step loop re-checks the cycle limit before
+//     every instruction. Requiring more than b.slack remaining budget
+//     guarantees every instruction of the block would also have
+//     started under per-instruction checking (slack bounds the cycles
+//     of all instructions but the last; whether the last one finishes
+//     over the limit is irrelevant — it would have started, and cycle
+//     charging inside an instruction is unconditional either way).
+//   - Breakpoints: an armed debug register inside [eip, end) could
+//     fire mid-block; fall back so the per-instruction scan runs.
+//     Registers outside the range can never match any EIP the block
+//     visits, so the hoisted range check is exact, not approximate.
+func (c *CPU) blockSafe(b *block, limit uint64) bool {
+	if limit-c.Cycles <= b.slack {
+		return false
+	}
+	if c.OnBreakpoint != nil && c.DREnabled != [4]bool{} {
+		size := b.end - b.eip
+		for i := 0; i < 4; i++ {
+			if c.DREnabled[i] && c.DR[i]-b.eip < size {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// execBlock runs the block's instructions in order, returning the
+// number executed and the first error. A non-terminator instruction
+// always either faults (leaving state at that instruction's start,
+// exactly like Step) or advances EIP to the next decoded instruction,
+// so no per-instruction EIP bookkeeping is needed. The one mid-block
+// hazard is code changing under the block (a store into an executable
+// page); the codeGen compare catches it at the following instruction
+// boundary — the same boundary at which the single-step path would
+// redecode — and bails out to the dispatcher, which revalidates at
+// the current EIP.
+func (c *CPU) execBlock(b *block) (int, error) {
+	want := b.gen - 1 // the Mem.CodeGen() value the block is valid against
+	for k := range b.insts {
+		if c.Mem.CodeGen() != want {
+			return k, nil
+		}
+		if err := c.exec(&b.insts[k]); err != nil {
+			return k, err
+		}
+	}
+	return len(b.insts), nil
+}
+
+// runBlocks is Run's block-engine loop (budget, stop-flag and
+// host-return semantics identical to runStep; see Run).
+func (c *CPU) runBlocks(limit uint64) (StopReason, *Exception) {
+	poll := 0
+	for c.Cycles < limit {
+		if c.EIP == HostReturn {
+			return StopReturned, nil
+		}
+		if poll >= stopPollInterval {
+			poll = 0
+			if c.Stop != nil && c.Stop.Load() {
+				return StopInterrupted, nil
+			}
+		}
+		var err error
+		if b := c.blockFor(c.EIP); len(b.insts) > 0 && c.blockSafe(b, limit) {
+			var n int
+			n, err = c.execBlock(b)
+			poll += n
+		} else {
+			c.bstats.Fallbacks++
+			err = c.Step()
+			poll++
+		}
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrHalted) {
+			return StopHalted, nil
+		}
+		var exc *Exception
+		if errors.As(err, &exc) {
+			return StopException, exc
+		}
+		return StopException, &Exception{Vector: VecDF, EIP: c.EIP}
+	}
+	if c.EIP == HostReturn {
+		return StopReturned, nil
+	}
+	return StopBudget, nil
+}

@@ -1,0 +1,200 @@
+package cpu
+
+// Equivalence oracle for the bulk REP MOVS/STOS fast path: the
+// span-copy retirement must be indistinguishable — registers, flags,
+// cycle counter and memory image — from the per-element reference
+// loop it replaces. noBulkString is the internal switch that forces
+// the reference loop, which is why this test lives inside the package.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
+
+const (
+	bulkTextBase = 0x00100000
+	bulkDataBase = 0x00300000
+	bulkStackTop = 0x00280000
+)
+
+// bulkArm assembles src and prepares one machine with the pattern
+// pre-filled data buffer.
+func bulkArm(t *testing.T, src string, noBulk bool) (*CPU, *mem.Memory) {
+	t.Helper()
+	a := asm.New(nil)
+	if err := a.AddSource("bulk.s", src); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	prog, err := a.Link(map[string]uint32{"text": bulkTextBase, "data": bulkDataBase}, []string{"text"})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := mem.New()
+	m.Map(bulkTextBase, 0x10000, mem.PermRX)
+	m.Map(bulkDataBase, 0x10000, mem.PermRW)
+	m.Map(bulkStackTop-0x10000, 0x10000, mem.PermRW)
+	for _, s := range prog.Sections {
+		if err := m.WriteRaw(s.Base, s.Code); err != nil {
+			t.Fatalf("load %s: %v", s.Name, err)
+		}
+	}
+	fill := make([]byte, 0x10000)
+	for i := range fill {
+		fill[i] = byte(i*7 + i>>8)
+	}
+	if err := m.WriteRaw(bulkDataBase, fill); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	c.noBulkString = noBulk
+	c.Regs[ia32.ESP] = bulkStackTop - 4
+	if err := m.Write32(c.Regs[ia32.ESP], HostReturn); err != nil {
+		t.Fatal(err)
+	}
+	c.EIP = prog.Symbols["go"]
+	return c, m
+}
+
+// runBulkPair runs src on the bulk and reference arms and fails on any
+// observable difference.
+func runBulkPair(t *testing.T, tag, src string) {
+	t.Helper()
+	ca, ma := bulkArm(t, src, false)
+	cb, mb := bulkArm(t, src, true)
+	ra, ea := ca.Run(50_000_000)
+	rb, eb := cb.Run(50_000_000)
+	if ra != rb || (ea == nil) != (eb == nil) || (ea != nil && *ea != *eb) {
+		t.Fatalf("%s: stop: bulk=%v/%v ref=%v/%v", tag, ra, ea, rb, eb)
+	}
+	if sa, sb := ca.CaptureState(), cb.CaptureState(); sa != sb {
+		t.Fatalf("%s: state diverged:\nbulk: %+v\nref:  %+v", tag, sa, sb)
+	}
+	ba, err := ma.ReadRaw(bulkDataBase, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := mb.ReadRaw(bulkDataBase, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("%s: data diverged at +%#x: bulk=%#02x ref=%#02x", tag, i, ba[i], bb[i])
+		}
+	}
+}
+
+func bulkSrc(dir, op string, src, dst, cnt int) string {
+	return fmt.Sprintf(`.section data
+buf: .skip 49152
+.section text
+go:
+	%s
+	mov esi, buf+%d
+	mov edi, buf+%d
+	mov eax, 0x5AA51234
+	mov ecx, %d
+	rep %s
+	ret
+`, dir, src, dst, cnt, op)
+}
+
+func TestBulkStringEquivalence(t *testing.T) {
+	cases := []struct {
+		name          string
+		op            string
+		dir           string
+		src, dst, cnt int
+	}{
+		{"movsb-basic", "movsb", "cld", 0x100, 0x4100, 123},
+		{"movsb-zero", "movsb", "cld", 0x100, 0x4100, 0},
+		{"movsb-below-min", "movsb", "cld", 0x100, 0x4100, 7},
+		{"movsb-at-min", "movsb", "cld", 0x100, 0x4100, 8},
+		{"movsb-page-straddle", "movsb", "cld", 0xF80, 0x4FF0, 0x220},
+		{"movsb-overlap-fwd", "movsb", "cld", 0x100, 0x110, 0x200},
+		{"movsb-overlap-back", "movsb", "cld", 0x210, 0x200, 0x200},
+		{"movsb-adjacent-pages", "movsb", "cld", 0xFF0, 0x1000, 0x40},
+		{"movsb-huge", "movsb", "cld", 0x0, 0x8000, 0x2000},
+		{"movsb-chunk-cap", "movsb", "cld", 0x0, 0x8000, 0x1800},
+		{"movsb-backward", "movsb", "std", 0x300, 0x4300, 40},
+		{"movsd-basic", "movsd", "cld", 0x100, 0x4100, 300},
+		{"movsd-unaligned", "movsd", "cld", 0x0FE, 0x4002, 1000},
+		{"movsd-tail-straddle", "movsd", "cld", 0x102, 0x4FFE, 9},
+		{"movsd-overlap", "movsd", "cld", 0x100, 0x108, 0x100},
+		{"stosb-basic", "stosb", "cld", 0, 0x4100, 123},
+		{"stosb-straddle", "stosb", "cld", 0, 0x4FF8, 0x210},
+		{"stosb-huge", "stosb", "cld", 0, 0x6000, 0x3000},
+		{"stosd-basic", "stosd", "cld", 0, 0x4100, 300},
+		{"stosd-unaligned", "stosd", "cld", 0, 0x4FF7, 9},
+		{"stosd-backward", "stosd", "std", 0, 0x4300, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runBulkPair(t, tc.name, bulkSrc(tc.dir, tc.op, tc.src, tc.dst, tc.cnt))
+		})
+	}
+}
+
+// TestBulkStringEquivalenceFuzz sweeps random geometries, including
+// overlapping ranges and counts far beyond one REP chunk.
+func TestBulkStringEquivalenceFuzz(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(0xB71C))
+	for i := 0; i < trials; i++ {
+		op := []string{"movsb", "movsd", "stosb", "stosd"}[rng.Intn(4)]
+		dir := "cld"
+		if rng.Intn(8) == 0 {
+			dir = "std"
+		}
+		src := rng.Intn(0x6000)
+		dst := rng.Intn(0x6000)
+		cnt := rng.Intn(0x2800)
+		if dir == "std" {
+			cnt = rng.Intn(64) // keep backward runs inside buf
+			src += 0x1000
+			dst += 0x1000
+		}
+		tag := fmt.Sprintf("fuzz %d: %s %s src=%#x dst=%#x cnt=%#x", i, dir, op, src, dst, cnt)
+		runBulkPair(t, tag, bulkSrc(dir, op, src, dst, cnt))
+	}
+}
+
+// TestBulkStringFaultEquivalence drives the copy off the end of the
+// mapped data region: the bulk path must fault at exactly the same
+// element, with identical partial progress, as the reference loop.
+func TestBulkStringFaultEquivalence(t *testing.T) {
+	// buf ends 0x4000 bytes before the end of the mapped region is
+	// irrelevant here — the run simply walks EDI past the mapping.
+	for _, tc := range []struct {
+		name string
+		op   string
+		dst  int
+	}{
+		{"movsb-off-end", "movsb", 0xFF00},
+		{"stosd-off-end", "stosd", 0xFEF9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := fmt.Sprintf(`.section data
+buf: .skip 49152
+.section text
+go:
+	cld
+	mov esi, buf
+	mov edi, buf+%d
+	mov eax, 0x77665544
+	mov ecx, 0x1000
+	rep %s
+	ret
+`, tc.dst, tc.op)
+			runBulkPair(t, tc.name, src)
+		})
+	}
+}

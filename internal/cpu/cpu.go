@@ -141,6 +141,13 @@ type CPU struct {
 	// advancing it starves the StopBudget check forever).
 	Stop *atomic.Bool
 
+	// DisableBlocks turns off the superblock trace-execution engine
+	// (see block.go), forcing the per-instruction reference loop. The
+	// zero value — blocks on — is the default; results are identical
+	// either way, so this is an escape hatch and the reference arm for
+	// parity testing.
+	DisableBlocks bool
+
 	fetch [ia32.MaxInstLen]byte
 
 	// Decode cache: executable bytes only change when Mem.CodeGen
@@ -153,6 +160,17 @@ type CPU struct {
 	// generation tags: invalidation is free (stale generations simply
 	// never match) and no per-generation reallocation happens.
 	icache []icacheEntry
+
+	// Superblock cache (see block.go): direct-mapped on the block's
+	// start EIP, validated by the same code-generation tracking as the
+	// decode cache, plus per-page generations so blocks survive code
+	// changes on other pages.
+	bcache []*block
+	bstats BlockStats
+
+	// noBulkString forces the per-element REP MOVS/STOS loop; test-only
+	// reference arm for the bulk-equivalence oracle (bulk_test.go).
+	noBulkString bool
 }
 
 // icacheEntry is one decode-cache slot. An entry is live when its gen
@@ -326,6 +344,12 @@ func (c *CPU) pageFault(err error, _ uint32) error {
 // Run executes instructions until the budget is exhausted, an exception
 // or halt occurs, or control returns to the host sentinel. It returns
 // the stop reason and, for StopException, the exception.
+//
+// The default execution engine is the superblock loop (block.go); the
+// per-instruction loop remains the reference and handles the cases
+// the block engine conservatively declines: DisableBlocks and PC
+// sampling (whose every-instruction EIP inspection a hoisted check
+// cannot preserve).
 func (c *CPU) Run(budget uint64) (StopReason, *Exception) {
 	// Poll the stop flag once per Run entry so even livelocks made of
 	// many short host calls (each executing fewer than
@@ -334,6 +358,14 @@ func (c *CPU) Run(budget uint64) (StopReason, *Exception) {
 		return StopInterrupted, nil
 	}
 	limit := c.Cycles + budget
+	if !c.DisableBlocks && c.SampleEvery == 0 {
+		return c.runBlocks(limit)
+	}
+	return c.runStep(limit)
+}
+
+// runStep is the single-step reference loop.
+func (c *CPU) runStep(limit uint64) (StopReason, *Exception) {
 	poll := 0
 	for c.Cycles < limit {
 		if c.EIP == HostReturn {

@@ -1,6 +1,9 @@
 package cpu
 
-import "repro/internal/ia32"
+import (
+	"repro/internal/ia32"
+	"repro/internal/mem"
+)
 
 // KernelCS is the only code-segment selector considered valid by far
 // returns; anything else raises #GP (mirrors protected-mode selector
@@ -818,7 +821,18 @@ func (c *CPU) stringOp(i *ia32.Inst) (bool, error) {
 	if i.Rep == ia32.RepNone {
 		return true, once()
 	}
-	for n := 0; n < maxRepChunk; n++ {
+	n := 0
+	if !c.noBulkString && delta == size && (i.Op == ia32.OpMovs || i.Op == ia32.OpStos) {
+		// Forward REP MOVS/STOS: retire page-sized spans at memcpy
+		// speed, then fall into the per-element loop for whatever the
+		// bulk path declined (tail, faulting element, overlap). Because
+		// bulk iterations charge the identical per-element cycle cost
+		// and the chunk still caps at maxRepChunk, every architectural
+		// observable — registers, cycles, fault point, chunk boundary —
+		// matches the per-element loop exactly.
+		n = c.bulkString(i, size)
+	}
+	for ; n < maxRepChunk; n++ {
 		if c.Regs[ia32.ECX] == 0 {
 			return true, nil
 		}
@@ -834,6 +848,81 @@ func (c *CPU) stringOp(i *ia32.Inst) (bool, error) {
 		}
 	}
 	return c.Regs[ia32.ECX] == 0, nil
+}
+
+// bulkMinElems is the span size below which the bulk string path
+// defers to the per-element loop: spans this short don't amortize the
+// TLB lookups, and the tail of any long copy is at most one span.
+const bulkMinElems = 8
+
+// bulkString retires forward (DF clear) REP MOVS/STOS iterations in
+// whole-page spans, returning how many it retired. It only ever acts
+// on spans where no element can fault — both spans resolve inside one
+// readable/writable page — and falls back (returns early) for
+// everything else: page-straddling tails, faults, executable
+// destinations (WriteSpan refuses them so code-generation tracking
+// keeps per-write granularity), and overlapping same-page MOVS ranges
+// (forward per-element copy re-reads bytes earlier iterations wrote; a
+// span copy would not). Cycle charging per iteration is identical to
+// the per-element loop: MOVS 4 (base 2 + read + write), STOS 3.
+func (c *CPU) bulkString(i *ia32.Inst, size uint32) int {
+	n := 0
+	for n < maxRepChunk {
+		cnt := uint32(maxRepChunk - n)
+		if ecx := c.Regs[ia32.ECX]; ecx < cnt {
+			cnt = ecx
+		}
+		edi := c.Regs[ia32.EDI]
+		if m := (mem.PageSize - edi&(mem.PageSize-1)) / size; m < cnt {
+			cnt = m
+		}
+		if i.Op == ia32.OpMovs {
+			esi := c.Regs[ia32.ESI]
+			if m := (mem.PageSize - esi&(mem.PageSize-1)) / size; m < cnt {
+				cnt = m
+			}
+			if cnt < bulkMinElems {
+				return n
+			}
+			so, do := esi&(mem.PageSize-1), edi&(mem.PageSize-1)
+			if esi&^(mem.PageSize-1) == edi&^(mem.PageSize-1) &&
+				so < do+cnt*size && do < so+cnt*size {
+				return n
+			}
+			src := c.Mem.ReadSpan(esi, cnt*size)
+			if src == nil {
+				return n
+			}
+			dst := c.Mem.WriteSpan(edi, cnt*size)
+			if dst == nil {
+				return n
+			}
+			copy(dst, src)
+			c.Regs[ia32.ESI] = esi + cnt*size
+			c.Regs[ia32.EDI] = edi + cnt*size
+			c.Regs[ia32.ECX] -= cnt
+			c.Cycles += uint64(cnt) * 4
+		} else {
+			if cnt < bulkMinElems {
+				return n
+			}
+			dst := c.Mem.WriteSpan(edi, cnt*size)
+			if dst == nil {
+				return n
+			}
+			v := c.Regs[ia32.EAX]
+			pat := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+			copy(dst, pat[:size])
+			for f := size; f < uint32(len(dst)); f *= 2 {
+				copy(dst[f:], dst[:f])
+			}
+			c.Regs[ia32.EDI] = edi + cnt*size
+			c.Regs[ia32.ECX] -= cnt
+			c.Cycles += uint64(cnt) * 3
+		}
+		n += int(cnt)
+	}
+	return n
 }
 
 func (c *CPU) memRead(addr uint32, w8 bool) (uint32, error) {

@@ -40,6 +40,7 @@ func (b *Backend) Boot(spec wire.StudySpec) (wire.Ready, error) {
 	cfg.FaultModel = spec.FaultModel // "" = bitflip (inject.ModelTag)
 	cfg.RunTimeout = spec.RunTimeout
 	cfg.NoCheckpoint = spec.NoCheckpoint
+	cfg.NoBlocks = spec.NoBlocks
 	cfg.MaxRetries = spec.MaxRetries
 	cs, err := analysis.ParseCampaigns(spec.Campaigns)
 	if err != nil {
@@ -80,6 +81,15 @@ func (b *Backend) Run(campaign string, ordinal int) (*inject.Result, *inject.Har
 		return nil, hf, nil
 	}
 	return &res, nil, nil
+}
+
+// BlockStatsDelta reports the worker CPU's superblock-engine counter
+// deltas since the previous reply; wire.Serve attaches them to result
+// and fault frames so the supervisor can fold worker cache behavior
+// into its metrics.
+func (b *Backend) BlockStatsDelta() wire.BlockDelta {
+	d := b.study.Runner.BlockStatsDelta()
+	return wire.BlockDelta{Hits: d.Hits, Misses: d.Misses, Flushes: d.Flushes, Fallbacks: d.Fallbacks}
 }
 
 // ServeWorker runs the worker side of the wire protocol over the given

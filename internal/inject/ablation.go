@@ -64,6 +64,11 @@ type RunnerOptions struct {
 	// bitflip). Models whose activation is not a PC breakpoint disable
 	// checkpointing with a typed reason (Runner.CheckpointDisabled).
 	Model FaultModel
+	// NoBlocks disables the CPU's superblock trace-execution engine,
+	// forcing per-instruction interpretation. Results are identical
+	// either way; this is the escape hatch and the reference arm for
+	// parity testing.
+	NoBlocks bool
 }
 
 // NewRunnerWithOptions is NewRunner with build options applied to the

@@ -526,6 +526,16 @@ func (m *Machine) TakeSnapshot() *Snapshot {
 	return &Snapshot{mem: m.Mem.TakeSnapshot(), cycles: m.CPU.Cycles}
 }
 
+// PagesChangedSince returns a conservative superset of the page
+// numbers whose content may differ from the snapshot state, and
+// ok=false when the snapshot's history does not connect to the current
+// state (see mem.PagesChangedSince). The injection runner uses it to
+// compare post-run disk state against the golden image page-by-page
+// instead of copying the whole ramdisk every run.
+func (m *Machine) PagesChangedSince(s *Snapshot) (map[uint32]struct{}, bool) {
+	return m.Mem.PagesChangedSince(s.mem)
+}
+
 // Restore rolls the machine back to the snapshot.
 func (m *Machine) Restore(s *Snapshot) {
 	m.Mem.Restore(s.mem)

@@ -138,6 +138,24 @@ type Memory struct {
 	// back) must bump codeGen once more.
 	codeDirty bool
 
+	// codePageGen records, per page, the codeGen value at which that
+	// page's executable content last changed (see CodePageGen). It lets
+	// a consumer that caches decoded code per page — the CPU's
+	// superblock cache — revalidate after a codeGen bump instead of
+	// discarding everything: an injection run that flips one bit in one
+	// text page moves codeGen twice (flip + restore) but only that one
+	// page's entry here, so decoded blocks on every other page survive
+	// the whole run.
+	codePageGen map[uint32]uint64
+	// codeDirtyPages mirrors codeDirty at page granularity: the exec
+	// pages changed since the last snapshot boundary, i.e. exactly the
+	// pages whose executable content the next Restore rolls back.
+	codeDirtyPages map[uint32]struct{}
+	// codeAllGen is a floor for CodePageGen: restores whose page-level
+	// history is unknown (rebuildFrom) raise it to invalidate every
+	// page at once.
+	codeAllGen uint64
+
 	// tlb is the software TLB, one direct-mapped way per access kind
 	// (AccessRead/AccessWrite/AccessExec). tlbGen validates entries;
 	// flushTLB invalidates everything by bumping it.
@@ -154,9 +172,11 @@ type Memory struct {
 // New returns an empty address space.
 func New() *Memory {
 	return &Memory{
-		pages:  make(map[uint32]*page),
-		dirty:  make(map[uint32]struct{}),
-		tlbGen: 1, // zero-valued TLB entries must never validate
+		pages:          make(map[uint32]*page),
+		dirty:          make(map[uint32]struct{}),
+		codePageGen:    make(map[uint32]uint64),
+		codeDirtyPages: make(map[uint32]struct{}),
+		tlbGen:         1, // zero-valued TLB entries must never validate
 	}
 }
 
@@ -171,12 +191,14 @@ func (m *Memory) flushTLB() {
 	}
 }
 
-// noteCodeChange records a change to executable content: decode caches
-// become stale now (codeGen) and again when Restore rolls the change
-// back (codeDirty).
-func (m *Memory) noteCodeChange() {
+// noteCodeChange records a change to executable content on page pn:
+// decode caches become stale now (codeGen) and again when Restore
+// rolls the change back (codeDirty / codeDirtyPages).
+func (m *Memory) noteCodeChange(pn uint32) {
 	m.codeGen++
 	m.codeDirty = true
+	m.codePageGen[pn] = m.codeGen
+	m.codeDirtyPages[pn] = struct{}{}
 }
 
 // Map creates pages covering [addr, addr+size) with the given
@@ -192,7 +214,7 @@ func (m *Memory) Map(addr, size uint32, perm Perm) {
 			oldExec = old.perm&PermExec != 0
 		}
 		if oldExec || perm&PermExec != 0 {
-			m.noteCodeChange()
+			m.noteCodeChange(pn)
 		}
 		m.pages[pn] = &page{perm: perm, dirty: true, data: make([]byte, PageSize)}
 		m.dirty[pn] = struct{}{}
@@ -207,7 +229,7 @@ func (m *Memory) Unmap(addr, size uint32) {
 	for pn := first; pn <= last; pn++ {
 		if p, ok := m.pages[pn]; ok {
 			if p.perm&PermExec != 0 {
-				m.noteCodeChange()
+				m.noteCodeChange(pn)
 			}
 			delete(m.pages, pn)
 			m.dirty[pn] = struct{}{}
@@ -230,7 +252,7 @@ func (m *Memory) Protect(addr, size uint32, perm Perm) {
 			continue
 		}
 		if (p.perm|perm)&PermExec != 0 {
-			m.noteCodeChange()
+			m.noteCodeChange(pn)
 		}
 		if p.shared {
 			p = m.clonePage(pn, p)
@@ -317,6 +339,19 @@ func (m *Memory) lookup(addr uint32, acc Access) (*page, error) {
 	return m.pageFor(addr, acc)
 }
 
+// tlbHit is the inlinable TLB probe for the single-page fast paths:
+// way is the constant acc-1 of the access kind, so the two-compare
+// hit check inlines into Read32/Write32/Fetch with no call overhead
+// (lookup itself is over the inlining budget). nil means miss; the
+// caller takes the pageFor slow path.
+func (m *Memory) tlbHit(way int, pn uint32) *page {
+	e := &m.tlb[way][pn&tlbMask]
+	if e.gen == m.tlbGen && e.pn == pn {
+		return e.p
+	}
+	return nil
+}
+
 // noteWrite maintains dirty tracking for a write to p. Callers skip it
 // on the hot path when the page is already dirty and not executable.
 func (m *Memory) noteWrite(pn uint32, p *page) {
@@ -327,15 +362,19 @@ func (m *Memory) noteWrite(pn uint32, p *page) {
 	if p.perm&PermExec != 0 {
 		// Executable content changed: every such write must invalidate
 		// decode caches, not just the first on the page.
-		m.noteCodeChange()
+		m.noteCodeChange(pn)
 	}
 }
 
 // Read8 reads one byte.
 func (m *Memory) Read8(addr uint32) (byte, error) {
-	p, err := m.lookup(addr, AccessRead)
-	if err != nil {
-		return 0, err
+	p := m.tlbHit(0, addr>>pageShift)
+	if p == nil {
+		var err error
+		p, err = m.pageFor(addr, AccessRead)
+		if err != nil {
+			return 0, err
+		}
 	}
 	return p.data[addr&(PageSize-1)], nil
 }
@@ -344,9 +383,13 @@ func (m *Memory) Read8(addr uint32) (byte, error) {
 func (m *Memory) Read16(addr uint32) (uint16, error) {
 	off := addr & (PageSize - 1)
 	if off <= PageSize-2 {
-		p, err := m.lookup(addr, AccessRead)
-		if err != nil {
-			return 0, err
+		p := m.tlbHit(0, addr>>pageShift)
+		if p == nil {
+			var err error
+			p, err = m.pageFor(addr, AccessRead)
+			if err != nil {
+				return 0, err
+			}
 		}
 		return uint16(p.data[off]) | uint16(p.data[off+1])<<8, nil
 	}
@@ -366,9 +409,13 @@ func (m *Memory) Read32(addr uint32) (uint32, error) {
 	// Fast path: within one page.
 	off := addr & (PageSize - 1)
 	if off <= PageSize-4 {
-		p, err := m.lookup(addr, AccessRead)
-		if err != nil {
-			return 0, err
+		p := m.tlbHit(0, addr>>pageShift)
+		if p == nil {
+			var err error
+			p, err = m.pageFor(addr, AccessRead)
+			if err != nil {
+				return 0, err
+			}
 		}
 		d := p.data[off : off+4 : off+4]
 		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
@@ -386,9 +433,13 @@ func (m *Memory) Read32(addr uint32) (uint32, error) {
 
 // Write8 writes one byte.
 func (m *Memory) Write8(addr uint32, v byte) error {
-	p, err := m.lookup(addr, AccessWrite)
-	if err != nil {
-		return err
+	p := m.tlbHit(1, addr>>pageShift)
+	if p == nil {
+		var err error
+		p, err = m.pageFor(addr, AccessWrite)
+		if err != nil {
+			return err
+		}
 	}
 	if !p.dirty || p.perm&PermExec != 0 {
 		m.noteWrite(addr>>pageShift, p)
@@ -405,9 +456,13 @@ func (m *Memory) Write8(addr uint32, v byte) error {
 func (m *Memory) Write16(addr uint32, v uint16) error {
 	off := addr & (PageSize - 1)
 	if off <= PageSize-2 {
-		p, err := m.lookup(addr, AccessWrite)
-		if err != nil {
-			return err
+		p := m.tlbHit(1, addr>>pageShift)
+		if p == nil {
+			var err error
+			p, err = m.pageFor(addr, AccessWrite)
+			if err != nil {
+				return err
+			}
 		}
 		if !p.dirty || p.perm&PermExec != 0 {
 			m.noteWrite(addr>>pageShift, p)
@@ -436,9 +491,13 @@ func (m *Memory) Write16(addr uint32, v uint16) error {
 func (m *Memory) Write32(addr uint32, v uint32) error {
 	off := addr & (PageSize - 1)
 	if off <= PageSize-4 {
-		p, err := m.lookup(addr, AccessWrite)
-		if err != nil {
-			return err
+		p := m.tlbHit(1, addr>>pageShift)
+		if p == nil {
+			var err error
+			p, err = m.pageFor(addr, AccessWrite)
+			if err != nil {
+				return err
+			}
 		}
 		if !p.dirty || p.perm&PermExec != 0 {
 			m.noteWrite(addr>>pageShift, p)
@@ -480,9 +539,13 @@ func (m *Memory) Fetch(addr uint32, buf []byte) (int, error) {
 	// Fast path: the whole window lies within one page.
 	off := addr & (PageSize - 1)
 	if int(off)+len(buf) <= PageSize {
-		p, err := m.lookup(addr, AccessExec)
-		if err != nil {
-			return 0, err
+		p := m.tlbHit(2, addr>>pageShift)
+		if p == nil {
+			var err error
+			p, err = m.pageFor(addr, AccessExec)
+			if err != nil {
+				return 0, err
+			}
 		}
 		return copy(buf, p.data[off:]), nil
 	}
@@ -500,6 +563,47 @@ func (m *Memory) Fetch(addr uint32, buf []byte) (int, error) {
 		n += c
 	}
 	return n, nil
+}
+
+// ReadSpan returns the backing bytes for [addr, addr+n) when the whole
+// range lies within one readable page. It has no side effects: nil
+// means the caller must take the per-access path (a fault, or a range
+// that straddles a page). The slice aliases page storage and is only
+// valid until the next write, snapshot or restore.
+func (m *Memory) ReadSpan(addr, n uint32) []byte {
+	off := addr & (PageSize - 1)
+	if off+n > PageSize {
+		return nil
+	}
+	p, err := m.lookup(addr, AccessRead)
+	if err != nil {
+		return nil
+	}
+	return p.data[off : off+n]
+}
+
+// WriteSpan returns writable backing bytes for [addr, addr+n) when the
+// range lies within one writable, non-executable page. Copy-on-write
+// and dirty tracking behave exactly as per-access writes would;
+// executable pages are refused (nil) so code-generation bumps keep
+// their per-write granularity on the per-access path. nil otherwise
+// means a fault or a page-straddling range.
+func (m *Memory) WriteSpan(addr, n uint32) []byte {
+	off := addr & (PageSize - 1)
+	if off+n > PageSize {
+		return nil
+	}
+	p, err := m.lookup(addr, AccessWrite)
+	if err != nil {
+		return nil
+	}
+	if p.perm&PermExec != 0 {
+		return nil
+	}
+	if !p.dirty {
+		m.noteWrite(addr>>pageShift, p)
+	}
+	return p.data[off : off+n]
 }
 
 // ReadBytes copies size bytes at addr into a new slice (read access
@@ -617,10 +721,12 @@ type Snapshot struct {
 	// (nil for the first). sinceParent holds the page numbers whose
 	// content, permissions or existence may differ from parent;
 	// codeChangedSinceParent records whether any of those changes
-	// involved executable content.
+	// involved executable content, and codePagesSinceParent which pages
+	// they touched (for per-page decode-cache invalidation on restore).
 	parent                 *Snapshot
 	sinceParent            map[uint32]struct{}
 	codeChangedSinceParent bool
+	codePagesSinceParent   map[uint32]struct{}
 }
 
 // Gen returns the snapshot's generation tag (creation order, starting
@@ -645,9 +751,11 @@ func (m *Memory) TakeSnapshot() *Snapshot {
 		parent:                 m.base,
 		sinceParent:            m.dirty,
 		codeChangedSinceParent: m.codeDirty,
+		codePagesSinceParent:   m.codeDirtyPages,
 	}
 	m.dirty = make(map[uint32]struct{})
 	m.codeDirty = false
+	m.codeDirtyPages = make(map[uint32]struct{})
 	m.base = s
 	m.flushTLB()
 	return s
@@ -670,6 +778,13 @@ func (m *Memory) Restore(s *Snapshot) {
 	if m.codeDirty {
 		m.codeGen++
 		m.codeDirty = false
+		// The restore rolls back exactly the executable changes made
+		// since the snapshot boundary: re-stamp those pages (and only
+		// those) at the new generation.
+		for pn := range m.codeDirtyPages {
+			m.codePageGen[pn] = m.codeGen
+		}
+		clear(m.codeDirtyPages)
 	}
 	for pn := range m.dirty {
 		if sp, ok := s.pages[pn]; ok {
@@ -700,6 +815,10 @@ func (m *Memory) restoreStale(s *Snapshot) {
 		diff[pn] = struct{}{}
 	}
 	codeChanged := m.codeDirty
+	codePages := make(map[uint32]struct{}, len(m.codeDirtyPages))
+	for pn := range m.codeDirtyPages {
+		codePages[pn] = struct{}{}
+	}
 	foundLCA := false
 	for a := m.base; a != nil; a = a.parent {
 		if anc[a] {
@@ -709,6 +828,9 @@ func (m *Memory) restoreStale(s *Snapshot) {
 					diff[pn] = struct{}{}
 				}
 				codeChanged = codeChanged || b.codeChangedSinceParent
+				for pn := range b.codePagesSinceParent {
+					codePages[pn] = struct{}{}
+				}
 			}
 			break
 		}
@@ -716,6 +838,9 @@ func (m *Memory) restoreStale(s *Snapshot) {
 			diff[pn] = struct{}{}
 		}
 		codeChanged = codeChanged || a.codeChangedSinceParent
+		for pn := range a.codePagesSinceParent {
+			codePages[pn] = struct{}{}
+		}
 	}
 	if !foundLCA {
 		// The snapshot's history is disconnected from this Memory's
@@ -733,11 +858,63 @@ func (m *Memory) restoreStale(s *Snapshot) {
 	}
 	if codeChanged {
 		m.codeGen++
+		for pn := range codePages {
+			m.codePageGen[pn] = m.codeGen
+		}
 	}
 	m.codeDirty = false
+	clear(m.codeDirtyPages)
 	m.base = s
 	clear(m.dirty)
 	m.flushTLB()
+}
+
+// PagesChangedSince returns the set of page numbers whose content,
+// permissions or existence may differ between the current state and
+// snapshot s — a conservative superset, computed from the same dirty
+// sets and snapshot-chain deltas that restoreStale walks, without
+// touching any page data. ok is false when s's history does not
+// connect to this Memory's (the caller must assume everything
+// changed). Incremental consumers — the injection runner's disk-state
+// comparison — use it to look at only the pages a run touched instead
+// of re-reading multi-megabyte regions every run.
+func (m *Memory) PagesChangedSince(s *Snapshot) (map[uint32]struct{}, bool) {
+	diff := make(map[uint32]struct{}, len(m.dirty))
+	for pn := range m.dirty {
+		diff[pn] = struct{}{}
+	}
+	if s == m.base {
+		return diff, true
+	}
+	anc := make(map[*Snapshot]bool)
+	for a := s; a != nil; a = a.parent {
+		anc[a] = true
+	}
+	for a := m.base; a != nil; a = a.parent {
+		if anc[a] {
+			for b := s; b != a; b = b.parent {
+				for pn := range b.sinceParent {
+					diff[pn] = struct{}{}
+				}
+			}
+			return diff, true
+		}
+		for pn := range a.sinceParent {
+			diff[pn] = struct{}{}
+		}
+	}
+	return nil, false
+}
+
+// RawPage returns the backing bytes of page pn ignoring permissions,
+// or nil if the page is unmapped. The slice aliases live page storage:
+// callers must treat it as read-only and must not hold it across
+// writes, snapshots or restores.
+func (m *Memory) RawPage(pn uint32) []byte {
+	if p, ok := m.pages[pn]; ok {
+		return p.data
+	}
+	return nil
 }
 
 // rebuildFrom replaces the whole page table with the snapshot's. It is
@@ -750,7 +927,11 @@ func (m *Memory) rebuildFrom(s *Snapshot) {
 	}
 	m.dirty = make(map[uint32]struct{})
 	m.codeGen++
+	// The page-level history does not connect either: invalidate every
+	// page's cached decodes by raising the floor.
+	m.codeAllGen = m.codeGen
 	m.codeDirty = false
+	clear(m.codeDirtyPages)
 	m.base = s
 	m.flushTLB()
 }
@@ -762,3 +943,16 @@ func (m *Memory) PageCount() int { return len(m.pages) }
 // Memory doc comment); instruction caches are valid while it is
 // unchanged.
 func (m *Memory) CodeGen() uint64 { return m.codeGen }
+
+// CodePageGen returns the codeGen value at which the executable
+// content of page pn last changed (0 if never). A per-page decode
+// cache entry built when CodeGen() was g is still valid — even after
+// later CodeGen bumps — as long as CodePageGen(pn) <= g for every page
+// it decodes from: the bumps happened on other pages.
+func (m *Memory) CodePageGen(pn uint32) uint64 {
+	g := m.codePageGen[pn]
+	if g < m.codeAllGen {
+		g = m.codeAllGen
+	}
+	return g
+}

@@ -60,6 +60,15 @@ type Metrics struct {
 	shardsCompleted atomic.Int64
 	poolDeaths      atomic.Int64
 
+	// Superblock-engine counters (cpu.BlockStats deltas, summed across
+	// runner machines): dispatches served by a cached block, blocks
+	// decoded, blocks discarded because their code page changed, and
+	// conservative single-step fallbacks.
+	blockHits      atomic.Int64
+	blockMisses    atomic.Int64
+	blockFlushes   atomic.Int64
+	blockFallbacks atomic.Int64
+
 	workers []workerStats
 }
 
@@ -162,6 +171,16 @@ func (m *Metrics) ShardCompleted() { m.shardsCompleted.Add(1) }
 // shards were requeued to the survivors).
 func (m *Metrics) PoolDeath() { m.poolDeaths.Add(1) }
 
+// BlockStats accumulates superblock-engine counter deltas from one
+// runner machine (hits, misses, page-invalidation flushes, single-step
+// fallbacks).
+func (m *Metrics) BlockStats(hits, misses, flushes, fallbacks uint64) {
+	m.blockHits.Add(int64(hits))
+	m.blockMisses.Add(int64(misses))
+	m.blockFlushes.Add(int64(flushes))
+	m.blockFallbacks.Add(int64(fallbacks))
+}
+
 // JournalFlush records one batch flushed to the result journal.
 func (m *Metrics) JournalFlush(bytes int) {
 	m.flushes.Add(1)
@@ -211,6 +230,15 @@ type Snapshot struct {
 	// completed and whole pools lost mid-campaign.
 	ShardsCompleted int64 `json:",omitempty"`
 	PoolDeaths      int64 `json:",omitempty"`
+
+	// Superblock trace-execution engine: block-cache hits, decodes,
+	// code-change flushes and single-step fallbacks, summed across the
+	// study's runner machines. All zero when the engine is disabled
+	// (-blocks=false).
+	BlockCacheHits   int64 `json:",omitempty"`
+	BlockCacheMisses int64 `json:",omitempty"`
+	BlockFlushes     int64 `json:",omitempty"`
+	BlockFallbacks   int64 `json:",omitempty"`
 }
 
 // HarnessFaultTotal sums the recovered harness faults across kinds.
@@ -264,6 +292,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.ChaosKills = m.chaosKills.Load()
 	s.ShardsCompleted = m.shardsCompleted.Load()
 	s.PoolDeaths = m.poolDeaths.Load()
+	s.BlockCacheHits = m.blockHits.Load()
+	s.BlockCacheMisses = m.blockMisses.Load()
+	s.BlockFlushes = m.blockFlushes.Load()
+	s.BlockFallbacks = m.blockFallbacks.Load()
 	if s.RunsCompleted > 0 {
 		s.ActivationRate = float64(s.Activated) / float64(s.RunsCompleted)
 	}
@@ -376,6 +408,12 @@ func (s Snapshot) Render() string {
 	}
 	if s.PoolDeaths > 0 {
 		fmt.Fprintf(&b, "  pool deaths        %d (shards requeued to survivors)\n", s.PoolDeaths)
+	}
+	if n := s.BlockCacheHits + s.BlockCacheMisses; n > 0 {
+		fmt.Fprintf(&b, "  block cache        %d hits, %d misses (%.1f%% hit rate)\n",
+			s.BlockCacheHits, s.BlockCacheMisses, 100*float64(s.BlockCacheHits)/float64(n))
+		fmt.Fprintf(&b, "  block flushes      %d (code-page invalidations)\n", s.BlockFlushes)
+		fmt.Fprintf(&b, "  block fallbacks    %d (single-step dispatches)\n", s.BlockFallbacks)
 	}
 	if s.JournalFlushes > 0 {
 		fmt.Fprintf(&b, "  journal            %d flushes, %s\n", s.JournalFlushes, fmtBytes(s.JournalBytes))

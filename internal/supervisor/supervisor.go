@@ -307,6 +307,9 @@ func (s *Supervisor) runOn(w *worker, campaign string, ordinal int) (*inject.Res
 					return nil, nil, fmt.Errorf("supervisor: protocol error: reply for %s/%d, want %s/%d",
 						m.Campaign, m.Ordinal, campaign, ordinal)
 				}
+				if m.Blocks != nil && s.cfg.Metrics != nil {
+					s.cfg.Metrics.BlockStats(m.Blocks.Hits, m.Blocks.Misses, m.Blocks.Flushes, m.Blocks.Fallbacks)
+				}
 				if m.Type == wire.TypeFault {
 					if m.Fault == nil {
 						s.frameRejected()

@@ -101,6 +101,10 @@ type StudySpec struct {
 	// It does not affect results (zero value = checkpointing on, which
 	// keeps old supervisors compatible with new workers).
 	NoCheckpoint bool
+	// NoBlocks disables the CPU's superblock trace-execution engine in
+	// workers. Like NoCheckpoint it does not affect results (zero value
+	// = blocks on), so no protocol bump is needed.
+	NoBlocks bool `json:",omitempty"`
 }
 
 // Ready is the worker's handshake reply: the golden (fault-free) run
@@ -109,6 +113,17 @@ type Ready struct {
 	GoldenFP   string         // golden trace fingerprint
 	GoldenDisk string         // golden disk hash, hex
 	Totals     map[string]int // campaign key -> target count
+}
+
+// BlockDelta carries a worker's superblock-engine counter deltas since
+// its previous reply frame. Observability only — it never affects
+// results, and old supervisors simply ignore the field, so no protocol
+// bump is needed.
+type BlockDelta struct {
+	Hits      uint64 `json:",omitempty"`
+	Misses    uint64 `json:",omitempty"`
+	Flushes   uint64 `json:",omitempty"`
+	Fallbacks uint64 `json:",omitempty"`
 }
 
 // Msg is the on-wire union of all message kinds.
@@ -121,6 +136,7 @@ type Msg struct {
 	Ordinal  int                  `json:",omitempty"` // run, result, fault
 	Result   *inject.Result       `json:",omitempty"` // result
 	Fault    *inject.HarnessFault `json:",omitempty"` // fault
+	Blocks   *BlockDelta          `json:",omitempty"` // result, fault
 	Text     string               `json:",omitempty"` // error
 }
 
@@ -203,6 +219,14 @@ type Backend interface {
 	Run(campaign string, ordinal int) (*inject.Result, *inject.HarnessFault, error)
 }
 
+// BlockStatser is optionally implemented by backends that can report
+// superblock-engine counter deltas; Serve attaches them to result and
+// fault frames so the supervisor can aggregate worker CPU cache
+// behavior into its metrics.
+type BlockStatser interface {
+	BlockStatsDelta() BlockDelta
+}
+
 // Serve runs the worker side of the protocol until the supervisor
 // closes the stream (clean shutdown, returns nil) or a fatal error
 // occurs. Heartbeats are emitted every beatEvery while a boot or run
@@ -266,6 +290,11 @@ func Serve(r io.Reader, w io.Writer, b Backend, beatEvery time.Duration) error {
 			reply.Type, reply.Fault = TypeFault, hf
 		} else {
 			reply.Type, reply.Result = TypeResult, res
+		}
+		if bs, ok := b.(BlockStatser); ok {
+			if d := bs.BlockStatsDelta(); d != (BlockDelta{}) {
+				reply.Blocks = &d
+			}
 		}
 		if err := conn.Send(reply); err != nil {
 			return err
