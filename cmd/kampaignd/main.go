@@ -11,9 +11,25 @@
 //
 //	kampaignd [-listen addr] [-data dir]
 //	          [-pools N] [-pool-workers N] [-shard-size N]
+//	          [-listen-workers addr] [-remote-pools N]
+//	          [-remote-pool-workers N] [-remote-join-wait D]
+//	          [-lease-timeout D]
 //	          [-heartbeat-timeout D] [-boot-timeout D]
 //	          [-breaker-threshold N] [-max-worker-restarts N]
 //	          [-chaos-kill F] [-chaos-seed N] [-chaos-pool-kill N]
+//
+// With -listen-workers the daemon also accepts remote TCP workers
+// (started with `kinject -connect addr` on any machine) and adds
+// -remote-pools pools that dispatch onto them over the same wire
+// protocol the local subprocess pools use — same handshake, golden
+// cross-validation, heartbeat deadlines and restart budgets. Remote
+// pools degrade gracefully: if every remote worker vanishes
+// (partition, mass crash) the pool dies after its restart budget and
+// the campaign completes on the surviving local pools, byte-identical.
+// -lease-timeout additionally arms live lease reclaim, so a shard
+// held by a wedged or partitioned pool is re-dispatched without a
+// daemon restart; the merged journal's ordinal dedup keeps double
+// executions out of the published ResultSet.
 //
 // API:
 //
@@ -22,6 +38,7 @@
 //	GET  /campaigns/{id}           one campaign: state, progress, queue
 //	                               stats, pool health, metrics snapshot
 //	GET  /campaigns/{id}/results   the published results.json.gz
+//	GET  /workers                  worker-hub stats (remote joins, queue)
 //	GET  /healthz                  liveness
 //
 // Every campaign's state — spec, shard queue, merged journal — lives
@@ -74,6 +91,11 @@ func run(args []string, stdout io.Writer) error {
 	bootTimeout := fs.Duration("boot-timeout", supervisor.DefaultBootTimeout, "worker golden-boot deadline")
 	breakerThreshold := fs.Int("breaker-threshold", supervisor.DefaultBreakerThreshold, "consecutive worker deaths on one target before it is quarantined")
 	maxRestarts := fs.Int("max-worker-restarts", supervisor.DefaultMaxRestarts, "abnormal worker deaths tolerated per pool before the pool fails")
+	listenWorkers := fs.String("listen-workers", "", "TCP address for remote workers (kinject -connect); empty disables remote pools")
+	remotePools := fs.Int("remote-pools", 1, "remote TCP worker pools per campaign (needs -listen-workers)")
+	remotePoolWorkers := fs.Int("remote-pool-workers", 1, "claimed TCP workers per remote pool")
+	remoteJoinWait := fs.Duration("remote-join-wait", fleet.DefaultJoinWait, "how long a remote pool waits for a worker to join before charging a restart")
+	leaseTimeout := fs.Duration("lease-timeout", time.Minute, "reclaim a shard lease not renewed within this (wedged/partitioned pool); 0 disables live reclaim")
 	chaosKill := fs.Float64("chaos-kill", 0, "chaos test: SIGKILL the worker of roughly this fraction of runs")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the chaos/backoff-jitter RNGs (0 = nondeterministic)")
 	chaosPoolKill := fs.Int("chaos-pool-kill", 0, "chaos test: kill pool 0 outright after this many runs (0 = never)")
@@ -84,7 +106,20 @@ func run(args []string, stdout io.Writer) error {
 	if *workerMode {
 		return fleet.ServeWorker(os.Stdin, os.Stdout)
 	}
-	if *pools < 1 {
+	var hub *fleet.Hub
+	if *listenWorkers == "" {
+		*remotePools = 0
+	} else {
+		if *remotePools < 1 {
+			return fmt.Errorf("-remote-pools %d: -listen-workers needs at least one remote pool", *remotePools)
+		}
+		var err error
+		if hub, err = fleet.ListenHub(*listenWorkers); err != nil {
+			return err
+		}
+		defer hub.Close()
+	}
+	if *pools+*remotePools < 1 {
 		return fmt.Errorf("-pools %d: need at least one pool", *pools)
 	}
 
@@ -92,16 +127,21 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	m := newManager(*dataDir, poolPlan{
-		pools:         *pools,
-		workers:       *poolWorkers,
-		shardSize:     *shardSize,
-		heartbeat:     *heartbeatTimeout,
-		boot:          *bootTimeout,
-		breaker:       *breakerThreshold,
-		maxRestarts:   *maxRestarts,
-		chaosKill:     *chaosKill,
-		chaosSeed:     *chaosSeed,
-		chaosPoolKill: *chaosPoolKill,
+		pools:          *pools,
+		workers:        *poolWorkers,
+		shardSize:      *shardSize,
+		heartbeat:      *heartbeatTimeout,
+		boot:           *bootTimeout,
+		breaker:        *breakerThreshold,
+		maxRestarts:    *maxRestarts,
+		hub:            hub,
+		remotePools:    *remotePools,
+		remoteWorkers:  *remotePoolWorkers,
+		remoteJoinWait: *remoteJoinWait,
+		leaseTimeout:   *leaseTimeout,
+		chaosKill:      *chaosKill,
+		chaosSeed:      *chaosSeed,
+		chaosPoolKill:  *chaosPoolKill,
 	})
 	restarted, err := m.Resume()
 	if err != nil {
@@ -116,6 +156,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "kampaignd listening on http://%s\n", ln.Addr())
+	if hub != nil {
+		fmt.Fprintf(stdout, "kampaignd workers on tcp://%s\n", hub.Addr())
+	}
 
 	srv := &http.Server{Handler: newHandler(m)}
 	sigc := make(chan os.Signal, 1)

@@ -64,13 +64,25 @@ type poolPlan struct {
 	breaker     int
 	maxRestarts int
 
+	// Remote TCP pools (claimed from the worker hub) appended after
+	// the local subprocess pools.
+	hub            *fleet.Hub
+	remotePools    int
+	remoteWorkers  int
+	remoteJoinWait time.Duration
+
+	// leaseTimeout arms the queue's live lease reclaim: a pool that
+	// stops renewing (wedged, partitioned) loses its shard to the
+	// survivors without a daemon restart. 0 disables.
+	leaseTimeout time.Duration
+
 	chaosKill     float64
 	chaosSeed     int64
 	chaosPoolKill int // >0: pool 0 dies after this many runs
 }
 
 func (p poolPlan) poolConfigs() []fleet.PoolConfig {
-	out := make([]fleet.PoolConfig, p.pools)
+	out := make([]fleet.PoolConfig, p.pools, p.pools+p.remotePools)
 	for i := range out {
 		out[i] = fleet.PoolConfig{
 			Name:             fmt.Sprintf("pool%d", i),
@@ -86,7 +98,20 @@ func (p poolPlan) poolConfigs() []fleet.PoolConfig {
 			ChaosSeed: p.chaosSeed + int64(i),
 		}
 	}
-	if p.chaosPoolKill > 0 {
+	for i := 0; i < p.remotePools; i++ {
+		out = append(out, fleet.PoolConfig{
+			Name:             fmt.Sprintf("remote%d", i),
+			Workers:          p.remoteWorkers,
+			Hub:              p.hub,
+			JoinWait:         p.remoteJoinWait,
+			HeartbeatTimeout: p.heartbeat,
+			BootTimeout:      p.boot,
+			BreakerThreshold: p.breaker,
+			MaxRestarts:      p.maxRestarts,
+			ChaosSeed:        p.chaosSeed + int64(p.pools+i),
+		})
+	}
+	if p.chaosPoolKill > 0 && len(out) > 0 {
 		out[0].ChaosDieAfterRuns = p.chaosPoolKill
 	}
 	return out
@@ -317,6 +342,8 @@ func (c *campaign) execute(plan poolPlan) error {
 		return err
 	}
 	defer q.Close()
+	q.Metrics = c.metrics
+	q.SetLeaseTimeout(plan.leaseTimeout)
 
 	jw, doneMap, err := c.openJournal()
 	if err != nil {
@@ -352,8 +379,8 @@ func (c *campaign) execute(plan poolPlan) error {
 	c.mu.Unlock()
 
 	runErr := fl.Run(q, fleet.RunOptions{
-		Sink: jw,
-		Done: doneMap,
+		Sink:          jw,
+		Done:          doneMap,
 		OnOrdinalDone: func(string, int, bool) { c.done.Add(1) },
 	})
 	snap := c.metrics.Snapshot()

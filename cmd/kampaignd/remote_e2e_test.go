@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// startRemoteWorker runs one real TCP worker (the kinject -connect
+// loop with the real injection backend) in-process and returns its
+// kill switch.
+func startRemoteWorker(t *testing.T, addr string) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fleet.ConnectWorker(ctx, addr, fleet.ConnectOptions{})
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Error("remote worker never exited after cancel")
+		}
+	})
+	return cancel
+}
+
+// waitProgress polls until the campaign has accounted at least n
+// ordinals — the mid-shard marker the partition injectors key on.
+func waitProgress(t *testing.T, baseURL, id string, n int64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getStatus(t, baseURL, id)
+		if st.State == stateFailed {
+			t.Fatalf("campaign %s failed while waiting for progress: %s", id, st.Error)
+		}
+		if st.Progress.Done >= n || st.State == stateComplete {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck at %d/%d ordinals", id, st.Progress.Done, st.Progress.Total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The remote tentpole acceptance: a campaign running entirely on two
+// remote TCP worker pools survives losing one worker mid-shard AND a
+// worker-listener stop/restart, heals with a freshly connected worker,
+// and still publishes the byte-exact single-process ResultSet.
+func TestKampaigndRemotePoolKillAndListenerRestartParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real injection campaigns over TCP")
+	}
+	dir := t.TempDir()
+	spec := testSpec("C")
+	want := referenceSet(t, filepath.Join(dir, "ref.json.gz"), spec)
+
+	hub, err := fleet.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	m := newManager(filepath.Join(dir, "data"), poolPlan{
+		pools:          0, // no local pools: the campaign lives on TCP alone
+		shardSize:      2,
+		hub:            hub,
+		remotePools:    2,
+		remoteWorkers:  1,
+		remoteJoinWait: 15 * time.Second,
+		leaseTimeout:   2 * time.Second,
+	})
+	if err := os.MkdirAll(m.dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(m))
+	defer ts.Close()
+
+	killA := startRemoteWorker(t, hub.Addr())
+	startRemoteWorker(t, hub.Addr())
+
+	id := submit(t, ts.URL, spec, 2)
+	waitProgress(t, ts.URL, id, 1, 2*time.Minute)
+
+	// The partition: one worker dies mid-shard and the daemon's worker
+	// listener bounces (config reload, crash of the accept loop). The
+	// surviving worker's established connection must ride it out.
+	killA()
+	hub.StopListener()
+	time.Sleep(50 * time.Millisecond)
+	if err := hub.RestartListener(); err != nil {
+		t.Fatal(err)
+	}
+	// A replacement worker joins through the restarted listener; the
+	// orphaned pool redials and claims it.
+	startRemoteWorker(t, hub.Addr())
+
+	st := waitComplete(t, ts.URL, id, 4*time.Minute)
+	if st.Queue == nil || st.Queue.Done != st.Queue.Total {
+		t.Fatalf("queue not drained: %+v", st.Queue)
+	}
+	if st.Metrics == nil || st.Metrics.RemoteAttaches < 2 {
+		t.Fatalf("metrics missed the remote attaches: %+v", st.Metrics)
+	}
+	got := fetchResults(t, ts.URL, id)
+	if !bytes.Equal(got, want) {
+		t.Fatal("remote-pool result set differs from the single-process reference after worker kill + listener restart")
+	}
+}
+
+// Graceful degradation: when every remote worker vanishes for good,
+// the remote pool must die within its bounded join-wait budget and the
+// local pool must finish the campaign — still byte-identical.
+func TestKampaigndAllRemoteWorkersLostDegradesToLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real injection campaigns over TCP")
+	}
+	useHelperWorkers(t)
+	dir := t.TempDir()
+	spec := testSpec("C")
+	want := referenceSet(t, filepath.Join(dir, "ref.json.gz"), spec)
+
+	hub, err := fleet.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	m := newManager(filepath.Join(dir, "data"), poolPlan{
+		pools:          1, // the local survivor
+		workers:        1,
+		shardSize:      2,
+		maxRestarts:    2, // bounds how long the dead remote pool lingers
+		hub:            hub,
+		remotePools:    1,
+		remoteWorkers:  1,
+		remoteJoinWait: 300 * time.Millisecond,
+		leaseTimeout:   2 * time.Second,
+	})
+	if err := os.MkdirAll(m.dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(m))
+	defer ts.Close()
+
+	killRemote := startRemoteWorker(t, hub.Addr())
+
+	id := submit(t, ts.URL, spec, 2)
+	waitProgress(t, ts.URL, id, 1, 2*time.Minute)
+	killRemote() // the entire remote workforce vanishes, permanently
+
+	st := waitComplete(t, ts.URL, id, 4*time.Minute)
+	got := fetchResults(t, ts.URL, id)
+	if !bytes.Equal(got, want) {
+		t.Fatal("degraded result set differs from the single-process reference")
+	}
+	// The remote pool must have died (budgeted join-wait exhaustion)
+	// unless the tiny study completed before its budget ran out; either
+	// way the local pool must be alive and the queue fully drained.
+	var localAlive bool
+	for _, p := range st.Pools {
+		if p.Name == "pool0" && p.Alive {
+			localAlive = true
+		}
+	}
+	if !localAlive {
+		t.Fatalf("local pool did not survive: %+v", st.Pools)
+	}
+	if st.Queue == nil || st.Queue.Done != st.Queue.Total {
+		t.Fatalf("queue not drained after degradation: %+v", st.Queue)
+	}
+}

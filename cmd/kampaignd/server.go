@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -19,6 +20,13 @@ func newHandler(m *manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, r *http.Request) {
+		if m.plan.hub == nil {
+			httpError(w, http.StatusNotFound, errors.New("no worker hub (-listen-workers not set)"))
+			return
+		}
+		writeJSON(w, m.plan.hub.Stats())
 	})
 	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
 		var req submitRequest

@@ -54,6 +54,12 @@
 // workers -breaker-threshold consecutive times, and fails the campaign
 // loudly after -max-worker-restarts abnormal deaths. Results are
 // byte-identical to an inproc run with the same seed.
+//
+// -connect addr turns this process into a remote TCP worker for a
+// kampaignd started with -listen-workers: it dials the daemon's worker
+// hub, serves the same wire protocol the stdin/stdout workers speak,
+// and when the connection drops — daemon restart, network partition —
+// redials with exponential backoff and jitter until interrupted.
 package main
 
 import (
@@ -121,6 +127,7 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
 	isolation := fs.String("isolation", "inproc", "injection isolation: inproc (in-process machines) or process (supervised worker subprocesses)")
 	workerMode := fs.Bool("worker", false, "serve injections as a worker subprocess over stdin/stdout (internal; spawned by -isolation=process)")
+	connectAddr := fs.String("connect", "", "serve injections as a remote TCP worker for a kampaignd at this address (reconnects with backoff until interrupted)")
 	maxWorkerRestarts := fs.Int("max-worker-restarts", supervisor.DefaultMaxRestarts, "abnormal worker deaths tolerated before the campaign fails (-isolation=process)")
 	breakerThreshold := fs.Int("breaker-threshold", supervisor.DefaultBreakerThreshold, "consecutive worker deaths on one target before it is quarantined (-isolation=process)")
 	heartbeatTimeout := fs.Duration("heartbeat-timeout", supervisor.DefaultHeartbeatTimeout, "worker silence tolerated mid-run before a hard kill (-isolation=process)")
@@ -132,6 +139,9 @@ func run(args []string) error {
 
 	if *workerMode {
 		return runWorker()
+	}
+	if *connectAddr != "" {
+		return runRemoteWorker(*connectAddr)
 	}
 	if *listModels {
 		printModels(os.Stdout)

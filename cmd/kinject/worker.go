@@ -1,8 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/fleet"
 )
@@ -26,4 +31,25 @@ var workerCommand = func() *exec.Cmd {
 // never cares which binary serves it.
 func runWorker() error {
 	return fleet.ServeWorker(os.Stdin, os.Stdout)
+}
+
+// runRemoteWorker serves injection runs over TCP for a kampaignd
+// worker hub (-connect addr), redialing with backoff across daemon
+// restarts and partitions. Unlike the stdin/stdout worker — whose
+// shutdown is owned by the supervising parent — a remote worker owns
+// its own lifetime: SIGINT/SIGTERM cancel the connect loop and the
+// process exits cleanly; the daemon just sees a dead peer and charges
+// its supervision policies.
+func runRemoteWorker(addr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := fleet.ConnectWorker(ctx, addr, fleet.ConnectOptions{
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "kinject worker: "+format+"\n", args...)
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil // interrupted: the operator asked us to leave
+	}
+	return err
 }

@@ -48,6 +48,66 @@ type Sink interface {
 	Flush() error
 }
 
+// dedupSink wraps the campaign Sink shared by every pool with atomic
+// check-and-append dedup keyed on the fleet's accounted-ordinal map.
+// A partition or lease reclaim can re-execute a shard on a second pool
+// while the first pool's late writes are still racing in; exactly one
+// write per ordinal lands in the merged journal. An ordinal is marked
+// accounted only AFTER its append succeeded — the reverse order could
+// lose the ordinal forever if the write failed after the claim.
+type dedupSink struct {
+	sink   Sink
+	f      *Fleet
+	onDone func(campaign string, ordinal int, quarantined bool)
+	mu     sync.Mutex
+}
+
+func (d *dedupSink) BeginCampaign(c inject.Campaign, total int) error {
+	return d.sink.BeginCampaign(c, total)
+}
+
+func (d *dedupSink) Flush() error { return d.sink.Flush() }
+
+func (d *dedupSink) Put(c inject.Campaign, worker, ordinal, total int, res inject.Result) error {
+	key := analysis.CampaignKey(c)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f.alreadyDone(key, ordinal) {
+		if d.f.cfg.Metrics != nil {
+			d.f.cfg.Metrics.DupOrdinalDropped()
+		}
+		return nil
+	}
+	if err := d.sink.Put(c, worker, ordinal, total, res); err != nil {
+		return err
+	}
+	d.f.markDone(key, ordinal)
+	if d.onDone != nil {
+		d.onDone(key, ordinal, false)
+	}
+	return nil
+}
+
+func (d *dedupSink) Quarantine(c inject.Campaign, worker, ordinal int, hf inject.HarnessFault) error {
+	key := analysis.CampaignKey(c)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f.alreadyDone(key, ordinal) {
+		if d.f.cfg.Metrics != nil {
+			d.f.cfg.Metrics.DupOrdinalDropped()
+		}
+		return nil
+	}
+	if err := d.sink.Quarantine(c, worker, ordinal, hf); err != nil {
+		return err
+	}
+	d.f.markDone(key, ordinal)
+	if d.onDone != nil {
+		d.onDone(key, ordinal, true)
+	}
+	return nil
+}
+
 // PoolConfig describes one worker pool and its supervision policy.
 type PoolConfig struct {
 	// Name identifies the pool in leases, status and logs.
@@ -63,6 +123,18 @@ type PoolConfig struct {
 	BootTimeout      time.Duration
 	BreakerThreshold int
 	MaxRestarts      int
+
+	// Hub, when set, makes this a REMOTE pool: instead of spawning
+	// subprocesses via Command, the pool claims TCP workers that
+	// connected to the hub (kinject -connect). All supervision policies
+	// above apply unchanged; dial failures (no worker joined within
+	// JoinWait) are charged to MaxRestarts, so a pool whose remote
+	// workers all vanished eventually dies and the campaign degrades
+	// onto the surviving pools.
+	Hub *Hub
+	// JoinWait bounds one remote dial's wait for a joinable worker
+	// (default DefaultJoinWait). Remote pools only.
+	JoinWait time.Duration
 
 	// Chaos injection (tests and the CI fleet job).
 	ChaosKillRate float64
@@ -120,10 +192,19 @@ type remote interface {
 	Close()
 }
 
-// newRemote boots the supervisor for one pool (test seam).
+// newRemote boots the supervisor for one pool (test seam). A pool
+// with a Hub dials claimed TCP workers; otherwise it spawns
+// subprocesses via Command.
 var newRemote = func(cfg Config, pc PoolConfig) remote {
+	var dial func() (supervisor.Link, error)
+	command := pc.Command
+	if pc.Hub != nil {
+		dial = pc.Hub.dialFunc(pc, cfg.Metrics)
+		command = nil
+	}
 	return supervisor.New(supervisor.Config{
-		Command:          pc.Command,
+		Command:          command,
+		Dial:             dial,
 		Workers:          pc.Workers,
 		Spec:             cfg.Spec,
 		GoldenFP:         cfg.GoldenFP,
@@ -196,13 +277,20 @@ func (f *Fleet) Run(q *queue.Queue, opts RunOptions) error {
 	pools := f.pools
 	f.mu.Unlock()
 
+	// All pools write through one dedup sink: check-and-append is
+	// atomic, so a shard re-executed after a partition or lease reclaim
+	// can neither duplicate an ordinal in the merged journal nor lose
+	// one (an ordinal is marked accounted only after its append
+	// succeeded).
+	sink := &dedupSink{sink: opts.Sink, f: f, onDone: opts.OnOrdinalDone}
+
 	var wg sync.WaitGroup
 	for _, p := range pools {
 		wg.Add(1)
 		go func(p *pool) {
 			defer wg.Done()
 			defer p.rem.Close()
-			f.poolLoop(p, q, opts)
+			f.poolLoop(p, q, sink)
 		}(p)
 	}
 	wg.Wait()
@@ -229,30 +317,39 @@ func (f *Fleet) Run(q *queue.Queue, opts RunOptions) error {
 
 // poolLoop is one pool's life: lease a shard, execute it, mark it
 // done, repeat until the queue drains or the pool dies.
-func (f *Fleet) poolLoop(p *pool, q *queue.Queue, opts RunOptions) {
+func (f *Fleet) poolLoop(p *pool, q *queue.Queue, sink *dedupSink) {
 	for {
 		shard, ok := q.Acquire(p.cfg.Name)
 		if !ok {
 			return
 		}
-		if err := f.runShard(p, shard, opts); err != nil {
+		// Renew the lease as ordinals complete: a pool making progress
+		// keeps its shard; one that wedges or partitions away stops
+		// renewing and the queue reclaims the lease for the survivors.
+		renew := func() { q.Renew(shard.ID, p.cfg.Name) }
+		if err := f.runShard(p, shard, sink, renew); err != nil {
 			// Pool death: break the lease so survivors take the shard,
 			// and stop consuming — this pool's supervisor is broken.
 			p.err = err
 			p.died.Store(true)
-			q.Release(shard.ID)
+			q.Release(shard.ID, p.cfg.Name)
 			if f.cfg.Metrics != nil {
 				f.cfg.Metrics.PoolDeath()
+				if p.cfg.Hub != nil {
+					// A lost remote pool is the graceful-degradation
+					// path: the queue drains on the surviving pools.
+					f.cfg.Metrics.Degraded()
+				}
 			}
 			return
 		}
 		// Results first, durably; only then the shard's done mark.
 		// The reverse order would let a crash between the two writes
 		// mark work done whose results never reached disk.
-		if err := opts.Sink.Flush(); err != nil {
+		if err := sink.Flush(); err != nil {
 			p.err = fmt.Errorf("fleet: %s: flush before done mark: %w", p.cfg.Name, err)
 			p.died.Store(true)
-			q.Release(shard.ID)
+			q.Release(shard.ID, p.cfg.Name)
 			return
 		}
 		if err := q.Complete(shard.ID); err != nil {
@@ -269,7 +366,7 @@ func (f *Fleet) poolLoop(p *pool, q *queue.Queue, opts RunOptions) {
 // runShard executes one shard's ordinals on the pool, skipping those
 // already accounted, with the pool's worker count as dispatch
 // concurrency. A non-nil error means the pool is no longer usable.
-func (f *Fleet) runShard(p *pool, shard queue.Shard, opts RunOptions) error {
+func (f *Fleet) runShard(p *pool, shard queue.Shard, sink *dedupSink, renew func()) error {
 	c, ok := analysis.CampaignFromKey(shard.Campaign)
 	if !ok {
 		return fmt.Errorf("fleet: unknown campaign key %q", shard.Campaign)
@@ -312,7 +409,7 @@ func (f *Fleet) runShard(p *pool, shard queue.Shard, opts RunOptions) error {
 				}
 				p.runs.Add(1)
 				if hf != nil {
-					if err := opts.Sink.Quarantine(c, p.index, ord, *hf); err != nil {
+					if err := sink.Quarantine(c, p.index, ord, *hf); err != nil {
 						fail(err)
 						return
 					}
@@ -321,15 +418,12 @@ func (f *Fleet) runShard(p *pool, shard queue.Shard, opts RunOptions) error {
 						fail(fmt.Errorf("fleet: %s/%d returned neither result nor fault", shard.Campaign, ord))
 						return
 					}
-					if err := opts.Sink.Put(c, p.index, ord, f.cfg.Totals[shard.Campaign], *res); err != nil {
+					if err := sink.Put(c, p.index, ord, f.cfg.Totals[shard.Campaign], *res); err != nil {
 						fail(err)
 						return
 					}
 				}
-				f.markDone(shard.Campaign, ord)
-				if opts.OnOrdinalDone != nil {
-					opts.OnOrdinalDone(shard.Campaign, ord, hf != nil)
-				}
+				renew()
 				f.maybeChaosPoolKill(p)
 			}
 		}()

@@ -7,8 +7,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/wire"
 )
@@ -344,5 +346,125 @@ func TestChaosDieAfterRunsKillsPoolOnce(t *testing.T) {
 	}
 	if !mortalDead {
 		t.Fatal("chaos-configured pool never died")
+	}
+}
+
+// blockingRemote wedges the pool's very first dispatch until released
+// — the partitioned-pool injector: the pool stops renewing its lease
+// while blocked, the queue reclaims the shard, and when the block
+// lifts the late duplicate write must be dropped by the merged sink.
+type blockingRemote struct {
+	stubRemote
+	blocked chan struct{} // closed when the block is reached
+	release chan struct{}
+	once    sync.Once
+}
+
+func (r *blockingRemote) Do(campaign string, ord int) (*inject.Result, *inject.HarnessFault, error) {
+	r.once.Do(func() {
+		close(r.blocked)
+		<-r.release
+	})
+	return r.stubRemote.Do(campaign, ord)
+}
+
+// A pool that wedges mid-shard (partition, hang) stops renewing its
+// lease; the survivor must reclaim the shard and finish the campaign,
+// and when the wedged pool's stalled dispatch finally lands, the
+// merged sink must drop the duplicate — every ordinal exactly once.
+func TestLeaseReclaimNoDupNoLoss(t *testing.T) {
+	wedged := &blockingRemote{
+		blocked: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	withStubs(t, func(pc PoolConfig) remote {
+		if pc.Name == "wedged" {
+			return wedged
+		}
+		return &stubRemote{}
+	})
+	cfg := fleetConfig(PoolConfig{Name: "wedged"}, PoolConfig{Name: "survivor"})
+	cfg.Metrics = obs.New(1)
+	f, _ := New(cfg)
+	q := newQueue(t, cfg.Totals, 4)
+	q.Metrics = cfg.Metrics
+	q.SetLeaseTimeout(50 * time.Millisecond)
+	sink := newRecordSink()
+
+	// Lift the wedge only after the survivor has drained everything
+	// else, so the duplicate is guaranteed to arrive after the
+	// reclaimed re-execution already accounted the ordinal.
+	go func() {
+		<-wedged.blocked
+		for {
+			st := q.Stats()
+			if st.Reclaimed > 0 && st.Done == st.Total {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		close(wedged.release)
+	}()
+
+	if err := f.Run(q, RunOptions{Sink: sink}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !q.Done() {
+		t.Fatal("queue not drained")
+	}
+	for key, total := range cfg.Totals {
+		puts, _ := sink.counts(key)
+		if puts != total {
+			t.Fatalf("campaign %s: %d distinct ordinals sunk, want %d (lost ordinals)", key, puts, total)
+		}
+	}
+	sink.mu.Lock()
+	for key, m := range sink.puts {
+		for ord, n := range m {
+			if n != 1 {
+				t.Fatalf("campaign %s ordinal %d written %d times (dup past the sink)", key, ord, n)
+			}
+		}
+	}
+	sink.mu.Unlock()
+	snap := cfg.Metrics.Snapshot()
+	if snap.LeaseReclaims < 1 {
+		t.Fatalf("LeaseReclaims = %d, want >= 1", snap.LeaseReclaims)
+	}
+	if snap.DupOrdinalsDropped < 1 {
+		t.Fatalf("DupOrdinalsDropped = %d, want >= 1 (the wedged pool's late write)", snap.DupOrdinalsDropped)
+	}
+}
+
+// Losing a remote pool is the graceful-degradation path: the campaign
+// completes on the local survivor and the metric records the event.
+func TestRemotePoolDeathCountsDegradation(t *testing.T) {
+	withStubs(t, func(pc PoolConfig) remote {
+		r := &stubRemote{}
+		if pc.Name == "remote" {
+			r.failAt = func(string, int) error { return errors.New("all TCP workers gone") }
+		}
+		return r
+	})
+	cfg := fleetConfig(
+		PoolConfig{Name: "remote", Hub: &Hub{}},
+		PoolConfig{Name: "local"},
+	)
+	cfg.Metrics = obs.New(1)
+	f, _ := New(cfg)
+	q := newQueue(t, cfg.Totals, 4)
+	sink := newRecordSink()
+	if err := f.Run(q, RunOptions{Sink: sink}); err != nil {
+		t.Fatalf("campaign must degrade onto the local pool: %v", err)
+	}
+	for key, total := range cfg.Totals {
+		puts, _ := sink.counts(key)
+		if puts != total {
+			t.Fatalf("campaign %s: %d ordinals, want %d", key, puts, total)
+		}
+	}
+	snap := cfg.Metrics.Snapshot()
+	if snap.Degradations != 1 {
+		t.Fatalf("Degradations = %d, want 1", snap.Degradations)
 	}
 }

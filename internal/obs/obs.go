@@ -60,6 +60,22 @@ type Metrics struct {
 	shardsCompleted atomic.Int64
 	poolDeaths      atomic.Int64
 
+	// Remote execution plane counters: TCP workers attached to remote
+	// pools, attach probes that failed (dead or version-skewed
+	// connection discarded), dial attempts that found no worker within
+	// the join wait, workers killed because a read deadline expired
+	// mid-frame, remote pools lost with the campaign degrading onto
+	// the survivors, stale shard leases reclaimed from wedged pools,
+	// and duplicate ordinal results dropped at the merged sink after a
+	// shard re-execution.
+	remoteAttaches     atomic.Int64
+	remoteProbeFails   atomic.Int64
+	remoteDialTimeouts atomic.Int64
+	deadlineKills      atomic.Int64
+	degradations       atomic.Int64
+	leaseReclaims      atomic.Int64
+	dupOrdinalsDropped atomic.Int64
+
 	// Superblock-engine counters (cpu.BlockStats deltas, summed across
 	// runner machines): dispatches served by a cached block, blocks
 	// decoded, blocks discarded because their code page changed, and
@@ -171,6 +187,36 @@ func (m *Metrics) ShardCompleted() { m.shardsCompleted.Add(1) }
 // shards were requeued to the survivors).
 func (m *Metrics) PoolDeath() { m.poolDeaths.Add(1) }
 
+// RemoteAttach records one remote TCP worker vetted and attached to a
+// pool (initial connects and reconnects both land here).
+func (m *Metrics) RemoteAttach() { m.remoteAttaches.Add(1) }
+
+// RemoteProbeFail records one claimed remote connection discarded at
+// the attach probe: dead, silent past the probe deadline, or
+// version-skewed.
+func (m *Metrics) RemoteProbeFail() { m.remoteProbeFails.Add(1) }
+
+// RemoteDialTimeout records one remote dial that found no joinable
+// worker within the join wait (charged to the pool's restart budget).
+func (m *Metrics) RemoteDialTimeout() { m.remoteDialTimeouts.Add(1) }
+
+// DeadlineKill records one worker abandoned because a read deadline
+// expired mid-frame (the peer died after a partial write).
+func (m *Metrics) DeadlineKill() { m.deadlineKills.Add(1) }
+
+// Degraded records one remote pool lost with the campaign degrading
+// onto the surviving (typically local) pools.
+func (m *Metrics) Degraded() { m.degradations.Add(1) }
+
+// LeaseReclaim records one stale shard lease reclaimed from a pool
+// that stopped making progress.
+func (m *Metrics) LeaseReclaim() { m.leaseReclaims.Add(1) }
+
+// DupOrdinalDropped records one duplicate ordinal result suppressed at
+// the merged sink (a shard re-executed after a partition or lease
+// reclaim raced its first execution).
+func (m *Metrics) DupOrdinalDropped() { m.dupOrdinalsDropped.Add(1) }
+
 // BlockStats accumulates superblock-engine counter deltas from one
 // runner machine (hits, misses, page-invalidation flushes, single-step
 // fallbacks).
@@ -230,6 +276,18 @@ type Snapshot struct {
 	// completed and whole pools lost mid-campaign.
 	ShardsCompleted int64 `json:",omitempty"`
 	PoolDeaths      int64 `json:",omitempty"`
+
+	// Remote execution plane: TCP worker attaches, failed attach
+	// probes, dial timeouts, read-deadline kills, remote-pool losses
+	// absorbed by degradation, stale lease reclaims and duplicate
+	// ordinals dropped at the merged sink.
+	RemoteAttaches     int64 `json:",omitempty"`
+	RemoteProbeFails   int64 `json:",omitempty"`
+	RemoteDialTimeouts int64 `json:",omitempty"`
+	DeadlineKills      int64 `json:",omitempty"`
+	Degradations       int64 `json:",omitempty"`
+	LeaseReclaims      int64 `json:",omitempty"`
+	DupOrdinalsDropped int64 `json:",omitempty"`
 
 	// Superblock trace-execution engine: block-cache hits, decodes,
 	// code-change flushes and single-step fallbacks, summed across the
@@ -292,6 +350,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.ChaosKills = m.chaosKills.Load()
 	s.ShardsCompleted = m.shardsCompleted.Load()
 	s.PoolDeaths = m.poolDeaths.Load()
+	s.RemoteAttaches = m.remoteAttaches.Load()
+	s.RemoteProbeFails = m.remoteProbeFails.Load()
+	s.RemoteDialTimeouts = m.remoteDialTimeouts.Load()
+	s.DeadlineKills = m.deadlineKills.Load()
+	s.Degradations = m.degradations.Load()
+	s.LeaseReclaims = m.leaseReclaims.Load()
+	s.DupOrdinalsDropped = m.dupOrdinalsDropped.Load()
 	s.BlockCacheHits = m.blockHits.Load()
 	s.BlockCacheMisses = m.blockMisses.Load()
 	s.BlockFlushes = m.blockFlushes.Load()
@@ -408,6 +473,27 @@ func (s Snapshot) Render() string {
 	}
 	if s.PoolDeaths > 0 {
 		fmt.Fprintf(&b, "  pool deaths        %d (shards requeued to survivors)\n", s.PoolDeaths)
+	}
+	if s.RemoteAttaches > 0 {
+		fmt.Fprintf(&b, "  remote attaches    %d (TCP workers vetted onto pools)\n", s.RemoteAttaches)
+	}
+	if s.RemoteProbeFails > 0 {
+		fmt.Fprintf(&b, "  remote probe fails %d (dead or skewed connections discarded)\n", s.RemoteProbeFails)
+	}
+	if s.RemoteDialTimeouts > 0 {
+		fmt.Fprintf(&b, "  remote dial t/o    %d (no worker joined within the wait)\n", s.RemoteDialTimeouts)
+	}
+	if s.DeadlineKills > 0 {
+		fmt.Fprintf(&b, "  deadline kills     %d (peers dead mid-frame)\n", s.DeadlineKills)
+	}
+	if s.Degradations > 0 {
+		fmt.Fprintf(&b, "  degradations       %d (remote pools lost; survivors drained the queue)\n", s.Degradations)
+	}
+	if s.LeaseReclaims > 0 {
+		fmt.Fprintf(&b, "  lease reclaims     %d (stale shard leases broken live)\n", s.LeaseReclaims)
+	}
+	if s.DupOrdinalsDropped > 0 {
+		fmt.Fprintf(&b, "  dup ordinals       %d (re-executed shard results deduplicated)\n", s.DupOrdinalsDropped)
 	}
 	if n := s.BlockCacheHits + s.BlockCacheMisses; n > 0 {
 		fmt.Fprintf(&b, "  block cache        %d hits, %d misses (%.1f%% hit rate)\n",

@@ -25,6 +25,12 @@
 //     shard when the daemon died) but never survives a restart: a
 //     crashed daemon's leases are all broken by definition, so leased
 //     shards reopen as pending.
+//   - Within one daemon life, a lease can carry a deadline
+//     (SetLeaseTimeout): a pool that stops renewing — wedged, or on
+//     the far side of a network partition — has its shard reclaimed by
+//     the next Acquire instead of holding it hostage until restart.
+//     Lease deadlines are in-memory only; they need no new record
+//     kind because no lease survives a reopen anyway.
 //   - A done mark is journaled with fsync. The caller must flush the
 //     result sink before marking a shard done — the done mark is the
 //     queue's promise that every result of the shard is durable, and
@@ -44,7 +50,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -139,24 +147,34 @@ const (
 	stateDone
 )
 
-// Queue is a durable shard queue. Acquire/Release/Complete are safe
-// for concurrent use by pool goroutines.
+// Queue is a durable shard queue. Acquire/Release/Renew/Complete are
+// safe for concurrent use by pool goroutines.
 type Queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	f      *os.File
-	path   string
-	shards []Shard
-	state  []shardState
-	lessee []string // pool name per leased shard (observability)
-	done   int
-	closed bool
-	failed error
+	// Metrics, when set (before pools start acquiring), receives a
+	// LeaseReclaim count for every stale lease broken live.
+	Metrics *obs.Metrics
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	f         *os.File
+	path      string
+	shards    []Shard
+	state     []shardState
+	lessee    []string // pool name per leased shard (observability)
+	leaseExp  []time.Time
+	leaseTTL  time.Duration
+	reclaimed int
+	done      int
+	closed    bool
+	failed    error
 }
 
 // Stats is a point-in-time census of the queue.
 type Stats struct {
 	Pending, Leased, Done, Total int
+	// Reclaimed counts stale leases broken live (lease deadline
+	// expired with the lessee making no progress).
+	Reclaimed int `json:",omitempty"`
 }
 
 func encodeFrame(rec *record) ([]byte, error) {
@@ -261,11 +279,12 @@ func Open(path string, spec wire.StudySpec, shards []Shard) (*Queue, error) {
 
 func newQueue(f *os.File, path string, shards []Shard, doneIDs map[int]bool) *Queue {
 	q := &Queue{
-		f:      f,
-		path:   path,
-		shards: shards,
-		state:  make([]shardState, len(shards)),
-		lessee: make([]string, len(shards)),
+		f:        f,
+		path:     path,
+		shards:   shards,
+		state:    make([]shardState, len(shards)),
+		lessee:   make([]string, len(shards)),
+		leaseExp: make([]time.Time, len(shards)),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	for id := range doneIDs {
@@ -369,10 +388,42 @@ func (q *Queue) appendLocked(rec *record) error {
 	return nil
 }
 
-// Acquire leases the next pending shard for the named pool. It blocks
-// while no shard is pending but leased shards remain (another pool may
-// die and release them). It returns ok == false when every shard is
-// done or the queue is closed/failed — the pool's signal to drain.
+// SetLeaseTimeout arms per-lease deadlines: a lease not renewed
+// within d is considered abandoned (wedged or partitioned pool) and is
+// reclaimed by the next Acquire. 0 (the default) disables live
+// reclaim — leases then break only on reopen, the pre-deadline
+// behavior. Call before pools start acquiring.
+func (q *Queue) SetLeaseTimeout(d time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.leaseTTL = d
+	q.cond.Broadcast()
+}
+
+// leaseLocked journals and hands out a lease on shard index i.
+func (q *Queue) leaseLocked(i int, pool string) (Shard, bool) {
+	q.state[i] = stateLeased
+	q.lessee[i] = pool
+	if q.leaseTTL > 0 {
+		q.leaseExp[i] = time.Now().Add(q.leaseTTL)
+	} else {
+		q.leaseExp[i] = time.Time{}
+	}
+	// The lease record is observability, not correctness:
+	// an append failure here must not wedge dispatch.
+	if err := q.appendLocked(&record{Kind: kindLease, Shard: q.shards[i].ID, Pool: pool}); err != nil {
+		q.failLocked(err)
+		return Shard{}, false
+	}
+	return q.shards[i], true
+}
+
+// Acquire leases the next pending shard for the named pool, reclaiming
+// a lease whose deadline expired when nothing is pending. It blocks
+// while no shard is available but leased shards remain (another pool
+// may die and release them, or a lease may expire). It returns
+// ok == false when every shard is done or the queue is closed/failed —
+// the pool's signal to drain.
 func (q *Queue) Acquire(pool string) (Shard, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -382,30 +433,75 @@ func (q *Queue) Acquire(pool string) (Shard, bool) {
 		}
 		for i := range q.shards {
 			if q.state[i] == statePending {
-				q.state[i] = stateLeased
-				q.lessee[i] = pool
-				// The lease record is observability, not correctness:
-				// an append failure here must not wedge dispatch.
-				if err := q.appendLocked(&record{Kind: kindLease, Shard: q.shards[i].ID, Pool: pool}); err != nil {
-					q.failLocked(err)
-					return Shard{}, false
-				}
-				return q.shards[i], true
+				return q.leaseLocked(i, pool)
 			}
 		}
+		// Nothing pending: a lease whose deadline passed belongs to a
+		// pool that stopped making progress — take the shard over. The
+		// previous lessee may still finish its copy; the merged sink's
+		// ordinal dedup makes that race harmless.
+		if q.leaseTTL > 0 {
+			now := time.Now()
+			for i := range q.shards {
+				if q.state[i] == stateLeased && !q.leaseExp[i].IsZero() && now.After(q.leaseExp[i]) {
+					q.reclaimed++
+					if q.Metrics != nil {
+						q.Metrics.LeaseReclaim()
+					}
+					return q.leaseLocked(i, pool)
+				}
+			}
+		}
+		// Wake ourselves when the earliest live lease would expire, so
+		// a reclaim does not wait for an unrelated Broadcast.
+		var wakeup *time.Timer
+		if exp, ok := q.earliestExpiryLocked(); ok {
+			wakeup = time.AfterFunc(time.Until(exp)+time.Millisecond, q.cond.Broadcast)
+		}
 		q.cond.Wait()
+		if wakeup != nil {
+			wakeup.Stop()
+		}
 	}
 }
 
+// earliestExpiryLocked returns the soonest live lease deadline.
+func (q *Queue) earliestExpiryLocked() (time.Time, bool) {
+	var exp time.Time
+	for i := range q.shards {
+		if q.state[i] == stateLeased && !q.leaseExp[i].IsZero() {
+			if exp.IsZero() || q.leaseExp[i].Before(exp) {
+				exp = q.leaseExp[i]
+			}
+		}
+	}
+	return exp, !exp.IsZero()
+}
+
 // Release breaks a lease (the pool died mid-shard); the shard returns
-// to pending and a blocked Acquire is woken to claim it.
-func (q *Queue) Release(id int) {
+// to pending and a blocked Acquire is woken to claim it. The pool must
+// still be the lessee: a release racing a deadline reclaim must not
+// break the lease the reclaiming pool now holds.
+func (q *Queue) Release(id int, pool string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if id >= 0 && id < len(q.state) && q.state[id] == stateLeased {
+	if id >= 0 && id < len(q.state) && q.state[id] == stateLeased && q.lessee[id] == pool {
 		q.state[id] = statePending
 		q.lessee[id] = ""
+		q.leaseExp[id] = time.Time{}
 		q.cond.Broadcast()
+	}
+}
+
+// Renew extends the named pool's lease deadline — called as the pool
+// makes progress through the shard. A renewal after the lease was
+// reclaimed (or released) is a no-op: the shard belongs to someone
+// else now.
+func (q *Queue) Renew(id int, pool string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if id >= 0 && id < len(q.state) && q.state[id] == stateLeased && q.lessee[id] == pool && q.leaseTTL > 0 {
+		q.leaseExp[id] = time.Now().Add(q.leaseTTL)
 	}
 }
 
@@ -427,6 +523,7 @@ func (q *Queue) Complete(id int) error {
 	}
 	q.state[id] = stateDone
 	q.lessee[id] = ""
+	q.leaseExp[id] = time.Time{}
 	q.done++
 	if q.done == len(q.shards) {
 		q.cond.Broadcast()
@@ -461,7 +558,7 @@ func (q *Queue) Done() bool {
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	s := Stats{Total: len(q.shards), Done: q.done}
+	s := Stats{Total: len(q.shards), Done: q.done, Reclaimed: q.reclaimed}
 	for i := range q.state {
 		switch q.state[i] {
 		case statePending:

@@ -219,7 +219,7 @@ func TestAcquireBlocksUntilRelease(t *testing.T) {
 		t.Fatal("second Acquire returned while the only shard was leased")
 	case <-time.After(20 * time.Millisecond):
 	}
-	q.Release(s.ID)
+	q.Release(s.ID, "dying-pool")
 	select {
 	case s2, ok := <-got:
 		if !ok || s2.ID != s.ID {
@@ -274,5 +274,132 @@ func TestConcurrentPools(t *testing.T) {
 	}
 	if !q.Done() {
 		t.Fatal("queue not done after full drain")
+	}
+}
+
+// A lease whose deadline passes with no renewal belongs to a wedged or
+// partitioned pool; the next blocked Acquire must reclaim it instead
+// of waiting for a daemon restart.
+func TestLeaseDeadlineReclaim(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	shards := Shards(map[string]int{"A": 2}, 2) // exactly one shard
+	q, err := Create(path, testSpec(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.SetLeaseTimeout(30 * time.Millisecond)
+	s, ok := q.Acquire("wedged")
+	if !ok {
+		t.Fatal("no shard")
+	}
+	start := time.Now()
+	s2, ok := q.Acquire("survivor") // blocks until the lease expires
+	if !ok {
+		t.Fatal("survivor got no shard")
+	}
+	if s2.ID != s.ID {
+		t.Fatalf("survivor reclaimed shard %d, want %d", s2.ID, s.ID)
+	}
+	if waited := time.Since(start); waited < 25*time.Millisecond {
+		t.Fatalf("lease reclaimed after %v, before the %v deadline", waited, 30*time.Millisecond)
+	}
+	if st := q.Stats(); st.Reclaimed != 1 {
+		t.Fatalf("Stats().Reclaimed = %d, want 1", st.Reclaimed)
+	}
+	// The original lessee's late Release must not break the survivor's
+	// lease: the shard belongs to someone else now.
+	q.Release(s.ID, "wedged")
+	if st := q.Stats(); st.Leased != 1 || st.Pending != 0 {
+		t.Fatalf("stale Release broke the reclaimed lease: %+v", st)
+	}
+	if err := q.Complete(s2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Done() {
+		t.Fatal("queue not done")
+	}
+}
+
+// A pool that keeps renewing keeps its lease: renewal is the liveness
+// signal, and this is the test that progress prevents reclaim.
+func TestRenewPreventsReclaim(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	shards := Shards(map[string]int{"A": 2}, 2) // exactly one shard
+	q, err := Create(path, testSpec(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.SetLeaseTimeout(40 * time.Millisecond)
+	s, ok := q.Acquire("steady")
+	if !ok {
+		t.Fatal("no shard")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the working pool renews every quarter-TTL
+		defer wg.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				q.Renew(s.ID, "steady")
+			}
+		}
+	}()
+	reclaimed := make(chan Shard, 1)
+	go func() {
+		if s2, ok := q.Acquire("vulture"); ok {
+			reclaimed <- s2
+		}
+		close(reclaimed)
+	}()
+	select {
+	case s2 := <-reclaimed:
+		t.Fatalf("renewed lease reclaimed anyway: %v", s2)
+	case <-time.After(200 * time.Millisecond): // five TTLs of renewal
+	}
+	close(stop)
+	wg.Wait()
+	if err := q.Complete(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-reclaimed; ok {
+		t.Fatal("vulture acquired a shard after Complete")
+	}
+	if st := q.Stats(); st.Reclaimed != 0 {
+		t.Fatalf("Stats().Reclaimed = %d, want 0", st.Reclaimed)
+	}
+}
+
+// Renew by a non-lessee must not resurrect or extend the lease, and
+// leases must stay deadline-free when no timeout is configured.
+func TestRenewAndReleaseRequireLessee(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q")
+	q, err := Create(path, testSpec(), testShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.SetLeaseTimeout(50 * time.Millisecond)
+	s, ok := q.Acquire("owner")
+	if !ok {
+		t.Fatal("no shard")
+	}
+	before := q.Stats()
+	q.Renew(s.ID, "impostor")   // wrong pool: no-op
+	q.Release(s.ID, "impostor") // wrong pool: no-op
+	after := q.Stats()
+	if before != after {
+		t.Fatalf("non-lessee Renew/Release changed queue state: %+v -> %+v", before, after)
+	}
+	q.Release(s.ID, "owner")
+	if st := q.Stats(); st.Leased != 0 {
+		t.Fatalf("lessee Release did not break the lease: %+v", st)
 	}
 }

@@ -31,6 +31,7 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/exec"
@@ -55,11 +56,39 @@ const (
 	defaultChaosMaxDelay    = 10 * time.Millisecond
 )
 
+// Link is one worker transport: a local subprocess's stdin/stdout
+// pipes or a remote worker's TCP connection. The supervisor's policies
+// (heartbeat deadline, backoff, breaker, budget) are transport-blind;
+// only acquisition and destruction differ.
+type Link interface {
+	// Conn is the framed protocol connection to the worker.
+	Conn() *wire.Conn
+	// Kill hard-stops the worker: close the transport (and SIGKILL the
+	// process, for subprocess links). Must be safe to call repeatedly
+	// and concurrently with a blocked Conn().Recv, which it unblocks.
+	Kill()
+}
+
+// linkWaiter is optionally implemented by links whose endpoint's death
+// is observable independently of the read stream (a subprocess exit);
+// the supervisor reaps such workers even while no read is pending.
+type linkWaiter interface {
+	Wait() error
+}
+
 // Config describes a worker fleet.
 type Config struct {
 	// Command launches one worker process. The supervisor owns its
-	// stdin/stdout; stderr is inherited.
+	// stdin/stdout; stderr is inherited. Exactly one of Command and
+	// Dial must be set.
 	Command func() *exec.Cmd
+	// Dial, when set, acquires one remote worker transport instead of
+	// spawning a subprocess (internal/fleet's remote pools claim a
+	// connected TCP worker here). A Dial error is a retryable worker
+	// death: it is charged to the restart budget and retried under the
+	// usual exponential backoff, so a pool whose remote workers all
+	// vanished eventually breaks instead of flapping forever.
+	Dial func() (Link, error)
 	// Workers is the maximum number of live worker processes.
 	Workers int
 	// Spec is the study configuration shipped to every worker.
@@ -158,16 +187,27 @@ func (l *lockedRand) Int63n(n int64) int64 {
 	return l.r.Int63n(n)
 }
 
-// worker is one live subprocess.
+// worker is one live worker endpoint (subprocess or remote).
 type worker struct {
-	cmd     *exec.Cmd
-	stdin   interface{ Close() error }
-	conn    *wire.Conn
-	msgs    chan *wire.Msg
-	readErr error // valid once msgs is closed
-	dead    chan struct{}
-	waitErr error // valid once dead is closed
-	chaos   atomic.Bool
+	link     Link
+	conn     *wire.Conn
+	msgs     chan *wire.Msg
+	readErr  error // valid once msgs is closed
+	dead     chan struct{}
+	deadOnce sync.Once
+	waitErr  error // valid once dead is closed
+	chaos    atomic.Bool
+}
+
+// markDead records the first observed death reason and closes dead.
+// Two observers race here — the reader goroutine (read error, any
+// transport) and the process waiter (exit status, subprocess links) —
+// and either reason is accurate enough for logs.
+func (w *worker) markDead(err error) {
+	w.deadOnce.Do(func() {
+		w.waitErr = err
+		close(w.dead)
+	})
 }
 
 // deathError marks a retryable worker death (crash, kill, torn pipe),
@@ -208,11 +248,11 @@ func New(cfg Config) *Supervisor {
 		seed = time.Now().UnixNano()
 	}
 	return &Supervisor{
-		cfg:     cfg,
-		idle:    make(chan *worker, cfg.Workers),
-		done:    make(chan struct{}),
-		workers: make(map[*worker]struct{}),
-		deaths:  make(map[string]int),
+		cfg:      cfg,
+		idle:     make(chan *worker, cfg.Workers),
+		done:     make(chan struct{}),
+		workers:  make(map[*worker]struct{}),
+		deaths:   make(map[string]int),
 		chaosRng: newLockedRand(seed),
 		// Any fixed odd offset decorrelates the streams; the value is
 		// part of the -chaos-seed reproducibility contract.
@@ -408,12 +448,29 @@ func (s *Supervisor) vetIdle(w *worker) (bool, error) {
 	return false, nil
 }
 
-// start launches and handshakes one worker, applying restart backoff.
-func (s *Supervisor) start() (*worker, error) {
-	if err := s.backoffSleep(); err != nil {
-		return nil, err
+// procLink is the subprocess transport: stdin/stdout pipes to a
+// worker the supervisor spawned and owns.
+type procLink struct {
+	cmd   *exec.Cmd
+	stdin io.Closer
+	conn  *wire.Conn
+}
+
+func (l *procLink) Conn() *wire.Conn { return l.conn }
+
+func (l *procLink) Kill() {
+	if l.stdin != nil {
+		l.stdin.Close()
 	}
-	cmd := s.cfg.Command()
+	if l.cmd.Process != nil {
+		l.cmd.Process.Kill()
+	}
+}
+
+func (l *procLink) Wait() error { return l.cmd.Wait() }
+
+// startProc spawns one worker subprocess and wraps its pipes.
+func startProc(cmd *exec.Cmd) (Link, error) {
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, fmt.Errorf("supervisor: stdin pipe: %w", err)
@@ -428,28 +485,66 @@ func (s *Supervisor) start() (*worker, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("supervisor: start worker: %w", err)
 	}
-	w := &worker{
-		cmd:   cmd,
-		stdin: stdin,
-		conn:  wire.NewConn(stdout, stdin),
-		msgs:  make(chan *wire.Msg, 64),
-		dead:  make(chan struct{}),
+	return &procLink{cmd: cmd, stdin: stdin, conn: wire.NewConn(stdout, stdin)}, nil
+}
+
+// connect acquires one worker transport: Dial when configured (remote
+// pools), else a spawned subprocess. Dial failures are retryable
+// worker deaths — remote workers vanish for environmental reasons —
+// while a subprocess that cannot even be spawned is a fatal
+// configuration error.
+func (s *Supervisor) connect() (Link, error) {
+	if s.cfg.Dial != nil {
+		l, err := s.cfg.Dial()
+		if err != nil {
+			return nil, &deathError{fmt.Errorf("supervisor: dial worker: %w", err)}
+		}
+		return l, nil
 	}
+	if s.cfg.Command == nil {
+		return nil, errors.New("supervisor: no worker transport configured (need Command or Dial)")
+	}
+	return startProc(s.cfg.Command())
+}
+
+// start acquires and handshakes one worker, applying restart backoff.
+func (s *Supervisor) start() (*worker, error) {
+	if err := s.backoffSleep(); err != nil {
+		return nil, err
+	}
+	link, err := s.connect()
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{
+		link: link,
+		conn: link.Conn(),
+		msgs: make(chan *wire.Msg, 64),
+		dead: make(chan struct{}),
+	}
+	// Mid-frame silence bound: a worker that dies after writing half a
+	// frame must fail the read within the heartbeat deadline instead of
+	// wedging the reader forever. Best effort — in-memory test streams
+	// keep blocking semantics.
+	w.conn.SetFrameTimeout(s.cfg.HeartbeatTimeout)
 	go func() {
 		for {
 			m, err := w.conn.Recv()
 			if err != nil {
 				w.readErr = err
+				if errors.Is(err, wire.ErrRecvTimeout) && s.cfg.Metrics != nil {
+					s.cfg.Metrics.DeadlineKill()
+				}
 				close(w.msgs)
+				w.markDead(err)
 				return
 			}
 			w.msgs <- m
 		}
 	}()
-	go func() {
-		w.waitErr = cmd.Wait()
-		close(w.dead)
-	}()
+	if lw, ok := link.(linkWaiter); ok {
+		go func() { w.markDead(lw.Wait()) }()
+	}
 
 	hello := &wire.Msg{Type: wire.TypeHello, Version: wire.ProtocolVersion, Spec: &s.cfg.Spec}
 	if err := w.conn.Send(hello); err != nil {
@@ -691,15 +786,8 @@ func (s *Supervisor) frameRejected() {
 	}
 }
 
-// kill closes the worker's stdin and SIGKILLs its process.
-func (w *worker) kill() {
-	if w.stdin != nil {
-		w.stdin.Close()
-	}
-	if w.cmd.Process != nil {
-		w.cmd.Process.Kill()
-	}
-}
+// kill hard-stops the worker's transport (and process, if any).
+func (w *worker) kill() { w.link.Kill() }
 
 func (w *worker) isDead() bool {
 	select {

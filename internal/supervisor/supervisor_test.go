@@ -1,12 +1,15 @@
 package supervisor
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -355,4 +358,105 @@ func TestRNGStreamsConcurrentUse(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// dialLink adapts one end of a net.Pipe as a Link — the in-memory
+// stand-in for a claimed TCP worker connection.
+type dialLink struct {
+	c    net.Conn
+	conn *wire.Conn
+}
+
+func (l *dialLink) Conn() *wire.Conn { return l.conn }
+func (l *dialLink) Kill()            { l.c.Close() }
+
+// A supervisor configured with Dial instead of Command must run the
+// identical protocol — handshake, golden cross-validation, dispatch,
+// worker faults — over the dialed transport.
+func TestDialTransport(t *testing.T) {
+	var dials atomic.Int32
+	cfg := helperConfig("")
+	cfg.Command = nil
+	cfg.Dial = func() (Link, error) {
+		dials.Add(1)
+		a, b := net.Pipe()
+		go wire.Serve(b, b, &scriptedWorker{behavior: "fault"}, 5*time.Millisecond)
+		return &dialLink{c: a, conn: wire.NewConn(a, a)}, nil
+	}
+	s := New(cfg)
+	defer s.Close()
+	for _, ord := range []int{0, 1, 2} {
+		res, hf, err := s.Do("C", ord)
+		if err != nil || hf != nil {
+			t.Fatalf("Do(%d): res=%v hf=%v err=%v", ord, res, hf, err)
+		}
+		if res.ActivationCycle != uint64(ord) {
+			t.Fatalf("Do(%d) returned run %d's result", ord, res.ActivationCycle)
+		}
+	}
+	res, hf, err := s.Do("C", 7)
+	if err != nil || res != nil || hf == nil || hf.Kind != inject.FaultPanic {
+		t.Fatalf("worker fault over dial: res=%v hf=%v err=%v", res, hf, err)
+	}
+	if got := s.Restarts(); got != 0 {
+		t.Fatalf("healthy dialed session charged %d restarts", got)
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("%d dials for one worker", n)
+	}
+}
+
+// Every failed dial is a budgeted death: a pool whose remote workers
+// never join must die in bounded time, not retry forever.
+func TestDialFailureExhaustsBudget(t *testing.T) {
+	var dials atomic.Int32
+	cfg := helperConfig("")
+	cfg.Command = nil
+	cfg.MaxRestarts = 3
+	cfg.Dial = func() (Link, error) {
+		dials.Add(1)
+		return nil, errors.New("no worker joined the hub")
+	}
+	s := New(cfg)
+	defer s.Close()
+	_, _, err := s.Do("C", 1)
+	if err == nil || !strings.Contains(err.Error(), "restart budget") {
+		t.Fatalf("undialable worker: %v, want restart-budget exhaustion", err)
+	}
+	if n := dials.Load(); n != 4 { // first boot + MaxRestarts retries
+		t.Fatalf("%d dial attempts with MaxRestarts=3, want 4", n)
+	}
+}
+
+// Killing a dialed link mid-run must unblock the supervisor (the read
+// side sees the closed transport), charge a restart, and redial.
+func TestDialLinkKillRestartsWorker(t *testing.T) {
+	var mu sync.Mutex
+	var links []*dialLink
+	cfg := helperConfig("")
+	cfg.Command = nil
+	cfg.Dial = func() (Link, error) {
+		a, b := net.Pipe()
+		go wire.Serve(b, b, &scriptedWorker{}, 5*time.Millisecond)
+		l := &dialLink{c: a, conn: wire.NewConn(a, a)}
+		mu.Lock()
+		links = append(links, l)
+		mu.Unlock()
+		return l, nil
+	}
+	s := New(cfg)
+	defer s.Close()
+	if _, _, err := s.Do("C", 0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	links[0].Kill() // sever the first worker's transport
+	mu.Unlock()
+	res, _, err := s.Do("C", 1)
+	if err != nil || res == nil {
+		t.Fatalf("Do after link kill: res=%v err=%v (supervisor never redialed)", res, err)
+	}
+	if got := s.Restarts(); got < 1 {
+		t.Fatalf("severed link charged %d restarts, want >= 1", got)
+	}
 }

@@ -1,0 +1,294 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"testing/iotest"
+	"time"
+)
+
+// encodeMsg renders one message's exact wire bytes.
+func encodeMsg(t *testing.T, m *Msg) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewConn(&buf, &buf).Send(m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// recvOver runs one Recv over each transport the protocol really
+// rides: an in-memory stream (no deadlines — the unit-test and
+// subprocess-pipe shape) and a net.Pipe (deadline-capable — the TCP
+// shape). The stream carries data and then EOFs.
+func recvOver(t *testing.T, name string, data []byte, check func(t *testing.T, m *Msg, err error)) {
+	t.Helper()
+	t.Run(name+"/memory", func(t *testing.T) {
+		m, err := NewConn(bytes.NewReader(data), io.Discard).Recv()
+		check(t, m, err)
+	})
+	t.Run(name+"/netpipe", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		go func() {
+			b.Write(data)
+			b.Close()
+		}()
+		conn := NewConn(a, a)
+		if !conn.SupportsDeadline() {
+			t.Fatal("net.Pipe transport must support deadlines")
+		}
+		m, err := conn.Recv()
+		check(t, m, err)
+	})
+}
+
+// A peer can die after writing any prefix of a frame. Every cut point
+// — inside the length prefix, the payload, the CRC trailer — must read
+// as EOF (peer death), never as corruption, a decoded partial message,
+// or a hang.
+func TestRecvTornFrameEveryBoundary(t *testing.T) {
+	raw := encodeMsg(t, &Msg{Type: TypeRun, Campaign: "B", Ordinal: 7})
+	for cut := 0; cut < len(raw); cut++ {
+		recvOver(t, fmt.Sprintf("cut=%d", cut), raw[:cut], func(t *testing.T, m *Msg, err error) {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("torn at byte %d: got (%+v, %v), want EOF", cut, m, err)
+			}
+		})
+	}
+	// The full frame, as a control: decodes, then clean EOF.
+	recvOver(t, "cut=full", raw, func(t *testing.T, m *Msg, err error) {
+		if err != nil || m.Type != TypeRun || m.Ordinal != 7 {
+			t.Fatalf("full frame: (%+v, %v)", m, err)
+		}
+	})
+}
+
+// No single corrupted byte may yield a decoded message: every
+// corruption must surface as an error (ErrBadFrame for detectable
+// corruption, EOF when the mangled length makes the frame run past the
+// stream's end).
+func TestRecvSingleByteCorruptionNeverDecodes(t *testing.T) {
+	raw := encodeMsg(t, &Msg{Type: TypeResult, Campaign: "A", Ordinal: 3})
+	for i := range raw {
+		mangled := append([]byte(nil), raw...)
+		mangled[i] ^= 0xff
+		recvOver(t, fmt.Sprintf("byte=%d", i), mangled, func(t *testing.T, m *Msg, err error) {
+			if err == nil {
+				t.Fatalf("byte %d corrupted, yet Recv decoded %+v", i, m)
+			}
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, io.EOF) {
+				t.Fatalf("byte %d: unexpected error class %v", i, err)
+			}
+		})
+	}
+}
+
+// Garbage ahead of a valid frame poisons the stream: the first Recv
+// reports ErrBadFrame and the connection is abandoned — the protocol
+// never resyncs into the trailing valid frame, which would risk
+// misattributing a result to the wrong ordinal.
+func TestRecvGarbageThenValidNeverResyncs(t *testing.T) {
+	valid := encodeMsg(t, &Msg{Type: TypeRun, Campaign: "A", Ordinal: 9})
+	for _, tc := range []struct {
+		name    string
+		garbage []byte
+	}{
+		{"stdout-noise", []byte("panic: unexpected print to protocol stream\n")},
+		{"zero-length", []byte{0, 0, 0, 0}},
+		{"insane-length", []byte{0xff, 0xff, 0xff, 0x7f}},
+	} {
+		recvOver(t, tc.name, append(append([]byte(nil), tc.garbage...), valid...), func(t *testing.T, m *Msg, err error) {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("garbage prefix: got (%+v, %v), want ErrBadFrame", m, err)
+			}
+		})
+	}
+}
+
+// A valid frame followed by garbage: the good message decodes, the
+// trailing junk errors.
+func TestRecvValidThenGarbage(t *testing.T) {
+	valid := encodeMsg(t, &Msg{Type: TypeBeat})
+	data := append(append([]byte(nil), valid...), []byte("....junk....")...)
+	c := NewConn(bytes.NewReader(data), io.Discard)
+	m, err := c.Recv()
+	if err != nil || m.Type != TypeBeat {
+		t.Fatalf("leading valid frame: (%+v, %v)", m, err)
+	}
+	if _, err := c.Recv(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing garbage: %v, want ErrBadFrame", err)
+	}
+}
+
+// A transport that delivers one byte per read (worst-case TCP
+// segmentation) must reassemble frames byte-for-byte.
+func TestRecvOneByteAtATime(t *testing.T) {
+	msgs := []*Msg{
+		{Type: TypeHello, Version: ProtocolVersion, Spec: &StudySpec{Seed: 2003, Campaigns: "ABC"}},
+		{Type: TypeRun, Campaign: "C", Ordinal: 12},
+		{Type: TypeBeat},
+		{Type: TypeError, Text: "it broke"},
+	}
+	var buf bytes.Buffer
+	enc := NewConn(&buf, &buf)
+	for _, m := range msgs {
+		if err := enc.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewConn(iotest.OneByteReader(bytes.NewReader(buf.Bytes())), io.Discard)
+	for _, want := range msgs {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %s over one-byte reads: %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.Campaign != want.Campaign || got.Ordinal != want.Ordinal {
+			t.Fatalf("one-byte transport mangled %s: %+v", want.Type, got)
+		}
+	}
+	if _, err := c.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("tail: %v, want EOF", err)
+	}
+}
+
+// A peer dead after half a frame must not wedge Recv: the frame
+// timeout fires and reports ErrRecvTimeout.
+func TestFrameTimeoutUnblocksHalfWrittenFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	raw := encodeMsg(t, &Msg{Type: TypeRun, Campaign: "A", Ordinal: 1})
+	go b.Write(raw[:len(raw)/2]) // half a frame, then silence
+	conn := NewConn(a, a)
+	if err := conn.SetFrameTimeout(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := conn.Recv()
+	if !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("half-written frame: %v, want ErrRecvTimeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("timeout took %v", waited)
+	}
+}
+
+// The frame timeout bounds MID-FRAME silence only: a worker idling
+// between dispatches (no frame started) must be allowed to wait far
+// longer than the frame timeout.
+func TestFrameTimeoutSparesIdleWait(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	raw := encodeMsg(t, &Msg{Type: TypeBeat})
+	go func() {
+		time.Sleep(200 * time.Millisecond) // several frame timeouts of idleness
+		b.Write(raw)
+	}()
+	conn := NewConn(a, a)
+	if err := conn.SetFrameTimeout(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conn.Recv()
+	if err != nil || m.Type != TypeBeat {
+		t.Fatalf("idle wait was killed by the frame timeout: (%+v, %v)", m, err)
+	}
+}
+
+// SetRecvDeadline bounds the WHOLE next Recv, idle included — the
+// attach probe's tool. After the deadline is cleared the same Conn
+// must keep working (the idle timeout consumed no bytes).
+func TestRecvDeadlineCancelsIdleRecvAndClears(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(a, a)
+	if err := conn.SetRecvDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("idle recv under deadline: %v, want ErrRecvTimeout", err)
+	}
+	if err := conn.SetRecvDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := encodeMsg(t, &Msg{Type: TypePong, Version: ProtocolVersion})
+	go b.Write(raw)
+	m, err := conn.Recv()
+	if err != nil || m.Type != TypePong {
+		t.Fatalf("recv after cleared deadline: (%+v, %v)", m, err)
+	}
+}
+
+// Streams without deadline support (in-memory buffers, blocking-mode
+// inherited fds) must refuse the deadline API loudly instead of
+// silently never timing out.
+func TestDeadlineUnsupportedOnPlainStreams(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf, &buf)
+	if c.SupportsDeadline() {
+		t.Fatal("bytes.Buffer claims deadline support")
+	}
+	if err := c.SetFrameTimeout(time.Second); !errors.Is(err, ErrDeadlineUnsupported) {
+		t.Fatalf("SetFrameTimeout: %v, want ErrDeadlineUnsupported", err)
+	}
+	if err := c.SetRecvDeadline(time.Now()); !errors.Is(err, ErrDeadlineUnsupported) {
+		t.Fatalf("SetRecvDeadline: %v, want ErrDeadlineUnsupported", err)
+	}
+	if err := c.SetFrameTimeout(0); err != nil {
+		t.Fatalf("clearing a frame timeout must always succeed, got %v", err)
+	}
+	if err := c.SetRecvDeadline(time.Time{}); err != nil {
+		t.Fatalf("clearing a recv deadline must always succeed, got %v", err)
+	}
+}
+
+// A served worker answers ping with a version-stamped pong before the
+// handshake (the remote attach probe) and during the run loop, without
+// disturbing the session.
+func TestServeAnswersPings(t *testing.T) {
+	sup, work, closeAll := pipePair()
+	b := &scriptedBackend{}
+	done := make(chan error, 1)
+	go func() { done <- Serve(workReader(work), workWriter(work), b, time.Minute) }()
+
+	// Probe before hello.
+	if err := sup.Send(&Msg{Type: TypePing, Version: ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	pong := recvSkippingBeats(t, sup)
+	if pong.Type != TypePong || pong.Version != ProtocolVersion {
+		t.Fatalf("pre-hello probe: %+v, want version-stamped pong", pong)
+	}
+
+	if err := sup.Send(&Msg{Type: TypeHello, Version: ProtocolVersion, Spec: &StudySpec{Campaigns: "C"}}); err != nil {
+		t.Fatal(err)
+	}
+	if ready := recvSkippingBeats(t, sup); ready.Type != TypeReady {
+		t.Fatalf("handshake after probe: %+v", ready)
+	}
+
+	// Probe mid-session.
+	if err := sup.Send(&Msg{Type: TypePing, Version: ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if pong := recvSkippingBeats(t, sup); pong.Type != TypePong {
+		t.Fatalf("mid-session probe: %+v", pong)
+	}
+	if err := sup.Send(&Msg{Type: TypeRun, Campaign: "C", Ordinal: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if reply := recvSkippingBeats(t, sup); reply.Type != TypeResult || reply.Ordinal != 2 {
+		t.Fatalf("run after probes: %+v", reply)
+	}
+
+	closeAll()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}

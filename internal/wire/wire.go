@@ -7,8 +7,12 @@
 // livelocks the Go runtime, blows up the heap or is SIGKILLed takes
 // down only itself; the supervisor sees a dead pipe and restarts it.
 //
-// Transport: length-prefixed frames over the worker's stdin/stdout.
-// Each frame is
+// Transport: length-prefixed frames over any byte stream — the
+// worker's stdin/stdout pipes, or a TCP connection for remote workers
+// (kinject -connect). Streams whose reader supports SetReadDeadline
+// (os.File pipes, net.Conn) additionally get mid-frame silence bounds:
+// a peer that dies after writing half a frame cannot wedge Recv
+// forever. Each frame is
 //
 //	uint32 LE payload length | payload (JSON) | uint32 LE CRC32C(payload)
 //
@@ -20,6 +24,10 @@
 //
 // Message flow:
 //
+//	supervisor -> worker   ping    (optional liveness/version probe;
+//	                                remote pools vet a queued TCP
+//	                                worker before handing it a study)
+//	worker -> supervisor   pong    (echoes the protocol version)
 //	supervisor -> worker   hello   (protocol version + study spec)
 //	worker -> supervisor   ready   (version, golden fingerprint/disk
 //	                                hash for cross-validation, target
@@ -40,6 +48,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -51,8 +60,12 @@ import (
 // StudySpec with the fault-model tag: a version-1 worker would decode
 // a model-tagged spec without error and then enumerate the wrong
 // (bitflip) target list, so the skew must be rejected at the
-// handshake, before any ordinal is interpreted.
-const ProtocolVersion = 2
+// handshake, before any ordinal is interpreted. Version 3 added the
+// ping/pong liveness probe that remote pools send BEFORE the hello:
+// a version-2 worker treats the ping as a protocol error and
+// disconnects, so a skewed remote worker is rejected at attach time
+// instead of after it booted a whole study.
+const ProtocolVersion = 3
 
 // maxFrame bounds one frame payload; larger lengths mean a corrupt or
 // desynchronized stream.
@@ -68,6 +81,18 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // no longer be trusted and the worker must be restarted.
 var ErrBadFrame = errors.New("wire: bad frame")
 
+// ErrRecvTimeout reports that a Recv deadline expired: either the
+// absolute deadline set with SetRecvDeadline, or the mid-frame silence
+// bound set with SetFrameTimeout. A timed-out Conn must be abandoned —
+// the buffered reader may hold a partial frame, so the stream can no
+// longer be resynchronized.
+var ErrRecvTimeout = errors.New("wire: recv deadline exceeded")
+
+// ErrDeadlineUnsupported reports that the Conn's underlying reader has
+// no SetReadDeadline (e.g. an in-memory pipe); deadline calls on such
+// a Conn fail and Recv blocks as before.
+var ErrDeadlineUnsupported = errors.New("wire: stream does not support read deadlines")
+
 // Message types.
 const (
 	TypeHello  = "hello"
@@ -77,6 +102,8 @@ const (
 	TypeResult = "result"
 	TypeFault  = "fault"
 	TypeError  = "error"
+	TypePing   = "ping"
+	TypePong   = "pong"
 )
 
 // StudySpec is the result-affecting study configuration shipped to a
@@ -140,19 +167,124 @@ type Msg struct {
 	Text     string               `json:",omitempty"` // error
 }
 
+// deadlineReader is the read-deadline capability shared by os.File
+// (the worker's stdin/stdout pipes) and net.Conn (remote workers).
+type deadlineReader interface {
+	SetReadDeadline(t time.Time) error
+}
+
 // Conn frames messages over a byte stream. Send is safe for
 // concurrent use (the worker's heartbeat goroutine shares the writer
-// with the run loop); Recv must be called from a single goroutine.
+// with the run loop); Recv and the deadline setters must be called
+// from a single goroutine.
 type Conn struct {
 	wmu sync.Mutex
 	w   io.Writer
 	br  *bufio.Reader
+
+	// rd is the raw reader's deadline hook, nil when unsupported.
+	// frameTimeout bounds mid-frame silence per read; recvDeadline is
+	// an absolute bound on the whole next Recv.
+	rd           deadlineReader
+	frameTimeout time.Duration
+	recvDeadline time.Time
 }
 
 // NewConn wraps a reader/writer pair (the two ends of the worker's
-// stdin/stdout pipes).
+// stdin/stdout pipes, or one net.Conn for both). When the reader
+// supports SetReadDeadline, SetFrameTimeout/SetRecvDeadline become
+// available; otherwise they report ErrDeadlineUnsupported and Recv
+// blocks indefinitely as before.
 func NewConn(r io.Reader, w io.Writer) *Conn {
-	return &Conn{w: w, br: bufio.NewReaderSize(r, 1<<16)}
+	c := &Conn{w: w, br: bufio.NewReaderSize(r, 1<<16)}
+	if rd, ok := r.(deadlineReader); ok {
+		// Having the method is not having the capability: an *os.File
+		// inherited at exec (a worker's stdin) is in blocking mode and
+		// fails every SetReadDeadline with ErrNoDeadline. Probe with a
+		// harmless clear; on refusal the Conn stays deadline-less.
+		if rd.SetReadDeadline(time.Time{}) == nil {
+			c.rd = rd
+		}
+	}
+	return c
+}
+
+// SupportsDeadline reports whether the underlying stream has read
+// deadlines (os.File pipes and net.Conn do; in-memory pipes do not).
+func (c *Conn) SupportsDeadline() bool { return c.rd != nil }
+
+// SetFrameTimeout bounds the silence tolerated MID-frame: once the
+// first byte of a frame has arrived, every subsequent read must make
+// progress within d or Recv fails with ErrRecvTimeout. Waiting for a
+// frame to BEGIN is not bounded — an idle worker legitimately waits
+// indefinitely for its next request. 0 disables the bound. The setting
+// is sticky across Recv calls.
+func (c *Conn) SetFrameTimeout(d time.Duration) error {
+	if c.rd == nil {
+		if d == 0 {
+			return nil // clearing a bound needs no capability
+		}
+		return ErrDeadlineUnsupported
+	}
+	c.frameTimeout = d
+	return nil
+}
+
+// SetRecvDeadline sets an absolute deadline for subsequent Recv calls,
+// covering the idle wait too (used to vet a freshly attached remote
+// worker, where "no frame yet" is itself the failure). The zero time
+// clears it. A deadline already in the past cancels a concurrent
+// blocked Recv on deadline-capable streams.
+func (c *Conn) SetRecvDeadline(t time.Time) error {
+	if c.rd == nil {
+		if t.IsZero() {
+			return nil // clearing a bound needs no capability
+		}
+		return ErrDeadlineUnsupported
+	}
+	c.recvDeadline = t
+	// Apply immediately so a blocked Recv observes a cancellation
+	// without waiting for its next arm point.
+	return c.rd.SetReadDeadline(t)
+}
+
+// armIdle applies the deadline for the wait-for-first-byte phase: only
+// the absolute recv deadline bounds it.
+func (c *Conn) armIdle() error {
+	if c.rd == nil {
+		return nil
+	}
+	return c.rd.SetReadDeadline(c.recvDeadline)
+}
+
+// armFrame applies the deadline for mid-frame reads: the sooner of the
+// absolute recv deadline and now+frameTimeout.
+func (c *Conn) armFrame() error {
+	if c.rd == nil {
+		return nil
+	}
+	t := c.recvDeadline
+	if c.frameTimeout > 0 {
+		if ft := time.Now().Add(c.frameTimeout); t.IsZero() || ft.Before(t) {
+			t = ft
+		}
+	}
+	if t.Equal(c.recvDeadline) {
+		return nil // armIdle already applied exactly this
+	}
+	return c.rd.SetReadDeadline(t)
+}
+
+// mapReadErr normalizes raw read errors: deadline expiry becomes
+// ErrRecvTimeout, a peer death mid-frame becomes io.EOF.
+func mapReadErr(err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrRecvTimeout, err)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.EOF
+	}
+	return err
 }
 
 // Send writes one frame.
@@ -174,14 +306,24 @@ func (c *Conn) Send(m *Msg) error {
 }
 
 // Recv reads one frame. io.EOF means the peer closed the stream (or
-// died); a wrapped ErrBadFrame means the stream is corrupt and must be
-// abandoned.
+// died); a wrapped ErrBadFrame means the stream is corrupt; a wrapped
+// ErrRecvTimeout means a deadline expired mid-wait. On any of the
+// latter two the stream must be abandoned.
 func (c *Conn) Recv() (*Msg, error) {
+	// Phase 1: wait for the frame to begin. This is the legitimate idle
+	// state (a worker between requests), bounded only by an explicit
+	// absolute deadline. Peek does not consume, so buffered bytes from
+	// a previous partial read are still seen by the ReadFulls below.
+	if err := c.armIdle(); err != nil {
+		return nil, fmt.Errorf("wire: arm deadline: %w", err)
+	}
+	if _, err := c.br.Peek(1); err != nil {
+		return nil, mapReadErr(err)
+	}
+	// Phase 2: the frame is in flight. A peer that goes silent now died
+	// mid-write, so every subsequent read runs under the frame timeout.
 	var lenbuf [4]byte
-	if _, err := io.ReadFull(c.br, lenbuf[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, io.EOF
-		}
+	if err := c.readFull(lenbuf[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(lenbuf[:])
@@ -189,10 +331,7 @@ func (c *Conn) Recv() (*Msg, error) {
 		return nil, fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
 	}
 	buf := make([]byte, n+4)
-	if _, err := io.ReadFull(c.br, buf); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, io.EOF
-		}
+	if err := c.readFull(buf); err != nil {
 		return nil, err
 	}
 	payload := buf[:n]
@@ -205,6 +344,17 @@ func (c *Conn) Recv() (*Msg, error) {
 		return nil, fmt.Errorf("%w: decode: %v", ErrBadFrame, err)
 	}
 	return &m, nil
+}
+
+// readFull reads len(p) bytes under the mid-frame deadline.
+func (c *Conn) readFull(p []byte) error {
+	if err := c.armFrame(); err != nil {
+		return fmt.Errorf("wire: arm deadline: %w", err)
+	}
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return mapReadErr(err)
+	}
+	return nil
 }
 
 // Backend is the worker-side implementation served by Serve: boot the
@@ -227,23 +377,34 @@ type BlockStatser interface {
 	BlockStatsDelta() BlockDelta
 }
 
+// ServeFrameTimeout is the mid-frame silence bound a served worker
+// applies when its stream supports deadlines: a supervisor that dies
+// after writing half a frame must not wedge the worker's Recv forever.
+// Idle waits (no request in flight) stay unbounded — a queued worker
+// legitimately waits indefinitely for its next hello.
+const ServeFrameTimeout = 30 * time.Second
+
 // Serve runs the worker side of the protocol until the supervisor
 // closes the stream (clean shutdown, returns nil) or a fatal error
 // occurs. Heartbeats are emitted every beatEvery while a boot or run
 // is in flight, proving process liveness to the supervisor (run-level
 // hangs are the in-worker watchdog's job; heartbeats catch a dead or
-// frozen process).
+// frozen process). Ping frames are answered with pong at any point —
+// remote pools probe a queued TCP worker's liveness and version before
+// shipping it a study.
 func Serve(r io.Reader, w io.Writer, b Backend, beatEvery time.Duration) error {
 	conn := NewConn(r, w)
+	conn.SetFrameTimeout(ServeFrameTimeout) // best effort; in-memory streams keep blocking
 	if beatEvery <= 0 {
 		beatEvery = time.Second
 	}
 
-	hello, err := conn.Recv()
+	hello, err := conn.recvAnsweringPings()
 	if err != nil {
 		return fmt.Errorf("wire: handshake: %w", err)
 	}
 	if hello.Type != TypeHello || hello.Spec == nil {
+		conn.Send(&Msg{Type: TypeError, Text: fmt.Sprintf("unexpected %q, want hello", hello.Type)})
 		return fmt.Errorf("wire: handshake: got %q, want hello", hello.Type)
 	}
 	if hello.Version != ProtocolVersion {
@@ -265,7 +426,7 @@ func Serve(r io.Reader, w io.Writer, b Backend, beatEvery time.Duration) error {
 	}
 
 	for {
-		m, err := conn.Recv()
+		m, err := conn.recvAnsweringPings()
 		if errors.Is(err, io.EOF) {
 			return nil // supervisor closed the stream: clean shutdown
 		}
@@ -299,6 +460,24 @@ func Serve(r io.Reader, w io.Writer, b Backend, beatEvery time.Duration) error {
 		if err := conn.Send(reply); err != nil {
 			return err
 		}
+	}
+}
+
+// recvAnsweringPings reads the next non-ping frame, replying to pings
+// with a version-stamped pong (the remote-pool attach probe).
+func (c *Conn) recvAnsweringPings() (*Msg, error) {
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if m.Type == TypePing {
+			if err := c.Send(&Msg{Type: TypePong, Version: ProtocolVersion}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return m, nil
 	}
 }
 
